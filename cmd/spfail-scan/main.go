@@ -1,0 +1,123 @@
+// Command spfail-scan probes one or more SMTP servers with the SPFail
+// NoMsg→BlankMsg detection ladder and classifies each server's SPF macro
+// expansion behaviour.
+//
+// The scanner runs its own measurement DNS zone (like cmd/spfail-dns); the
+// probed server must resolve <base> through this process, so in a lab the
+// zone is either delegated here or the server's resolver is pointed at
+// -dns-listen.
+//
+//	spfail-scan -dns-listen 10.0.0.1:53 -base spf-test.lab \
+//	    -rcpt-domain victim.lab 10.0.0.25:25 10.0.0.26:25
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"strings"
+	"time"
+
+	"spfail/internal/clock"
+	"spfail/internal/core"
+	"spfail/internal/dnsmsg"
+	"spfail/internal/dnsserver"
+	"spfail/internal/netsim"
+)
+
+func main() {
+	var (
+		dnsListen  = flag.String("dns-listen", "127.0.0.1:5353", "address for the measurement DNS zone")
+		base       = flag.String("base", "spf-test.dns-lab.org", "zone apex under our control")
+		addr4      = flag.String("addr4", "192.0.2.25", "A record served under the zone")
+		rcptDomain = flag.String("rcpt-domain", "", "domain used in RCPT TO (default: target host)")
+		helo       = flag.String("helo", "probe.dns-lab.org", "HELO identity")
+		suite      = flag.String("suite", "s01", "test-suite label")
+		settle     = flag.Duration("settle", 2*time.Second, "wait for trailing DNS queries before classifying")
+		timeout    = flag.Duration("timeout", 30*time.Second, "SMTP I/O timeout")
+	)
+	flag.Parse()
+	targets := flag.Args()
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: spfail-scan [flags] host:port ...")
+		os.Exit(2)
+	}
+
+	baseName, err := dnsmsg.ParseName(*base)
+	if err != nil {
+		fatal("bad -base: %v", err)
+	}
+	a4, err := netip.ParseAddr(*addr4)
+	if err != nil {
+		fatal("bad -addr4: %v", err)
+	}
+	zone := &dnsserver.SPFTestZone{Base: baseName, Addr4: a4}
+	collector := core.NewCollector(zone)
+	handler := &dnsserver.LoggingHandler{Inner: zone, Sink: collector, Now: time.Now}
+	srv := &dnsserver.Server{Net: netsim.Real{}, Addr: *dnsListen, Handler: handler}
+	if err := srv.Start(context.Background()); err != nil {
+		fatal("starting DNS zone: %v", err)
+	}
+	defer srv.Stop()
+	fmt.Printf("spfail-scan: measurement zone %s on %s\n", baseName, *dnsListen)
+
+	prober := &core.Prober{
+		Net:        netsim.Real{},
+		HELO:       *helo,
+		Clock:      clock.Real{},
+		Zone:       zone,
+		Labels:     core.NewLabelAllocator(time.Now().UnixNano()),
+		Collector:  collector,
+		Classifier: core.NewClassifier(zone),
+		Suite:      *suite,
+		IOTimeout:  *timeout,
+	}
+
+	exitCode := 0
+	for _, target := range targets {
+		rd := *rcptDomain
+		if rd == "" {
+			rd = strings.Split(target, ":")[0]
+		}
+		fmt.Printf("\n== %s (rcpt domain %s)\n", target, rd)
+		out := prober.TestIP(context.Background(), target, rd)
+		// Give slow validators a moment for trailing lookups, then
+		// reclassify with the full evidence.
+		time.Sleep(*settle)
+		printOutcome(out)
+		if out.Vulnerable() {
+			exitCode = 1
+		}
+	}
+	os.Exit(exitCode)
+}
+
+func printOutcome(out core.Outcome) {
+	fmt.Printf("  status:   %s\n", out.Status)
+	if out.Method != "" {
+		fmt.Printf("  method:   %s\n", out.Method)
+	}
+	if out.Err != nil {
+		fmt.Printf("  error:    %v (stage %s)\n", out.Err, out.FailStage)
+	}
+	o := out.Observation
+	fmt.Printf("  policy fetched: %v, liveness term resolved: %v\n", o.PolicyFetched, o.LivenessSeen)
+	for i, p := range o.Patterns {
+		fmt.Printf("  pattern:  %-20s → %s\n", o.Classes[i], p)
+	}
+	switch {
+	case out.Vulnerable():
+		fmt.Printf("  VERDICT:  VULNERABLE libSPF2 (CVE-2021-33912/33913)\n")
+	case out.Status == core.StatusSPFMeasured:
+		fmt.Printf("  VERDICT:  %s\n", o.DominantClass())
+	default:
+		fmt.Printf("  VERDICT:  inconclusive\n")
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "spfail-scan: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,132 @@
+// Command spfcheck evaluates SPF policies from the command line.
+//
+// Evaluate an inline record:
+//
+//	spfcheck -ip 192.0.2.1 -from user@example.com \
+//	    -record "v=spf1 ip4:192.0.2.0/24 -all"
+//
+// Evaluate against a DNS server (the domain's policy is fetched live):
+//
+//	spfcheck -ip 192.0.2.1 -from user@example.com -server 127.0.0.1:53
+//
+// Show how every modeled SPF implementation behaviour (including the
+// vulnerable libSPF2) would expand a macro-string:
+//
+//	spfcheck -expand "%{d1r}.foo.com" -from user@example.com
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"strings"
+	"time"
+
+	"spfail/internal/dnsclient"
+	"spfail/internal/mta"
+	"spfail/internal/netsim"
+	"spfail/internal/spf"
+	"spfail/internal/spfimpl"
+)
+
+func main() {
+	var (
+		ipStr   = flag.String("ip", "192.0.2.1", "SMTP client IP address")
+		from    = flag.String("from", "", "MAIL FROM address (user@domain)")
+		helo    = flag.String("helo", "mail.example.com", "HELO/EHLO identity")
+		domain  = flag.String("domain", "", "domain to check (default: domain of -from)")
+		record  = flag.String("record", "", "inline SPF record to evaluate instead of DNS")
+		server  = flag.String("server", "", "DNS server address (ip:port) for live lookups")
+		expand  = flag.String("expand", "", "macro-string: show every behaviour's expansion and exit")
+		timeout = flag.Duration("timeout", 5*time.Second, "DNS timeout")
+	)
+	flag.Parse()
+
+	if *from == "" && *expand == "" {
+		fmt.Fprintln(os.Stderr, "spfcheck: -from is required (see -h)")
+		os.Exit(2)
+	}
+	ip, err := netip.ParseAddr(*ipStr)
+	if err != nil {
+		fatal("bad -ip: %v", err)
+	}
+	dom := *domain
+	if dom == "" && *from != "" {
+		if i := strings.LastIndexByte(*from, '@'); i >= 0 {
+			dom = (*from)[i+1:]
+		}
+	}
+
+	if *expand != "" {
+		env := &spf.MacroEnv{Sender: *from, Domain: dom, IP: ip, HELO: *helo}
+		fmt.Printf("expansions of %q for sender %q:\n", *expand, *from)
+		for _, b := range spfimpl.AllBehaviors() {
+			out, err := spfimpl.ExpanderFor(b).Expand(context.Background(), *expand, env, false)
+			if err != nil {
+				out = "error: " + err.Error()
+			}
+			fmt.Printf("  %-20s %s\n", b, out)
+		}
+		return
+	}
+
+	var resolver spf.Resolver
+	switch {
+	case *record != "":
+		resolver = inlineResolver{domain: dom, record: *record}
+	case *server != "":
+		r := dnsclient.NewResolver(netsim.Real{}, *server)
+		r.Client.Timeout = *timeout
+		resolver = mta.ResolverAdapter{R: r}
+	default:
+		fatal("one of -record or -server is required")
+	}
+
+	c := &spf.Checker{Resolver: resolver}
+	res := c.CheckHost(context.Background(), ip, dom, *from, *helo)
+	fmt.Printf("result:    %s\n", res.Result)
+	if res.Mechanism != "" {
+		fmt.Printf("mechanism: %s\n", res.Mechanism)
+	}
+	if res.Explanation != "" {
+		fmt.Printf("exp:       %s\n", res.Explanation)
+	}
+	if res.Err != nil {
+		fmt.Printf("detail:    %v\n", res.Err)
+	}
+	if res.Result == spf.ResultFail || res.Result == spf.ResultPermError {
+		os.Exit(1)
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "spfcheck: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// inlineResolver serves exactly one TXT record for one domain.
+type inlineResolver struct {
+	domain string
+	record string
+}
+
+func (r inlineResolver) LookupTXT(_ context.Context, name string) ([]string, error) {
+	if strings.EqualFold(strings.TrimSuffix(name, "."), strings.TrimSuffix(r.domain, ".")) {
+		return []string{r.record}, nil
+	}
+	return nil, spf.ErrNotFound
+}
+
+func (r inlineResolver) LookupIP(context.Context, string, string) ([]netip.Addr, error) {
+	return nil, spf.ErrNotFound
+}
+
+func (r inlineResolver) LookupMX(context.Context, string) ([]spf.MX, error) {
+	return nil, spf.ErrNotFound
+}
+
+func (r inlineResolver) LookupPTR(context.Context, netip.Addr) ([]string, error) {
+	return nil, spf.ErrNotFound
+}

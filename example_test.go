@@ -1,0 +1,71 @@
+package spfail_test
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"spfail"
+	"spfail/internal/spf"
+)
+
+// exampleResolver is a minimal in-memory spfail.Resolver.
+type exampleResolver struct{ txt map[string][]string }
+
+func (r exampleResolver) LookupTXT(_ context.Context, name string) ([]string, error) {
+	if v, ok := r.txt[strings.TrimSuffix(name, ".")]; ok {
+		return v, nil
+	}
+	return nil, spf.ErrNotFound
+}
+
+func (exampleResolver) LookupIP(context.Context, string, string) ([]netip.Addr, error) {
+	return nil, spf.ErrNotFound
+}
+
+func (exampleResolver) LookupMX(context.Context, string) ([]spf.MX, error) {
+	return nil, spf.ErrNotFound
+}
+
+func (exampleResolver) LookupPTR(context.Context, netip.Addr) ([]string, error) {
+	return nil, spf.ErrNotFound
+}
+
+func ExampleParseRecord() {
+	rec, err := spfail.ParseRecord("v=spf1 a:foo.example.com ip4:192.0.2.1 include:bar.org -all")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(rec.Mechanisms), "mechanisms,", rec.LookupTerms(), "DNS terms")
+	// Output: 4 mechanisms, 2 DNS terms
+}
+
+func ExampleCheckHost() {
+	resolver := exampleResolver{txt: map[string][]string{
+		"example.com": {"v=spf1 ip4:192.0.2.0/24 -all"},
+	}}
+	res := spfail.CheckHost(context.Background(), resolver,
+		netip.MustParseAddr("192.0.2.7"), "example.com",
+		"user@example.com", "mta.example.com")
+	fmt.Println(res.Result, "via", res.Mechanism)
+	// Output: pass via ip4:192.0.2.0/24
+}
+
+func ExampleExpandMacros() {
+	env := &spfail.MacroEnv{Sender: "user@example.com", Domain: "example.com"}
+	out, _ := spfail.ExpandMacros(context.Background(), "%{d1r}.foo.com", env)
+	fmt.Println(out)
+	// Output: example.foo.com
+}
+
+func ExampleLibSPF2Expander() {
+	// The vulnerable expansion that SPFail detects remotely: the
+	// truncation prefix of the reversed domain is duplicated ahead of
+	// the whole reversed value (compare ExampleExpandMacros).
+	exp := &spfail.LibSPF2Expander{}
+	env := &spfail.MacroEnv{Sender: "user@example.com", Domain: "example.com"}
+	out, _ := exp.Expand(context.Background(), "%{d1r}.foo.com", env, false)
+	fmt.Println(out)
+	// Output: com.com.example.foo.com
+}

@@ -1,0 +1,92 @@
+// Detectvuln reproduces the paper's headline capability in one process: it
+// stands up a mail server running the vulnerable libSPF2 (and a patched
+// control), the measurement DNS zone, and then detects the vulnerability
+// remotely with the benign NoMsg probe — no exploit, no crash, just a
+// uniquely erroneous DNS query.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"spfail/internal/clock"
+	"spfail/internal/core"
+	"spfail/internal/dnsmsg"
+	"spfail/internal/dnsserver"
+	"spfail/internal/mta"
+	"spfail/internal/netsim"
+	"spfail/internal/spfimpl"
+)
+
+func main() {
+	ctx := context.Background()
+	fabric := netsim.NewFabric()
+
+	// Measurement side: authoritative DNS for spf-test.dns-lab.org with
+	// query logging.
+	zone := &dnsserver.SPFTestZone{
+		Base:  dnsmsg.MustParseName("spf-test.dns-lab.org"),
+		Addr4: netip.MustParseAddr("192.0.2.80"),
+	}
+	collector := core.NewCollector(zone)
+	dns := &dnsserver.Server{
+		Net:  fabric.Host("192.0.2.53"),
+		Addr: ":53",
+		Handler: &dnsserver.LoggingHandler{
+			Inner: zone, Sink: collector, Now: time.Now,
+		},
+	}
+	if err := dns.Start(ctx); err != nil {
+		panic(err)
+	}
+	defer dns.Stop()
+
+	// Two mail servers: one vulnerable, one patched.
+	hosts := map[string]spfimpl.Behavior{
+		"203.0.113.25": spfimpl.BehaviorVulnLibSPF2,
+		"203.0.113.26": spfimpl.BehaviorPatchedLibSPF2,
+	}
+	for ip, behavior := range hosts {
+		h := mta.New(mta.Config{
+			Hostname:   "mx." + ip,
+			IP:         netip.MustParseAddr(ip),
+			Net:        fabric.Host(ip),
+			DNSServer:  "192.0.2.53:53",
+			Behaviors:  []spfimpl.Behavior{behavior},
+			ValidateAt: mta.ValidateAtMailFrom,
+		})
+		if err := h.Start(ctx); err != nil {
+			panic(err)
+		}
+		defer h.Stop()
+	}
+
+	// The remote detector.
+	prober := &core.Prober{
+		Net:        fabric.Host("198.51.100.9"),
+		HELO:       "probe.dns-lab.org",
+		Clock:      clock.Real{},
+		Zone:       zone,
+		Labels:     core.NewLabelAllocator(1),
+		Collector:  collector,
+		Classifier: core.NewClassifier(zone),
+		Suite:      "demo",
+		IOTimeout:  5 * time.Second,
+	}
+
+	for ip := range hosts {
+		out := prober.TestIP(ctx, ip+":25", "victim.example")
+		fmt.Printf("== %s\n", ip)
+		fmt.Printf("   probe method: %s, status: %s\n", out.Method, out.Status)
+		for i, p := range out.Observation.Patterns {
+			fmt.Printf("   observed expansion: %s\n     → classified %s\n", p, out.Observation.Classes[i])
+		}
+		if out.Vulnerable() {
+			fmt.Printf("   VERDICT: VULNERABLE (CVE-2021-33912/33913)\n\n")
+		} else {
+			fmt.Printf("   VERDICT: not vulnerable (%s)\n\n", out.Observation.DominantClass())
+		}
+	}
+}

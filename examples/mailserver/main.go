@@ -1,0 +1,111 @@
+// Mailserver runs an SPF-validating SMTP server on a real localhost
+// socket. Talk to it with netcat and watch it validate the MAIL FROM
+// domain against its (embedded) DNS view:
+//
+//	go run ./examples/mailserver &
+//	printf 'EHLO me\r\nMAIL FROM:<user@good.example>\r\nRCPT TO:<a@local>\r\nDATA\r\nhi\r\n.\r\nQUIT\r\n' | nc 127.0.0.1 2525
+//
+// good.example's policy passes for 127.0.0.1; bad.example's policy is
+// -all, so mail claiming to be from it is rejected with 550.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strings"
+
+	"spfail/internal/netsim"
+	"spfail/internal/smtp"
+	"spfail/internal/spf"
+)
+
+// staticResolver is the server's embedded DNS view.
+type staticResolver struct {
+	txt map[string][]string
+	a   map[string][]netip.Addr
+}
+
+func (s *staticResolver) key(n string) string { return strings.ToLower(strings.TrimSuffix(n, ".")) }
+
+func (s *staticResolver) LookupTXT(_ context.Context, name string) ([]string, error) {
+	if v, ok := s.txt[s.key(name)]; ok {
+		return v, nil
+	}
+	return nil, spf.ErrNotFound
+}
+
+func (s *staticResolver) LookupIP(_ context.Context, _, name string) ([]netip.Addr, error) {
+	if v, ok := s.a[s.key(name)]; ok {
+		return v, nil
+	}
+	return nil, spf.ErrNotFound
+}
+
+func (s *staticResolver) LookupMX(context.Context, string) ([]spf.MX, error) {
+	return nil, spf.ErrNotFound
+}
+
+func (s *staticResolver) LookupPTR(context.Context, netip.Addr) ([]string, error) {
+	return nil, spf.ErrNotFound
+}
+
+// spfHandler validates MAIL FROM with SPF and rejects on fail.
+type spfHandler struct {
+	smtp.NopHandler
+	checker *spf.Checker
+}
+
+func (h *spfHandler) OnMailFrom(from string, remote net.Addr, helo string) *smtp.Reply {
+	if from == "" {
+		return nil
+	}
+	domain := smtp.AddressDomain(from)
+	host, _, err := net.SplitHostPort(remote.String())
+	if err != nil {
+		host = remote.String()
+	}
+	ip, err := netip.ParseAddr(host)
+	if err != nil {
+		return nil
+	}
+	res := h.checker.CheckHost(context.Background(), ip, domain, from, helo)
+	fmt.Printf("SPF %s for %s from %s (matched %s)\n", res.Result, from, ip, res.Mechanism)
+	switch res.Result {
+	case spf.ResultFail:
+		return smtp.Replyf(550, "SPF fail for %s: %s", domain, res.Explanation)
+	case spf.ResultTempError:
+		return smtp.NewReply(451, "SPF temporary error, try again")
+	}
+	return nil
+}
+
+func main() {
+	resolver := &staticResolver{
+		txt: map[string][]string{
+			"good.example":    {"v=spf1 ip4:127.0.0.0/8 ip6:::1 -all"},
+			"bad.example":     {"v=spf1 -all exp=why.bad.example"},
+			"why.bad.example": {"%{i} is not a permitted sender for %{d}"},
+		},
+		a: map[string][]netip.Addr{},
+	}
+	srv := &smtp.Server{
+		Hostname: "mailserver.example",
+		Net:      netsim.Real{},
+		Addr:     "127.0.0.1:2525",
+		Handler:  &spfHandler{checker: &spf.Checker{Resolver: resolver}},
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := srv.Start(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "mailserver: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("mailserver: SPF-validating SMTP on 127.0.0.1:2525 (ctrl-C to stop)")
+	fmt.Println("  accepted sender domain: good.example   rejected: bad.example")
+	<-ctx.Done()
+	srv.Stop()
+}

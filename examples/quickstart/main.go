@@ -1,0 +1,101 @@
+// Quickstart: parse an SPF policy, expand macros, and evaluate
+// check_host() against an in-memory resolver — including a demonstration
+// of how the vulnerable libSPF2 expands the paper's probe macro.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"spfail/internal/spf"
+	"spfail/internal/spfimpl"
+)
+
+// memResolver is a tiny in-memory spf.Resolver.
+type memResolver struct {
+	txt map[string][]string
+	a   map[string][]netip.Addr
+	mx  map[string][]spf.MX
+}
+
+func (m *memResolver) key(s string) string { return strings.ToLower(strings.TrimSuffix(s, ".")) }
+
+func (m *memResolver) LookupTXT(_ context.Context, name string) ([]string, error) {
+	if v, ok := m.txt[m.key(name)]; ok {
+		return v, nil
+	}
+	return nil, spf.ErrNotFound
+}
+
+func (m *memResolver) LookupIP(_ context.Context, network, name string) ([]netip.Addr, error) {
+	if v, ok := m.a[m.key(name)]; ok {
+		return v, nil
+	}
+	return nil, spf.ErrNotFound
+}
+
+func (m *memResolver) LookupMX(_ context.Context, name string) ([]spf.MX, error) {
+	if v, ok := m.mx[m.key(name)]; ok {
+		return v, nil
+	}
+	return nil, spf.ErrNotFound
+}
+
+func (m *memResolver) LookupPTR(context.Context, netip.Addr) ([]string, error) {
+	return nil, spf.ErrNotFound
+}
+
+func main() {
+	// 1. Parse the example policy from the paper's §2.2.
+	policy := "v=spf1 a:foo.example.com ip4:192.0.2.1 include:bar.org -all"
+	rec, err := spf.Parse(policy)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("parsed policy: %s\n", rec)
+	fmt.Printf("DNS-consuming terms: %d of 10 allowed\n\n", rec.LookupTerms())
+
+	// 2. Macro expansion (§2.2's examples for user@example.com).
+	env := &spf.MacroEnv{
+		Sender: "user@example.com",
+		Domain: "example.com",
+		IP:     netip.MustParseAddr("192.0.2.1"),
+		HELO:   "mta.example.com",
+	}
+	for _, m := range []string{"%{l}", "%{d}", "%{d2}", "%{d1}", "%{dr}", "%{d1r}"} {
+		out, _ := spf.Expander{}.Expand(context.Background(), m, env, false)
+		fmt.Printf("  %-8s → %s\n", m, out)
+	}
+
+	// 3. The vulnerable libSPF2 expansion (§4.2): same macro, corrupted
+	//    output — this is the remotely observable fingerprint.
+	fmt.Println("\nexpansions of a:%{d1r}.foo.com by implementation:")
+	for _, b := range []spfimpl.Behavior{
+		spfimpl.BehaviorCompliant,
+		spfimpl.BehaviorNoTruncate,
+		spfimpl.BehaviorVulnLibSPF2,
+	} {
+		out, _ := spfimpl.ExpanderFor(b).Expand(context.Background(), "%{d1r}.foo.com", env, false)
+		fmt.Printf("  %-20s → %s\n", b, out)
+	}
+
+	// 4. Full check_host() evaluation.
+	resolver := &memResolver{
+		txt: map[string][]string{
+			"example.com": {policy},
+			"bar.org":     {"v=spf1 ip4:198.51.100.0/24 -all"},
+		},
+		a: map[string][]netip.Addr{
+			"foo.example.com": {netip.MustParseAddr("192.0.2.99")},
+		},
+	}
+	checker := &spf.Checker{Resolver: resolver}
+	fmt.Println("\ncheck_host() results:")
+	for _, ip := range []string{"192.0.2.1", "192.0.2.99", "198.51.100.7", "203.0.113.5"} {
+		res := checker.CheckHost(context.Background(),
+			netip.MustParseAddr(ip), "example.com", "user@example.com", "mta.example.com")
+		fmt.Printf("  %-14s → %-8s (matched %s)\n", ip, res.Result, res.Mechanism)
+	}
+}

@@ -1,0 +1,80 @@
+// Zonefile demonstrates the DNS substrate on its own: parse an RFC 1035
+// master file, serve it authoritatively over the in-memory fabric, and
+// resolve against it with the stub resolver — including an SPF evaluation
+// of a record defined in the zone.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"spfail/internal/dnsclient"
+	"spfail/internal/dnsserver"
+	"spfail/internal/mta"
+	"spfail/internal/netsim"
+	"spfail/internal/spf"
+)
+
+const zoneText = `
+$ORIGIN corp.example.
+$TTL 300
+@      IN SOA ns1 hostmaster 2026070500 7200 900 86400 60
+@      IN NS  ns1
+@      IN MX  10 mail
+@      IN MX  20 backup
+@      IN TXT "v=spf1 mx ip4:203.0.113.0/24 -all"
+_dmarc IN TXT "v=DMARC1; p=quarantine"
+ns1    IN A   192.0.2.53
+mail   IN A   203.0.113.25
+mail   IN AAAA 2001:db8::25
+backup IN A   203.0.113.26
+www    IN CNAME mail
+`
+
+func main() {
+	zone, err := dnsserver.ParseZoneString(zoneText)
+	if err != nil {
+		panic(err)
+	}
+
+	fabric := netsim.NewFabric()
+	srv := &dnsserver.Server{
+		Net:     fabric.Host("192.0.2.53"),
+		Addr:    ":53",
+		Handler: zone,
+	}
+	if err := srv.Start(context.Background()); err != nil {
+		panic(err)
+	}
+	defer srv.Stop()
+
+	// Resolve through the real client code path (UDP wire format, TCP
+	// fallback, error taxonomy).
+	stub := dnsclient.NewResolver(fabric.Host("198.51.100.9"), "192.0.2.53:53")
+	stub.Client.Timeout = 2 * time.Second
+	resolver := mta.ResolverAdapter{R: stub}
+
+	mxs, err := resolver.LookupMX(context.Background(), "corp.example")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("MX records for corp.example:")
+	for _, mx := range mxs {
+		addrs, _ := resolver.LookupIP(context.Background(), "ip", mx.Host)
+		fmt.Printf("  %2d %-22s → %v\n", mx.Preference, mx.Host, addrs)
+	}
+
+	txts, _ := resolver.LookupTXT(context.Background(), "corp.example")
+	fmt.Println("TXT:", txts)
+
+	// Evaluate the zone's SPF policy for two candidate senders.
+	checker := &spf.Checker{Resolver: resolver}
+	for _, ip := range []string{"203.0.113.25", "198.51.100.1"} {
+		res := checker.CheckHost(context.Background(),
+			netip.MustParseAddr(ip), "corp.example",
+			"billing@corp.example", "mail.corp.example")
+		fmt.Printf("SPF for sender at %-14s → %-8s (matched %s)\n", ip, res.Result, res.Mechanism)
+	}
+}

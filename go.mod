@@ -1,0 +1,3 @@
+module spfail
+
+go 1.22

@@ -1,0 +1,274 @@
+// Package clock abstracts time so that the measurement pipeline can run
+// either against the wall clock or against a simulated clock that advances
+// virtual months in milliseconds.
+//
+// Every sleep, cadence, and timestamp in this repository flows through a
+// Clock. The simulated implementation keeps a priority queue of waiters and
+// advances time only when all runnable goroutines registered with it are
+// blocked, which makes four-month longitudinal campaigns deterministic and
+// instantaneous.
+package clock
+
+import (
+	"container/heap"
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source used throughout the repository.
+type Clock interface {
+	// Now returns the current (possibly virtual) time.
+	Now() time.Time
+	// Sleep blocks until d has elapsed or ctx is done. It returns ctx.Err()
+	// when interrupted, nil otherwise.
+	Sleep(ctx context.Context, d time.Duration) error
+	// After returns a channel that receives the time once d has elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is a Clock backed by the system clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// waiter is a pending timer in the simulated clock. sleeper marks waiters
+// created by Sleep, whose goroutine must be re-credited as runnable at fire
+// time so the scheduler does not race ahead of it.
+type waiter struct {
+	at      time.Time
+	ch      chan time.Time
+	idx     int
+	sleeper bool
+}
+
+type waiterQueue []*waiter
+
+func (q waiterQueue) Len() int            { return len(q) }
+func (q waiterQueue) Less(i, j int) bool  { return q[i].at.Before(q[j].at) }
+func (q waiterQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i]; q[i].idx = i; q[j].idx = j }
+func (q *waiterQueue) Push(x interface{}) { w := x.(*waiter); w.idx = len(*q); *q = append(*q, w) }
+func (q *waiterQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return w
+}
+
+// Sim is a deterministic virtual clock.
+//
+// Goroutines that intend to block on virtual time must be accounted for with
+// Add/Done (or be created via Go). When every accounted goroutine is blocked
+// in Sleep/After, the clock jumps to the earliest pending deadline. A Sim
+// with no accounted goroutines only advances via explicit Advance calls.
+type Sim struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterQueue
+	// active counts accounted goroutines that are currently runnable
+	// (i.e. not blocked in Sleep). When it reaches zero the clock advances.
+	active int
+	total  int
+	cond   *sync.Cond
+	closed bool
+}
+
+// NewSim returns a simulated clock starting at the given time.
+func NewSim(start time.Time) *Sim {
+	s := &Sim{now: start}
+	s.cond = sync.NewCond(&s.mu)
+	go s.run()
+	return s
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Advance moves virtual time forward by d, firing any timers that come due.
+// It is the explicit driver for code that does not use Go/Add accounting.
+func (s *Sim) Advance(d time.Duration) {
+	s.mu.Lock()
+	target := s.now.Add(d)
+	for len(s.waiters) > 0 && !s.waiters[0].at.After(target) {
+		w := heap.Pop(&s.waiters).(*waiter)
+		s.now = w.at
+		s.fireLocked(w)
+	}
+	s.now = target
+	s.mu.Unlock()
+}
+
+// Add registers n runnable goroutines with the auto-advance scheduler.
+func (s *Sim) Add(n int) {
+	s.mu.Lock()
+	s.active += n
+	s.total += n
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Done unregisters a goroutine previously registered with Add.
+func (s *Sim) Done() {
+	s.mu.Lock()
+	s.active--
+	s.total--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Go runs fn on a new goroutine accounted for by the auto-advance scheduler.
+func (s *Sim) Go(fn func()) {
+	s.Add(1)
+	go func() {
+		defer s.Done()
+		fn()
+	}()
+}
+
+// Close stops the background scheduler.
+func (s *Sim) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// run is the auto-advance loop: whenever all accounted goroutines are
+// blocked on virtual timers, jump to the earliest deadline.
+func (s *Sim) run() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.closed {
+		if s.total > 0 && s.active == 0 && len(s.waiters) > 0 {
+			w := heap.Pop(&s.waiters).(*waiter)
+			if w.at.After(s.now) {
+				s.now = w.at
+			}
+			s.fireLocked(w)
+			continue
+		}
+		s.cond.Wait()
+	}
+}
+
+// fireLocked delivers a due timer. Sleepers are credited as runnable before
+// the send so the scheduler will not fire later timers until the woken
+// goroutine blocks again. Caller must hold s.mu.
+func (s *Sim) fireLocked(w *waiter) {
+	if w.sleeper {
+		s.active++
+	}
+	w.ch <- s.now // buffered; never blocks
+}
+
+// After implements Clock.
+func (s *Sim) After(d time.Duration) <-chan time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- s.now
+		return ch
+	}
+	w := &waiter{at: s.now.Add(d), ch: ch}
+	heap.Push(&s.waiters, w)
+	s.cond.Broadcast()
+	return ch
+}
+
+// Sleep implements Clock. A goroutine accounted with Add/Go marks itself
+// blocked for the duration so the scheduler can advance time past it.
+func (s *Sim) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	s.mu.Lock()
+	ch := make(chan time.Time, 1)
+	w := &waiter{at: s.now.Add(d), ch: ch, sleeper: true}
+	heap.Push(&s.waiters, w)
+	s.active--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	select {
+	case <-ctx.Done():
+		s.mu.Lock()
+		if w.idx >= 0 && w.idx < len(s.waiters) && s.waiters[w.idx] == w {
+			// Not fired yet: withdraw the timer and reclaim runnability.
+			heap.Remove(&s.waiters, w.idx)
+			s.active++
+			s.cond.Broadcast()
+		}
+		// If already fired, fireLocked credited active for us.
+		s.mu.Unlock()
+		return ctx.Err()
+	case <-ch:
+		// fireLocked already credited active on our behalf.
+		return nil
+	}
+}
+
+// Go runs fn on a new goroutine, registering it with the auto-advance
+// scheduler when c is a *Sim so that virtual time cannot run past it.
+func Go(c Clock, fn func()) {
+	if s, ok := c.(*Sim); ok {
+		s.Go(fn)
+		return
+	}
+	go fn()
+}
+
+// Yield runs fn, marking the calling goroutine as blocked for its duration
+// when c is a *Sim. Accounted goroutines (started via Go/Add) must wrap any
+// wait on non-clock primitives — channel sends, WaitGroup waits — whose
+// completion depends on goroutines that sleep on the simulated clock;
+// otherwise the scheduler would consider the caller runnable and never
+// advance virtual time.
+func Yield(c Clock, fn func()) {
+	s, ok := c.(*Sim)
+	if !ok {
+		fn()
+		return
+	}
+	s.mu.Lock()
+	s.active--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.active++
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
+	fn()
+}
+
+var (
+	_ Clock = Real{}
+	_ Clock = (*Sim)(nil)
+)

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"spfail/internal/dnsserver"
+)
+
+// Collector is a dnsserver.Sink that indexes inbound queries by the probe
+// id embedded in their names, so each probe's evidence can be retrieved in
+// O(1) regardless of campaign size.
+type Collector struct {
+	zone *dnsserver.SPFTestZone
+
+	mu    sync.Mutex
+	byID  map[string][]dnsserver.QueryEvent
+	total int
+}
+
+// NewCollector builds a collector for the given zone.
+func NewCollector(zone *dnsserver.SPFTestZone) *Collector {
+	return &Collector{zone: zone, byID: make(map[string][]dnsserver.QueryEvent)}
+}
+
+// Observe implements dnsserver.Sink.
+func (c *Collector) Observe(ev dnsserver.QueryEvent) {
+	id, _, ok := c.zone.ExtractIDSuite(ev.Name)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	c.byID[id] = append(c.byID[id], ev)
+	c.total++
+	c.mu.Unlock()
+}
+
+// QueriesFor returns a copy of the events recorded for a probe id.
+func (c *Collector) QueriesFor(id string) []dnsserver.QueryEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]dnsserver.QueryEvent(nil), c.byID[id]...)
+}
+
+// Total returns the number of in-zone queries observed.
+func (c *Collector) Total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Forget releases the evidence for a probe id (campaigns drop evidence
+// once an outcome is recorded, bounding memory across hundreds of
+// thousands of probes).
+func (c *Collector) Forget(id string) {
+	c.mu.Lock()
+	delete(c.byID, id)
+	c.mu.Unlock()
+}
+
+// LabelAllocator hands out the unique 4–5 character alphanumeric labels
+// that tie each probed server to the DNS queries it performs (paper §5.1).
+// Labels also defeat resolver caching: every probe's names are globally
+// fresh.
+type LabelAllocator struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	used map[string]bool
+}
+
+// NewLabelAllocator builds an allocator seeded deterministically.
+func NewLabelAllocator(seed int64) *LabelAllocator {
+	return &LabelAllocator{
+		rng:  rand.New(rand.NewSource(seed)),
+		used: make(map[string]bool),
+	}
+}
+
+const labelAlphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+// Next returns a fresh label: 4 characters until the space gets crowded,
+// then 5.
+func (a *LabelAllocator) Next() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	length := 4
+	if len(a.used) > 800_000 { // 36^4 ≈ 1.68M; switch early to avoid loops
+		length = 5
+	}
+	for {
+		b := make([]byte, length)
+		// First character alphabetic so labels never look numeric-only.
+		b[0] = labelAlphabet[a.rng.Intn(26)]
+		for i := 1; i < length; i++ {
+			b[i] = labelAlphabet[a.rng.Intn(len(labelAlphabet))]
+		}
+		s := string(b)
+		if !a.used[s] {
+			a.used[s] = true
+			return s
+		}
+	}
+}
+
+// NewSuiteLabel derives a short suite label from a test-suite counter.
+func NewSuiteLabel(n int) string { return fmt.Sprintf("s%02d", n) }

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"time"
+
+	"spfail/internal/clock"
+	"spfail/internal/dnsserver"
+	"spfail/internal/netsim"
+	"spfail/internal/smtp"
+)
+
+// ProbeMethod is one of the two probe transaction shapes (paper §5.1).
+type ProbeMethod string
+
+// The two probe methods.
+const (
+	// MethodNoMsg terminates the connection after the DATA command is
+	// accepted, before any message content — guaranteeing no email is
+	// delivered.
+	MethodNoMsg ProbeMethod = "NoMsg"
+	// MethodBlankMsg transmits an entirely empty message, for servers
+	// that defer SPF validation until a message has been received.
+	MethodBlankMsg ProbeMethod = "BlankMsg"
+)
+
+// Status is the outcome category of a probe, mirroring Table 3's rows.
+type Status string
+
+// The outcome categories.
+const (
+	// StatusConnectionRefused: no TCP connection could be established.
+	StatusConnectionRefused Status = "connection-refused"
+	// StatusSMTPFailure: connected, but the SMTP dialogue failed before
+	// any SPF lookup was observed.
+	StatusSMTPFailure Status = "smtp-failure"
+	// StatusSPFMeasured: SPF macro behaviour was conclusively observed.
+	StatusSPFMeasured Status = "spf-measured"
+	// StatusSPFNotMeasured: the dialogue succeeded but the server never
+	// performed an attributable SPF lookup.
+	StatusSPFNotMeasured Status = "spf-not-measured"
+)
+
+// Stage names where an SMTP dialogue can fail.
+const (
+	StageDial    = "dial"
+	StageBanner  = "banner"
+	StageHello   = "hello"
+	StageMail    = "mail"
+	StageRcpt    = "rcpt"
+	StageData    = "data"
+	StageMessage = "message"
+)
+
+// DefaultUsernames is the curated recipient list of paper §6.3, in trial
+// order: a random mailbox and no-reply variants first to minimize the
+// chance of a probe reaching a human inbox, then administrative accounts.
+var DefaultUsernames = []string{
+	"mmj7yzdm0tbk",
+	"noreply",
+	"donotreply",
+	"no-reply",
+	"postmaster",
+	"abuse",
+	"admin",
+	"administrator",
+	"newsletters",
+	"alerts",
+	"info",
+	"auto-confirm",
+	"appointments",
+	"service",
+}
+
+// Outcome is the result of probing one IP address.
+type Outcome struct {
+	Addr   string
+	Status Status
+	// Method is the probe that produced conclusive data ("" when none).
+	Method ProbeMethod
+	// NoMsgRan/BlankMsgRan record which rungs of the ladder executed.
+	NoMsgRan    bool
+	BlankMsgRan bool
+	// Observation holds the classified DNS evidence.
+	Observation Observation
+	// FailStage and Err describe the last SMTP failure, if any.
+	FailStage string
+	Err       error
+	// IDs are the probe labels used (one per transaction attempt).
+	IDs []string
+	// Username is the recipient local-part that was finally accepted.
+	Username string
+}
+
+// Vulnerable is a convenience for Observation.Vulnerable on measured
+// outcomes.
+func (o *Outcome) Vulnerable() bool {
+	return o.Status == StatusSPFMeasured && o.Observation.Vulnerable()
+}
+
+// Prober runs the NoMsg → BlankMsg detection ladder against mail servers.
+type Prober struct {
+	// Net supplies outbound connectivity (the measurement vantage).
+	Net netsim.Network
+	// HELO is the identity our client announces.
+	HELO string
+	// Clock paces greylist retries and inter-connection waits.
+	Clock clock.Clock
+	// Zone describes the measurement DNS zone (for label → domain
+	// construction); Collector receives its query stream.
+	Zone       *dnsserver.SPFTestZone
+	Labels     *LabelAllocator
+	Collector  *Collector
+	Classifier *Classifier
+	// Suite tags all of this prober's labels.
+	Suite string
+	// Usernames overrides DefaultUsernames when non-nil.
+	Usernames []string
+	// GreylistWait is the pause before retrying a 450 (paper: 8 min).
+	GreylistWait time.Duration
+	// ReconnectWait is the minimum pause between connections to the same
+	// address (paper: 90 s).
+	ReconnectWait time.Duration
+	// IOTimeout bounds SMTP I/O.
+	IOTimeout time.Duration
+}
+
+func (p *Prober) usernames() []string {
+	if p.Usernames != nil {
+		return p.Usernames
+	}
+	return DefaultUsernames
+}
+
+func (p *Prober) greylistWait() time.Duration {
+	if p.GreylistWait > 0 {
+		return p.GreylistWait
+	}
+	return 8 * time.Minute
+}
+
+func (p *Prober) reconnectWait() time.Duration {
+	if p.ReconnectWait > 0 {
+		return p.ReconnectWait
+	}
+	return 90 * time.Second
+}
+
+// TestIP probes the mail server at addr ("ip:port"), using rcptDomain in
+// recipient addresses. It runs NoMsg first and escalates to BlankMsg only
+// when NoMsg connected but elicited no SPF lookup, per the paper's
+// minimization methodology.
+func (p *Prober) TestIP(ctx context.Context, addr, rcptDomain string) Outcome {
+	out := Outcome{Addr: addr}
+
+	noMsg := p.runTransaction(ctx, addr, rcptDomain, MethodNoMsg)
+	out.NoMsgRan = true
+	out.IDs = append(out.IDs, noMsg.ids...)
+	p.mergeObservation(&out, noMsg)
+	if out.Observation.Conclusive() {
+		out.Status = StatusSPFMeasured
+		out.Method = MethodNoMsg
+		out.Username = noMsg.username
+		return out
+	}
+	if noMsg.refused {
+		out.Status = StatusConnectionRefused
+		out.Err = noMsg.err
+		out.FailStage = StageDial
+		return out
+	}
+	if noMsg.err != nil && noMsg.stage != StageData && noMsg.stage != StageMessage {
+		// Hard SMTP failure before the transaction could complete, with
+		// no SPF evidence: record and stop (retrying with BlankMsg would
+		// fail at the same stage).
+		out.Status = StatusSMTPFailure
+		out.Err = noMsg.err
+		out.FailStage = noMsg.stage
+		return out
+	}
+
+	// Politeness gap between connections to the same server.
+	if err := p.Clock.Sleep(ctx, p.reconnectWait()); err != nil {
+		out.Status = StatusSPFNotMeasured
+		return out
+	}
+
+	blank := p.runTransaction(ctx, addr, rcptDomain, MethodBlankMsg)
+	out.BlankMsgRan = true
+	out.IDs = append(out.IDs, blank.ids...)
+	p.mergeObservation(&out, blank)
+	if out.Observation.Conclusive() {
+		out.Status = StatusSPFMeasured
+		out.Method = MethodBlankMsg
+		out.Username = blank.username
+		return out
+	}
+	if blank.err != nil {
+		out.Status = StatusSMTPFailure
+		out.Err = blank.err
+		out.FailStage = blank.stage
+		return out
+	}
+	out.Status = StatusSPFNotMeasured
+	return out
+}
+
+// mergeObservation folds a transaction's classified evidence into the
+// outcome, keeping the union of observed patterns.
+func (p *Prober) mergeObservation(out *Outcome, tr *transactionResult) {
+	o := &out.Observation
+	o.PolicyFetched = o.PolicyFetched || tr.obs.PolicyFetched
+	o.LivenessSeen = o.LivenessSeen || tr.obs.LivenessSeen
+	for i, pat := range tr.obs.Patterns {
+		dup := false
+		for _, existing := range o.Patterns {
+			if existing == pat {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			o.Patterns = append(o.Patterns, pat)
+			o.Classes = append(o.Classes, tr.obs.Classes[i])
+		}
+	}
+}
+
+type transactionResult struct {
+	ids      []string
+	obs      Observation
+	err      error
+	stage    string
+	refused  bool
+	username string
+}
+
+// runTransaction performs one probe transaction (with a single greylist
+// retry) and classifies the DNS evidence it produced.
+func (p *Prober) runTransaction(ctx context.Context, addr, rcptDomain string, method ProbeMethod) *transactionResult {
+	tr := &transactionResult{}
+	for attempt := 0; attempt < 2; attempt++ {
+		id := p.Labels.Next()
+		tr.ids = append(tr.ids, id)
+		greylisted := p.attempt(ctx, tr, id, addr, rcptDomain, method)
+		// Classify whatever evidence this attempt produced.
+		obs := p.Classifier.Classify(id, p.Suite, p.Collector.QueriesFor(id))
+		p.Collector.Forget(id)
+		mergeObs(&tr.obs, obs)
+		if tr.obs.Conclusive() || !greylisted {
+			return tr
+		}
+		if err := p.Clock.Sleep(ctx, p.greylistWait()); err != nil {
+			return tr
+		}
+	}
+	return tr
+}
+
+func mergeObs(dst *Observation, src Observation) {
+	dst.PolicyFetched = dst.PolicyFetched || src.PolicyFetched
+	dst.LivenessSeen = dst.LivenessSeen || src.LivenessSeen
+	for i, pat := range src.Patterns {
+		dup := false
+		for _, existing := range dst.Patterns {
+			if existing == pat {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst.Patterns = append(dst.Patterns, pat)
+			dst.Classes = append(dst.Classes, src.Classes[i])
+		}
+	}
+}
+
+// attempt runs a single SMTP dialogue. It returns true when the server
+// greylisted us (450) and a retry is worthwhile.
+func (p *Prober) attempt(ctx context.Context, tr *transactionResult, id, addr, rcptDomain string, method ProbeMethod) bool {
+	mailDomain, err := p.Zone.MailDomain(id, p.Suite)
+	if err != nil {
+		tr.err, tr.stage = err, StageDial
+		return false
+	}
+	from := p.usernames()[0] + "@" + strings.TrimSuffix(mailDomain.String(), ".")
+
+	cli := &smtp.Client{Net: p.Net, HELO: p.HELO, IOTimeout: p.IOTimeout}
+	conn, err := cli.Dial(ctx, addr)
+	if err != nil {
+		if code := smtp.ReplyCode(err); code != 0 {
+			tr.err, tr.stage = err, StageBanner
+			return code == 421 || code/100 == 4
+		}
+		tr.err, tr.stage, tr.refused = err, StageDial, isRefused(err)
+		return false
+	}
+	defer conn.Close()
+
+	if err := conn.Hello(); err != nil {
+		tr.err, tr.stage = err, StageHello
+		return smtp.ReplyCode(err)/100 == 4
+	}
+	if err := conn.Mail(from); err != nil {
+		tr.err, tr.stage = err, StageMail
+		return smtp.ReplyCode(err)/100 == 4
+	}
+
+	// Try recipient usernames in order until one is accepted.
+	var accepted bool
+	var lastErr error
+	for _, u := range p.usernames() {
+		err := conn.Rcpt(u + "@" + rcptDomain)
+		if err == nil {
+			accepted = true
+			tr.username = u
+			break
+		}
+		lastErr = err
+		code := smtp.ReplyCode(err)
+		if code/100 == 4 {
+			tr.err, tr.stage = err, StageRcpt
+			return true // greylisted
+		}
+		if code == 0 {
+			tr.err, tr.stage = err, StageRcpt
+			return false // connection-level failure
+		}
+		// 5xx: try the next username.
+	}
+	if !accepted {
+		tr.err, tr.stage = lastErr, StageRcpt
+		return false
+	}
+
+	if err := conn.Data(); err != nil {
+		tr.err, tr.stage = err, StageData
+		return smtp.ReplyCode(err)/100 == 4
+	}
+
+	if method == MethodNoMsg {
+		conn.Close() // deliberate mid-transaction termination
+		return false
+	}
+	r, err := conn.SendMessage(nil)
+	if err != nil {
+		tr.err, tr.stage = err, StageMessage
+		return false
+	}
+	if !r.Positive() {
+		tr.err, tr.stage = &smtp.ReplyError{Reply: *r}, StageMessage
+		return r.Transient()
+	}
+	conn.Quit()
+	return false
+}
+
+// isRefused detects a TCP-level refusal.
+func isRefused(err error) bool {
+	return errors.Is(err, netsim.ErrRefused) || strings.Contains(err.Error(), "refused")
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"spfail/internal/clock"
+	"spfail/internal/dnsmsg"
+	"spfail/internal/dnsserver"
+	"spfail/internal/mta"
+	"spfail/internal/netsim"
+	"spfail/internal/spfimpl"
+)
+
+// TestDetectionOverRealLoopback runs the complete detection — measurement
+// DNS zone, vulnerable mail server, NoMsg probe — over genuine OS sockets
+// on 127.0.0.1, proving the pipeline is not tied to the in-memory fabric.
+func TestDetectionOverRealLoopback(t *testing.T) {
+	const (
+		dnsAddr  = "127.0.0.1:15391"
+		smtpAddr = "127.0.0.1:12591"
+	)
+	real := netsim.Real{}
+
+	zone := &dnsserver.SPFTestZone{
+		Base:  dnsmsg.MustParseName("spf-test.dns-lab.org"),
+		Addr4: netip.MustParseAddr("192.0.2.80"),
+	}
+	collector := NewCollector(zone)
+	dns := &dnsserver.Server{
+		Net:  real,
+		Addr: dnsAddr,
+		Handler: &dnsserver.LoggingHandler{
+			Inner: zone, Sink: collector, Now: time.Now,
+		},
+	}
+	if err := dns.Start(context.Background()); err != nil {
+		t.Skipf("cannot bind loopback DNS (%v)", err)
+	}
+	defer dns.Stop()
+
+	host := mta.New(mta.Config{
+		Hostname:   "victim.loopback",
+		IP:         netip.MustParseAddr("127.0.0.1"),
+		Net:        real,
+		ListenAddr: smtpAddr,
+		DNSServer:  dnsAddr,
+		DNSTimeout: 2 * time.Second,
+		Behaviors:  []spfimpl.Behavior{spfimpl.BehaviorVulnLibSPF2},
+		ValidateAt: mta.ValidateAtMailFrom,
+	})
+	if err := host.Start(context.Background()); err != nil {
+		t.Skipf("cannot bind loopback SMTP (%v)", err)
+	}
+	defer host.Stop()
+
+	prober := &Prober{
+		Net:        real,
+		HELO:       "probe.dns-lab.org",
+		Clock:      clock.Real{},
+		Zone:       zone,
+		Labels:     NewLabelAllocator(99),
+		Collector:  collector,
+		Classifier: NewClassifier(zone),
+		Suite:      "lo",
+		IOTimeout:  5 * time.Second,
+	}
+	out := prober.TestIP(context.Background(), smtpAddr, "victim.loopback")
+	if out.Status != StatusSPFMeasured {
+		t.Fatalf("status = %s (err %v)", out.Status, out.Err)
+	}
+	if !out.Vulnerable() {
+		t.Fatalf("loopback detection missed the fingerprint: %+v", out.Observation)
+	}
+	if out.Method != MethodNoMsg {
+		t.Errorf("method = %s, want NoMsg", out.Method)
+	}
+}

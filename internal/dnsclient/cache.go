@@ -1,0 +1,154 @@
+package dnsclient
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"spfail/internal/clock"
+	"spfail/internal/dnsmsg"
+)
+
+// CachingClient wraps a Client with a TTL-respecting message cache, the
+// recursive-resolver behaviour real MTAs sit behind. Positive answers are
+// cached for the minimum answer TTL; negative answers (NXDOMAIN/empty)
+// for the SOA minimum when present.
+//
+// SPFail's measurement design defeats exactly this layer: every probe
+// embeds a fresh unique label, so its lookups can never be served from a
+// cache and must arrive at the measurement's authoritative server
+// (paper §5.1).
+type CachingClient struct {
+	Client *Client
+	// Clock supplies cache timestamps (use the simulation clock so TTLs
+	// interact correctly with virtual time).
+	Clock clock.Clock
+	// MaxTTL caps cache lifetimes; 0 means 1 hour.
+	MaxTTL time.Duration
+	// NegativeTTL is used for negative answers without a SOA; 0 means
+	// 60 seconds.
+	NegativeTTL time.Duration
+
+	mu      sync.Mutex
+	entries map[cacheKey]cacheEntry
+	hits    int
+	misses  int
+}
+
+type cacheKey struct {
+	name string
+	typ  dnsmsg.Type
+}
+
+type cacheEntry struct {
+	msg     *dnsmsg.Message
+	expires time.Time
+}
+
+// NewCachingClient builds a caching wrapper around c.
+func NewCachingClient(c *Client, clk clock.Clock) *CachingClient {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &CachingClient{
+		Client:  c,
+		Clock:   clk,
+		entries: make(map[cacheKey]cacheEntry),
+	}
+}
+
+func (cc *CachingClient) maxTTL() time.Duration {
+	if cc.MaxTTL > 0 {
+		return cc.MaxTTL
+	}
+	return time.Hour
+}
+
+func (cc *CachingClient) negTTL() time.Duration {
+	if cc.NegativeTTL > 0 {
+		return cc.NegativeTTL
+	}
+	return time.Minute
+}
+
+// Exchange serves from cache when possible, forwarding otherwise.
+func (cc *CachingClient) Exchange(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type) (*dnsmsg.Message, error) {
+	key := cacheKey{name: name.CanonicalKey(), typ: typ}
+	now := cc.Clock.Now()
+
+	cc.mu.Lock()
+	if e, ok := cc.entries[key]; ok && now.Before(e.expires) {
+		cc.hits++
+		cc.mu.Unlock()
+		return e.msg, nil
+	}
+	cc.misses++
+	cc.mu.Unlock()
+
+	msg, err := cc.Client.Exchange(ctx, name, typ)
+	if err != nil {
+		return nil, err
+	}
+	ttl := cc.ttlFor(msg)
+	if ttl > 0 {
+		cc.mu.Lock()
+		cc.entries[key] = cacheEntry{msg: msg, expires: now.Add(ttl)}
+		cc.mu.Unlock()
+	}
+	return msg, nil
+}
+
+// ttlFor derives the cache lifetime from a response.
+func (cc *CachingClient) ttlFor(msg *dnsmsg.Message) time.Duration {
+	if msg.Header.RCode != dnsmsg.RCodeNoError && msg.Header.RCode != dnsmsg.RCodeNXDomain {
+		return 0 // do not cache server failures
+	}
+	if len(msg.Answers) == 0 {
+		// Negative answer: honor the SOA minimum when present.
+		for _, rr := range msg.Authority {
+			if soa, ok := rr.Data.(dnsmsg.SOA); ok {
+				ttl := time.Duration(soa.Minimum) * time.Second
+				if ttl > cc.maxTTL() {
+					ttl = cc.maxTTL()
+				}
+				if ttl > 0 {
+					return ttl
+				}
+			}
+		}
+		return cc.negTTL()
+	}
+	min := uint32(1<<31 - 1)
+	for _, rr := range msg.Answers {
+		if rr.TTL < min {
+			min = rr.TTL
+		}
+	}
+	ttl := time.Duration(min) * time.Second
+	if ttl > cc.maxTTL() {
+		ttl = cc.maxTTL()
+	}
+	return ttl
+}
+
+// Stats returns cache hit/miss counters.
+func (cc *CachingClient) Stats() (hits, misses int) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.hits, cc.misses
+}
+
+// Flush empties the cache.
+func (cc *CachingClient) Flush() {
+	cc.mu.Lock()
+	cc.entries = make(map[cacheKey]cacheEntry)
+	cc.mu.Unlock()
+}
+
+// WrapResolver attaches a cache to an existing resolver. The returned
+// resolver shares the underlying Client but routes every transaction
+// through the cache.
+func WrapResolver(r *Resolver, clk clock.Clock) (*Resolver, *CachingClient) {
+	cache := NewCachingClient(r.Client, clk)
+	return &Resolver{Client: r.Client, exchange: cache.Exchange}, cache
+}

@@ -1,0 +1,340 @@
+// Package dnsclient implements a stub resolver over UDP with TCP fallback.
+// It is the resolver used by simulated mail hosts for SPF validation and by
+// the prober for MX resolution, and it satisfies the SPF engine's Resolver
+// contract with the RFC 7208 error taxonomy (NXDOMAIN is "no data", SERVFAIL
+// and timeouts are temporary errors).
+package dnsclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"spfail/internal/dnsmsg"
+	"spfail/internal/dnsserver"
+	"spfail/internal/netsim"
+)
+
+// Error taxonomy mapped from response codes and transport failures.
+var (
+	// ErrNotFound corresponds to NXDOMAIN: the name does not exist.
+	ErrNotFound = errors.New("dnsclient: no such domain")
+	// ErrTemporary corresponds to SERVFAIL, timeouts, and transport
+	// errors: the lookup may succeed later.
+	ErrTemporary = errors.New("dnsclient: temporary resolution failure")
+)
+
+// Client performs DNS transactions against a single server.
+type Client struct {
+	// Net supplies connectivity; required.
+	Net netsim.Network
+	// Server is the resolver/authoritative address, e.g. "192.0.2.53:53".
+	Server string
+	// Timeout bounds each transaction attempt. Defaults to 2s.
+	Timeout time.Duration
+	// Retries is the number of additional UDP attempts. Defaults to 1.
+	Retries int
+
+	mu     sync.Mutex
+	nextID uint16
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 2 * time.Second
+}
+
+func (c *Client) id() uint16 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	return c.nextID
+}
+
+// Exchange sends one query and returns the validated response.
+func (c *Client) Exchange(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type) (*dnsmsg.Message, error) {
+	q := dnsmsg.NewQuery(c.id(), name, typ)
+	attempts := 1 + c.Retries
+	if c.Retries == 0 {
+		attempts = 2
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		resp, err := c.exchangeUDP(ctx, q)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Header.Truncated {
+			resp, err = c.exchangeTCP(ctx, q)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("%w: %v", ErrTemporary, lastErr)
+}
+
+func (c *Client) exchangeUDP(ctx context.Context, q *dnsmsg.Message) (*dnsmsg.Message, error) {
+	conn, err := c.Net.DialContext(ctx, "udp", c.Server)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	pkt, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(c.timeout())
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	conn.SetDeadline(deadline)
+	if _, err := conn.Write(pkt); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := dnsmsg.Unpack(buf[:n])
+		if err != nil {
+			continue // garbage datagram; keep waiting
+		}
+		if c.matches(q, resp) {
+			return resp, nil
+		}
+	}
+}
+
+func (c *Client) exchangeTCP(ctx context.Context, q *dnsmsg.Message) (*dnsmsg.Message, error) {
+	conn, err := c.Net.DialContext(ctx, "tcp", c.Server)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(c.timeout())
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	conn.SetDeadline(deadline)
+	if err := dnsserver.WriteTCPMessage(conn, q); err != nil {
+		return nil, err
+	}
+	raw, err := dnsserver.ReadTCPMessage(conn)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := dnsmsg.Unpack(raw)
+	if err != nil {
+		return nil, err
+	}
+	if !c.matches(q, resp) {
+		return nil, errors.New("dnsclient: mismatched TCP response")
+	}
+	return resp, nil
+}
+
+// matches validates that a response answers our query (ID and question).
+func (c *Client) matches(q, r *dnsmsg.Message) bool {
+	if !r.Header.Response || r.Header.ID != q.Header.ID || len(r.Questions) != 1 {
+		return false
+	}
+	return r.Questions[0].Name.Equal(q.Questions[0].Name) &&
+		r.Questions[0].Type == q.Questions[0].Type
+}
+
+// Resolver provides typed lookups with the RFC 7208 error taxonomy on top
+// of Client.
+type Resolver struct {
+	Client *Client
+	// exchange, when set, overrides the transaction path (the cache
+	// wrapper installs itself here; see WrapResolver).
+	exchange func(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type) (*dnsmsg.Message, error)
+}
+
+// NewResolver builds a resolver that queries server over n.
+func NewResolver(n netsim.Network, server string) *Resolver {
+	return &Resolver{Client: &Client{Net: n, Server: server}}
+}
+
+// do performs one transaction via the configured path.
+func (r *Resolver) do(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type) (*dnsmsg.Message, error) {
+	if r.exchange != nil {
+		return r.exchange(ctx, name, typ)
+	}
+	return r.Client.Exchange(ctx, name, typ)
+}
+
+// rcodeErr maps response codes to the error taxonomy; nil means usable.
+func rcodeErr(r *dnsmsg.Message) error {
+	switch r.Header.RCode {
+	case dnsmsg.RCodeNoError:
+		return nil
+	case dnsmsg.RCodeNXDomain:
+		return ErrNotFound
+	default:
+		return fmt.Errorf("%w: rcode %s", ErrTemporary, r.Header.RCode)
+	}
+}
+
+// LookupTXT returns the text of each TXT record for name, with each
+// record's character strings concatenated (RFC 7208 §3.3).
+func (r *Resolver) LookupTXT(ctx context.Context, name string) ([]string, error) {
+	n, err := dnsmsg.ParseName(name)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.do(ctx, n, dnsmsg.TypeTXT)
+	if err != nil {
+		return nil, err
+	}
+	if err := rcodeErr(resp); err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, rr := range resp.Answers {
+		if txt, ok := rr.Data.(dnsmsg.TXT); ok {
+			out = append(out, txt.Joined())
+		}
+	}
+	return out, nil
+}
+
+// LookupIP returns A and/or AAAA addresses for name. network is "ip",
+// "ip4", or "ip6".
+func (r *Resolver) LookupIP(ctx context.Context, network, name string) ([]netip.Addr, error) {
+	n, err := dnsmsg.ParseName(name)
+	if err != nil {
+		return nil, err
+	}
+	var types []dnsmsg.Type
+	switch network {
+	case "ip4":
+		types = []dnsmsg.Type{dnsmsg.TypeA}
+	case "ip6":
+		types = []dnsmsg.Type{dnsmsg.TypeAAAA}
+	default:
+		types = []dnsmsg.Type{dnsmsg.TypeA, dnsmsg.TypeAAAA}
+	}
+	var out []netip.Addr
+	var firstErr error
+	for _, typ := range types {
+		resp, err := r.do(ctx, n, typ)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if err := rcodeErr(resp); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		firstErr = nil
+		for _, rr := range resp.Answers {
+			switch d := rr.Data.(type) {
+			case dnsmsg.A:
+				out = append(out, d.Addr)
+			case dnsmsg.AAAA:
+				out = append(out, d.Addr)
+			}
+		}
+	}
+	if len(out) == 0 && firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// MXRecord is one mail exchanger.
+type MXRecord struct {
+	Preference uint16
+	Host       string
+}
+
+// LookupMX returns the MX records for name sorted by preference.
+func (r *Resolver) LookupMX(ctx context.Context, name string) ([]MXRecord, error) {
+	n, err := dnsmsg.ParseName(name)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.do(ctx, n, dnsmsg.TypeMX)
+	if err != nil {
+		return nil, err
+	}
+	if err := rcodeErr(resp); err != nil {
+		return nil, err
+	}
+	var out []MXRecord
+	for _, rr := range resp.Answers {
+		if mx, ok := rr.Data.(dnsmsg.MX); ok {
+			out = append(out, MXRecord{Preference: mx.Preference, Host: mx.Host.String()})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Preference < out[j].Preference })
+	return out, nil
+}
+
+// LookupPTR returns PTR targets for the reverse name of addr.
+func (r *Resolver) LookupPTR(ctx context.Context, addr netip.Addr) ([]string, error) {
+	n, err := dnsmsg.ParseName(ReverseName(addr))
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.do(ctx, n, dnsmsg.TypePTR)
+	if err != nil {
+		return nil, err
+	}
+	if err := rcodeErr(resp); err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, rr := range resp.Answers {
+		if p, ok := rr.Data.(dnsmsg.PTR); ok {
+			out = append(out, p.Target.String())
+		}
+	}
+	return out, nil
+}
+
+// ReverseName returns the in-addr.arpa / ip6.arpa name for addr.
+func ReverseName(addr netip.Addr) string {
+	if addr.Is4() {
+		b := addr.As4()
+		return fmt.Sprintf("%d.%d.%d.%d.in-addr.arpa", b[3], b[2], b[1], b[0])
+	}
+	b := addr.As16()
+	const hex = "0123456789abcdef"
+	out := make([]byte, 0, 72)
+	for i := 15; i >= 0; i-- {
+		out = append(out, hex[b[i]&0xF], '.', hex[b[i]>>4], '.')
+	}
+	return string(out) + "ip6.arpa"
+}
+
+// IsNotFound reports whether err is the NXDOMAIN taxonomy error.
+func IsNotFound(err error) bool { return errors.Is(err, ErrNotFound) }
+
+// IsTemporary reports whether err is a temporary resolution failure; net
+// timeouts and dial errors count.
+func IsTemporary(err error) bool {
+	if errors.Is(err, ErrTemporary) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}

@@ -1,0 +1,262 @@
+package dnsclient
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"spfail/internal/dnsmsg"
+	"spfail/internal/dnsserver"
+	"spfail/internal/netsim"
+)
+
+func name(s string) dnsmsg.Name { return dnsmsg.MustParseName(s) }
+
+// startServer brings up an authoritative server on the fabric at ip:53.
+func startServer(t *testing.T, fabric *netsim.Fabric, ip string, h dnsserver.Handler) {
+	t.Helper()
+	srv := &dnsserver.Server{Net: fabric.Host(ip), Addr: ":53", Handler: h}
+	if err := srv.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Stop)
+}
+
+func testZone() *dnsserver.ZoneSet {
+	z := dnsserver.NewZoneSet()
+	z.Add(dnsmsg.Record{Name: name("example.com"), Class: dnsmsg.ClassIN, TTL: 3600,
+		Data: dnsmsg.SOA{MName: name("ns.example.com"), RName: name("root.example.com"), Serial: 1}})
+	z.AddTXT(name("example.com"), "v=spf1 mx -all")
+	z.AddTXT(name("example.com"), "some other verification string")
+	z.AddMX(name("example.com"), 20, name("backup.example.com"))
+	z.AddMX(name("example.com"), 10, name("mail.example.com"))
+	z.AddA(name("mail.example.com"), netip.MustParseAddr("192.0.2.10"))
+	z.AddA(name("mail.example.com"), netip.MustParseAddr("2001:db8::10"))
+	z.Add(dnsmsg.Record{Name: name("10.2.0.192.in-addr.arpa"), Class: dnsmsg.ClassIN, TTL: 60,
+		Data: dnsmsg.PTR{Target: name("mail.example.com")}})
+	return z
+}
+
+func newResolver(t *testing.T) (*Resolver, *netsim.Fabric) {
+	fabric := netsim.NewFabric()
+	startServer(t, fabric, "192.0.2.53", testZone())
+	r := NewResolver(fabric.Host("198.51.100.1"), "192.0.2.53:53")
+	r.Client.Timeout = 2 * time.Second
+	return r, fabric
+}
+
+func TestLookupTXT(t *testing.T) {
+	r, _ := newResolver(t)
+	txts, err := r.LookupTXT(context.Background(), "example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txts) != 2 {
+		t.Fatalf("TXT = %v", txts)
+	}
+	var foundSPF bool
+	for _, s := range txts {
+		if strings.HasPrefix(s, "v=spf1") {
+			foundSPF = true
+		}
+	}
+	if !foundSPF {
+		t.Errorf("no SPF string in %v", txts)
+	}
+}
+
+func TestLookupTXTNXDomain(t *testing.T) {
+	r, _ := newResolver(t)
+	_, err := r.LookupTXT(context.Background(), "missing.example.com")
+	if !IsNotFound(err) {
+		t.Fatalf("err = %v, want NXDOMAIN taxonomy", err)
+	}
+}
+
+func TestLookupIPBothFamilies(t *testing.T) {
+	r, _ := newResolver(t)
+	addrs, err := r.LookupIP(context.Background(), "ip", "mail.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 2 {
+		t.Fatalf("addrs = %v", addrs)
+	}
+	a4, err := r.LookupIP(context.Background(), "ip4", "mail.example.com")
+	if err != nil || len(a4) != 1 || !a4[0].Is4() {
+		t.Fatalf("ip4 = %v, %v", a4, err)
+	}
+	a6, err := r.LookupIP(context.Background(), "ip6", "mail.example.com")
+	if err != nil || len(a6) != 1 || !a6[0].Is6() {
+		t.Fatalf("ip6 = %v, %v", a6, err)
+	}
+}
+
+func TestLookupMXSorted(t *testing.T) {
+	r, _ := newResolver(t)
+	mxs, err := r.LookupMX(context.Background(), "example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mxs) != 2 || mxs[0].Preference != 10 || mxs[0].Host != "mail.example.com." {
+		t.Fatalf("MX = %v", mxs)
+	}
+}
+
+func TestLookupPTR(t *testing.T) {
+	r, _ := newResolver(t)
+	ptrs, err := r.LookupPTR(context.Background(), netip.MustParseAddr("192.0.2.10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ptrs) != 1 || ptrs[0] != "mail.example.com." {
+		t.Fatalf("PTR = %v", ptrs)
+	}
+}
+
+func TestExchangeTimeoutIsTemporary(t *testing.T) {
+	fabric := netsim.NewFabric()
+	// No server at this address: UDP datagrams vanish.
+	r := NewResolver(fabric.Host("198.51.100.1"), "192.0.2.99:53")
+	r.Client.Timeout = 30 * time.Millisecond
+	_, err := r.LookupTXT(context.Background(), "example.com")
+	if err == nil {
+		t.Fatal("lookup against absent server should fail")
+	}
+	if !IsTemporary(err) {
+		t.Fatalf("err = %v, want temporary taxonomy", err)
+	}
+}
+
+func TestExchangeTruncationFallsBackToTCP(t *testing.T) {
+	z := dnsserver.NewZoneSet()
+	// ~40 × 110 bytes of TXT ≈ 4.4 KB: must arrive via TCP.
+	for i := 0; i < 40; i++ {
+		z.AddTXT(name("big.example.com"), strings.Repeat("y", 100))
+	}
+	fabric := netsim.NewFabric()
+	startServer(t, fabric, "10.0.0.53", z)
+	r := NewResolver(fabric.Host("10.0.0.2"), "10.0.0.53:53")
+	r.Client.Timeout = 2 * time.Second
+	txts, err := r.LookupTXT(context.Background(), "big.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txts) != 40 {
+		t.Fatalf("got %d TXT strings over TCP fallback, want 40", len(txts))
+	}
+}
+
+func TestExchangeRetriesAfterLoss(t *testing.T) {
+	fabric := netsim.NewFabric()
+	startServer(t, fabric, "10.0.1.53", testZone())
+	var dropped bool
+	fabric.DropUDP = func(from, to netsim.Addr) bool {
+		if to.Port == 53 && !dropped {
+			dropped = true // lose exactly the first query
+			return true
+		}
+		return false
+	}
+	r := NewResolver(fabric.Host("10.0.1.2"), "10.0.1.53:53")
+	r.Client.Timeout = 100 * time.Millisecond
+	r.Client.Retries = 2
+	txts, err := r.LookupTXT(context.Background(), "example.com")
+	if err != nil {
+		t.Fatalf("retry did not recover from loss: %v", err)
+	}
+	if len(txts) == 0 {
+		t.Fatal("no TXT after retry")
+	}
+}
+
+func TestClientIgnoresSpoofedResponses(t *testing.T) {
+	// An off-path attacker (or misdelivery) injecting a response with the
+	// wrong transaction ID must not be accepted; the genuine answer that
+	// follows must be.
+	fabric := netsim.NewFabric()
+	// A raw UDP responder (not dnsserver.Server) so the spoofed datagram
+	// can be injected ahead of the genuine one.
+	pc, err := fabric.Host("10.7.0.53").ListenPacket("udp", ":53")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, from, err := pc.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			q, err := dnsmsg.Unpack(buf[:n])
+			if err != nil {
+				continue
+			}
+			// 1. Spoofed response: wrong ID, attacker-controlled answer.
+			spoof := q.Reply()
+			spoof.Header.ID = q.Header.ID + 1
+			spoof.Answers = append(spoof.Answers, dnsmsg.Record{
+				Name: q.Questions[0].Name, Class: dnsmsg.ClassIN, TTL: 1,
+				Data: dnsmsg.TXT{Strings: []string{"v=spf1 +all"}},
+			})
+			if pkt, err := spoof.Pack(); err == nil {
+				pc.WriteTo(pkt, from)
+			}
+			// 2. Genuine response.
+			real := q.Reply()
+			real.Answers = append(real.Answers, dnsmsg.Record{
+				Name: q.Questions[0].Name, Class: dnsmsg.ClassIN, TTL: 1,
+				Data: dnsmsg.TXT{Strings: []string{"v=spf1 -all"}},
+			})
+			if pkt, err := real.Pack(); err == nil {
+				pc.WriteTo(pkt, from)
+			}
+		}
+	}()
+	r := NewResolver(fabric.Host("10.7.0.2"), "10.7.0.53:53")
+	r.Client.Timeout = 2 * time.Second
+	txts, err := r.LookupTXT(context.Background(), "example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txts) != 1 || txts[0] != "v=spf1 -all" {
+		t.Fatalf("client accepted spoofed answer: %v", txts)
+	}
+}
+
+func TestReverseName(t *testing.T) {
+	if got := ReverseName(netip.MustParseAddr("192.0.2.10")); got != "10.2.0.192.in-addr.arpa" {
+		t.Errorf("v4 reverse = %q", got)
+	}
+	got := ReverseName(netip.MustParseAddr("2001:db8::1"))
+	if !strings.HasSuffix(got, ".ip6.arpa") || !strings.HasPrefix(got, "1.0.0.0.") {
+		t.Errorf("v6 reverse = %q", got)
+	}
+	if len(strings.Split(got, ".")) != 34 {
+		t.Errorf("v6 reverse has wrong label count: %q", got)
+	}
+}
+
+func TestServFailIsTemporary(t *testing.T) {
+	fabric := netsim.NewFabric()
+	h := dnsserver.HandlerFunc(func(q *dnsmsg.Message, _ net.Addr) *dnsmsg.Message {
+		r := q.Reply()
+		r.Header.RCode = dnsmsg.RCodeServFail
+		return r
+	})
+	srv := &dnsserver.Server{Net: fabric.Host("10.0.2.53"), Addr: ":53", Handler: h}
+	if err := srv.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	r := NewResolver(fabric.Host("10.0.2.2"), "10.0.2.53:53")
+	r.Client.Timeout = time.Second
+	_, err := r.LookupTXT(context.Background(), "example.com")
+	if !IsTemporary(err) {
+		t.Fatalf("SERVFAIL should map to temporary, got %v", err)
+	}
+}

@@ -1,0 +1,77 @@
+package dnsmsg
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnpack hammers the wire decoder with arbitrary bytes: it must never
+// panic, and anything it accepts must re-encode and re-decode stably.
+func FuzzUnpack(f *testing.F) {
+	// Seed corpus: real packed messages and adversarial fragments.
+	q := NewQuery(0x1234, MustParseName("x7k2.s01.spf-test.dns-lab.org"), TypeTXT)
+	if b, err := q.Pack(); err == nil {
+		f.Add(b)
+	}
+	resp := q.Reply()
+	resp.Answers = append(resp.Answers, Record{
+		Name: MustParseName("x7k2.s01.spf-test.dns-lab.org"), Class: ClassIN, TTL: 1,
+		Data: SplitTXT("v=spf1 a:%{d1r}.x7k2.s01.spf-test.dns-lab.org -all"),
+	})
+	if b, err := resp.Pack(); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte{0xC0, 0x00})
+	f.Add([]byte{0, 0, 0x80, 0, 0, 1, 0, 0, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0x3F}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		repacked, err := m.Pack()
+		if err != nil {
+			// Some decodable messages are not re-encodable (e.g. labels
+			// recovered from compressed names exceeding limits); that is
+			// acceptable as long as decode did not panic.
+			return
+		}
+		m2, err := Unpack(repacked)
+		if err != nil {
+			t.Fatalf("repacked message does not decode: %v", err)
+		}
+		if len(m2.Questions) != len(m.Questions) || len(m2.Answers) != len(m.Answers) {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				len(m.Questions), len(m.Answers), len(m2.Questions), len(m2.Answers))
+		}
+	})
+}
+
+// FuzzParseName checks the name parser and its wire round trip.
+func FuzzParseName(f *testing.F) {
+	for _, s := range []string{
+		"example.com", ".", "", "a.b.c.d.e",
+		"%{d1r}.x.s.spf-test.dns-lab.org",
+		"org.org.dns-lab.spf-test.s.x.x.s.spf-test.dns-lab.org",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := ParseName(s)
+		if err != nil {
+			return
+		}
+		buf, err := appendName(nil, n, nil)
+		if err != nil {
+			t.Fatalf("parsed name fails to encode: %v", err)
+		}
+		back, _, err := readName(buf, 0)
+		if err != nil {
+			t.Fatalf("encoded name fails to decode: %v", err)
+		}
+		if !back.Equal(n) {
+			t.Fatalf("round trip changed name: %q vs %q", n, back)
+		}
+	})
+}

@@ -1,0 +1,231 @@
+package dnsmsg
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Header flag bits (RFC 1035 §4.1.1).
+const (
+	flagQR = 1 << 15
+	flagAA = 1 << 10
+	flagTC = 1 << 9
+	flagRD = 1 << 8
+	flagRA = 1 << 7
+)
+
+// Header is the fixed 12-byte DNS message header, unpacked.
+type Header struct {
+	ID                 uint16
+	Response           bool
+	OpCode             OpCode
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	RCode              RCode
+}
+
+// Question is a DNS question section entry.
+type Question struct {
+	Name  Name
+	Type  Type
+	Class Class
+}
+
+// String implements fmt.Stringer.
+func (q Question) String() string {
+	return fmt.Sprintf("%s %s %s", q.Name, q.Class, q.Type)
+}
+
+// Message is a complete DNS message.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []Record
+	Authority  []Record
+	Additional []Record
+}
+
+// NewQuery builds a recursion-desired query for (name, type).
+func NewQuery(id uint16, name Name, typ Type) *Message {
+	return &Message{
+		Header:    Header{ID: id, RecursionDesired: true},
+		Questions: []Question{{Name: name, Type: typ, Class: ClassIN}},
+	}
+}
+
+// Reply builds a response header echoing the query's ID, opcode, question,
+// and RD bit.
+func (m *Message) Reply() *Message {
+	r := &Message{
+		Header: Header{
+			ID:               m.Header.ID,
+			Response:         true,
+			OpCode:           m.Header.OpCode,
+			RecursionDesired: m.Header.RecursionDesired,
+		},
+	}
+	r.Questions = append(r.Questions, m.Questions...)
+	return r
+}
+
+// Append encodes the message onto buf and returns the extended slice.
+// Name compression is applied across the whole message.
+func (m *Message) Append(buf []byte) ([]byte, error) {
+	base := len(buf)
+	var flags uint16
+	if m.Header.Response {
+		flags |= flagQR
+	}
+	flags |= uint16(m.Header.OpCode&0xF) << 11
+	if m.Header.Authoritative {
+		flags |= flagAA
+	}
+	if m.Header.Truncated {
+		flags |= flagTC
+	}
+	if m.Header.RecursionDesired {
+		flags |= flagRD
+	}
+	if m.Header.RecursionAvailable {
+		flags |= flagRA
+	}
+	flags |= uint16(m.Header.RCode & 0xF)
+
+	buf = binary.BigEndian.AppendUint16(buf, m.Header.ID)
+	buf = binary.BigEndian.AppendUint16(buf, flags)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Questions)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Answers)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Authority)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Additional)))
+
+	// Compression offsets are relative to the start of the DNS message,
+	// which must be the start of buf growth for pointers to be valid.
+	// We track offsets relative to base and require base == 0 for pointer
+	// emission to stay correct; when base != 0 compression is disabled.
+	var cmp map[string]int
+	if base == 0 {
+		cmp = make(map[string]int)
+	}
+
+	var err error
+	for _, q := range m.Questions {
+		if buf, err = appendName(buf, q.Name, cmp); err != nil {
+			return nil, err
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Class))
+	}
+	for _, sec := range [][]Record{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range sec {
+			if buf, err = appendRecord(buf, rr, cmp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return buf, nil
+}
+
+// Pack encodes the message into a fresh buffer.
+func (m *Message) Pack() ([]byte, error) {
+	return m.Append(make([]byte, 0, 512))
+}
+
+func appendRecord(buf []byte, rr Record, cmp map[string]int) ([]byte, error) {
+	var err error
+	if buf, err = appendName(buf, rr.Name, cmp); err != nil {
+		return nil, err
+	}
+	if rr.Data == nil {
+		return nil, fmt.Errorf("dnsmsg: record %s has nil data", rr.Name)
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(rr.Data.Type()))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(rr.Class))
+	buf = binary.BigEndian.AppendUint32(buf, rr.TTL)
+	lenAt := len(buf)
+	buf = append(buf, 0, 0)
+	if buf, err = rr.Data.appendTo(buf, cmp); err != nil {
+		return nil, err
+	}
+	rdlen := len(buf) - lenAt - 2
+	if rdlen > 0xFFFF {
+		return nil, fmt.Errorf("dnsmsg: RDATA of %d bytes exceeds 65535", rdlen)
+	}
+	binary.BigEndian.PutUint16(buf[lenAt:], uint16(rdlen))
+	return buf, nil
+}
+
+// Unpack decodes a complete DNS message.
+func Unpack(msg []byte) (*Message, error) {
+	if len(msg) < 12 {
+		return nil, ErrTruncatedMessage
+	}
+	flags := binary.BigEndian.Uint16(msg[2:])
+	m := &Message{Header: Header{
+		ID:                 binary.BigEndian.Uint16(msg[0:]),
+		Response:           flags&flagQR != 0,
+		OpCode:             OpCode(flags >> 11 & 0xF),
+		Authoritative:      flags&flagAA != 0,
+		Truncated:          flags&flagTC != 0,
+		RecursionDesired:   flags&flagRD != 0,
+		RecursionAvailable: flags&flagRA != 0,
+		RCode:              RCode(flags & 0xF),
+	}}
+	qd := int(binary.BigEndian.Uint16(msg[4:]))
+	an := int(binary.BigEndian.Uint16(msg[6:]))
+	ns := int(binary.BigEndian.Uint16(msg[8:]))
+	ar := int(binary.BigEndian.Uint16(msg[10:]))
+
+	off := 12
+	for i := 0; i < qd; i++ {
+		name, n, err := readName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		if n+4 > len(msg) {
+			return nil, ErrTruncatedMessage
+		}
+		m.Questions = append(m.Questions, Question{
+			Name:  name,
+			Type:  Type(binary.BigEndian.Uint16(msg[n:])),
+			Class: Class(binary.BigEndian.Uint16(msg[n+2:])),
+		})
+		off = n + 4
+	}
+	var err error
+	if m.Answers, off, err = readRecords(msg, off, an); err != nil {
+		return nil, err
+	}
+	if m.Authority, off, err = readRecords(msg, off, ns); err != nil {
+		return nil, err
+	}
+	if m.Additional, _, err = readRecords(msg, off, ar); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func readRecords(msg []byte, off, count int) ([]Record, int, error) {
+	var out []Record
+	for i := 0; i < count; i++ {
+		name, n, err := readName(msg, off)
+		if err != nil {
+			return nil, 0, err
+		}
+		if n+10 > len(msg) {
+			return nil, 0, ErrTruncatedMessage
+		}
+		typ := Type(binary.BigEndian.Uint16(msg[n:]))
+		class := Class(binary.BigEndian.Uint16(msg[n+2:]))
+		ttl := binary.BigEndian.Uint32(msg[n+4:])
+		rdlen := int(binary.BigEndian.Uint16(msg[n+8:]))
+		data, err := decodeRData(msg, n+10, rdlen, typ)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, Record{Name: name, Class: class, TTL: ttl, Data: data})
+		off = n + 10 + rdlen
+	}
+	return out, off, nil
+}

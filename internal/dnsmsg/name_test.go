@@ -1,0 +1,234 @@
+package dnsmsg
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseNameBasics(t *testing.T) {
+	cases := []struct {
+		in     string
+		labels []string
+		str    string
+	}{
+		{"example.com", []string{"example", "com"}, "example.com."},
+		{"example.com.", []string{"example", "com"}, "example.com."},
+		{"", nil, "."},
+		{".", nil, "."},
+		{"a.b.c.d.e", []string{"a", "b", "c", "d", "e"}, "a.b.c.d.e."},
+		{"%{d1r}.x7f3.s1.spf-test.dns-lab.org", []string{"%{d1r}", "x7f3", "s1", "spf-test", "dns-lab", "org"}, "%{d1r}.x7f3.s1.spf-test.dns-lab.org."},
+	}
+	for _, c := range cases {
+		n, err := ParseName(c.in)
+		if err != nil {
+			t.Fatalf("ParseName(%q): %v", c.in, err)
+		}
+		if !reflect.DeepEqual(n.Labels(), c.labels) && !(len(n.Labels()) == 0 && len(c.labels) == 0) {
+			t.Errorf("ParseName(%q).Labels() = %v, want %v", c.in, n.Labels(), c.labels)
+		}
+		if got := n.String(); got != c.str {
+			t.Errorf("ParseName(%q).String() = %q, want %q", c.in, got, c.str)
+		}
+	}
+}
+
+func TestParseNameErrors(t *testing.T) {
+	long := strings.Repeat("a", 64)
+	if _, err := ParseName(long + ".com"); err != ErrLabelTooLong {
+		t.Errorf("63+ label: got %v, want ErrLabelTooLong", err)
+	}
+	if _, err := ParseName("a..com"); err != ErrEmptyLabel {
+		t.Errorf("empty label: got %v, want ErrEmptyLabel", err)
+	}
+	big := strings.Repeat(strings.Repeat("a", 62)+".", 5)
+	if _, err := ParseName(big); err != ErrNameTooLong {
+		t.Errorf("long name: got %v, want ErrNameTooLong", err)
+	}
+}
+
+func TestNameEqualCaseInsensitive(t *testing.T) {
+	a := MustParseName("Example.COM")
+	b := MustParseName("example.com")
+	if !a.Equal(b) {
+		t.Error("Example.COM should equal example.com")
+	}
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Error("canonical keys differ for case variants")
+	}
+	if a.Equal(MustParseName("example.org")) {
+		t.Error("example.com should not equal example.org")
+	}
+}
+
+func TestNameHasSuffix(t *testing.T) {
+	base := MustParseName("spf-test.dns-lab.org")
+	sub := MustParseName("x7.s1.SPF-TEST.dns-lab.ORG")
+	if !sub.HasSuffix(base) {
+		t.Error("subdomain should have suffix")
+	}
+	if !base.HasSuffix(base) {
+		t.Error("name should have itself as suffix")
+	}
+	if base.HasSuffix(sub) {
+		t.Error("parent should not have child as suffix")
+	}
+	if !base.HasSuffix(Name{}) {
+		t.Error("every name is under the root")
+	}
+}
+
+func TestNameParentChildTLD(t *testing.T) {
+	n := MustParseName("mail.example.com")
+	if got := n.Parent().String(); got != "example.com." {
+		t.Errorf("Parent = %q", got)
+	}
+	if got := n.TLD(); got != "com" {
+		t.Errorf("TLD = %q", got)
+	}
+	c, err := MustParseName("example.com").Child("mail")
+	if err != nil || !c.Equal(n) {
+		t.Errorf("Child = %v, %v", c, err)
+	}
+	if !(Name{}).Parent().IsRoot() {
+		t.Error("parent of root should be root")
+	}
+	if (Name{}).TLD() != "" {
+		t.Error("TLD of root should be empty")
+	}
+}
+
+func TestNameRoundTripWire(t *testing.T) {
+	for _, s := range []string{"example.com", ".", "a.b.c", "with-dash.x0.org"} {
+		n := MustParseName(s)
+		buf, err := appendName(nil, n, nil)
+		if err != nil {
+			t.Fatalf("appendName(%q): %v", s, err)
+		}
+		got, end, err := readName(buf, 0)
+		if err != nil {
+			t.Fatalf("readName(%q): %v", s, err)
+		}
+		if !got.Equal(n) {
+			t.Errorf("round trip %q → %q", n, got)
+		}
+		if end != len(buf) {
+			t.Errorf("end = %d, want %d", end, len(buf))
+		}
+	}
+}
+
+func TestNameCompressionPointer(t *testing.T) {
+	cmp := make(map[string]int)
+	buf, err := appendName(nil, MustParseName("mail.example.com"), cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := len(buf)
+	buf, err = appendName(buf, MustParseName("smtp.example.com"), cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second name should use a pointer: "smtp" label (5 bytes) + 2-byte ptr.
+	if got := len(buf) - first; got != 7 {
+		t.Errorf("compressed name used %d bytes, want 7", got)
+	}
+	n, _, err := readName(buf, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.String() != "smtp.example.com." {
+		t.Errorf("decoded %q", n)
+	}
+}
+
+func TestReadNamePointerLoop(t *testing.T) {
+	// A pointer pointing at itself.
+	msg := []byte{0xC0, 0x00}
+	if _, _, err := readName(msg, 0); err == nil {
+		t.Fatal("self-referential pointer should error")
+	}
+}
+
+func TestReadNameTruncated(t *testing.T) {
+	for _, msg := range [][]byte{
+		{},            // empty
+		{5, 'a', 'b'}, // label runs past end
+		{0xC0},        // pointer missing second byte
+		{1, 'a'},      // missing terminator
+		{0x80, 0x01},  // reserved label type
+		{0xC0, 0x7F},  // pointer past end
+	} {
+		if _, _, err := readName(msg, 0); err == nil {
+			t.Errorf("readName(%v) should error", msg)
+		}
+	}
+}
+
+// quickName generates a random valid Name for property tests.
+func quickName(r *rand.Rand) Name {
+	const alpha = "abcdefghijklmnopqrstuvwxyz0123456789-_%{}"
+	nl := 1 + r.Intn(5)
+	labels := make([]string, nl)
+	for i := range labels {
+		ll := 1 + r.Intn(20)
+		b := make([]byte, ll)
+		for j := range b {
+			b[j] = alpha[r.Intn(len(alpha))]
+		}
+		labels[i] = string(b)
+	}
+	n, err := NewName(labels...)
+	if err != nil {
+		return Name{}
+	}
+	return n
+}
+
+func TestPropertyNameWireRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := quickName(r)
+		buf, err := appendName(nil, n, nil)
+		if err != nil {
+			return false
+		}
+		got, end, err := readName(buf, 0)
+		return err == nil && got.Equal(n) && end == len(buf)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCompressedRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		names := make([]Name, 1+r.Intn(6))
+		for i := range names {
+			names[i] = quickName(r)
+		}
+		cmp := make(map[string]int)
+		var buf []byte
+		offsets := make([]int, len(names))
+		var err error
+		for i, n := range names {
+			offsets[i] = len(buf)
+			if buf, err = appendName(buf, n, cmp); err != nil {
+				return false
+			}
+		}
+		for i, n := range names {
+			got, _, err := readName(buf, offsets[i])
+			if err != nil || !got.Equal(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

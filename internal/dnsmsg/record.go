@@ -1,0 +1,310 @@
+package dnsmsg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// RData is the typed payload of a resource record.
+type RData interface {
+	// Type returns the RR type this payload encodes.
+	Type() Type
+	// appendTo appends the wire-format RDATA (without the length prefix).
+	// cmp carries the message compression map; only record types whose
+	// RDATA names are compressible per RFC 3597 §4 may use it.
+	appendTo(buf []byte, cmp map[string]int) ([]byte, error)
+	// String renders the payload in presentation format.
+	String() string
+}
+
+// Record is a DNS resource record.
+type Record struct {
+	Name  Name
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+// String renders the record in zone-file style.
+func (r Record) String() string {
+	return fmt.Sprintf("%s %d %s %s %s", r.Name, r.TTL, r.Class, r.Data.Type(), r.Data)
+}
+
+// A is an IPv4 address record.
+type A struct{ Addr netip.Addr }
+
+// Type implements RData.
+func (A) Type() Type { return TypeA }
+
+func (a A) appendTo(buf []byte, _ map[string]int) ([]byte, error) {
+	if !a.Addr.Is4() {
+		return buf, fmt.Errorf("dnsmsg: A record with non-IPv4 address %s", a.Addr)
+	}
+	b := a.Addr.As4()
+	return append(buf, b[:]...), nil
+}
+
+// String implements RData.
+func (a A) String() string { return a.Addr.String() }
+
+// AAAA is an IPv6 address record.
+type AAAA struct{ Addr netip.Addr }
+
+// Type implements RData.
+func (AAAA) Type() Type { return TypeAAAA }
+
+func (a AAAA) appendTo(buf []byte, _ map[string]int) ([]byte, error) {
+	if !a.Addr.Is6() || a.Addr.Is4In6() {
+		return buf, fmt.Errorf("dnsmsg: AAAA record with non-IPv6 address %s", a.Addr)
+	}
+	b := a.Addr.As16()
+	return append(buf, b[:]...), nil
+}
+
+// String implements RData.
+func (a AAAA) String() string { return a.Addr.String() }
+
+// MX is a mail-exchanger record.
+type MX struct {
+	Preference uint16
+	Host       Name
+}
+
+// Type implements RData.
+func (MX) Type() Type { return TypeMX }
+
+func (m MX) appendTo(buf []byte, cmp map[string]int) ([]byte, error) {
+	buf = binary.BigEndian.AppendUint16(buf, m.Preference)
+	return appendName(buf, m.Host, cmp)
+}
+
+// String implements RData.
+func (m MX) String() string { return fmt.Sprintf("%d %s", m.Preference, m.Host) }
+
+// TXT is a text record: one or more character strings of up to 255 bytes.
+type TXT struct{ Strings []string }
+
+// Type implements RData.
+func (TXT) Type() Type { return TypeTXT }
+
+func (t TXT) appendTo(buf []byte, _ map[string]int) ([]byte, error) {
+	if len(t.Strings) == 0 {
+		return buf, errors.New("dnsmsg: TXT record with no strings")
+	}
+	for _, s := range t.Strings {
+		if len(s) > 255 {
+			return buf, fmt.Errorf("dnsmsg: TXT string of %d bytes exceeds 255", len(s))
+		}
+		buf = append(buf, byte(len(s)))
+		buf = append(buf, s...)
+	}
+	return buf, nil
+}
+
+// String implements RData.
+func (t TXT) String() string {
+	parts := make([]string, len(t.Strings))
+	for i, s := range t.Strings {
+		parts[i] = fmt.Sprintf("%q", s)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Joined returns the concatenation of the record's character strings, the
+// form in which SPF policies are interpreted (RFC 7208 §3.3).
+func (t TXT) Joined() string { return strings.Join(t.Strings, "") }
+
+// SplitTXT splits a long string into 255-byte chunks suitable for TXT.
+func SplitTXT(s string) TXT {
+	var out []string
+	for len(s) > 255 {
+		out = append(out, s[:255])
+		s = s[255:]
+	}
+	out = append(out, s)
+	return TXT{Strings: out}
+}
+
+// NS is a name-server record.
+type NS struct{ Host Name }
+
+// Type implements RData.
+func (NS) Type() Type { return TypeNS }
+
+func (n NS) appendTo(buf []byte, cmp map[string]int) ([]byte, error) {
+	return appendName(buf, n.Host, cmp)
+}
+
+// String implements RData.
+func (n NS) String() string { return n.Host.String() }
+
+// CNAME is a canonical-name record.
+type CNAME struct{ Target Name }
+
+// Type implements RData.
+func (CNAME) Type() Type { return TypeCNAME }
+
+func (c CNAME) appendTo(buf []byte, cmp map[string]int) ([]byte, error) {
+	return appendName(buf, c.Target, cmp)
+}
+
+// String implements RData.
+func (c CNAME) String() string { return c.Target.String() }
+
+// PTR is a pointer record (reverse mapping).
+type PTR struct{ Target Name }
+
+// Type implements RData.
+func (PTR) Type() Type { return TypePTR }
+
+func (p PTR) appendTo(buf []byte, cmp map[string]int) ([]byte, error) {
+	return appendName(buf, p.Target, cmp)
+}
+
+// String implements RData.
+func (p PTR) String() string { return p.Target.String() }
+
+// SOA is a start-of-authority record.
+type SOA struct {
+	MName   Name
+	RName   Name
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32
+}
+
+// Type implements RData.
+func (SOA) Type() Type { return TypeSOA }
+
+func (s SOA) appendTo(buf []byte, cmp map[string]int) ([]byte, error) {
+	var err error
+	if buf, err = appendName(buf, s.MName, cmp); err != nil {
+		return buf, err
+	}
+	if buf, err = appendName(buf, s.RName, cmp); err != nil {
+		return buf, err
+	}
+	buf = binary.BigEndian.AppendUint32(buf, s.Serial)
+	buf = binary.BigEndian.AppendUint32(buf, s.Refresh)
+	buf = binary.BigEndian.AppendUint32(buf, s.Retry)
+	buf = binary.BigEndian.AppendUint32(buf, s.Expire)
+	buf = binary.BigEndian.AppendUint32(buf, s.Minimum)
+	return buf, nil
+}
+
+// String implements RData.
+func (s SOA) String() string {
+	return fmt.Sprintf("%s %s %d %d %d %d %d",
+		s.MName, s.RName, s.Serial, s.Refresh, s.Retry, s.Expire, s.Minimum)
+}
+
+// Unknown carries the raw RDATA of a type the codec does not model.
+type Unknown struct {
+	T    Type
+	Data []byte
+}
+
+// Type implements RData.
+func (u Unknown) Type() Type { return u.T }
+
+func (u Unknown) appendTo(buf []byte, _ map[string]int) ([]byte, error) {
+	return append(buf, u.Data...), nil
+}
+
+// String implements RData.
+func (u Unknown) String() string { return fmt.Sprintf("\\# %d %x", len(u.Data), u.Data) }
+
+// decodeRData parses the RDATA of a record of the given type occupying
+// msg[off:off+length]. Compressed names inside RDATA may point anywhere in
+// msg.
+func decodeRData(msg []byte, off, length int, typ Type) (RData, error) {
+	if off+length > len(msg) {
+		return nil, ErrTruncatedMessage
+	}
+	body := msg[off : off+length]
+	switch typ {
+	case TypeA:
+		if len(body) != 4 {
+			return nil, fmt.Errorf("dnsmsg: A RDATA of %d bytes", len(body))
+		}
+		return A{Addr: netip.AddrFrom4([4]byte(body))}, nil
+	case TypeAAAA:
+		if len(body) != 16 {
+			return nil, fmt.Errorf("dnsmsg: AAAA RDATA of %d bytes", len(body))
+		}
+		return AAAA{Addr: netip.AddrFrom16([16]byte(body))}, nil
+	case TypeMX:
+		if len(body) < 3 {
+			return nil, fmt.Errorf("dnsmsg: MX RDATA of %d bytes", len(body))
+		}
+		pref := binary.BigEndian.Uint16(body[:2])
+		host, _, err := readName(msg, off+2)
+		if err != nil {
+			return nil, err
+		}
+		return MX{Preference: pref, Host: host}, nil
+	case TypeTXT, TypeSPF:
+		var ss []string
+		for i := 0; i < len(body); {
+			l := int(body[i])
+			if i+1+l > len(body) {
+				return nil, ErrTruncatedMessage
+			}
+			ss = append(ss, string(body[i+1:i+1+l]))
+			i += 1 + l
+		}
+		if len(ss) == 0 {
+			return nil, errors.New("dnsmsg: empty TXT RDATA")
+		}
+		if typ == TypeSPF {
+			return Unknown{T: TypeSPF, Data: append([]byte(nil), body...)}, nil
+		}
+		return TXT{Strings: ss}, nil
+	case TypeNS:
+		host, _, err := readName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		return NS{Host: host}, nil
+	case TypeCNAME:
+		target, _, err := readName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		return CNAME{Target: target}, nil
+	case TypePTR:
+		target, _, err := readName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		return PTR{Target: target}, nil
+	case TypeSOA:
+		mname, n1, err := readName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		rname, n2, err := readName(msg, n1)
+		if err != nil {
+			return nil, err
+		}
+		if n2+20 > off+length {
+			return nil, ErrTruncatedMessage
+		}
+		return SOA{
+			MName:   mname,
+			RName:   rname,
+			Serial:  binary.BigEndian.Uint32(msg[n2:]),
+			Refresh: binary.BigEndian.Uint32(msg[n2+4:]),
+			Retry:   binary.BigEndian.Uint32(msg[n2+8:]),
+			Expire:  binary.BigEndian.Uint32(msg[n2+12:]),
+			Minimum: binary.BigEndian.Uint32(msg[n2+16:]),
+		}, nil
+	default:
+		return Unknown{T: typ, Data: append([]byte(nil), body...)}, nil
+	}
+}

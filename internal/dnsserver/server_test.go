@@ -1,0 +1,336 @@
+package dnsserver
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"spfail/internal/dnsmsg"
+	"spfail/internal/netsim"
+)
+
+func name(s string) dnsmsg.Name { return dnsmsg.MustParseName(s) }
+
+func newTestZone() *ZoneSet {
+	z := NewZoneSet()
+	z.Add(dnsmsg.Record{Name: name("example.com"), Class: dnsmsg.ClassIN, TTL: 3600,
+		Data: dnsmsg.SOA{MName: name("ns.example.com"), RName: name("host.example.com"), Serial: 1}})
+	z.AddMX(name("example.com"), 10, name("mail.example.com"))
+	z.AddA(name("mail.example.com"), netip.MustParseAddr("192.0.2.1"))
+	z.AddTXT(name("example.com"), "v=spf1 ip4:192.0.2.0/24 -all")
+	z.Add(dnsmsg.Record{Name: name("www.example.com"), Class: dnsmsg.ClassIN, TTL: 60,
+		Data: dnsmsg.CNAME{Target: name("mail.example.com")}})
+	return z
+}
+
+func TestZoneSetLookup(t *testing.T) {
+	z := newTestZone()
+	rrs, exists := z.Lookup(name("example.com"), dnsmsg.TypeMX)
+	if !exists || len(rrs) != 1 {
+		t.Fatalf("MX lookup = %v, %v", rrs, exists)
+	}
+	if _, exists := z.Lookup(name("absent.example.com"), dnsmsg.TypeA); exists {
+		t.Error("absent name should not exist")
+	}
+	// Existing name, missing type.
+	rrs, exists = z.Lookup(name("mail.example.com"), dnsmsg.TypeTXT)
+	if !exists || len(rrs) != 0 {
+		t.Errorf("empty-type lookup = %v, %v", rrs, exists)
+	}
+}
+
+func TestZoneSetCNAMEChase(t *testing.T) {
+	z := newTestZone()
+	rrs, exists := z.Lookup(name("www.example.com"), dnsmsg.TypeA)
+	if !exists {
+		t.Fatal("www should exist")
+	}
+	var gotCNAME, gotA bool
+	for _, rr := range rrs {
+		switch rr.Data.(type) {
+		case dnsmsg.CNAME:
+			gotCNAME = true
+		case dnsmsg.A:
+			gotA = true
+		}
+	}
+	if !gotCNAME || !gotA {
+		t.Errorf("CNAME chase returned %v", rrs)
+	}
+}
+
+func TestZoneSetServeDNSNXDomain(t *testing.T) {
+	z := newTestZone()
+	q := dnsmsg.NewQuery(1, name("nope.example.com"), dnsmsg.TypeA)
+	resp := z.ServeDNS(q, nil)
+	if resp.Header.RCode != dnsmsg.RCodeNXDomain {
+		t.Fatalf("rcode = %v", resp.Header.RCode)
+	}
+	if len(resp.Authority) != 1 {
+		t.Fatalf("authority = %v, want SOA", resp.Authority)
+	}
+	if _, ok := resp.Authority[0].Data.(dnsmsg.SOA); !ok {
+		t.Fatal("authority should be SOA")
+	}
+}
+
+func TestServerUDPEndToEnd(t *testing.T) {
+	fabric := netsim.NewFabric()
+	srv := &Server{Net: fabric.Host("192.0.2.53"), Addr: ":53", Handler: newTestZone()}
+	if err := srv.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	conn, err := fabric.Host("198.51.100.1").DialContext(context.Background(), "udp", "192.0.2.53:53")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	q := dnsmsg.NewQuery(99, name("example.com"), dnsmsg.TypeTXT)
+	pkt, _ := q.Pack()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	conn.Write(pkt)
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnsmsg.Unpack(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.ID != 99 || !resp.Header.Response || !resp.Header.Authoritative {
+		t.Errorf("header = %+v", resp.Header)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("answers = %v", resp.Answers)
+	}
+	if got := resp.Answers[0].Data.(dnsmsg.TXT).Joined(); !strings.HasPrefix(got, "v=spf1") {
+		t.Errorf("TXT = %q", got)
+	}
+}
+
+func TestServerTCPEndToEnd(t *testing.T) {
+	fabric := netsim.NewFabric()
+	srv := &Server{Net: fabric.Host("192.0.2.53"), Addr: ":53", Handler: newTestZone()}
+	if err := srv.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	conn, err := fabric.Host("198.51.100.1").DialContext(context.Background(), "tcp", "192.0.2.53:53")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	q := dnsmsg.NewQuery(7, name("mail.example.com"), dnsmsg.TypeA)
+	if err := WriteTCPMessage(conn, q); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := ReadTCPMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnsmsg.Unpack(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 {
+		t.Fatalf("answers = %v", resp.Answers)
+	}
+	if got := resp.Answers[0].Data.(dnsmsg.A).Addr.String(); got != "192.0.2.1" {
+		t.Errorf("A = %s", got)
+	}
+}
+
+func TestServerTruncatesOversizedUDP(t *testing.T) {
+	z := NewZoneSet()
+	// 40 TXT records of 100 bytes each — far beyond 512 bytes.
+	for i := 0; i < 40; i++ {
+		z.AddTXT(name("big.example.com"), strings.Repeat("x", 100))
+	}
+	fabric := netsim.NewFabric()
+	srv := &Server{Net: fabric.Host("10.0.0.53"), Addr: ":53", Handler: z}
+	if err := srv.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	conn, _ := fabric.Host("10.0.0.2").DialContext(context.Background(), "udp", "10.0.0.53:53")
+	defer conn.Close()
+	q := dnsmsg.NewQuery(3, name("big.example.com"), dnsmsg.TypeTXT)
+	pkt, _ := q.Pack()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	conn.Write(pkt)
+	buf := make([]byte, 64<<10)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnsmsg.Unpack(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Header.Truncated {
+		t.Error("oversized response should set TC")
+	}
+	if len(resp.Answers) != 0 {
+		t.Error("truncated response should carry no answers")
+	}
+}
+
+func TestMuxRouting(t *testing.T) {
+	var hitA, hitB, hitFallback bool
+	mk := func(hit *bool) Handler {
+		return HandlerFunc(func(q *dnsmsg.Message, _ net.Addr) *dnsmsg.Message {
+			*hit = true
+			return q.Reply()
+		})
+	}
+	m := NewMux(mk(&hitFallback))
+	m.Handle(name("dns-lab.org"), mk(&hitA))
+	m.Handle(name("spf-test.dns-lab.org"), mk(&hitB))
+
+	m.ServeDNS(dnsmsg.NewQuery(1, name("x.spf-test.dns-lab.org"), dnsmsg.TypeA), nil)
+	if !hitB || hitA {
+		t.Error("longest suffix should win")
+	}
+	m.ServeDNS(dnsmsg.NewQuery(1, name("other.dns-lab.org"), dnsmsg.TypeA), nil)
+	if !hitA {
+		t.Error("shorter suffix should catch non-matching subdomain")
+	}
+	m.ServeDNS(dnsmsg.NewQuery(1, name("example.net"), dnsmsg.TypeA), nil)
+	if !hitFallback {
+		t.Error("fallback should catch unrouted names")
+	}
+}
+
+func TestMuxRefusesWithoutFallback(t *testing.T) {
+	m := NewMux(nil)
+	resp := m.ServeDNS(dnsmsg.NewQuery(1, name("x.org"), dnsmsg.TypeA), nil)
+	if resp.Header.RCode != dnsmsg.RCodeRefused {
+		t.Fatalf("rcode = %v", resp.Header.RCode)
+	}
+}
+
+func TestQueryLogAndSink(t *testing.T) {
+	var log QueryLog
+	var forwarded []QueryEvent
+	log.AddSink(sinkFunc(func(ev QueryEvent) { forwarded = append(forwarded, ev) }))
+	lh := &LoggingHandler{
+		Inner: newTestZone(),
+		Sink:  &log,
+		Now:   func() time.Time { return time.Unix(1000, 0) },
+	}
+	lh.ServeDNS(dnsmsg.NewQuery(1, name("example.com"), dnsmsg.TypeMX), netsim.Addr{Net: "udp", Host: "10.0.0.9", Port: 555})
+	if log.Len() != 1 {
+		t.Fatalf("log len = %d", log.Len())
+	}
+	ev := log.Snapshot()[0]
+	if ev.From != "10.0.0.9:555" || !ev.Name.Equal(name("example.com")) || ev.Type != dnsmsg.TypeMX {
+		t.Errorf("event = %+v", ev)
+	}
+	if len(forwarded) != 1 {
+		t.Error("sink did not receive event")
+	}
+	log.Reset()
+	if log.Len() != 0 {
+		t.Error("Reset did not clear log")
+	}
+}
+
+type sinkFunc func(QueryEvent)
+
+func (f sinkFunc) Observe(ev QueryEvent) { f(ev) }
+
+func TestSPFTestZonePolicy(t *testing.T) {
+	z := &SPFTestZone{
+		Base:  name("spf-test.dns-lab.org"),
+		Addr4: netip.MustParseAddr("192.0.2.25"),
+	}
+	md, err := z.MailDomain("x7k2", "s01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "v=spf1 a:%{d1r}.x7k2.s01.spf-test.dns-lab.org a:b.x7k2.s01.spf-test.dns-lab.org -all"
+	if got := z.PolicyFor(md); got != want {
+		t.Errorf("PolicyFor = %q, want %q", got, want)
+	}
+
+	resp := z.ServeDNS(dnsmsg.NewQuery(1, md, dnsmsg.TypeTXT), nil)
+	if len(resp.Answers) != 1 {
+		t.Fatalf("TXT answers = %v", resp.Answers)
+	}
+	if got := resp.Answers[0].Data.(dnsmsg.TXT).Joined(); got != want {
+		t.Errorf("served policy = %q", got)
+	}
+}
+
+func TestSPFTestZoneExtractIDSuite(t *testing.T) {
+	z := &SPFTestZone{Base: name("spf-test.dns-lab.org")}
+	cases := []struct {
+		qname     string
+		id, suite string
+		ok        bool
+	}{
+		{"x7k2.s01.spf-test.dns-lab.org", "x7k2", "s01", true},
+		{"b.x7k2.s01.spf-test.dns-lab.org", "x7k2", "s01", true},
+		{"org.org.dns-lab.spf-test.s01.x7k2.x7k2.s01.spf-test.dns-lab.org", "x7k2", "s01", true},
+		{"spf-test.dns-lab.org", "", "", false},
+		{"unrelated.example.net", "", "", false},
+	}
+	for _, c := range cases {
+		id, suite, ok := z.ExtractIDSuite(name(c.qname))
+		if id != c.id || suite != c.suite || ok != c.ok {
+			t.Errorf("ExtractIDSuite(%s) = %q,%q,%v; want %q,%q,%v",
+				c.qname, id, suite, ok, c.id, c.suite, c.ok)
+		}
+	}
+}
+
+func TestSPFTestZoneARecords(t *testing.T) {
+	z := &SPFTestZone{
+		Base:  name("spf-test.dns-lab.org"),
+		Addr4: netip.MustParseAddr("192.0.2.25"),
+		Addr6: netip.MustParseAddr("2001:db8::25"),
+	}
+	resp := z.ServeDNS(dnsmsg.NewQuery(1, name("b.x.s.spf-test.dns-lab.org"), dnsmsg.TypeA), nil)
+	if len(resp.Answers) != 1 {
+		t.Fatalf("A answers = %v", resp.Answers)
+	}
+	resp = z.ServeDNS(dnsmsg.NewQuery(1, name("b.x.s.spf-test.dns-lab.org"), dnsmsg.TypeAAAA), nil)
+	if len(resp.Answers) != 1 {
+		t.Fatalf("AAAA answers = %v", resp.Answers)
+	}
+	// TXT for an expansion target (≥3 extra labels) is empty.
+	resp = z.ServeDNS(dnsmsg.NewQuery(1, name("b.x.s.spf-test.dns-lab.org"), dnsmsg.TypeTXT), nil)
+	if len(resp.Answers) != 0 {
+		t.Errorf("expansion-target TXT = %v", resp.Answers)
+	}
+	// Out-of-zone queries are refused.
+	resp = z.ServeDNS(dnsmsg.NewQuery(1, name("example.net"), dnsmsg.TypeA), nil)
+	if resp.Header.RCode != dnsmsg.RCodeRefused {
+		t.Errorf("out-of-zone rcode = %v", resp.Header.RCode)
+	}
+}
+
+func TestSPFTestZoneDMARCReject(t *testing.T) {
+	z := &SPFTestZone{Base: name("spf-test.dns-lab.org")}
+	resp := z.ServeDNS(dnsmsg.NewQuery(1, name("_dmarc.x.s.spf-test.dns-lab.org"), dnsmsg.TypeTXT), nil)
+	if len(resp.Answers) != 1 {
+		t.Fatalf("DMARC answers = %v", resp.Answers)
+	}
+	txt := resp.Answers[0].Data.(dnsmsg.TXT).Joined()
+	if !strings.HasPrefix(txt, "v=DMARC1") || !strings.Contains(txt, "p=reject") {
+		t.Errorf("DMARC policy = %q", txt)
+	}
+	// _dmarc of the bare base (extra=1) gets no answer.
+	resp = z.ServeDNS(dnsmsg.NewQuery(1, name("_dmarc.spf-test.dns-lab.org"), dnsmsg.TypeTXT), nil)
+	if len(resp.Answers) != 0 {
+		t.Errorf("base _dmarc answers = %v", resp.Answers)
+	}
+}

@@ -1,0 +1,237 @@
+// Package geo provides the deterministic IP geolocation used to reproduce
+// the paper's geographic analysis (Figure 3). It substitutes for the DbIP
+// database: the population generator registers each host's country at
+// creation time, and the choropleth aggregation buckets coordinates exactly
+// as the paper does.
+package geo
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+)
+
+// Country describes one country used in the simulation, with the fields
+// the study needs: a map position and the ccTLD it is associated with.
+type Country struct {
+	Code string // ISO 3166-1 alpha-2, lower case
+	Name string
+	TLD  string  // ccTLD without dot; may equal Code
+	Lat  float64 // representative centroid
+	Lon  float64
+}
+
+// Countries is the simulation's country table. Coverage concentrates on the
+// countries the paper calls out (high/low patch-rate TLDs, vulnerable
+// provider homes) plus enough others for a populated map.
+var Countries = []Country{
+	{"us", "United States", "us", 39.8, -98.6},
+	{"de", "Germany", "de", 51.2, 10.4},
+	{"ru", "Russia", "ru", 55.8, 37.6},
+	{"ir", "Iran", "ir", 35.7, 51.4},
+	{"in", "India", "in", 21.0, 78.0},
+	{"au", "Australia", "au", -25.3, 133.8},
+	{"vn", "Vietnam", "vn", 16.0, 106.0},
+	{"co", "Colombia", "co", 4.6, -74.1},
+	{"ua", "Ukraine", "ua", 49.0, 31.5},
+	{"tr", "Turkey", "tr", 39.0, 35.2},
+	{"gb", "United Kingdom", "uk", 54.0, -2.0},
+	{"id", "Indonesia", "id", -2.5, 118.0},
+	{"ca", "Canada", "ca", 56.1, -106.3},
+	{"za", "South Africa", "za", -29.0, 24.0},
+	{"gr", "Greece", "gr", 39.0, 22.0},
+	{"il", "Israel", "il", 31.5, 34.8},
+	{"by", "Belarus", "by", 53.7, 27.9},
+	{"tw", "Taiwan", "tw", 23.7, 121.0},
+	{"cn", "China", "cn", 35.0, 103.0},
+	{"kr", "South Korea", "kr", 36.5, 127.8},
+	{"pl", "Poland", "pl", 52.1, 19.4},
+	{"cz", "Czechia", "cz", 49.8, 15.5},
+	{"fr", "France", "fr", 46.6, 2.4},
+	{"it", "Italy", "it", 42.8, 12.8},
+	{"es", "Spain", "es", 40.2, -3.7},
+	{"nl", "Netherlands", "nl", 52.2, 5.3},
+	{"br", "Brazil", "br", -10.8, -52.9},
+	{"mx", "Mexico", "mx", 23.6, -102.6},
+	{"ar", "Argentina", "ar", -35.4, -65.2},
+	{"jp", "Japan", "jp", 36.5, 138.0},
+	{"eu", "European Union", "eu", 50.0, 9.0},
+}
+
+// ByTLD returns the country associated with a TLD, and whether one exists.
+func ByTLD(tld string) (Country, bool) {
+	for _, c := range Countries {
+		if c.TLD == tld {
+			return c, true
+		}
+	}
+	return Country{}, false
+}
+
+// ByCode returns the country with the given ISO code.
+func ByCode(code string) (Country, bool) {
+	for _, c := range Countries {
+		if c.Code == code {
+			return c, true
+		}
+	}
+	return Country{}, false
+}
+
+// Location is a geolocated position.
+type Location struct {
+	Country string // ISO code
+	Lat     float64
+	Lon     float64
+}
+
+// DB is a registry mapping IP addresses to locations. The population
+// generator fills it; the study reads it. Safe for concurrent use.
+type DB struct {
+	mu   sync.RWMutex
+	locs map[netip.Addr]Location
+}
+
+// NewDB returns an empty geolocation registry.
+func NewDB() *DB { return &DB{locs: make(map[netip.Addr]Location)} }
+
+// Register assigns a location to an address. A small deterministic jitter
+// derived from the address spreads hosts of one country across nearby
+// buckets, as real provider footprints do.
+func (d *DB) Register(addr netip.Addr, c Country) {
+	jlat, jlon := jitter(addr)
+	d.mu.Lock()
+	d.locs[addr] = Location{Country: c.Code, Lat: c.Lat + jlat, Lon: c.Lon + jlon}
+	d.mu.Unlock()
+}
+
+// Locate returns the location of an address.
+func (d *DB) Locate(addr netip.Addr) (Location, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	l, ok := d.locs[addr]
+	return l, ok
+}
+
+// Len returns the number of registered addresses.
+func (d *DB) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.locs)
+}
+
+// jitter derives a stable ±3° offset from the address bytes.
+func jitter(addr netip.Addr) (float64, float64) {
+	b := addr.As16()
+	h1 := uint32(b[12])<<8 | uint32(b[13])
+	h2 := uint32(b[14])<<8 | uint32(b[15])
+	return (float64(h1%600) - 300) / 100, (float64(h2%600) - 300) / 100
+}
+
+// Bucket identifies one cell of the choropleth grid.
+type Bucket struct {
+	LatIdx int
+	LonIdx int
+}
+
+// BucketStats aggregates hosts within one grid cell.
+type BucketStats struct {
+	Bucket  Bucket
+	Lat     float64 // cell center
+	Lon     float64
+	Total   int
+	Patched int
+}
+
+// PatchRate returns the patched fraction, or 0 when empty.
+func (b BucketStats) PatchRate() float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	return float64(b.Patched) / float64(b.Total)
+}
+
+// Choropleth buckets addresses into cellDeg-sized cells. patched reports
+// whether a given address was eventually patched (Figure 3b); pass nil for
+// the vulnerability-only map (Figure 3a).
+func (d *DB) Choropleth(addrs []netip.Addr, cellDeg float64, patched func(netip.Addr) bool) []BucketStats {
+	if cellDeg <= 0 {
+		cellDeg = 5
+	}
+	cells := make(map[Bucket]*BucketStats)
+	d.mu.RLock()
+	for _, a := range addrs {
+		loc, ok := d.locs[a]
+		if !ok {
+			continue
+		}
+		b := Bucket{LatIdx: int(loc.Lat / cellDeg), LonIdx: int(loc.Lon / cellDeg)}
+		st := cells[b]
+		if st == nil {
+			st = &BucketStats{
+				Bucket: b,
+				Lat:    (float64(b.LatIdx) + 0.5) * cellDeg,
+				Lon:    (float64(b.LonIdx) + 0.5) * cellDeg,
+			}
+			cells[b] = st
+		}
+		st.Total++
+		if patched != nil && patched(a) {
+			st.Patched++
+		}
+	}
+	d.mu.RUnlock()
+	out := make([]BucketStats, 0, len(cells))
+	for _, st := range cells {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return fmt.Sprint(out[i].Bucket) < fmt.Sprint(out[j].Bucket)
+	})
+	return out
+}
+
+// CountryStats aggregates per-country counts for map rendering and the
+// TLD patch-rate table.
+type CountryStats struct {
+	Country string
+	Total   int
+	Patched int
+}
+
+// ByCountry aggregates addresses per country.
+func (d *DB) ByCountry(addrs []netip.Addr, patched func(netip.Addr) bool) []CountryStats {
+	agg := make(map[string]*CountryStats)
+	d.mu.RLock()
+	for _, a := range addrs {
+		loc, ok := d.locs[a]
+		if !ok {
+			continue
+		}
+		st := agg[loc.Country]
+		if st == nil {
+			st = &CountryStats{Country: loc.Country}
+			agg[loc.Country] = st
+		}
+		st.Total++
+		if patched != nil && patched(a) {
+			st.Patched++
+		}
+	}
+	d.mu.RUnlock()
+	out := make([]CountryStats, 0, len(agg))
+	for _, st := range agg {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Country < out[j].Country
+	})
+	return out
+}

@@ -1,0 +1,125 @@
+package geo
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestByTLDAndCode(t *testing.T) {
+	if c, ok := ByTLD("za"); !ok || c.Name != "South Africa" {
+		t.Errorf("ByTLD(za) = %+v, %v", c, ok)
+	}
+	if c, ok := ByTLD("uk"); !ok || c.Code != "gb" {
+		t.Errorf("ByTLD(uk) = %+v, %v", c, ok)
+	}
+	if _, ok := ByTLD("zz"); ok {
+		t.Error("ByTLD(zz) should miss")
+	}
+	if c, ok := ByCode("kr"); !ok || c.Name != "South Korea" {
+		t.Errorf("ByCode(kr) = %+v, %v", c, ok)
+	}
+}
+
+func TestRegisterAndLocate(t *testing.T) {
+	db := NewDB()
+	de, _ := ByCode("de")
+	addr := netip.MustParseAddr("100.64.1.2")
+	db.Register(addr, de)
+	loc, ok := db.Locate(addr)
+	if !ok || loc.Country != "de" {
+		t.Fatalf("Locate = %+v, %v", loc, ok)
+	}
+	// Jitter is bounded by ±3°.
+	if d := loc.Lat - de.Lat; d < -3 || d > 3 {
+		t.Errorf("lat jitter %f out of bounds", d)
+	}
+	if d := loc.Lon - de.Lon; d < -3 || d > 3 {
+		t.Errorf("lon jitter %f out of bounds", d)
+	}
+	if db.Len() != 1 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	if _, ok := db.Locate(netip.MustParseAddr("100.64.9.9")); ok {
+		t.Error("unregistered address located")
+	}
+}
+
+func TestJitterDeterministic(t *testing.T) {
+	a := netip.MustParseAddr("100.64.1.2")
+	l1a, l1o := jitter(a)
+	l2a, l2o := jitter(a)
+	if l1a != l2a || l1o != l2o {
+		t.Error("jitter not deterministic")
+	}
+}
+
+func TestChoroplethBucketsAndPatchRate(t *testing.T) {
+	db := NewDB()
+	za, _ := ByCode("za")
+	ru, _ := ByCode("ru")
+	var zaAddrs, ruAddrs []netip.Addr
+	for i := 0; i < 20; i++ {
+		a := netip.AddrFrom4([4]byte{100, 64, 1, byte(i)})
+		db.Register(a, za)
+		zaAddrs = append(zaAddrs, a)
+		b := netip.AddrFrom4([4]byte{100, 64, 2, byte(i)})
+		db.Register(b, ru)
+		ruAddrs = append(ruAddrs, b)
+	}
+	all := append(append([]netip.Addr(nil), zaAddrs...), ruAddrs...)
+	patched := map[netip.Addr]bool{}
+	for _, a := range zaAddrs[:16] { // 80% of za patched
+		patched[a] = true
+	}
+	buckets := db.Choropleth(all, 10, func(a netip.Addr) bool { return patched[a] })
+	if len(buckets) < 2 {
+		t.Fatalf("buckets = %d, want ≥2 (za and ru are far apart)", len(buckets))
+	}
+	var total, patchedTotal int
+	for _, b := range buckets {
+		total += b.Total
+		patchedTotal += b.Patched
+	}
+	if total != 40 || patchedTotal != 16 {
+		t.Errorf("totals = %d/%d", total, patchedTotal)
+	}
+	// Buckets are sorted by Total descending.
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].Total > buckets[i-1].Total {
+			t.Error("buckets not sorted by size")
+		}
+	}
+}
+
+func TestByCountryAggregation(t *testing.T) {
+	db := NewDB()
+	za, _ := ByCode("za")
+	tw, _ := ByCode("tw")
+	var addrs []netip.Addr
+	for i := 0; i < 10; i++ {
+		a := netip.AddrFrom4([4]byte{100, 64, 3, byte(i)})
+		db.Register(a, za)
+		addrs = append(addrs, a)
+	}
+	for i := 0; i < 5; i++ {
+		a := netip.AddrFrom4([4]byte{100, 64, 4, byte(i)})
+		db.Register(a, tw)
+		addrs = append(addrs, a)
+	}
+	stats := db.ByCountry(addrs, func(a netip.Addr) bool {
+		loc, _ := db.Locate(a)
+		return loc.Country == "za" // all za patched, no tw
+	})
+	if len(stats) != 2 || stats[0].Country != "za" || stats[0].Total != 10 || stats[0].Patched != 10 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats[1].Country != "tw" || stats[1].Patched != 0 {
+		t.Errorf("tw stats = %+v", stats[1])
+	}
+	if got := (BucketStats{Total: 10, Patched: 4}).PatchRate(); got != 0.4 {
+		t.Errorf("PatchRate = %f", got)
+	}
+	if got := (BucketStats{}).PatchRate(); got != 0 {
+		t.Errorf("empty PatchRate = %f", got)
+	}
+}

@@ -1,0 +1,211 @@
+package measure
+
+import (
+	"net/netip"
+	"time"
+
+	"spfail/internal/core"
+)
+
+// IPStatus is the per-round verdict about one address.
+type IPStatus string
+
+// The three per-address states of the longitudinal analysis.
+const (
+	// IPVulnerable: the vulnerable fingerprint was observed.
+	IPVulnerable IPStatus = "vulnerable"
+	// IPSafe: SPF behaviour was measured and was not the vulnerable
+	// fingerprint (for an initially vulnerable host, this means patched
+	// or switched libraries).
+	IPSafe IPStatus = "safe"
+	// IPInconclusive: no conclusive measurement this round.
+	IPInconclusive IPStatus = "inconclusive"
+)
+
+// StatusOf maps a probe outcome to a status.
+func StatusOf(o core.Outcome) IPStatus {
+	if o.Status != core.StatusSPFMeasured || !o.Observation.Conclusive() {
+		return IPInconclusive
+	}
+	if o.Observation.Vulnerable() {
+		return IPVulnerable
+	}
+	return IPSafe
+}
+
+// DomainStatus is the per-round verdict about a domain, aggregated over
+// its initially vulnerable addresses per §5.1: vulnerable while any
+// address remains vulnerable; patched once all measure safe; uncertain
+// when a vulnerable address cannot be concluded.
+type DomainStatus string
+
+// Domain states.
+const (
+	DomVulnerable DomainStatus = "vulnerable"
+	DomPatched    DomainStatus = "patched"
+	DomUncertain  DomainStatus = "uncertain"
+)
+
+// Analysis holds the longitudinal series for a set of addresses with the
+// §7.6 inference rules applied.
+type Analysis struct {
+	Times []time.Time
+	// Raw is the measured status per address per round.
+	Raw map[netip.Addr][]IPStatus
+	// Inferred additionally applies the two monotonicity rules:
+	// vulnerable observations extend backwards to the start, safe
+	// observations extend forwards to the end.
+	Inferred map[netip.Addr][]IPStatus
+}
+
+// Analyze builds the per-address series from measurement rounds.
+func Analyze(rounds []Round, addrs []netip.Addr) *Analysis {
+	a := &Analysis{
+		Raw:      make(map[netip.Addr][]IPStatus, len(addrs)),
+		Inferred: make(map[netip.Addr][]IPStatus, len(addrs)),
+	}
+	for _, r := range rounds {
+		a.Times = append(a.Times, r.Time)
+	}
+	for _, addr := range addrs {
+		raw := make([]IPStatus, len(rounds))
+		for i, r := range rounds {
+			if o, ok := r.Results[addr]; ok {
+				raw[i] = StatusOf(o)
+			} else {
+				raw[i] = IPInconclusive
+			}
+		}
+		a.Raw[addr] = raw
+		a.Inferred[addr] = InferSeries(raw)
+	}
+	return a
+}
+
+// InferSeries applies the inference rules of §7.6 to one address's series:
+//
+//  1. an address measured vulnerable at some point is vulnerable from the
+//     beginning of measurements up to that point;
+//  2. an address measured safe at some point is safe from that point to
+//     the end of measurements.
+//
+// MTAs are assumed not to regress; if a series nonetheless contains a safe
+// observation before a vulnerable one, the raw values win in the
+// overlapping span.
+func InferSeries(raw []IPStatus) []IPStatus {
+	out := append([]IPStatus(nil), raw...)
+	lastVuln := -1
+	firstSafe := len(raw)
+	for i, s := range raw {
+		if s == IPVulnerable {
+			lastVuln = i
+		}
+		if s == IPSafe && i < firstSafe {
+			firstSafe = i
+		}
+	}
+	for i := range out {
+		if out[i] != IPInconclusive {
+			continue
+		}
+		switch {
+		case i <= lastVuln:
+			out[i] = IPVulnerable
+		case i >= firstSafe:
+			out[i] = IPSafe
+		}
+	}
+	return out
+}
+
+// DomainStatusAt aggregates a domain's initially-vulnerable addresses at
+// round i using the inferred series.
+func (a *Analysis) DomainStatusAt(addrs []netip.Addr, i int) DomainStatus {
+	allSafe := true
+	for _, addr := range addrs {
+		series, ok := a.Inferred[addr]
+		if !ok || i >= len(series) {
+			return DomUncertain
+		}
+		switch series[i] {
+		case IPVulnerable:
+			return DomVulnerable
+		case IPInconclusive:
+			allSafe = false
+		}
+	}
+	if allSafe {
+		return DomPatched
+	}
+	return DomUncertain
+}
+
+// DomainConclusiveAt reports how a domain's round-i result was obtained:
+// measured directly (every address raw-conclusive), by inference (every
+// address concluded after inference), or not at all.
+func (a *Analysis) DomainConclusiveAt(addrs []netip.Addr, i int) (measured, inferred bool) {
+	measured, inferred = true, true
+	for _, addr := range addrs {
+		raw, ok := a.Raw[addr]
+		if !ok || i >= len(raw) {
+			return false, false
+		}
+		if raw[i] == IPInconclusive {
+			measured = false
+			if a.Inferred[addr][i] == IPInconclusive {
+				inferred = false
+			}
+		}
+	}
+	return measured, inferred
+}
+
+// SeriesPoint is one time point of an aggregated domain series.
+type SeriesPoint struct {
+	Time time.Time
+	// Measured/Inferred are the conclusiveness counts of Figure 5.
+	Measured int
+	Inferred int
+	Total    int
+	// Vulnerable/Patched/Uncertain are domain counts (Figures 6–7).
+	Vulnerable int
+	Patched    int
+	Uncertain  int
+}
+
+// VulnerableRate is the vulnerable share among concluded domains.
+func (p SeriesPoint) VulnerableRate() float64 {
+	den := p.Vulnerable + p.Patched
+	if den == 0 {
+		return 0
+	}
+	return float64(p.Vulnerable) / float64(den)
+}
+
+// DomainSeries aggregates the analysis over a map of domains to their
+// initially vulnerable addresses.
+func (a *Analysis) DomainSeries(domains map[string][]netip.Addr) []SeriesPoint {
+	out := make([]SeriesPoint, len(a.Times))
+	for i := range a.Times {
+		p := SeriesPoint{Time: a.Times[i], Total: len(domains)}
+		for _, addrs := range domains {
+			measured, inferred := a.DomainConclusiveAt(addrs, i)
+			if measured {
+				p.Measured++
+			}
+			if inferred || measured {
+				p.Inferred++
+			}
+			switch a.DomainStatusAt(addrs, i) {
+			case DomVulnerable:
+				p.Vulnerable++
+			case DomPatched:
+				p.Patched++
+			default:
+				p.Uncertain++
+			}
+		}
+		out[i] = p
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package measure
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"time"
+
+	"spfail/internal/clock"
+	"spfail/internal/core"
+)
+
+// Campaign probes sets of addresses under the paper's operational
+// constraints (§6.1): each distinct IP tested once per round, a hard cap
+// of 250 concurrent outgoing SMTP connections, 90-second gaps between
+// connections to the same server, and 8-minute greylist backoffs.
+type Campaign struct {
+	Rig *Rig
+	// Suite labels all probes of this campaign.
+	Suite string
+	// Concurrency caps simultaneous SMTP probes (paper: 250).
+	Concurrency int
+	// BatchSize bounds how many simulated hosts run at once; hosts are
+	// brought up and torn down in waves (memory control at full scale).
+	BatchSize int
+	// GreylistWait and ReconnectWait override the paper's 8 min / 90 s.
+	GreylistWait  time.Duration
+	ReconnectWait time.Duration
+	// IOTimeout bounds SMTP I/O (real time, keep small in simulation).
+	IOTimeout time.Duration
+
+	labelsOnce sync.Once
+	labels     *core.LabelAllocator
+}
+
+func (c *Campaign) concurrency() int {
+	if c.Concurrency > 0 {
+		return c.Concurrency
+	}
+	return 250
+}
+
+func (c *Campaign) batchSize() int {
+	if c.BatchSize > 0 {
+		return c.BatchSize
+	}
+	return 2000
+}
+
+func (c *Campaign) allocator() *core.LabelAllocator {
+	c.labelsOnce.Do(func() {
+		c.labels = core.NewLabelAllocator(c.Rig.World.Spec.Seed ^ 0x5bf)
+	})
+	return c.labels
+}
+
+func (c *Campaign) newProber() *core.Prober {
+	return &core.Prober{
+		Net:           c.Rig.Fabric.Host(c.Rig.ProbeIP),
+		HELO:          "probe.dns-lab.org",
+		Clock:         c.Rig.Clock,
+		Zone:          c.Rig.Zone,
+		Labels:        c.allocator(),
+		Collector:     c.Rig.Collector,
+		Classifier:    c.Rig.Classifier,
+		Suite:         c.Suite,
+		GreylistWait:  c.GreylistWait,
+		ReconnectWait: c.ReconnectWait,
+		IOTimeout:     c.IOTimeout,
+	}
+}
+
+// MeasureAddrs probes each address once and returns its outcome. rcptDomain
+// supplies the recipient domain used for each address (typically the first
+// domain that resolved to it).
+func (c *Campaign) MeasureAddrs(ctx context.Context, addrs []netip.Addr, rcptDomain map[netip.Addr]string) map[netip.Addr]core.Outcome {
+	results := make(map[netip.Addr]core.Outcome, len(addrs))
+	var mu sync.Mutex
+
+	for start := 0; start < len(addrs); start += c.batchSize() {
+		end := start + c.batchSize()
+		if end > len(addrs) {
+			end = len(addrs)
+		}
+		batch := addrs[start:end]
+		if err := c.Rig.Manager.Ensure(ctx, batch); err != nil {
+			return results
+		}
+		c.probeBatch(ctx, batch, rcptDomain, func(a netip.Addr, o core.Outcome) {
+			mu.Lock()
+			results[a] = o
+			mu.Unlock()
+		})
+		c.Rig.Manager.Stop(batch)
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return results
+}
+
+// probeBatch fans probes over the batch with the concurrency cap. When the
+// rig runs on a simulated clock, the caller must be an accounted goroutine
+// (clock.Go); the internal waits yield to the virtual scheduler.
+func (c *Campaign) probeBatch(ctx context.Context, batch []netip.Addr, rcptDomain map[netip.Addr]string, record func(netip.Addr, core.Outcome)) {
+	clk := c.Rig.Clock
+	sem := make(chan struct{}, c.concurrency())
+	var wg sync.WaitGroup
+	for _, a := range batch {
+		a := a
+		clock.Yield(clk, func() { sem <- struct{}{} })
+		wg.Add(1)
+		clock.Go(clk, func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			dom := rcptDomain[a]
+			if dom == "" {
+				dom = "example.com"
+			}
+			p := c.newProber()
+			out := p.TestIP(ctx, probeAddr(a), dom)
+			record(a, out)
+		})
+	}
+	clock.Yield(clk, wg.Wait)
+}
+
+// probeAddr renders "ip:25" for both families.
+func probeAddr(a netip.Addr) string {
+	return netip.AddrPortFrom(a, 25).String()
+}
+
+// Round is one longitudinal measurement pass.
+type Round struct {
+	Time    time.Time
+	Results map[netip.Addr]core.Outcome
+}
+
+// Longitudinal runs repeated measurements of a fixed address set across
+// measurement windows (paper §5.3: every 2 days, with a pause between
+// November 30 and January 15).
+type Longitudinal struct {
+	Campaign *Campaign
+	// Targets is the address set re-measured each round (the initially
+	// vulnerable plus re-measurable inconclusive addresses).
+	Targets []netip.Addr
+	// RcptDomain maps each target to its recipient domain.
+	RcptDomain map[netip.Addr]string
+	// Interval between rounds (paper: 48h).
+	Interval time.Duration
+}
+
+// Window is a half-open measurement window.
+type Window struct {
+	Start time.Time
+	End   time.Time
+}
+
+// Run executes rounds every Interval within each window, advancing the
+// campaign clock. It must run on a goroutine accounted to the simulated
+// clock (use clock.Go) or with a real clock.
+func (l *Longitudinal) Run(ctx context.Context, windows []Window) []Round {
+	clk := l.Campaign.Rig.Clock
+	var rounds []Round
+	for _, w := range windows {
+		// Rounds are pinned to an even grid so per-round probe time does
+		// not drift the cadence.
+		for next := w.Start; !next.After(w.End); next = next.Add(l.Interval) {
+			if d := next.Sub(clk.Now()); d > 0 {
+				if err := clk.Sleep(ctx, d); err != nil {
+					return rounds
+				}
+			}
+			results := l.Campaign.MeasureAddrs(ctx, l.Targets, l.RcptDomain)
+			rounds = append(rounds, Round{Time: next, Results: results})
+			if ctx.Err() != nil {
+				return rounds
+			}
+		}
+	}
+	return rounds
+}

@@ -1,0 +1,105 @@
+package measure
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"spfail/internal/clock"
+	"spfail/internal/core"
+)
+
+// TestCampaignBatchWaves verifies that hosts are brought up and torn down
+// in waves, never exceeding the batch size.
+func TestCampaignBatchWaves(t *testing.T) {
+	rig := newTestRig(t, clock.Real{})
+	c := fastCampaign(rig)
+	c.BatchSize = 7
+
+	addrs := rig.World.AllAddrs()
+	if len(addrs) > 30 {
+		addrs = addrs[:30]
+	}
+	rcpt := map[netip.Addr]string{}
+	for _, a := range addrs {
+		if ds := rig.World.DomainsOn(a); len(ds) > 0 {
+			rcpt[a] = ds[0].Name
+		}
+	}
+	results := c.MeasureAddrs(context.Background(), addrs, rcpt)
+	if len(results) != len(addrs) {
+		t.Fatalf("results = %d, want %d", len(results), len(addrs))
+	}
+	// After the campaign every wave must have been torn down.
+	if n := rig.Manager.RunningCount(); n != 0 {
+		t.Fatalf("%d hosts still running after campaign", n)
+	}
+}
+
+// TestCampaignContextCancellation stops mid-campaign without hanging.
+func TestCampaignContextCancellation(t *testing.T) {
+	rig := newTestRig(t, clock.Real{})
+	c := fastCampaign(rig)
+	c.BatchSize = 5
+	c.Concurrency = 2
+	ctx, cancel := context.WithCancel(context.Background())
+
+	addrs := rig.World.AllAddrs()
+	if len(addrs) > 40 {
+		addrs = addrs[:40]
+	}
+	rcpt := map[netip.Addr]string{}
+	done := make(chan map[netip.Addr]core.Outcome, 1)
+	go func() { done <- c.MeasureAddrs(ctx, addrs, rcpt) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case results := <-done:
+		if len(results) >= len(addrs) {
+			t.Logf("campaign finished before cancellation took effect (%d results)", len(results))
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled campaign did not return")
+	}
+}
+
+// TestCampaignIdempotentPerRound re-measures the same targets twice and
+// verifies both rounds produce the same verdicts for stable hosts.
+func TestCampaignStableVerdictsAcrossRounds(t *testing.T) {
+	rig := newTestRig(t, clock.Real{})
+	c := fastCampaign(rig)
+
+	// Stable (non-flaky, non-blacklisting) vulnerable hosts only.
+	var addrs []netip.Addr
+	rcpt := map[netip.Addr]string{}
+	for _, d := range rig.World.Domains {
+		for _, a := range d.Hosts {
+			h := rig.World.Hosts[a]
+			if h.Listens && !h.RefuseSMTP && h.EverVulnerable() &&
+				h.FlakyRate == 0 && h.BlacklistProbesAt.IsZero() && !h.BlankMsgFails {
+				if _, ok := rcpt[a]; !ok {
+					addrs = append(addrs, a)
+					rcpt[a] = d.Name
+				}
+			}
+		}
+		if len(addrs) >= 5 {
+			break
+		}
+	}
+	if len(addrs) == 0 {
+		t.Skip("no stable vulnerable hosts in tiny world")
+	}
+	r1 := c.MeasureAddrs(context.Background(), addrs, rcpt)
+	r2 := c.MeasureAddrs(context.Background(), addrs, rcpt)
+	for _, a := range addrs {
+		s1, s2 := StatusOf(r1[a]), StatusOf(r2[a])
+		if s1 != s2 {
+			t.Errorf("%s: round 1 %s vs round 2 %s", a, s1, s2)
+		}
+		if s1 != IPVulnerable {
+			t.Errorf("%s: stable vulnerable host measured %s", a, s1)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package measure
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomSeries(r *rand.Rand) []IPStatus {
+	n := 1 + r.Intn(20)
+	out := make([]IPStatus, n)
+	for i := range out {
+		switch r.Intn(3) {
+		case 0:
+			out[i] = IPVulnerable
+		case 1:
+			out[i] = IPSafe
+		default:
+			out[i] = IPInconclusive
+		}
+	}
+	return out
+}
+
+// TestPropertyInferIdempotent: applying the inference rules twice changes
+// nothing.
+func TestPropertyInferIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		raw := randomSeries(r)
+		once := InferSeries(raw)
+		twice := InferSeries(once)
+		for i := range once {
+			if once[i] != twice[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyInferPreservesObservations: inference never rewrites a
+// conclusive measurement, only fills inconclusive slots.
+func TestPropertyInferPreservesObservations(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		raw := randomSeries(r)
+		inf := InferSeries(raw)
+		if len(inf) != len(raw) {
+			return false
+		}
+		for i := range raw {
+			if raw[i] != IPInconclusive && inf[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyInferRuleSoundness: every filled slot is justified by one of
+// the two rules — a later vulnerable observation or an earlier safe one.
+func TestPropertyInferRuleSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		raw := randomSeries(r)
+		inf := InferSeries(raw)
+		for i := range raw {
+			if raw[i] != IPInconclusive || inf[i] == IPInconclusive {
+				continue
+			}
+			justified := false
+			switch inf[i] {
+			case IPVulnerable:
+				for j := i + 1; j < len(raw); j++ {
+					if raw[j] == IPVulnerable {
+						justified = true
+					}
+				}
+			case IPSafe:
+				for j := 0; j < i; j++ {
+					if raw[j] == IPSafe {
+						justified = true
+					}
+				}
+			}
+			if !justified {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package measure implements the SPFail measurement campaign: resolving
+// domain sets to mail-server addresses through the DNS (as the paper does,
+// MX first with A fallback), probing every distinct address once with the
+// NoMsg→BlankMsg ladder under the paper's politeness constraints (250
+// concurrent connections, 90 s per-host gaps, 8-minute greylist waits),
+// re-measuring vulnerable hosts every two days across two windows, and
+// applying the inference rules of §7.6 to the resulting series.
+package measure
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"spfail/internal/clock"
+	"spfail/internal/core"
+	"spfail/internal/dnsclient"
+	"spfail/internal/dnsmsg"
+	"spfail/internal/dnsserver"
+	"spfail/internal/netsim"
+	"spfail/internal/population"
+)
+
+// Rig wires together the measurement-side infrastructure on a fabric: the
+// authoritative DNS server (population zones + the dynamic SPF test zone,
+// with query logging into the collector) and the prober's vantage point.
+type Rig struct {
+	Fabric     *netsim.Fabric
+	Clock      clock.Clock
+	World      *population.World
+	Zone       *dnsserver.SPFTestZone
+	Collector  *core.Collector
+	Classifier *core.Classifier
+	Manager    *population.HostManager
+
+	// DNSAddr is the single authoritative/resolver address every
+	// simulated party uses.
+	DNSAddr string
+	// ProbeIP is the measurement vantage address.
+	ProbeIP string
+
+	dns *dnsserver.Server
+}
+
+// Rig addresses.
+const (
+	defaultDNSIP   = "192.0.2.53"
+	defaultProbeIP = "198.51.100.9"
+	testZoneBase   = "spf-test.dns-lab.org"
+)
+
+// NewRig builds and starts the measurement infrastructure for a world.
+func NewRig(ctx context.Context, w *population.World, clk clock.Clock) (*Rig, error) {
+	r := &Rig{
+		Fabric:  netsim.NewFabric(),
+		Clock:   clk,
+		World:   w,
+		DNSAddr: defaultDNSIP + ":53",
+		ProbeIP: defaultProbeIP,
+		Zone: &dnsserver.SPFTestZone{
+			Base:  dnsmsg.MustParseName(testZoneBase),
+			Addr4: netip.MustParseAddr("192.0.2.80"),
+			Addr6: netip.MustParseAddr("2001:db8:80::1"),
+		},
+	}
+	r.Collector = core.NewCollector(r.Zone)
+	r.Classifier = core.NewClassifier(r.Zone)
+
+	mux := dnsserver.NewMux(w.BuildZones())
+	mux.Handle(r.Zone.Base, r.Zone)
+	handler := &dnsserver.LoggingHandler{Inner: mux, Sink: r.Collector, Now: clk.Now}
+
+	r.dns = &dnsserver.Server{Net: r.Fabric.Host(defaultDNSIP), Addr: ":53", Handler: handler}
+	if err := r.dns.Start(ctx); err != nil {
+		return nil, fmt.Errorf("measure: starting DNS: %w", err)
+	}
+	r.Manager = &population.HostManager{
+		World:      w,
+		Fabric:     r.Fabric,
+		Clock:      clk,
+		DNSServer:  r.DNSAddr,
+		DNSTimeout: time.Second,
+	}
+	return r, nil
+}
+
+// Close stops the DNS server and all running hosts.
+func (r *Rig) Close() {
+	r.Manager.StopAll()
+	r.dns.Stop()
+}
+
+// Resolver returns a stub resolver from the probe vantage.
+func (r *Rig) Resolver() *dnsclient.Resolver {
+	res := dnsclient.NewResolver(r.Fabric.Host(r.ProbeIP), r.DNSAddr)
+	res.Client.Timeout = time.Second
+	return res
+}
+
+// Target is one (domain, addresses) measurement unit discovered via DNS.
+type Target struct {
+	Domain string
+	Addrs  []netip.Addr
+	HasMX  bool
+}
+
+// ResolveTargets discovers mail-server addresses for domains exactly as
+// the paper does: query MX; resolve each exchanger's A/AAAA; when a domain
+// has no MX records, fall back to its own A record per RFC 5321.
+func (r *Rig) ResolveTargets(ctx context.Context, domains []string) []Target {
+	res := r.Resolver()
+	out := make([]Target, 0, len(domains))
+	for _, d := range domains {
+		t := Target{Domain: d}
+		mxs, err := res.LookupMX(ctx, d)
+		if err == nil && len(mxs) > 0 {
+			t.HasMX = true
+			for _, mx := range mxs {
+				addrs, err := res.LookupIP(ctx, "ip", mx.Host)
+				if err != nil {
+					continue
+				}
+				t.Addrs = append(t.Addrs, addrs...)
+			}
+		} else {
+			addrs, err := res.LookupIP(ctx, "ip", d)
+			if err == nil {
+				t.Addrs = append(t.Addrs, addrs...)
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// UniqueAddrs deduplicates the addresses across targets, preserving first-
+// seen order and remembering one representative domain per address (used
+// for RCPT TO and for notification addressing).
+func UniqueAddrs(targets []Target) ([]netip.Addr, map[netip.Addr]string) {
+	var addrs []netip.Addr
+	rep := make(map[netip.Addr]string)
+	for _, t := range targets {
+		for _, a := range t.Addrs {
+			if _, ok := rep[a]; !ok {
+				rep[a] = t.Domain
+				addrs = append(addrs, a)
+			}
+		}
+	}
+	return addrs, rep
+}

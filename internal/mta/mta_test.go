@@ -1,0 +1,376 @@
+package mta
+
+import (
+	"context"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"spfail/internal/clock"
+	"spfail/internal/dnsmsg"
+	"spfail/internal/dnsserver"
+	"spfail/internal/netsim"
+	"spfail/internal/smtp"
+	"spfail/internal/spf"
+	"spfail/internal/spfimpl"
+)
+
+// world bundles a fabric, an authoritative DNS server with the SPF test
+// zone, and a query log — the measurement-side infrastructure.
+type world struct {
+	fabric *netsim.Fabric
+	log    *dnsserver.QueryLog
+	zone   *dnsserver.SPFTestZone
+}
+
+const dnsIP = "192.0.2.53"
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	w := &world{
+		fabric: netsim.NewFabric(),
+		log:    &dnsserver.QueryLog{},
+		zone: &dnsserver.SPFTestZone{
+			Base:  dnsmsg.MustParseName("spf-test.dns-lab.org"),
+			Addr4: netip.MustParseAddr("192.0.2.80"),
+		},
+	}
+	handler := &dnsserver.LoggingHandler{
+		Inner: w.zone,
+		Sink:  w.log,
+		Now:   time.Now,
+	}
+	srv := &dnsserver.Server{Net: w.fabric.Host(dnsIP), Addr: ":53", Handler: handler}
+	if err := srv.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Stop)
+	return w
+}
+
+func (w *world) newHost(t *testing.T, ip string, cfg Config) *Host {
+	t.Helper()
+	cfg.Hostname = "mx." + ip + ".example"
+	cfg.IP = netip.MustParseAddr(ip)
+	cfg.Net = w.fabric.Host(ip)
+	cfg.DNSServer = dnsIP + ":53"
+	cfg.DNSTimeout = time.Second
+	h := New(cfg)
+	if err := h.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Stop)
+	return h
+}
+
+// probe runs a full BlankMsg-style transaction against the host.
+func (w *world) probe(t *testing.T, hostIP, mailDomain string, full bool) error {
+	t.Helper()
+	cli := &smtp.Client{Net: w.fabric.Host("198.51.100.9"), HELO: "probe.dns-lab.org"}
+	conn, err := cli.Dial(context.Background(), hostIP+":25")
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.Hello(); err != nil {
+		return err
+	}
+	if err := conn.Mail("mmj7yzdm0tbk@" + mailDomain); err != nil {
+		return err
+	}
+	if err := conn.Rcpt("noreply@" + hostIP + ".example"); err != nil {
+		return err
+	}
+	if err := conn.Data(); err != nil {
+		return err
+	}
+	if !full {
+		return conn.Close() // NoMsg termination
+	}
+	r, err := conn.SendMessage(nil) // BlankMsg
+	if err != nil {
+		return err
+	}
+	if !r.Positive() {
+		return &smtp.ReplyError{Reply: *r}
+	}
+	return nil
+}
+
+// queriesFor extracts query names containing the given id label.
+func (w *world) queriesFor(id string) []string {
+	var out []string
+	for _, ev := range w.log.Snapshot() {
+		if id2, _, ok := w.zone.ExtractIDSuite(ev.Name); ok && id2 == id {
+			out = append(out, ev.Name.String())
+		}
+	}
+	return out
+}
+
+func TestVulnerableHostEmitsFingerprint(t *testing.T) {
+	w := newWorld(t)
+	w.newHost(t, "203.0.113.10", Config{
+		Behaviors:  []spfimpl.Behavior{spfimpl.BehaviorVulnLibSPF2},
+		ValidateAt: ValidateAtMailFrom,
+	})
+	mailDomain := "xk91.t01.spf-test.dns-lab.org"
+	if err := w.probe(t, "203.0.113.10", mailDomain, false); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	qs := w.queriesFor("xk91")
+	// Expect TXT for the mail domain, the vulnerable fingerprint A query,
+	// and the liveness A query.
+	want := "org.org.dns-lab.spf-test.t01.xk91.xk91.t01.spf-test.dns-lab.org."
+	var sawFingerprint, sawLiveness bool
+	for _, q := range qs {
+		if q == want {
+			sawFingerprint = true
+		}
+		if q == "b.xk91.t01.spf-test.dns-lab.org." {
+			sawLiveness = true
+		}
+	}
+	if !sawFingerprint {
+		t.Errorf("fingerprint query missing; got %v", qs)
+	}
+	if !sawLiveness {
+		t.Errorf("liveness query missing; got %v", qs)
+	}
+}
+
+func TestCompliantHostExpandsCorrectly(t *testing.T) {
+	w := newWorld(t)
+	w.newHost(t, "203.0.113.11", Config{
+		Behaviors:  []spfimpl.Behavior{spfimpl.BehaviorCompliant},
+		ValidateAt: ValidateAtMailFrom,
+	})
+	if err := w.probe(t, "203.0.113.11", "ab42.t01.spf-test.dns-lab.org", false); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	qs := w.queriesFor("ab42")
+	var sawCompliant bool
+	for _, q := range qs {
+		if q == "ab42.ab42.t01.spf-test.dns-lab.org." {
+			sawCompliant = true
+		}
+		if strings.Contains(q, "org.org.") {
+			t.Errorf("compliant host emitted vulnerable pattern: %s", q)
+		}
+	}
+	if !sawCompliant {
+		t.Errorf("compliant expansion missing; got %v", qs)
+	}
+}
+
+func TestValidateAtDataRequiresBlankMsg(t *testing.T) {
+	w := newWorld(t)
+	w.newHost(t, "203.0.113.12", Config{
+		Behaviors:  []spfimpl.Behavior{spfimpl.BehaviorVulnLibSPF2},
+		ValidateAt: ValidateAtData,
+	})
+	// NoMsg probe: no SPF queries.
+	if err := w.probe(t, "203.0.113.12", "cd77.t01.spf-test.dns-lab.org", false); err != nil {
+		t.Fatalf("NoMsg probe: %v", err)
+	}
+	if qs := w.queriesFor("cd77"); len(qs) != 0 {
+		t.Fatalf("NoMsg probe should trigger nothing at a data-validating host; got %v", qs)
+	}
+	// BlankMsg probe: queries appear.
+	if err := w.probe(t, "203.0.113.12", "cd78.t01.spf-test.dns-lab.org", true); err != nil {
+		t.Fatalf("BlankMsg probe: %v", err)
+	}
+	if qs := w.queriesFor("cd78"); len(qs) == 0 {
+		t.Fatal("BlankMsg probe should trigger SPF at a data-validating host")
+	}
+}
+
+func TestPatchChangesFingerprint(t *testing.T) {
+	w := newWorld(t)
+	h := w.newHost(t, "203.0.113.13", Config{
+		Behaviors:  []spfimpl.Behavior{spfimpl.BehaviorVulnLibSPF2},
+		ValidateAt: ValidateAtMailFrom,
+	})
+	if !h.Vulnerable() {
+		t.Fatal("host should start vulnerable")
+	}
+	h.Patch()
+	if h.Vulnerable() {
+		t.Fatal("host should be patched")
+	}
+	if err := w.probe(t, "203.0.113.13", "ef55.t01.spf-test.dns-lab.org", false); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	for _, q := range w.queriesFor("ef55") {
+		if strings.HasPrefix(q, "org.org.") {
+			t.Errorf("patched host still emits vulnerable pattern: %s", q)
+		}
+	}
+}
+
+func TestMultipleBehaviorsEmitMultiplePatterns(t *testing.T) {
+	w := newWorld(t)
+	w.newHost(t, "203.0.113.14", Config{
+		Behaviors:  []spfimpl.Behavior{spfimpl.BehaviorVulnLibSPF2, spfimpl.BehaviorCompliant},
+		ValidateAt: ValidateAtMailFrom,
+	})
+	if err := w.probe(t, "203.0.113.14", "gh33.t01.spf-test.dns-lab.org", false); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	qs := w.queriesFor("gh33")
+	var vuln, compliant bool
+	for _, q := range qs {
+		if strings.HasPrefix(q, "org.org.") {
+			vuln = true
+		}
+		if q == "gh33.gh33.t01.spf-test.dns-lab.org." {
+			compliant = true
+		}
+	}
+	if !vuln || !compliant {
+		t.Errorf("multi-impl host patterns: vuln=%v compliant=%v queries=%v", vuln, compliant, qs)
+	}
+}
+
+func TestRefuseSMTPHost(t *testing.T) {
+	w := newWorld(t)
+	w.newHost(t, "203.0.113.15", Config{RefuseSMTP: true})
+	err := w.probe(t, "203.0.113.15", "ij11.t01.spf-test.dns-lab.org", false)
+	if smtp.ReplyCode(err) != 421 {
+		t.Fatalf("probe err = %v, want 421", err)
+	}
+}
+
+func TestBlacklistActivatesAtTime(t *testing.T) {
+	w := newWorld(t)
+	sim := clock.NewSim(time.Date(2021, 10, 11, 0, 0, 0, 0, time.UTC))
+	defer sim.Close()
+	w.newHost(t, "203.0.113.16", Config{
+		Clock:             sim,
+		Behaviors:         []spfimpl.Behavior{spfimpl.BehaviorVulnLibSPF2},
+		ValidateAt:        ValidateAtMailFrom,
+		BlacklistProbesAt: time.Date(2021, 11, 15, 0, 0, 0, 0, time.UTC),
+	})
+	if err := w.probe(t, "203.0.113.16", "kl22.t01.spf-test.dns-lab.org", false); err != nil {
+		t.Fatalf("pre-blacklist probe: %v", err)
+	}
+	sim.Advance(60 * 24 * time.Hour)
+	err := w.probe(t, "203.0.113.16", "kl23.t01.spf-test.dns-lab.org", false)
+	if smtp.ReplyCode(err) != 421 {
+		t.Fatalf("post-blacklist probe = %v, want 421", err)
+	}
+}
+
+func TestGreylistFirstAttempt(t *testing.T) {
+	w := newWorld(t)
+	w.newHost(t, "203.0.113.17", Config{Greylist: true, ValidateAt: ValidateNever})
+	err := w.probe(t, "203.0.113.17", "mn44.t01.spf-test.dns-lab.org", true)
+	if smtp.ReplyCode(err) != 450 {
+		t.Fatalf("first attempt = %v, want 450", err)
+	}
+	if err := w.probe(t, "203.0.113.17", "mn44.t01.spf-test.dns-lab.org", true); err != nil {
+		t.Fatalf("retry should succeed: %v", err)
+	}
+}
+
+func TestRejectOnFailStillMeasurable(t *testing.T) {
+	// A host that rejects on SPF fail still performed the lookups —
+	// the paper's observation that rejected transactions were often
+	// conclusive anyway.
+	w := newWorld(t)
+	w.newHost(t, "203.0.113.18", Config{
+		Behaviors:    []spfimpl.Behavior{spfimpl.BehaviorVulnLibSPF2},
+		ValidateAt:   ValidateAtMailFrom,
+		RejectOnFail: true,
+	})
+	err := w.probe(t, "203.0.113.18", "op66.t01.spf-test.dns-lab.org", false)
+	if smtp.ReplyCode(err) != 550 {
+		t.Fatalf("probe = %v, want 550 SPF rejection", err)
+	}
+	if qs := w.queriesFor("op66"); len(qs) == 0 {
+		t.Fatal("rejection should not prevent SPF queries from being observed")
+	}
+}
+
+func TestRcptUserFiltering(t *testing.T) {
+	w := newWorld(t)
+	w.newHost(t, "203.0.113.19", Config{
+		AcceptedLocals: map[string]bool{"postmaster": true},
+		ValidateAt:     ValidateNever,
+	})
+	cli := &smtp.Client{Net: w.fabric.Host("198.51.100.9"), HELO: "probe"}
+	conn, err := cli.Dial(context.Background(), "203.0.113.19:25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Hello()
+	conn.Mail("probe@x.t.spf-test.dns-lab.org")
+	if err := conn.Rcpt("noreply@example.com"); smtp.ReplyCode(err) != 550 {
+		t.Fatalf("unknown user = %v, want 550", err)
+	}
+	if err := conn.Rcpt("postmaster@example.com"); err != nil {
+		t.Fatalf("postmaster should be accepted: %v", err)
+	}
+}
+
+func TestDMARCEnforcementDiscardsBlankProbe(t *testing.T) {
+	// A host enforcing DMARC at end-of-data: the probe's SPF queries are
+	// still observable, but the blank message itself is rejected because
+	// the probe domain publishes p=reject (§6.2) — it never reaches an
+	// inbox.
+	w := newWorld(t)
+	h := w.newHost(t, "203.0.113.21", Config{
+		Behaviors:    []spfimpl.Behavior{spfimpl.BehaviorVulnLibSPF2},
+		ValidateAt:   ValidateAtData,
+		EnforceDMARC: true,
+	})
+	err := w.probe(t, "203.0.113.21", "st99.t01.spf-test.dns-lab.org", true)
+	if smtp.ReplyCode(err) != 550 {
+		t.Fatalf("blank probe = %v, want 550 DMARC rejection", err)
+	}
+	if qs := w.queriesFor("st99"); len(qs) == 0 {
+		t.Fatal("SPF queries should precede the DMARC rejection")
+	}
+	if len(h.Inbox()) != 0 {
+		t.Fatal("rejected probe must not be delivered")
+	}
+	// Sanity: without enforcement the same probe is delivered.
+	h2 := w.newHost(t, "203.0.113.22", Config{
+		Behaviors:  []spfimpl.Behavior{spfimpl.BehaviorVulnLibSPF2},
+		ValidateAt: ValidateAtData,
+	})
+	if err := w.probe(t, "203.0.113.22", "st98.t01.spf-test.dns-lab.org", true); err != nil {
+		t.Fatalf("unenforced probe: %v", err)
+	}
+	if len(h2.Inbox()) != 1 {
+		t.Fatal("unenforced probe should be delivered")
+	}
+}
+
+func TestValidationRecordsAndOverflows(t *testing.T) {
+	w := newWorld(t)
+	h := w.newHost(t, "203.0.113.20", Config{
+		Behaviors:  []spfimpl.Behavior{spfimpl.BehaviorVulnLibSPF2},
+		ValidateAt: ValidateAtMailFrom,
+	})
+	if err := w.probe(t, "203.0.113.20", "qr88.t01.spf-test.dns-lab.org", false); err != nil {
+		t.Fatal(err)
+	}
+	vals := h.Validations()
+	if len(vals) != 1 {
+		t.Fatalf("validations = %v", vals)
+	}
+	v := vals[0]
+	if v.Behavior != spfimpl.BehaviorVulnLibSPF2 || v.Result != spf.ResultFail {
+		t.Errorf("validation = %+v", v)
+	}
+	if v.ClientIP.String() != "198.51.100.9" {
+		t.Errorf("client IP = %s", v.ClientIP)
+	}
+	// The benign probe policy uses lowercase %{d1r}: no overflow events.
+	if ov := h.Overflows(); len(ov) != 0 {
+		t.Errorf("benign probe caused overflows: %v", ov)
+	}
+}

@@ -1,0 +1,476 @@
+// Package netsim provides the network fabric abstraction used by every
+// protocol component in this repository. A Network hands out connections and
+// listeners; the Real implementation delegates to the operating system while
+// Fabric is a deterministic in-memory Internet on which thousands of
+// simulated mail hosts, DNS servers, and probes exchange genuine byte
+// streams and datagrams.
+//
+// The design follows the substitution rule from DESIGN.md: protocol code
+// (SMTP, DNS) is identical whether it runs on real sockets or on the fabric;
+// only the dial/listen plumbing differs.
+package netsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Network abstracts dialing and listening so protocol code can run on the
+// real Internet or on an in-memory fabric.
+type Network interface {
+	// DialContext opens a connection to address ("ip:port").
+	// network is "tcp" or "udp".
+	DialContext(ctx context.Context, network, address string) (net.Conn, error)
+	// Listen starts a stream listener on address.
+	Listen(network, address string) (net.Listener, error)
+	// ListenPacket starts a datagram endpoint on address.
+	ListenPacket(network, address string) (net.PacketConn, error)
+}
+
+// Real is a Network backed by the operating system's stack.
+type Real struct{}
+
+// DialContext implements Network.
+func (Real) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, network, address)
+}
+
+// Listen implements Network.
+func (Real) Listen(network, address string) (net.Listener, error) {
+	return net.Listen(network, address)
+}
+
+// ListenPacket implements Network.
+func (Real) ListenPacket(network, address string) (net.PacketConn, error) {
+	return net.ListenPacket(network, address)
+}
+
+// Errors surfaced by the fabric. ErrRefused unwraps from the *net.OpError
+// returned by DialContext so callers can use errors.Is.
+var (
+	ErrRefused     = errors.New("connection refused")
+	ErrAddrInUse   = errors.New("address already in use")
+	ErrClosed      = net.ErrClosed
+	ErrUnreachable = errors.New("host unreachable")
+)
+
+// Addr is a fabric address.
+type Addr struct {
+	Net  string // "tcp" or "udp"
+	Host string // IP literal
+	Port int
+}
+
+// Network implements net.Addr.
+func (a Addr) Network() string { return a.Net }
+
+// String implements net.Addr.
+func (a Addr) String() string { return net.JoinHostPort(a.Host, strconv.Itoa(a.Port)) }
+
+// Fabric is an in-memory Internet: a switchboard of stream listeners and
+// datagram endpoints keyed by "ip:port". The zero value is not usable; call
+// NewFabric.
+type Fabric struct {
+	mu        sync.Mutex
+	listeners map[string]*fabricListener
+	packet    map[string]*fabricPacketConn
+	nextPort  int
+
+	// DropUDP, when non-nil, is consulted for every datagram; returning
+	// true silently drops it (used to inject DNS loss in tests).
+	DropUDP func(from, to Addr) bool
+}
+
+// NewFabric returns an empty fabric.
+func NewFabric() *Fabric {
+	return &Fabric{
+		listeners: make(map[string]*fabricListener),
+		packet:    make(map[string]*fabricPacketConn),
+		nextPort:  40000,
+	}
+}
+
+// Host returns a Network whose outbound connections originate from ip.
+// The source IP is visible to peers via RemoteAddr, which is what SPF
+// validation and probe attribution key on.
+func (f *Fabric) Host(ip string) Network { return &hostNetwork{f: f, ip: ip} }
+
+type hostNetwork struct {
+	f  *Fabric
+	ip string
+}
+
+func (h *hostNetwork) DialContext(ctx context.Context, network, address string) (net.Conn, error) {
+	return h.f.dial(ctx, h.ip, network, address)
+}
+
+func (h *hostNetwork) Listen(network, address string) (net.Listener, error) {
+	return h.f.listen(network, h.qualify(address))
+}
+
+func (h *hostNetwork) ListenPacket(network, address string) (net.PacketConn, error) {
+	return h.f.listenPacket(network, h.qualify(address))
+}
+
+// qualify replaces an unspecified host ("", "0.0.0.0", "::") with the host's
+// own IP so listeners land on the host's address.
+func (h *hostNetwork) qualify(address string) string {
+	hostPart, port, err := net.SplitHostPort(address)
+	if err != nil {
+		return address
+	}
+	if hostPart == "" || hostPart == "0.0.0.0" || hostPart == "::" {
+		return net.JoinHostPort(h.ip, port)
+	}
+	return address
+}
+
+func (f *Fabric) allocPortLocked() int {
+	f.nextPort++
+	return f.nextPort
+}
+
+func splitAddr(network, address string) (Addr, error) {
+	host, portStr, err := net.SplitHostPort(address)
+	if err != nil {
+		return Addr{}, fmt.Errorf("netsim: bad address %q: %w", address, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return Addr{}, fmt.Errorf("netsim: bad port in %q: %w", address, err)
+	}
+	return Addr{Net: network, Host: host, Port: port}, nil
+}
+
+func (f *Fabric) dial(ctx context.Context, srcIP, network, address string) (net.Conn, error) {
+	switch network {
+	case "tcp", "tcp4", "tcp6":
+		return f.dialTCP(ctx, srcIP, address)
+	case "udp", "udp4", "udp6":
+		return f.dialUDP(srcIP, address)
+	default:
+		return nil, fmt.Errorf("netsim: unsupported network %q", network)
+	}
+}
+
+func (f *Fabric) dialTCP(ctx context.Context, srcIP, address string) (net.Conn, error) {
+	raddr, err := splitAddr("tcp", address)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	l := f.listeners[raddr.String()]
+	laddr := Addr{Net: "tcp", Host: srcIP, Port: f.allocPortLocked()}
+	f.mu.Unlock()
+	if l == nil {
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Addr: raddr, Err: ErrRefused}
+	}
+	cli, srv := net.Pipe()
+	clientConn := &fabricConn{Conn: cli, local: laddr, remote: raddr}
+	serverConn := &fabricConn{Conn: srv, local: raddr, remote: laddr}
+	select {
+	case l.ch <- serverConn:
+		return clientConn, nil
+	case <-l.done:
+		cli.Close()
+		srv.Close()
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Addr: raddr, Err: ErrRefused}
+	case <-ctx.Done():
+		cli.Close()
+		srv.Close()
+		return nil, ctx.Err()
+	}
+}
+
+// dialUDP returns a connected packet conn presented as a net.Conn.
+func (f *Fabric) dialUDP(srcIP, address string) (net.Conn, error) {
+	raddr, err := splitAddr("udp", address)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	laddr := Addr{Net: "udp", Host: srcIP, Port: f.allocPortLocked()}
+	f.mu.Unlock()
+	pc, err := f.listenPacket("udp", laddr.String())
+	if err != nil {
+		return nil, err
+	}
+	return &connectedPacketConn{pc: pc.(*fabricPacketConn), remote: raddr}, nil
+}
+
+func (f *Fabric) listen(network, address string) (net.Listener, error) {
+	if network != "tcp" && network != "tcp4" && network != "tcp6" {
+		return nil, fmt.Errorf("netsim: unsupported network %q", network)
+	}
+	addr, err := splitAddr("tcp", address)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if addr.Port == 0 {
+		addr.Port = f.allocPortLocked()
+	}
+	key := addr.String()
+	if _, ok := f.listeners[key]; ok {
+		return nil, &net.OpError{Op: "listen", Net: "tcp", Addr: addr, Err: ErrAddrInUse}
+	}
+	l := &fabricListener{
+		f:    f,
+		addr: addr,
+		ch:   make(chan net.Conn, 16),
+		done: make(chan struct{}),
+	}
+	f.listeners[key] = l
+	return l, nil
+}
+
+func (f *Fabric) listenPacket(network, address string) (net.PacketConn, error) {
+	if network != "udp" && network != "udp4" && network != "udp6" {
+		return nil, fmt.Errorf("netsim: unsupported network %q", network)
+	}
+	addr, err := splitAddr("udp", address)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if addr.Port == 0 {
+		addr.Port = f.allocPortLocked()
+	}
+	key := addr.String()
+	if _, ok := f.packet[key]; ok {
+		return nil, &net.OpError{Op: "listen", Net: "udp", Addr: addr, Err: ErrAddrInUse}
+	}
+	pc := &fabricPacketConn{
+		f:    f,
+		addr: addr,
+		ch:   make(chan datagram, 64),
+		done: make(chan struct{}),
+	}
+	f.packet[key] = pc
+	return pc, nil
+}
+
+// deliver routes a datagram to its destination endpoint, if any. Datagrams
+// to absent endpoints or overflowing inboxes are dropped, as on a real
+// network.
+func (f *Fabric) deliver(d datagram) {
+	if f.DropUDP != nil && f.DropUDP(d.from, d.to) {
+		return
+	}
+	f.mu.Lock()
+	pc := f.packet[d.to.String()]
+	f.mu.Unlock()
+	if pc == nil {
+		return
+	}
+	select {
+	case pc.ch <- d:
+	case <-pc.done:
+	default: // inbox full: drop
+	}
+}
+
+// fabricConn wraps a net.Pipe end with fabric addresses.
+type fabricConn struct {
+	net.Conn
+	local, remote Addr
+}
+
+func (c *fabricConn) LocalAddr() net.Addr  { return c.local }
+func (c *fabricConn) RemoteAddr() net.Addr { return c.remote }
+
+// fabricListener implements net.Listener on the fabric.
+type fabricListener struct {
+	f       *Fabric
+	addr    Addr
+	ch      chan net.Conn
+	done    chan struct{}
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// Accept implements net.Listener.
+func (l *fabricListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, &net.OpError{Op: "accept", Net: "tcp", Addr: l.addr, Err: ErrClosed}
+	}
+}
+
+// Close implements net.Listener.
+func (l *fabricListener) Close() error {
+	l.closeMu.Lock()
+	defer l.closeMu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	l.f.mu.Lock()
+	delete(l.f.listeners, l.addr.String())
+	l.f.mu.Unlock()
+	close(l.done)
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *fabricListener) Addr() net.Addr { return l.addr }
+
+type datagram struct {
+	from, to Addr
+	data     []byte
+}
+
+// fabricPacketConn implements net.PacketConn on the fabric.
+type fabricPacketConn struct {
+	f    *Fabric
+	addr Addr
+	ch   chan datagram
+	done chan struct{}
+
+	mu       sync.Mutex
+	closed   bool
+	deadline time.Time
+}
+
+// ReadFrom implements net.PacketConn.
+func (p *fabricPacketConn) ReadFrom(b []byte) (int, net.Addr, error) {
+	var timeout <-chan time.Time
+	p.mu.Lock()
+	if !p.deadline.IsZero() {
+		d := time.Until(p.deadline)
+		if d <= 0 {
+			p.mu.Unlock()
+			return 0, nil, timeoutError{}
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeout = t.C
+	}
+	p.mu.Unlock()
+	select {
+	case d := <-p.ch:
+		n := copy(b, d.data)
+		return n, d.from, nil
+	case <-p.done:
+		return 0, nil, &net.OpError{Op: "read", Net: "udp", Addr: p.addr, Err: ErrClosed}
+	case <-timeout:
+		return 0, nil, timeoutError{}
+	}
+}
+
+// WriteTo implements net.PacketConn.
+func (p *fabricPacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return 0, &net.OpError{Op: "write", Net: "udp", Addr: p.addr, Err: ErrClosed}
+	}
+	to, err := splitAddr("udp", addr.String())
+	if err != nil {
+		return 0, err
+	}
+	p.f.deliver(datagram{from: p.addr, to: to, data: append([]byte(nil), b...)})
+	return len(b), nil
+}
+
+// Close implements net.PacketConn.
+func (p *fabricPacketConn) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	p.f.mu.Lock()
+	delete(p.f.packet, p.addr.String())
+	p.f.mu.Unlock()
+	close(p.done)
+	return nil
+}
+
+// LocalAddr implements net.PacketConn.
+func (p *fabricPacketConn) LocalAddr() net.Addr { return p.addr }
+
+// SetDeadline implements net.PacketConn.
+func (p *fabricPacketConn) SetDeadline(t time.Time) error { return p.SetReadDeadline(t) }
+
+// SetReadDeadline implements net.PacketConn.
+func (p *fabricPacketConn) SetReadDeadline(t time.Time) error {
+	p.mu.Lock()
+	p.deadline = t
+	p.mu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline implements net.PacketConn. Writes never block.
+func (p *fabricPacketConn) SetWriteDeadline(time.Time) error { return nil }
+
+// connectedPacketConn adapts a fabricPacketConn into a connected net.Conn,
+// filtering inbound datagrams to the connected peer (as UDP connect does).
+type connectedPacketConn struct {
+	pc     *fabricPacketConn
+	remote Addr
+}
+
+// Read implements net.Conn, discarding datagrams from other sources.
+func (c *connectedPacketConn) Read(b []byte) (int, error) {
+	for {
+		n, from, err := c.pc.ReadFrom(b)
+		if err != nil {
+			return 0, err
+		}
+		if from.String() == c.remote.String() {
+			return n, nil
+		}
+	}
+}
+
+// Write implements net.Conn.
+func (c *connectedPacketConn) Write(b []byte) (int, error) {
+	return c.pc.WriteTo(b, c.remote)
+}
+
+// Close implements net.Conn.
+func (c *connectedPacketConn) Close() error { return c.pc.Close() }
+
+// LocalAddr implements net.Conn.
+func (c *connectedPacketConn) LocalAddr() net.Addr { return c.pc.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *connectedPacketConn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline implements net.Conn.
+func (c *connectedPacketConn) SetDeadline(t time.Time) error { return c.pc.SetDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *connectedPacketConn) SetReadDeadline(t time.Time) error { return c.pc.SetReadDeadline(t) }
+
+// SetWriteDeadline implements net.Conn.
+func (c *connectedPacketConn) SetWriteDeadline(t time.Time) error { return c.pc.SetWriteDeadline(t) }
+
+// timeoutError matches net.Error semantics for deadline expiry.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "netsim: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+var (
+	_ Network        = Real{}
+	_ Network        = (*hostNetwork)(nil)
+	_ net.Listener   = (*fabricListener)(nil)
+	_ net.PacketConn = (*fabricPacketConn)(nil)
+	_ net.Conn       = (*connectedPacketConn)(nil)
+	_ net.Error      = timeoutError{}
+)

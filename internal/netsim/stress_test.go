@@ -1,0 +1,135 @@
+package netsim
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFabricManyConcurrentSessions exercises the switchboard under the
+// kind of load a measurement wave produces: many servers, many clients,
+// full-duplex exchanges.
+func TestFabricManyConcurrentSessions(t *testing.T) {
+	f := NewFabric()
+	const servers = 40
+	const clientsPerServer = 5
+
+	var listeners []string
+	for i := 0; i < servers; i++ {
+		ip := fmt.Sprintf("10.10.%d.%d", i/250, i%250+1)
+		l, err := f.Host(ip).Listen("tcp", ":25")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		listeners = append(listeners, l.Addr().String())
+		go func() {
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				go func() {
+					defer c.Close()
+					io.Copy(c, c)
+				}()
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, servers*clientsPerServer)
+	for i, addr := range listeners {
+		for j := 0; j < clientsPerServer; j++ {
+			wg.Add(1)
+			go func(i, j int, addr string) {
+				defer wg.Done()
+				cli := f.Host(fmt.Sprintf("10.20.%d.%d", i%200, j+1))
+				c, err := cli.DialContext(context.Background(), "tcp", addr)
+				if err != nil {
+					errCh <- fmt.Errorf("dial %s: %w", addr, err)
+					return
+				}
+				defer c.Close()
+				c.SetDeadline(time.Now().Add(10 * time.Second))
+				msg := []byte(fmt.Sprintf("hello %d/%d from client", i, j))
+				if _, err := c.Write(msg); err != nil {
+					errCh <- err
+					return
+				}
+				buf := make([]byte, len(msg))
+				if _, err := io.ReadFull(c, buf); err != nil {
+					errCh <- err
+					return
+				}
+				if string(buf) != string(msg) {
+					errCh <- fmt.Errorf("echo mismatch: %q", buf)
+				}
+			}(i, j, addr)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+// TestFabricUDPConcurrentEndpoints floods many datagram endpoints.
+func TestFabricUDPConcurrentEndpoints(t *testing.T) {
+	f := NewFabric()
+	const n = 50
+	srv, err := f.Host("10.30.0.1").ListenPacket("udp", ":53")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// Echo server.
+	go func() {
+		buf := make([]byte, 1024)
+		for {
+			rn, from, err := srv.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			srv.WriteTo(buf[:rn], from)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	got := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := f.Host(fmt.Sprintf("10.30.1.%d", i+1)).DialContext(context.Background(), "udp", "10.30.0.1:53")
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			c.SetReadDeadline(time.Now().Add(5 * time.Second))
+			payload := []byte(fmt.Sprintf("q%d", i))
+			c.Write(payload)
+			buf := make([]byte, 64)
+			rn, err := c.Read(buf)
+			if err != nil {
+				t.Errorf("read %d: %v", i, err)
+				return
+			}
+			if string(buf[:rn]) == string(payload) {
+				mu.Lock()
+				got++
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got != n {
+		t.Fatalf("echoed %d/%d datagrams", got, n)
+	}
+}

@@ -1,0 +1,601 @@
+package population
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"time"
+
+	"spfail/internal/geo"
+	"spfail/internal/mta"
+	"spfail/internal/spfimpl"
+)
+
+// Generate builds a deterministic world from the spec.
+func Generate(spec Spec) *World {
+	if spec.Scale <= 0 {
+		spec.Scale = 1
+	}
+	g := &generator{
+		spec: spec,
+		rng:  rand.New(rand.NewSource(spec.Seed)),
+		w: &World{
+			Spec:   spec,
+			ByName: make(map[string]*Domain),
+			Hosts:  make(map[netip.Addr]*HostSpec),
+			Geo:    geo.NewDB(),
+		},
+		usedNames: make(map[string]bool),
+	}
+	g.buildProviders()
+	g.buildAlexa()
+	g.buildTopProviders()
+	g.buildTwoWeekMX()
+	g.assignPatchPlans()
+	return g.w
+}
+
+type provider struct {
+	id      string
+	country geo.Country
+	hosts   []netip.Addr
+	weight  float64
+}
+
+type generator struct {
+	spec      Spec
+	rng       *rand.Rand
+	w         *World
+	usedNames map[string]bool
+
+	providers   []provider
+	provWeights []float64 // cumulative
+	nextV4      uint32
+	nextV6      uint64
+}
+
+// ---- primitive samplers ----
+
+var syllables = []string{
+	"al", "an", "ar", "ba", "be", "bo", "ca", "ce", "co", "da", "de", "di",
+	"do", "el", "en", "er", "fa", "fi", "fo", "ga", "go", "ha", "he", "in",
+	"ka", "ki", "ko", "la", "le", "li", "lo", "ma", "me", "mi", "mo", "na",
+	"ne", "ni", "no", "or", "pa", "pe", "po", "ra", "re", "ri", "ro", "sa",
+	"se", "si", "so", "ta", "te", "ti", "to", "un", "va", "ve", "vi", "vo",
+	"wa", "we", "za", "zo",
+}
+
+// name invents a unique domain name under tld.
+func (g *generator) name(tld string) string {
+	for {
+		n := 2 + g.rng.Intn(3)
+		s := ""
+		for i := 0; i < n; i++ {
+			s += syllables[g.rng.Intn(len(syllables))]
+		}
+		if g.rng.Intn(4) == 0 {
+			s += fmt.Sprintf("%d", g.rng.Intn(100))
+		}
+		full := s + "." + tld
+		if !g.usedNames[full] {
+			g.usedNames[full] = true
+			return full
+		}
+	}
+}
+
+// sampleTLD draws from a share table; the residual probability goes to a
+// generic tail.
+var tailTLDs = []string{"info", "biz", "xyz", "online", "site", "club", "shop", "app", "dev", "me"}
+
+func (g *generator) sampleTLD(shares []TLDShare) string {
+	r := g.rng.Float64()
+	acc := 0.0
+	for _, s := range shares {
+		acc += s.Share
+		if r < acc {
+			return s.TLD
+		}
+	}
+	return tailTLDs[g.rng.Intn(len(tailTLDs))]
+}
+
+// gTLD country mix for domains without a ccTLD.
+var gtldCountries = []struct {
+	code   string
+	weight float64
+}{
+	{"us", 0.42}, {"de", 0.08}, {"gb", 0.05}, {"ru", 0.05}, {"cn", 0.05},
+	{"in", 0.04}, {"fr", 0.04}, {"br", 0.04}, {"ca", 0.03}, {"nl", 0.03},
+	{"jp", 0.03}, {"au", 0.03}, {"kr", 0.02}, {"it", 0.02}, {"es", 0.02},
+	{"pl", 0.02}, {"tr", 0.01}, {"ua", 0.01}, {"tw", 0.01},
+}
+
+func (g *generator) countryForTLD(tld string) geo.Country {
+	if c, ok := geo.ByTLD(tld); ok {
+		return c
+	}
+	r := g.rng.Float64()
+	acc := 0.0
+	for _, gc := range gtldCountries {
+		acc += gc.weight
+		if r < acc {
+			c, _ := geo.ByCode(gc.code)
+			return c
+		}
+	}
+	c, _ := geo.ByCode("us")
+	return c
+}
+
+// allocV4 hands out addresses from 100.64.0.0/10-like space.
+func (g *generator) allocAddr() netip.Addr {
+	// ~5% IPv6.
+	if g.rng.Float64() < 0.05 {
+		g.nextV6++
+		var b [16]byte
+		b[0], b[1], b[2], b[3] = 0x20, 0x01, 0x0d, 0xb8
+		v := g.nextV6
+		for i := 15; i >= 8; i-- {
+			b[i] = byte(v)
+			v >>= 8
+		}
+		return netip.AddrFrom16(b)
+	}
+	g.nextV4++
+	v := g.nextV4
+	return netip.AddrFrom4([4]byte{100, byte(64 + (v>>16)&0x3F), byte(v >> 8), byte(v)})
+}
+
+// ---- hosting infrastructure ----
+
+func (g *generator) buildProviders() {
+	nDomains := g.spec.scaled(g.spec.AlexaTopListSize+g.spec.TwoWeekMXSize, 50)
+	n := int(float64(nDomains) * g.spec.SharedProvidersPerDomain)
+	if n < 5 {
+		n = 5
+	}
+	cum := 0.0
+	for i := 0; i < n; i++ {
+		country := g.countryForTLD("com")
+		p := provider{
+			id:      fmt.Sprintf("prov%04d", i),
+			country: country,
+			// Sub-Zipf popularity: hosting is concentrated, but no
+			// single provider should carry a fifth of the vulnerable
+			// population (domain-level series would show giant cliffs
+			// the paper does not have).
+			weight: 1 / math.Pow(float64(i+4), 0.8),
+		}
+		nHosts := 1 + g.rng.Intn(3)
+		for j := 0; j < nHosts; j++ {
+			a := g.allocAddr()
+			p.hosts = append(p.hosts, a)
+			// Provider infrastructure is better run than the long tail:
+			// scale down refusal, failure, and vulnerability rates.
+			f := g.spec.AlexaFunnel
+			f.RefuseTCP *= 0.25
+			f.SMTPFailure *= 0.5
+			mix := g.spec.AlexaMix
+			mix.Vulnerable *= 0.6
+			g.makeHost(a, country, f, mix, 0.5)
+		}
+		cum += p.weight
+		g.providers = append(g.providers, p)
+		g.provWeights = append(g.provWeights, cum)
+	}
+}
+
+func (g *generator) pickProvider() *provider {
+	r := g.rng.Float64() * g.provWeights[len(g.provWeights)-1]
+	i := sort.SearchFloat64s(g.provWeights, r)
+	if i >= len(g.providers) {
+		i = len(g.providers) - 1
+	}
+	return &g.providers[i]
+}
+
+// makeHost creates (or returns) the HostSpec for an address, drawing its
+// behaviour from a funnel and mix. rankFrac ∈ [0,1] (0 = top rank) drives
+// the vulnerability multiplier of Figure 4.
+func (g *generator) makeHost(a netip.Addr, country geo.Country, f SetFunnel, mix BehaviorMix, rankFrac float64) *HostSpec {
+	if h, ok := g.w.Hosts[a]; ok {
+		return h
+	}
+	h := &HostSpec{Addr: a, Country: country, ValidateAt: mta.ValidateNever}
+	g.w.Hosts[a] = h
+	g.w.Geo.Register(a, country)
+
+	if g.rng.Float64() < f.RefuseTCP {
+		h.Listens = false
+		return h
+	}
+	h.Listens = true
+	r := g.rng.Float64()
+	switch {
+	case r < f.SMTPFailure:
+		h.RefuseSMTP = true
+		return h
+	case r < f.SMTPFailure+f.ValidateAtMailFrom:
+		h.ValidateAt = mta.ValidateAtMailFrom
+	default:
+		// BlankMsg rung.
+		r2 := g.rng.Float64()
+		switch {
+		case r2 < f.BlankMsgFailure:
+			h.BlankMsgFails = true
+			return h
+		case r2 < f.BlankMsgFailure+f.ValidateAtData:
+			h.ValidateAt = mta.ValidateAtData
+		default:
+			return h // never validates
+		}
+	}
+
+	// The host validates: choose its implementation stack.
+	h.Behaviors = []spfimpl.Behavior{g.sampleBehavior(mix, rankFrac)}
+	if g.rng.Float64() < mix.MultiImpl {
+		second := spfimpl.BehaviorCompliant
+		if h.Behaviors[0] == spfimpl.BehaviorCompliant {
+			second = spfimpl.BehaviorNoTruncate
+		}
+		h.Behaviors = append(h.Behaviors, second)
+	}
+	h.Greylist = g.rng.Float64() < g.spec.GreylistShare
+	h.RejectOnFail = g.rng.Float64() < g.spec.RejectOnFailShare
+	h.EnforceDMARC = g.rng.Float64() < g.spec.DMARCEnforceShare
+	h.Distro = g.sampleDistro()
+	return h
+}
+
+func (g *generator) sampleBehavior(mix BehaviorMix, rankFrac float64) spfimpl.Behavior {
+	mult := 1.0
+	if g.spec.RankEffect > 1 {
+		// Linear ramp whose mean is 1: top of list gets 2/(1+E), bottom
+		// gets 2E/(1+E) — a spread of RankEffect×.
+		e := g.spec.RankEffect
+		mult = (2 + 2*(e-1)*rankFrac) / (1 + e)
+	}
+	pVuln := mix.Vulnerable * mult
+	r := g.rng.Float64()
+	switch {
+	case r < pVuln:
+		return spfimpl.BehaviorVulnLibSPF2
+	case r < pVuln+mix.SkipMacros:
+		return spfimpl.BehaviorSkipMacros
+	case r < pVuln+mix.SkipMacros+mix.ErroneousOther:
+		r2 := g.rng.Float64()
+		switch {
+		case r2 < mix.NoExpansion:
+			return spfimpl.BehaviorNoExpansion
+		case r2 < mix.NoExpansion+mix.NoTruncate:
+			return spfimpl.BehaviorNoTruncate
+		case r2 < mix.NoExpansion+mix.NoTruncate+mix.NoReverse:
+			return spfimpl.BehaviorNoReverse
+		default:
+			return spfimpl.BehaviorRawValue
+		}
+	default:
+		return spfimpl.BehaviorCompliant
+	}
+}
+
+var distros = []struct {
+	name   string
+	weight float64
+}{
+	{"debian", 0.30}, {"ubuntu", 0.20}, {"redhat", 0.12}, {"alpine", 0.08},
+	{"arch", 0.05}, {"suse", 0.05}, {"freebsd", 0.04}, {"gentoo", 0.03},
+	{"netbsd", 0.01}, {"other", 0.12},
+}
+
+func (g *generator) sampleDistro() string {
+	r := g.rng.Float64()
+	acc := 0.0
+	for _, d := range distros {
+		acc += d.weight
+		if r < acc {
+			return d.name
+		}
+	}
+	return "other"
+}
+
+// hostDomain attaches hosting to a domain: dedicated or shared.
+func (g *generator) hostDomain(d *Domain, f SetFunnel, mix BehaviorMix, rankFrac float64) {
+	country := g.countryForTLD(d.TLD)
+	d.HasMX = g.rng.Float64() < 0.85
+	if g.rng.Float64() < g.spec.DedicatedHostShare || len(g.providers) == 0 {
+		a := g.allocAddr()
+		g.makeHost(a, country, f, mix, rankFrac)
+		d.Hosts = append(d.Hosts, a)
+		if d.HasMX && g.rng.Float64() < 0.15 {
+			b := g.allocAddr()
+			g.makeHost(b, country, f, mix, rankFrac)
+			d.Hosts = append(d.Hosts, b)
+		}
+		return
+	}
+	p := g.pickProvider()
+	d.Provider = p.id
+	n := 1
+	if d.HasMX && len(p.hosts) > 1 && g.rng.Float64() < 0.5 {
+		n = 2
+	}
+	start := g.rng.Intn(len(p.hosts))
+	for i := 0; i < n; i++ {
+		d.Hosts = append(d.Hosts, p.hosts[(start+i)%len(p.hosts)])
+	}
+}
+
+// ---- domain sets ----
+
+func (g *generator) buildAlexa() {
+	n := g.spec.scaled(g.spec.AlexaTopListSize, 40)
+	n1000 := g.spec.scaled(g.spec.Alexa1000Size, 10)
+	if n1000 > n {
+		n1000 = n
+	}
+	for rank := 1; rank <= n; rank++ {
+		tld := g.sampleTLD(g.spec.AlexaTLDs)
+		d := &Domain{
+			Name: g.name(tld),
+			TLD:  tld,
+			Rank: rank,
+			Sets: SetAlexaTopList,
+		}
+		if rank <= n1000 {
+			d.Sets |= SetAlexa1000
+		}
+		rankFrac := float64(rank-1) / float64(n)
+		g.hostDomain(d, g.spec.AlexaFunnel, g.spec.AlexaMix, rankFrac)
+		g.w.Domains = append(g.w.Domains, d)
+		g.w.ByName[d.Name] = d
+	}
+}
+
+// topProviderSeed describes the notable email providers of §7.5.
+type topProviderSeed struct {
+	name       string
+	tld        string
+	country    string
+	vulnerable bool
+	alexaRank  int // 0: not on the Alexa list
+}
+
+var topProviderSeeds = []topProviderSeed{
+	{"gmail.com", "com", "us", false, 0},
+	{"outlook.com", "com", "us", false, 0},
+	{"icloud.com", "com", "us", false, 0},
+	{"yahoo.com", "com", "us", false, 0},
+	{"naver.com", "com", "kr", true, 25},
+	{"mail.ru", "ru", "ru", true, 40},
+	{"vk.com", "com", "ru", true, 20},
+	{"wp.pl", "pl", "pl", true, 310},
+	{"seznam.cz", "cz", "cz", true, 420},
+	{"email.cz", "cz", "cz", true, 890},
+	{"qq.com", "com", "cn", false, 60},
+	{"163.com", "com", "cn", false, 110},
+	{"gmx.de", "de", "de", false, 0},
+	{"web.de", "de", "de", false, 0},
+	{"aol.com", "com", "us", false, 0},
+	{"zoho.com", "com", "in", false, 0},
+	{"protonmail.com", "com", "ch", false, 0},
+	{"yandex.ru", "ru", "ru", false, 75},
+	{"daum.net", "net", "kr", false, 0},
+	{"rediffmail.com", "com", "in", false, 0},
+}
+
+func (g *generator) buildTopProviders() {
+	nProviders := g.spec.TopProviderSize
+	if nProviders > len(topProviderSeeds) {
+		nProviders = len(topProviderSeeds)
+	}
+	n1000 := g.spec.scaled(g.spec.Alexa1000Size, 10)
+	for _, seed := range topProviderSeeds[:nProviders] {
+		country, ok := geo.ByCode(seed.country)
+		if !ok {
+			country, _ = geo.ByCode("us")
+		}
+		d := &Domain{
+			Name:  seed.name,
+			TLD:   seed.tld,
+			Sets:  SetTopProviders,
+			HasMX: true,
+		}
+		if seed.alexaRank > 0 {
+			// Scale the rank into our (possibly shrunken) top-1000.
+			rank := 1 + seed.alexaRank*n1000/1000
+			if rank <= n1000 {
+				d.Rank = rank
+				d.Sets |= SetAlexaTopList | SetAlexa1000
+			}
+		}
+		// Dedicated, well-run cluster of 3 mail hosts.
+		behavior := spfimpl.BehaviorCompliant
+		if seed.vulnerable {
+			behavior = spfimpl.BehaviorVulnLibSPF2
+		}
+		for i := 0; i < 3; i++ {
+			a := g.allocAddr()
+			h := &HostSpec{
+				Addr:       a,
+				Country:    country,
+				Listens:    true,
+				ValidateAt: mta.ValidateAtMailFrom,
+				Behaviors:  []spfimpl.Behavior{behavior},
+				Distro:     g.sampleDistro(),
+			}
+			g.w.Hosts[a] = h
+			g.w.Geo.Register(a, country)
+			d.Hosts = append(d.Hosts, a)
+		}
+		g.w.Domains = append(g.w.Domains, d)
+		g.w.ByName[d.Name] = d
+	}
+}
+
+func (g *generator) buildTwoWeekMX() {
+	n := g.spec.scaled(g.spec.TwoWeekMXSize, 30)
+	overlapAll := g.spec.scaled(g.spec.OverlapAlexaTwoWeek, 3)
+	overlap1000 := g.spec.scaled(g.spec.OverlapAlexa1000TwoWeek, 1)
+	if overlap1000 > overlapAll {
+		overlap1000 = overlapAll
+	}
+
+	alexa := g.w.DomainsIn(SetAlexaTopList)
+	var top1000, rest []*Domain
+	for _, d := range alexa {
+		if d.Sets.Has(SetAlexa1000) {
+			top1000 = append(top1000, d)
+		} else {
+			rest = append(rest, d)
+		}
+	}
+	added := 0
+	// Overlap with the Alexa 1000 first (Table 1: 135 domains).
+	g.rng.Shuffle(len(top1000), func(i, j int) { top1000[i], top1000[j] = top1000[j], top1000[i] })
+	for i := 0; i < overlap1000 && i < len(top1000); i++ {
+		top1000[i].Sets |= SetTwoWeekMX
+		top1000[i].MXQueries = 1 + g.rng.Intn(5000)
+		added++
+	}
+	// Then overlap with the rest of the Alexa list.
+	g.rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+	for i := 0; i < overlapAll-overlap1000 && i < len(rest); i++ {
+		rest[i].Sets |= SetTwoWeekMX
+		rest[i].MXQueries = 1 + g.rng.Intn(2000)
+		added++
+	}
+	// Fresh 2-Week-MX-only domains.
+	for ; added < n; added++ {
+		tld := g.sampleTLD(g.spec.TwoWeekTLDs)
+		d := &Domain{
+			Name:      g.name(tld),
+			TLD:       tld,
+			Sets:      SetTwoWeekMX,
+			MXQueries: 1 + int(float64(10000)/float64(1+g.rng.Intn(500))),
+		}
+		g.hostDomain(d, g.spec.TwoWeekFunnel, g.spec.TwoWeekMix, 0.5)
+		g.w.Domains = append(g.w.Domains, d)
+		g.w.ByName[d.Name] = d
+	}
+}
+
+// ---- patch, blacklist, and notification plans ----
+
+func (g *generator) assignPatchPlans() {
+	// Index domains by host once; DomainsOn would be quadratic here.
+	onHost := make(map[netip.Addr][]*Domain, len(g.w.Hosts))
+	for _, d := range g.w.Domains {
+		for _, a := range d.Hosts {
+			onHost[a] = append(onHost[a], d)
+		}
+	}
+	// Iterate hosts in deterministic order so plans are reproducible.
+	addrs := g.w.AllAddrs()
+	for _, addr := range addrs {
+		h := g.w.Hosts[addr]
+		if !h.EverVulnerable() {
+			continue
+		}
+		domains := onHost[h.Addr]
+		inAlexa1000 := false
+		isProvider := false
+		tld := ""
+		for _, d := range domains {
+			if d.Sets.Has(SetAlexa1000) {
+				inAlexa1000 = true
+			}
+			if d.Sets.Has(SetTopProviders) {
+				isProvider = true
+			}
+			if tld == "" {
+				tld = d.TLD
+			}
+		}
+
+		// Intermittent availability (Figure 5's fluctuation).
+		if g.rng.Float64() < g.spec.FlakyShare {
+			h.FlakyRate = g.spec.FlakyRate
+			h.FlakySeed = g.rng.Int63()
+		}
+
+		// Blacklisting plan.
+		switch {
+		case inAlexa1000:
+			if g.rng.Float64() < g.spec.Alexa1000BlacklistShare {
+				// Figure 8: Alexa 1000 conclusive results collapse around
+				// mid-November, but the final snapshot with re-resolved
+				// addresses was conclusive again (§7.5) — the blacklist
+				// lifts shortly before the study's end.
+				h.BlacklistProbesAt = TNotification.Add(-time.Duration(g.rng.Intn(10*24)) * time.Hour)
+				h.BlacklistProbesUntil = TEnd.Add(-36 * time.Hour)
+			}
+		default:
+			if g.rng.Float64() < g.spec.BlacklistShare {
+				span := TResume.Sub(TLongitudinal)
+				h.BlacklistProbesAt = TLongitudinal.Add(time.Duration(g.rng.Int63n(int64(span))))
+			}
+		}
+
+		// Patch plan.
+		if isProvider {
+			h.PatchVia = PatchNone // §7.5: the notable providers never patched
+			continue
+		}
+		if inAlexa1000 {
+			if g.rng.Float64() < g.spec.Alexa1000PatchRate {
+				// Visible only in the final snapshot (§7.6).
+				h.PatchVia = PatchSnapshotOnly
+				h.PatchAt = TEnd.Add(-time.Duration(1+g.rng.Intn(4*24)) * time.Hour)
+			} else {
+				h.PatchVia = PatchNone
+			}
+			continue
+		}
+		prof, ok := g.spec.PatchProfiles[tld]
+		if !ok {
+			prof = g.spec.PatchProfiles[""]
+		}
+		rate, proactive := prof.Rate, prof.ProactiveShare
+		onlyTwoWeek := true
+		for _, d := range domains {
+			if d.Sets != SetTwoWeekMX {
+				onlyTwoWeek = false
+				break
+			}
+		}
+		if onlyTwoWeek && g.spec.TwoWeekRateBoost > 0 {
+			rate *= g.spec.TwoWeekRateBoost
+			proactive *= g.spec.TwoWeekProactiveBoost
+			if proactive > 1 {
+				proactive = 1
+			}
+		}
+		if g.rng.Float64() >= rate {
+			h.PatchVia = PatchNone
+			continue
+		}
+		switch {
+		case g.rng.Float64() < proactive:
+			h.PatchVia = PatchProactive
+			span := TNotification.Sub(TInitial)
+			h.PatchAt = TInitial.Add(24*time.Hour + time.Duration(g.rng.Int63n(int64(span-24*time.Hour))))
+		case g.rng.Float64() < g.spec.PatchTimingDisclosureShare:
+			h.PatchVia = PatchDisclosure
+			// Exponential-ish decay after disclosure day.
+			days := g.rng.ExpFloat64() * 6
+			if days > 25 {
+				days = 25
+			}
+			h.PatchAt = TDisclosure.Add(time.Duration(days*24) * time.Hour)
+		default:
+			h.PatchVia = PatchNotification
+			span := TDisclosure.Sub(TNotification)
+			h.PatchAt = TNotification.Add(24*time.Hour + time.Duration(g.rng.Int63n(int64(span-24*time.Hour))))
+		}
+	}
+}

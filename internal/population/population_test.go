@@ -1,0 +1,359 @@
+package population
+
+import (
+	"math"
+	"testing"
+
+	"spfail/internal/dnsmsg"
+	"spfail/internal/mta"
+	"spfail/internal/spfimpl"
+)
+
+func testSpec() Spec {
+	s := DefaultSpec()
+	s.Scale = 0.02
+	s.Seed = 7
+	return s
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(testSpec())
+	b := Generate(testSpec())
+	if len(a.Domains) != len(b.Domains) || len(a.Hosts) != len(b.Hosts) {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d", len(a.Domains), len(a.Hosts), len(b.Domains), len(b.Hosts))
+	}
+	for i := range a.Domains {
+		if a.Domains[i].Name != b.Domains[i].Name || a.Domains[i].Sets != b.Domains[i].Sets {
+			t.Fatalf("domain %d differs: %+v vs %+v", i, a.Domains[i], b.Domains[i])
+		}
+	}
+	for addr, ha := range a.Hosts {
+		hb := b.Hosts[addr]
+		if hb == nil {
+			t.Fatalf("host %s missing in second world", addr)
+		}
+		if !ha.PatchAt.Equal(hb.PatchAt) || ha.PatchVia != hb.PatchVia ||
+			!ha.BlacklistProbesAt.Equal(hb.BlacklistProbesAt) {
+			t.Fatalf("host %s plans differ: %+v vs %+v", addr, ha, hb)
+		}
+	}
+}
+
+func TestSetSizesScale(t *testing.T) {
+	spec := testSpec()
+	w := Generate(spec)
+	alexa := len(w.DomainsIn(SetAlexaTopList))
+	wantAlexa := int(float64(spec.AlexaTopListSize)*spec.Scale + 0.5)
+	// Top providers may add a handful of Alexa members.
+	if alexa < wantAlexa || alexa > wantAlexa+spec.TopProviderSize {
+		t.Errorf("alexa size = %d, want ≈%d", alexa, wantAlexa)
+	}
+	twoWeek := len(w.DomainsIn(SetTwoWeekMX))
+	wantTW := int(float64(spec.TwoWeekMXSize)*spec.Scale + 0.5)
+	if twoWeek != wantTW {
+		t.Errorf("2-week size = %d, want %d", twoWeek, wantTW)
+	}
+	if got := len(w.DomainsIn(SetTopProviders)); got != spec.TopProviderSize {
+		t.Errorf("providers = %d", got)
+	}
+}
+
+func TestOverlapsMatchTable1Shape(t *testing.T) {
+	spec := testSpec()
+	w := Generate(spec)
+	countBoth := func(a, b Set) int {
+		n := 0
+		for _, d := range w.Domains {
+			if d.Sets.Has(a) && d.Sets.Has(b) {
+				n++
+			}
+		}
+		return n
+	}
+	overlap := countBoth(SetAlexaTopList, SetTwoWeekMX)
+	want := int(float64(spec.OverlapAlexaTwoWeek)*spec.Scale + 0.5)
+	if math.Abs(float64(overlap-want)) > float64(want)/2+2 {
+		t.Errorf("alexa∩2week = %d, want ≈%d", overlap, want)
+	}
+	o1000 := countBoth(SetAlexa1000, SetTwoWeekMX)
+	want1000 := int(float64(spec.OverlapAlexa1000TwoWeek)*spec.Scale + 0.5)
+	if o1000 < want1000 {
+		t.Errorf("alexa1000∩2week = %d, want ≥%d", o1000, want1000)
+	}
+	// Alexa 1000 is a strict subset of the Alexa Top List.
+	for _, d := range w.Domains {
+		if d.Sets.Has(SetAlexa1000) && !d.Sets.Has(SetAlexaTopList) {
+			t.Fatalf("%s in Alexa1000 but not AlexaTopList", d.Name)
+		}
+	}
+}
+
+func TestTLDDistributionComDominates(t *testing.T) {
+	w := Generate(testSpec())
+	count := func(set Set) map[string]int {
+		m := map[string]int{}
+		for _, d := range w.DomainsIn(set) {
+			m[d.TLD]++
+		}
+		return m
+	}
+	alexa := count(SetAlexaTopList)
+	total := len(w.DomainsIn(SetAlexaTopList))
+	if frac := float64(alexa["com"]) / float64(total); frac < 0.45 || frac > 0.65 {
+		t.Errorf("alexa com share = %.2f, want ≈0.55", frac)
+	}
+	tw := count(SetTwoWeekMX)
+	twTotal := len(w.DomainsIn(SetTwoWeekMX))
+	if frac := float64(tw["com"]) / float64(twTotal); frac < 0.38 || frac > 0.60 {
+		t.Errorf("2week com share = %.2f, want ≈0.49", frac)
+	}
+	if tw["org"] == 0 || tw["edu"] == 0 {
+		t.Error("2week should contain org and edu domains")
+	}
+}
+
+func TestEveryDomainHasHosts(t *testing.T) {
+	w := Generate(testSpec())
+	for _, d := range w.Domains {
+		if len(d.Hosts) == 0 {
+			t.Fatalf("domain %s has no hosts", d.Name)
+		}
+		for _, a := range d.Hosts {
+			if w.Hosts[a] == nil {
+				t.Fatalf("domain %s references unknown host %s", d.Name, a)
+			}
+		}
+	}
+}
+
+func TestAddressConsolidation(t *testing.T) {
+	// Table 3: unique addresses ≈ 40–60% of domain count for the Alexa
+	// set (shared provider hosting).
+	w := Generate(testSpec())
+	nd := len(w.DomainsIn(SetAlexaTopList))
+	na := len(w.AddrsIn(SetAlexaTopList))
+	ratio := float64(na) / float64(nd)
+	if ratio < 0.30 || ratio > 0.75 {
+		t.Errorf("addr/domain ratio = %.2f (%d/%d), want ≈0.42", ratio, na, nd)
+	}
+}
+
+func TestFunnelRatesRoughlyCalibrated(t *testing.T) {
+	spec := testSpec()
+	spec.Scale = 0.05
+	w := Generate(spec)
+	addrs := w.AddrsIn(SetAlexaTopList)
+	var refused, smtpFail, mailFrom, data, never, blankFail int
+	for _, a := range addrs {
+		h := w.Hosts[a]
+		switch {
+		case !h.Listens:
+			refused++
+		case h.RefuseSMTP:
+			smtpFail++
+		case h.BlankMsgFails:
+			blankFail++
+		case h.ValidateAt == mta.ValidateAtMailFrom:
+			mailFrom++
+		case h.ValidateAt == mta.ValidateAtData:
+			data++
+		default:
+			never++
+		}
+	}
+	total := float64(len(addrs))
+	if f := float64(refused) / total; f < 0.33 || f > 0.55 {
+		t.Errorf("refused = %.2f, want ≈0.44 (provider hosts dilute 0.47)", f)
+	}
+	connected := total - float64(refused)
+	if f := float64(smtpFail) / connected; f < 0.25 || f > 0.45 {
+		t.Errorf("smtp failure of connected = %.2f, want ≈0.35", f)
+	}
+	if mailFrom == 0 || data == 0 || never == 0 {
+		t.Error("funnel should populate every branch")
+	}
+}
+
+func TestVulnerabilityRateAndRankEffect(t *testing.T) {
+	spec := testSpec()
+	spec.Scale = 0.1
+	w := Generate(spec)
+	domains := w.DomainsIn(SetAlexaTopList)
+	n := len(domains)
+	var topVuln, bottomVuln, topN, bottomN int
+	for _, d := range domains {
+		if d.Rank == 0 {
+			continue
+		}
+		vuln := false
+		for _, a := range d.Hosts {
+			if w.Hosts[a].EverVulnerable() {
+				vuln = true
+			}
+		}
+		if d.Rank <= n/4 {
+			topN++
+			if vuln {
+				topVuln++
+			}
+		} else if d.Rank > 3*n/4 {
+			bottomN++
+			if vuln {
+				bottomVuln++
+			}
+		}
+	}
+	topRate := float64(topVuln) / float64(topN)
+	bottomRate := float64(bottomVuln) / float64(bottomN)
+	if bottomRate <= topRate {
+		t.Errorf("rank effect missing: top %.3f, bottom %.3f", topRate, bottomRate)
+	}
+}
+
+func TestTopProvidersVulnerability(t *testing.T) {
+	w := Generate(testSpec())
+	wantVuln := map[string]bool{
+		"naver.com": true, "mail.ru": true, "vk.com": true,
+		"wp.pl": true, "seznam.cz": true, "email.cz": true,
+	}
+	wantSafe := []string{"gmail.com", "outlook.com", "icloud.com", "yahoo.com"}
+	for name := range wantVuln {
+		d := w.ByName[name]
+		if d == nil {
+			t.Fatalf("provider %s missing", name)
+		}
+		anyVuln := false
+		for _, a := range d.Hosts {
+			if w.Hosts[a].EverVulnerable() {
+				anyVuln = true
+			}
+			if !w.Hosts[a].PatchAt.IsZero() {
+				t.Errorf("%s host %s has a patch plan; §7.5 says providers never patched", name, a)
+			}
+		}
+		if !anyVuln {
+			t.Errorf("provider %s should be vulnerable", name)
+		}
+	}
+	for _, name := range wantSafe {
+		d := w.ByName[name]
+		if d == nil {
+			t.Fatalf("provider %s missing", name)
+		}
+		for _, a := range d.Hosts {
+			if w.Hosts[a].EverVulnerable() {
+				t.Errorf("provider %s should not be vulnerable", name)
+			}
+		}
+	}
+}
+
+func TestPatchPlansRespectTLDProfiles(t *testing.T) {
+	spec := testSpec()
+	spec.Scale = 0.2 // enough za/tw hosts for stable rates
+	w := Generate(spec)
+	rates := map[string][2]int{} // tld → [patched, vulnerable]
+	for _, h := range w.Hosts {
+		if !h.EverVulnerable() {
+			continue
+		}
+		domains := w.DomainsOn(h.Addr)
+		if len(domains) != 1 {
+			continue // skip shared hosts for clean attribution
+		}
+		tld := domains[0].TLD
+		c := rates[tld]
+		c[1]++
+		if !h.PatchAt.IsZero() {
+			c[0]++
+		}
+		rates[tld] = c
+	}
+	check := func(tld string, lo, hi float64) {
+		c := rates[tld]
+		if c[1] < 8 {
+			t.Logf("skipping %s: only %d vulnerable hosts", tld, c[1])
+			return
+		}
+		r := float64(c[0]) / float64(c[1])
+		if r < lo || r > hi {
+			t.Errorf("%s patch rate = %.2f (%d/%d), want [%.2f,%.2f]", tld, r, c[0], c[1], lo, hi)
+		}
+	}
+	check("za", 0.5, 1.0)
+	check("ru", 0.0, 0.15)
+	check("tw", 0.0, 0.05)
+	check("com", 0.05, 0.30)
+}
+
+func TestZoneSetServesMXAndA(t *testing.T) {
+	w := Generate(testSpec())
+	z := w.BuildZones()
+	var checked int
+	for _, d := range w.Domains {
+		if !d.HasMX {
+			continue
+		}
+		name := dnsmsg.MustParseName(d.Name)
+		rrs, exists := z.Lookup(name, dnsmsg.TypeMX)
+		if !exists || len(rrs) != len(d.Hosts) {
+			t.Fatalf("%s: MX = %v (exists %v), want %d", d.Name, rrs, exists, len(d.Hosts))
+		}
+		mx := rrs[0].Data.(dnsmsg.MX)
+		arrs, _ := z.Lookup(mx.Host, dnsmsg.TypeA)
+		aaaa, _ := z.Lookup(mx.Host, dnsmsg.TypeAAAA)
+		if len(arrs)+len(aaaa) == 0 {
+			t.Fatalf("%s: MX host %s has no address", d.Name, mx.Host)
+		}
+		checked++
+		if checked > 50 {
+			break
+		}
+	}
+}
+
+func TestHostSpecPatchSemantics(t *testing.T) {
+	h := &HostSpec{
+		Behaviors: []spfimpl.Behavior{spfimpl.BehaviorVulnLibSPF2},
+		PatchAt:   TDisclosure,
+	}
+	if !h.Vulnerable(TInitial) {
+		t.Error("should be vulnerable before patch")
+	}
+	if h.Vulnerable(TEnd) {
+		t.Error("should be patched at study end")
+	}
+	bs := h.BehaviorsAt(TEnd)
+	if bs[0] != spfimpl.BehaviorPatchedLibSPF2 {
+		t.Errorf("BehaviorsAt(end) = %v", bs)
+	}
+	if h.BehaviorsAt(TInitial)[0] != spfimpl.BehaviorVulnLibSPF2 {
+		t.Error("BehaviorsAt(start) should be vulnerable")
+	}
+}
+
+func TestGeoRegistered(t *testing.T) {
+	w := Generate(testSpec())
+	if w.Geo.Len() != len(w.Hosts) {
+		t.Errorf("geo has %d entries for %d hosts", w.Geo.Len(), len(w.Hosts))
+	}
+	for a := range w.Hosts {
+		if _, ok := w.Geo.Locate(a); !ok {
+			t.Fatalf("host %s not geolocated", a)
+		}
+		break
+	}
+}
+
+func TestSetStringAndHas(t *testing.T) {
+	s := SetAlexaTopList | SetTwoWeekMX
+	if !s.Has(SetAlexaTopList) || s.Has(SetAlexa1000) {
+		t.Error("Has broken")
+	}
+	if s.String() != "alexa+2weekmx" {
+		t.Errorf("String = %q", s.String())
+	}
+	if Set(0).String() != "none" {
+		t.Error("zero set string")
+	}
+}

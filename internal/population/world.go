@@ -1,0 +1,365 @@
+package population
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"spfail/internal/clock"
+	"spfail/internal/dnsmsg"
+	"spfail/internal/dnsserver"
+	"spfail/internal/geo"
+	"spfail/internal/mta"
+	"spfail/internal/netsim"
+	"spfail/internal/spfimpl"
+)
+
+// Set is a bitmask of domain-set membership.
+type Set uint8
+
+// The four domain sets of the study.
+const (
+	SetAlexaTopList Set = 1 << iota
+	SetAlexa1000
+	SetTwoWeekMX
+	SetTopProviders
+)
+
+// Has reports whether s includes the given set bit.
+func (s Set) Has(bit Set) bool { return s&bit != 0 }
+
+// String implements fmt.Stringer.
+func (s Set) String() string {
+	names := ""
+	add := func(n string) {
+		if names != "" {
+			names += "+"
+		}
+		names += n
+	}
+	if s.Has(SetAlexaTopList) {
+		add("alexa")
+	}
+	if s.Has(SetAlexa1000) {
+		add("alexa1000")
+	}
+	if s.Has(SetTwoWeekMX) {
+		add("2weekmx")
+	}
+	if s.Has(SetTopProviders) {
+		add("providers")
+	}
+	if names == "" {
+		return "none"
+	}
+	return names
+}
+
+// PatchChannel says what drove a host's patch.
+type PatchChannel string
+
+// Patch channels observed in the study.
+const (
+	PatchNone         PatchChannel = "none"
+	PatchProactive    PatchChannel = "proactive"
+	PatchNotification PatchChannel = "notification"
+	PatchDisclosure   PatchChannel = "disclosure"
+	PatchSnapshotOnly PatchChannel = "snapshot-only"
+)
+
+// Domain is one measured email domain.
+type Domain struct {
+	Name string
+	TLD  string
+	// Rank is the Alexa rank (1-based); 0 for 2-Week-MX-only domains.
+	Rank int
+	// MXQueries is the 2-Week MX usage metric (DNS MX query count).
+	MXQueries int
+	Sets      Set
+	// Hosts are the domain's mail server addresses (MX targets, or the
+	// A fallback when HasMX is false).
+	Hosts []netip.Addr
+	HasMX bool
+	// Provider is the shared-hosting provider id, "" when dedicated.
+	Provider string
+}
+
+// HostSpec is the ground-truth behaviour plan for one mail-server address.
+type HostSpec struct {
+	Addr    netip.Addr
+	Country geo.Country
+	// Listens is false for addresses refusing TCP entirely.
+	Listens bool
+	// RefuseSMTP makes the host 421 every session.
+	RefuseSMTP bool
+	// ValidateAt is the SPF trigger point (never when no validation).
+	ValidateAt mta.ValidationPoint
+	// Behaviors is the SPF implementation stack (ground truth).
+	Behaviors []spfimpl.Behavior
+	// BlankMsgFails makes the host reject at the message stage.
+	BlankMsgFails bool
+	Greylist      bool
+	RejectOnFail  bool
+	// Distro is the package source for libSPF2 (Table 6 uptake).
+	Distro string
+	// PatchAt is when the host upgrades (zero: never).
+	PatchAt  time.Time
+	PatchVia PatchChannel
+	// BlacklistProbesAt is when the host starts rejecting probe sessions
+	// (zero: never).
+	BlacklistProbesAt time.Time
+	// BlacklistProbesUntil ends the blacklist window (zero: never lifts).
+	// Alexa 1000 hosts lift theirs before the final snapshot (§7.5).
+	BlacklistProbesUntil time.Time
+	// EnforceDMARC makes the host honor sender DMARC policies at
+	// end-of-data (discarding the study's blank probes, §6.2).
+	EnforceDMARC bool
+	// FlakyRate is the per-session probability of a 421 (zero: stable).
+	FlakyRate float64
+	// FlakySeed feeds the host's deterministic flakiness stream.
+	FlakySeed int64
+}
+
+// Vulnerable reports ground-truth vulnerability at time t.
+func (h *HostSpec) Vulnerable(t time.Time) bool {
+	if !h.PatchAt.IsZero() && !t.Before(h.PatchAt) {
+		return false
+	}
+	for _, b := range h.Behaviors {
+		if b.Vulnerable() {
+			return true
+		}
+	}
+	return false
+}
+
+// EverVulnerable reports whether the host starts out vulnerable.
+func (h *HostSpec) EverVulnerable() bool {
+	for _, b := range h.Behaviors {
+		if b.Vulnerable() {
+			return true
+		}
+	}
+	return false
+}
+
+// BehaviorsAt returns the implementation stack effective at time t.
+func (h *HostSpec) BehaviorsAt(t time.Time) []spfimpl.Behavior {
+	out := append([]spfimpl.Behavior(nil), h.Behaviors...)
+	if !h.PatchAt.IsZero() && !t.Before(h.PatchAt) {
+		for i, b := range out {
+			if b == spfimpl.BehaviorVulnLibSPF2 {
+				out[i] = spfimpl.BehaviorPatchedLibSPF2
+			}
+		}
+	}
+	return out
+}
+
+// World is a generated synthetic Internet.
+type World struct {
+	Spec    Spec
+	Domains []*Domain
+	ByName  map[string]*Domain
+	Hosts   map[netip.Addr]*HostSpec
+	Geo     *geo.DB
+}
+
+// DomainsIn returns the domains belonging to a set, in generation order
+// (rank order for Alexa).
+func (w *World) DomainsIn(set Set) []*Domain {
+	var out []*Domain
+	for _, d := range w.Domains {
+		if d.Sets.Has(set) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// AllAddrs returns every distinct host address, sorted.
+func (w *World) AllAddrs() []netip.Addr {
+	out := make([]netip.Addr, 0, len(w.Hosts))
+	for a := range w.Hosts {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// AddrsIn returns the distinct addresses backing a domain set, sorted.
+func (w *World) AddrsIn(set Set) []netip.Addr {
+	seen := make(map[netip.Addr]bool)
+	for _, d := range w.Domains {
+		if !d.Sets.Has(set) {
+			continue
+		}
+		for _, a := range d.Hosts {
+			seen[a] = true
+		}
+	}
+	out := make([]netip.Addr, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// DomainsOn returns the domains hosted on an address.
+func (w *World) DomainsOn(addr netip.Addr) []*Domain {
+	var out []*Domain
+	for _, d := range w.Domains {
+		for _, a := range d.Hosts {
+			if a == addr {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// BuildZones constructs the authoritative DNS content for every domain:
+// MX records pointing at mail hosts (or bare A records for MX-less
+// domains), A records for the mail hosts themselves, and an SOA per
+// domain for clean negative answers.
+func (w *World) BuildZones() *dnsserver.ZoneSet {
+	z := dnsserver.NewZoneSet()
+	for _, d := range w.Domains {
+		name, err := dnsmsg.ParseName(d.Name)
+		if err != nil {
+			continue
+		}
+		z.Add(dnsmsg.Record{Name: name, Class: dnsmsg.ClassIN, TTL: 3600,
+			Data: dnsmsg.SOA{
+				MName:  dnsmsg.MustParseName("ns1." + d.Name),
+				RName:  dnsmsg.MustParseName("hostmaster." + d.Name),
+				Serial: 2021101100,
+			}})
+		if d.HasMX {
+			for i, a := range d.Hosts {
+				mx, err := dnsmsg.ParseName(fmt.Sprintf("mx%d.%s", i+1, d.Name))
+				if err != nil {
+					continue
+				}
+				z.AddMX(name, uint16(10*(i+1)), mx)
+				z.AddA(mx, a)
+			}
+		} else {
+			for _, a := range d.Hosts {
+				z.AddA(name, a)
+			}
+		}
+	}
+	return z
+}
+
+// HostManager instantiates mta.Hosts from HostSpecs on demand, applying
+// the spec's patch state as of the supplied clock. The measurement
+// campaign brings hosts up in waves to bound memory at large scales.
+type HostManager struct {
+	World     *World
+	Fabric    *netsim.Fabric
+	Clock     clock.Clock
+	DNSServer string
+	// DNSTimeout for host resolvers (keep small in simulation).
+	DNSTimeout time.Duration
+
+	mu      sync.Mutex
+	running map[netip.Addr]*mta.Host
+}
+
+// Ensure starts hosts for every listening address in addrs that is not
+// already running, with behaviour effective at the current clock time.
+func (m *HostManager) Ensure(ctx context.Context, addrs []netip.Addr) error {
+	m.mu.Lock()
+	if m.running == nil {
+		m.running = make(map[netip.Addr]*mta.Host)
+	}
+	m.mu.Unlock()
+	now := m.Clock.Now()
+	for _, a := range addrs {
+		spec := m.World.Hosts[a]
+		if spec == nil || !spec.Listens {
+			continue
+		}
+		m.mu.Lock()
+		_, up := m.running[a]
+		m.mu.Unlock()
+		if up {
+			continue
+		}
+		behaviors := spec.BehaviorsAt(now)
+		validateAt := spec.ValidateAt
+		if len(behaviors) == 0 {
+			validateAt = mta.ValidateNever
+		}
+		h := mta.New(mta.Config{
+			Hostname:             "mx-" + a.String(),
+			IP:                   a,
+			Net:                  m.Fabric.Host(a.String()),
+			Clock:                m.Clock,
+			DNSServer:            m.DNSServer,
+			DNSTimeout:           m.DNSTimeout,
+			Behaviors:            behaviors,
+			ValidateAt:           validateAt,
+			RejectOnFail:         spec.RejectOnFail,
+			Greylist:             spec.Greylist,
+			RefuseSMTP:           spec.RefuseSMTP,
+			RejectData:           spec.BlankMsgFails,
+			EnforceDMARC:         spec.EnforceDMARC,
+			BlacklistProbesAt:    spec.BlacklistProbesAt,
+			BlacklistProbesUntil: spec.BlacklistProbesUntil,
+			FlakyRate:            spec.FlakyRate,
+			// Hosts are recreated each measurement wave; folding the
+			// virtual time into the seed varies the failure pattern
+			// across rounds while staying reproducible.
+			FlakySeed: spec.FlakySeed ^ now.UnixNano(),
+		})
+		if err := h.Start(ctx); err != nil {
+			return fmt.Errorf("population: starting host %s: %w", a, err)
+		}
+		m.mu.Lock()
+		m.running[a] = h
+		m.mu.Unlock()
+	}
+	return nil
+}
+
+// StopAll shuts down every running host.
+func (m *HostManager) StopAll() {
+	m.mu.Lock()
+	hosts := m.running
+	m.running = make(map[netip.Addr]*mta.Host)
+	m.mu.Unlock()
+	for _, h := range hosts {
+		h.Stop()
+	}
+}
+
+// Stop shuts down the hosts for the given addresses only.
+func (m *HostManager) Stop(addrs []netip.Addr) {
+	m.mu.Lock()
+	var toStop []*mta.Host
+	for _, a := range addrs {
+		if h, ok := m.running[a]; ok {
+			toStop = append(toStop, h)
+			delete(m.running, a)
+		}
+	}
+	m.mu.Unlock()
+	for _, h := range toStop {
+		h.Stop()
+	}
+}
+
+// RunningCount returns the number of live hosts.
+func (m *HostManager) RunningCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.running)
+}

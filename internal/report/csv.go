@@ -1,0 +1,58 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"spfail/internal/geo"
+	"spfail/internal/measure"
+)
+
+// SeriesCSV writes a longitudinal series in CSV form for external
+// plotting (the figures' underlying data).
+func SeriesCSV(w io.Writer, points []measure.SeriesPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"date", "measured", "inferred", "vulnerable", "patched", "uncertain", "vulnerable_rate"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{
+			p.Time.Format("2006-01-02"),
+			strconv.Itoa(p.Measured),
+			strconv.Itoa(p.Inferred),
+			strconv.Itoa(p.Vulnerable),
+			strconv.Itoa(p.Patched),
+			strconv.Itoa(p.Uncertain),
+			fmt.Sprintf("%.4f", p.VulnerableRate()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ChoroplethCSV writes geographic bucket data (Figure 3) as CSV.
+func ChoroplethCSV(w io.Writer, buckets []geo.BucketStats) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"lat", "lon", "vulnerable", "patched", "patch_rate"}); err != nil {
+		return err
+	}
+	for _, b := range buckets {
+		rec := []string{
+			fmt.Sprintf("%.1f", b.Lat),
+			fmt.Sprintf("%.1f", b.Lon),
+			strconv.Itoa(b.Total),
+			strconv.Itoa(b.Patched),
+			fmt.Sprintf("%.4f", b.PatchRate()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,48 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"spfail/internal/geo"
+	"spfail/internal/measure"
+)
+
+func TestSeriesCSV(t *testing.T) {
+	points := []measure.SeriesPoint{
+		{Time: time.Date(2021, 10, 26, 0, 0, 0, 0, time.UTC),
+			Measured: 10, Inferred: 12, Vulnerable: 11, Patched: 1, Uncertain: 2, Total: 14},
+		{Time: time.Date(2021, 10, 28, 0, 0, 0, 0, time.UTC),
+			Measured: 9, Inferred: 12, Vulnerable: 10, Patched: 2, Uncertain: 2, Total: 14},
+	}
+	var buf bytes.Buffer
+	if err := SeriesCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "date,measured,inferred,vulnerable,patched,uncertain,vulnerable_rate" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "2021-10-26,10,12,11,1,2,0.91") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+}
+
+func TestChoroplethCSV(t *testing.T) {
+	buckets := []geo.BucketStats{
+		{Lat: 52.5, Lon: 12.5, Total: 7, Patched: 3},
+	}
+	var buf bytes.Buffer
+	if err := ChoroplethCSV(&buf, buckets); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "52.5,12.5,7,3,0.4286") {
+		t.Errorf("csv = %q", out)
+	}
+}

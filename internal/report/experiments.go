@@ -1,0 +1,364 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"spfail/internal/measure"
+	"spfail/internal/population"
+	"spfail/internal/study"
+)
+
+// setName renders a set label like the paper's column heads.
+func setName(s population.Set) string {
+	switch s {
+	case population.SetAlexaTopList:
+		return "Alexa Top List"
+	case population.SetAlexa1000:
+		return "Alexa 1000"
+	case population.SetTwoWeekMX:
+		return "2-Week MX"
+	case population.SetTopProviders:
+		return "Top Email Providers"
+	case 0:
+		return "All Domains"
+	default:
+		return s.String()
+	}
+}
+
+// Table1 renders the domain-set overlap matrix.
+func Table1(w io.Writer, world *population.World) {
+	cells := study.Table1(world)
+	sets := []population.Set{population.SetTwoWeekMX, population.SetAlexa1000, population.SetAlexaTopList}
+	t := &Table{
+		Title:   "Table 1: Overlap in domain measurement sets",
+		Headers: []string{"Domain Set", setName(sets[0]), setName(sets[1]), setName(sets[2])},
+	}
+	byRow := map[population.Set]map[population.Set]int{}
+	diag := map[population.Set]int{}
+	for _, c := range cells {
+		if byRow[c.Row] == nil {
+			byRow[c.Row] = map[population.Set]int{}
+		}
+		byRow[c.Row][c.Col] = c.Count
+		if c.Row == c.Col {
+			diag[c.Row] = c.Count
+		}
+	}
+	for _, row := range sets {
+		cellsOut := []string{setName(row)}
+		for _, col := range sets {
+			n := byRow[row][col]
+			cellsOut = append(cellsOut, fmt.Sprintf("%s (%s)", Count(n), Percent(n, diag[row])))
+		}
+		t.AddRow(cellsOut...)
+	}
+	t.Render(w)
+}
+
+// Table2 renders the most common TLDs for both sets side by side.
+func Table2(w io.Writer, world *population.World, n int) {
+	alexa := study.Table2(world, population.SetAlexaTopList, n)
+	twoWeek := study.Table2(world, population.SetTwoWeekMX, n)
+	t := &Table{
+		Title:   "Table 2: Most common TLDs",
+		Headers: []string{"Alexa TLD", "Count", "2-Week MX TLD", "Count"},
+	}
+	for i := 0; i < n; i++ {
+		var c [4]string
+		if i < len(alexa) {
+			c[0], c[1] = alexa[i].TLD, Count(alexa[i].Count)
+		}
+		if i < len(twoWeek) {
+			c[2], c[3] = twoWeek[i].TLD, Count(twoWeek[i].Count)
+		}
+		t.AddRow(c[0], c[1], c[2], c[3])
+	}
+	t.Render(w)
+}
+
+// Table3 renders the probe outcome funnel for the given sets.
+func Table3(w io.Writer, r *study.Results, sets ...population.Set) {
+	t := &Table{
+		Title:   "Table 3: NoMsg/BlankMsg test outcomes by domain set",
+		Headers: []string{"Outcome", "", ""},
+	}
+	t.Headers = []string{"Outcome"}
+	funnels := make([]study.Funnel, len(sets))
+	for i, s := range sets {
+		funnels[i] = study.Table3(r, s)
+		t.Headers = append(t.Headers, setName(s)+" Addrs", setName(s)+" Doms")
+	}
+	row := func(label string, addr func(study.Funnel) (int, int), dom func(study.Funnel) (int, int)) {
+		cells := []string{label}
+		for _, f := range funnels {
+			n, d := addr(f)
+			cells = append(cells, fmt.Sprintf("%s (%s)", Count(n), Percent(n, d)))
+			if dom != nil {
+				n, d = dom(f)
+				cells = append(cells, fmt.Sprintf("%s (%s)", Count(n), Percent(n, d)))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	row("Total Tested",
+		func(f study.Funnel) (int, int) { return f.Addresses, f.Addresses },
+		func(f study.Funnel) (int, int) { return f.Domains, f.Domains })
+	row("Connection Refused",
+		func(f study.Funnel) (int, int) { return f.AddrRefused, f.Addresses },
+		func(f study.Funnel) (int, int) { return f.DomRefused, f.Domains })
+	row("NoMsg Test",
+		func(f study.Funnel) (int, int) { return f.AddrNoMsgRun, f.Addresses },
+		nil)
+	row("  SMTP Failure",
+		func(f study.Funnel) (int, int) { return f.AddrNoMsgSMTPFail, f.AddrNoMsgRun },
+		func(f study.Funnel) (int, int) { return f.DomSMTPFailure, f.Domains })
+	row("  SPF Measured",
+		func(f study.Funnel) (int, int) { return f.AddrNoMsgMeasured, f.AddrNoMsgRun },
+		nil)
+	row("  SPF Not Measured",
+		func(f study.Funnel) (int, int) { return f.AddrNoMsgNotMeas, f.AddrNoMsgRun },
+		nil)
+	row("BlankMsg Test",
+		func(f study.Funnel) (int, int) { return f.AddrBlankRun, f.Addresses },
+		nil)
+	row("  SMTP Failure",
+		func(f study.Funnel) (int, int) { return f.AddrBlankSMTPFail, f.AddrBlankRun },
+		nil)
+	row("  SPF Measured",
+		func(f study.Funnel) (int, int) { return f.AddrBlankMeasured, f.AddrBlankRun },
+		nil)
+	row("  SPF Not Measured",
+		func(f study.Funnel) (int, int) { return f.AddrBlankNotMeas, f.AddrBlankRun },
+		nil)
+	row("Total SPF Measured",
+		func(f study.Funnel) (int, int) { return f.AddrTotalMeasured, f.Addresses },
+		func(f study.Funnel) (int, int) { return f.DomMeasured, f.Domains })
+	t.Render(w)
+}
+
+// Table4 renders the initial vulnerability breakdown.
+func Table4(w io.Writer, r *study.Results) {
+	t := &Table{
+		Title:   "Table 4: SPF initial results breakdown (by IP address)",
+		Headers: []string{"Set", "SPF Measured", "Vulnerable", "Other Erroneous", "Compliant", "Doms Measured", "Doms Vulnerable"},
+	}
+	for _, set := range []population.Set{0, population.SetAlexaTopList, population.SetTwoWeekMX} {
+		b := study.Table4(r, set)
+		t.AddRow(setName(set),
+			Count(b.Measured),
+			fmt.Sprintf("%s (%s)", Count(b.Vulnerable), Percent(b.Vulnerable, b.Measured)),
+			fmt.Sprintf("%s (%s)", Count(b.ErroneousOther), Percent(b.ErroneousOther, b.Measured)),
+			fmt.Sprintf("%s (%s)", Count(b.Compliant), Percent(b.Compliant, b.Measured)),
+			Count(b.DomainsMeasured),
+			fmt.Sprintf("%s (%s)", Count(b.DomainsVulnerable), Percent(b.DomainsVulnerable, b.DomainsMeasured)))
+	}
+	t.Render(w)
+}
+
+// Table5 renders best/worst TLD patch rates.
+func Table5(w io.Writer, r *study.Results, minVulnerable, topBottom int) {
+	rows := study.Table5(r, minVulnerable)
+	t := &Table{
+		Title:   fmt.Sprintf("Table 5: Best/worst patch rates for TLDs with ≥%d initially vulnerable domains", minVulnerable),
+		Headers: []string{"TLD", "# Patched", "# Initially Vulnerable", "% Patched"},
+	}
+	emit := func(row study.TLDPatch) {
+		t.AddRow("."+row.TLD, Count(row.Patched), Count(row.Vulnerable), Percent(row.Patched, row.Vulnerable))
+	}
+	if len(rows) <= 2*topBottom {
+		for _, row := range rows {
+			emit(row)
+		}
+	} else {
+		for _, row := range rows[:topBottom] {
+			emit(row)
+		}
+		t.AddRow("...", "", "", "")
+		for _, row := range rows[len(rows)-topBottom:] {
+			emit(row)
+		}
+	}
+	t.Render(w)
+}
+
+// Table6 renders the package-manager patch timeline.
+func Table6(w io.Writer) {
+	t := &Table{
+		Title:   "Table 6: Patch timeline for package managers (days from disclosure to patch)",
+		Headers: []string{"Package Manager", "CVE-2021-20314", "CVE-2021-33912/13"},
+	}
+	for _, row := range study.Table6() {
+		c1 := fmt.Sprintf("%d (%s)", row.CVE20314Days, row.CVE20314Date.Format("2006-01-02"))
+		if row.CVE20314Open {
+			c1 = fmt.Sprintf("%d+ (Unpatched)", row.CVE20314Days)
+		}
+		c2 := fmt.Sprintf("%d (%s)", row.CVE33912Days, row.CVE33912Date.Format("2006-01-02"))
+		if row.IncludedStar {
+			c2 = fmt.Sprintf("0* (%s)", row.CVE33912Date.Format("2006-01-02"))
+		}
+		if row.CVE33912Open {
+			c2 = fmt.Sprintf("%d+ (Unpatched)", row.CVE33912Days)
+		}
+		t.AddRow(row.Manager, c1, c2)
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "  * Patches included in CVE-2021-20314 fix")
+}
+
+// Table7 renders the macro-expansion behaviour taxonomy.
+func Table7(w io.Writer, r *study.Results) {
+	res := study.Table7(r)
+	t := &Table{
+		Title:   "Table 7: Behaviors in SPF macro expansion by IP address",
+		Headers: []string{"Behavior", "Count", "% of Measured"},
+	}
+	for _, row := range res.Rows {
+		t.AddRow(string(row.Class), Count(row.Count), Percent(row.Count, res.TotalMeasured))
+	}
+	t.AddRow("≥2 distinct patterns", Count(res.MultiplePatterns), Percent(res.MultiplePatterns, res.TotalMeasured))
+	t.Render(w)
+}
+
+// Figure2 renders the final patched/vulnerable/unknown split.
+func Figure2(w io.Writer, r *study.Results) {
+	t := &Table{
+		Title:   "Figure 2: Final vulnerability distribution of initially vulnerable domains (Feb 2022)",
+		Headers: []string{"Set", "Patched", "Vulnerable", "Unknown"},
+	}
+	for _, fs := range study.Figure2(r) {
+		total := fs.Patched + fs.Vulnerable + fs.Unknown
+		t.AddRow(setName(fs.Set),
+			fmt.Sprintf("%s (%s)", Count(fs.Patched), Percent(fs.Patched, total)),
+			fmt.Sprintf("%s (%s)", Count(fs.Vulnerable), Percent(fs.Vulnerable, total)),
+			fmt.Sprintf("%s (%s)", Count(fs.Unknown), Percent(fs.Unknown, total)))
+	}
+	t.Render(w)
+}
+
+// Figure3 renders the geographic distributions as per-country tables (the
+// text stand-in for the choropleth maps).
+func Figure3(w io.Writer, r *study.Results, topN int) {
+	_, countries := study.Figure3(r, 5)
+	t := &Table{
+		Title:   "Figure 3: Geographic distribution of vulnerable (a) and patched (b) addresses",
+		Headers: []string{"Country", "Vulnerable IPs", "Patched IPs", "Patch Rate"},
+	}
+	for i, c := range countries {
+		if i >= topN {
+			break
+		}
+		t.AddRow(c.Country, Count(c.Total), Count(c.Patched), Percent(c.Patched, c.Total))
+	}
+	t.Render(w)
+}
+
+// Figure4 renders the rank-bucket distribution.
+func Figure4(w io.Writer, r *study.Results, set population.Set) {
+	buckets := study.Figure4(r, set, 20)
+	max := 0.0
+	for _, b := range buckets {
+		if float64(b.Vulnerable) > max {
+			max = float64(b.Vulnerable)
+		}
+	}
+	fmt.Fprintf(w, "Figure 4 (%s): vulnerable and (patched) domains by rank bucket\n", setName(set))
+	for _, b := range buckets {
+		fmt.Fprintf(w, "  bucket %2d  %5d (%4d patched)  %s\n",
+			b.Index+1, b.Vulnerable, b.Patched, Bar(float64(b.Vulnerable), max, 40))
+	}
+}
+
+// FigureSeries renders a longitudinal series: conclusive counts (Figures
+// 5/8) and the vulnerable rate (Figures 6/7).
+func FigureSeries(w io.Writer, title string, points []measure.SeriesPoint) {
+	fmt.Fprintf(w, "%s\n", title)
+	if len(points) == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	fmt.Fprintf(w, "  %-12s %9s %9s %9s %9s %8s\n",
+		"date", "measured", "inferred", "vuln", "patched", "rate")
+	for _, p := range points {
+		fmt.Fprintf(w, "  %-12s %9d %9d %9d %9d %7.1f%%  %s\n",
+			p.Time.Format("2006-01-02"), p.Measured, p.Inferred,
+			p.Vulnerable, p.Patched, 100*p.VulnerableRate(),
+			Bar(p.VulnerableRate(), 1, 30))
+	}
+}
+
+// Notification renders the §7.7 funnel.
+func Notification(w io.Writer, r *study.Results) {
+	n := r.Notification
+	t := &Table{
+		Title:   "Private notification funnel (§7.7)",
+		Headers: []string{"Stage", "Count", "Share"},
+	}
+	t.AddRow("Notifications sent", Count(n.Sent), "100%")
+	t.AddRow("Returned undelivered", Count(n.Bounced), Percent(n.Bounced, n.Sent))
+	t.AddRow("Delivered", Count(n.Delivered), Percent(n.Delivered, n.Sent))
+	t.AddRow("Opened (tracking pixel)", Count(n.Opened), Percent(n.Opened, n.Delivered))
+	t.AddRow("Opened and eventually patched", Count(n.OpenedAndPatched), Percent(n.OpenedAndPatched, n.Opened))
+	t.AddRow("Opened, patched before disclosure", Count(n.OpenedPatchedBetweenDisclosures), Percent(n.OpenedPatchedBetweenDisclosures, n.Opened))
+	t.AddRow("Undelivered but patched before disclosure", Count(n.UndeliveredPatchedBetween), Percent(n.UndeliveredPatchedBetween, n.Bounced))
+	t.Render(w)
+}
+
+// PatchTiming renders the when-did-patching-happen breakdown behind the
+// paper's §7.6/§7.7 conclusions.
+func PatchTiming(w io.Writer, r *study.Results) {
+	pt := study.PatchTimingBreakdown(r)
+	t := &Table{
+		Title:   "Patch timing of initially vulnerable domains (first measured patched)",
+		Headers: []string{"Window", "Domains", "Share"},
+	}
+	t.AddRow("Before private notification (proactive)", Count(pt.PreNotification), Percent(pt.PreNotification, pt.Total))
+	t.AddRow("Between private and public disclosure", Count(pt.BetweenDisclosures), Percent(pt.BetweenDisclosures, pt.Total))
+	t.AddRow("After public disclosure", Count(pt.PostDisclosure), Percent(pt.PostDisclosure, pt.Total))
+	t.AddRow("Final snapshot only", Count(pt.SnapshotOnly), Percent(pt.SnapshotOnly, pt.Total))
+	t.AddRow("Never (still vulnerable/unknown)", Count(pt.Never), Percent(pt.Never, pt.Total))
+	t.Render(w)
+}
+
+// All renders every table and figure to w.
+func All(w io.Writer, r *study.Results) {
+	Table1(w, r.World)
+	fmt.Fprintln(w)
+	Table2(w, r.World, 15)
+	fmt.Fprintln(w)
+	Table3(w, r, population.SetAlexaTopList, population.SetTwoWeekMX, population.SetTopProviders)
+	fmt.Fprintln(w)
+	Table4(w, r)
+	fmt.Fprintln(w)
+	Table5(w, r, 5, 5)
+	fmt.Fprintln(w)
+	Table6(w)
+	fmt.Fprintln(w)
+	Table7(w, r)
+	fmt.Fprintln(w)
+	Figure2(w, r)
+	fmt.Fprintln(w)
+	Figure3(w, r, 15)
+	fmt.Fprintln(w)
+	Figure4(w, r, population.SetAlexaTopList)
+	fmt.Fprintln(w)
+	Figure4(w, r, population.SetTwoWeekMX)
+	fmt.Fprintln(w)
+	FigureSeries(w, "Figure 5: conclusive results over time (all initially vulnerable domains)", study.SetSeries(r, 0))
+	fmt.Fprintln(w)
+	FigureSeries(w, "Figure 6: first-window vulnerability rates (Alexa Top List)",
+		study.WindowSeries(study.SetSeries(r, population.SetAlexaTopList), population.TLongitudinal, population.TPause))
+	fmt.Fprintln(w)
+	FigureSeries(w, "Figure 7: full-period vulnerability rates (Alexa Top List)", study.SetSeries(r, population.SetAlexaTopList))
+	fmt.Fprintln(w)
+	FigureSeries(w, "Figure 7b: full-period vulnerability rates (2-Week MX)", study.SetSeries(r, population.SetTwoWeekMX))
+	fmt.Fprintln(w)
+	FigureSeries(w, "Figure 8: conclusive results over time (Alexa Top 1000)", study.SetSeries(r, population.SetAlexa1000))
+	fmt.Fprintln(w)
+	Notification(w, r)
+	fmt.Fprintln(w)
+	PatchTiming(w, r)
+}

@@ -1,0 +1,118 @@
+package report
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spfail/internal/population"
+	"spfail/internal/study"
+)
+
+var (
+	microOnce sync.Once
+	microRes  *study.Results
+	microErr  error
+)
+
+func microStudy(t *testing.T) *study.Results {
+	t.Helper()
+	microOnce.Do(func() {
+		spec := population.DefaultSpec()
+		spec.Scale = 0.003
+		spec.Seed = 5
+		microRes, microErr = study.Run(context.Background(), study.Config{
+			Spec:        spec,
+			Concurrency: 64,
+			BatchSize:   400,
+			Interval:    5 * 24 * time.Hour,
+		})
+	})
+	if microErr != nil {
+		t.Fatalf("micro study: %v", microErr)
+	}
+	return microRes
+}
+
+func TestRenderAllExperiments(t *testing.T) {
+	r := microStudy(t)
+	var buf bytes.Buffer
+	All(&buf, r)
+	out := buf.String()
+	for _, want := range []string{
+		"Table 1:", "Table 2:", "Table 3:", "Table 4:", "Table 5:",
+		"Table 6:", "Table 7:", "Figure 2:", "Figure 3:", "Figure 4",
+		"Figure 5:", "Figure 6:", "Figure 7:", "Figure 8:",
+		"notification funnel",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "%!") {
+		t.Error("format verb leak in rendered output")
+	}
+}
+
+func TestRenderTable1Diagonal(t *testing.T) {
+	r := microStudy(t)
+	var buf bytes.Buffer
+	Table1(&buf, r.World)
+	out := buf.String()
+	// Three diagonal cells plus Alexa1000∩AlexaTopList (a strict subset).
+	if c := strings.Count(out, "(100.0%)"); c != 4 {
+		t.Errorf("full-overlap cells = %d, want 4\n%s", c, out)
+	}
+}
+
+func TestRenderTable6ExactRows(t *testing.T) {
+	var buf bytes.Buffer
+	Table6(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"Debian", "0 (2021-08-11)", "0 (2022-01-19)",
+		"Alpine", "RedHat", "0* (2021-09-22)",
+		"Ubuntu", "Unpatched",
+		"* Patches included in CVE-2021-20314 fix",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 6 missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFigureSeriesEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	FigureSeries(&buf, "empty", nil)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Errorf("empty series rendering = %q", buf.String())
+	}
+}
+
+func TestRenderNotificationFunnelArithmetic(t *testing.T) {
+	r := microStudy(t)
+	var buf bytes.Buffer
+	Notification(&buf, r)
+	out := buf.String()
+	if !strings.Contains(out, "Notifications sent") || !strings.Contains(out, "100%") {
+		t.Errorf("funnel rendering:\n%s", out)
+	}
+}
+
+func TestSetNames(t *testing.T) {
+	cases := map[population.Set]string{
+		population.SetAlexaTopList: "Alexa Top List",
+		population.SetAlexa1000:    "Alexa 1000",
+		population.SetTwoWeekMX:    "2-Week MX",
+		population.SetTopProviders: "Top Email Providers",
+		0:                          "All Domains",
+	}
+	for set, want := range cases {
+		if got := setName(set); got != want {
+			t.Errorf("setName(%v) = %q, want %q", set, got, want)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package report renders the reproduction's tables and figures as aligned
+// text, in the same shape the paper presents them. The renderers are used
+// by cmd/spfail-study and by the benchmark harness in the repository root.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a generic aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Percent renders n/d as "12.3%", or "-" when d is zero.
+func Percent(n, d int) string {
+	if d == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(d))
+}
+
+// Count renders an integer with thousands separators.
+func Count(n int) string {
+	s := fmt.Sprintf("%d", n)
+	if n < 0 {
+		return s
+	}
+	var b strings.Builder
+	for i, c := range s {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			b.WriteByte(',')
+		}
+		b.WriteRune(c)
+	}
+	return b.String()
+}
+
+// Bar renders a horizontal bar of width proportional to value/max.
+func Bar(value, max float64, width int) string {
+	if max <= 0 || value < 0 {
+		return ""
+	}
+	n := int(value / max * float64(width))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// Series renders a labeled time series as rows of "label value bar".
+type Series struct {
+	Title  string
+	Labels []string
+	Values []float64
+	// Format formats a value; nil means %.1f.
+	Format func(float64) string
+}
+
+// Render writes the series with proportional bars.
+func (s *Series) Render(w io.Writer) {
+	format := s.Format
+	if format == nil {
+		format = func(v float64) string { return fmt.Sprintf("%.1f", v) }
+	}
+	max := 0.0
+	for _, v := range s.Values {
+		if v > max {
+			max = v
+		}
+	}
+	if s.Title != "" {
+		fmt.Fprintf(w, "%s\n", s.Title)
+	}
+	labelW := 0
+	for _, l := range s.Labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for i, v := range s.Values {
+		label := ""
+		if i < len(s.Labels) {
+			label = s.Labels[i]
+		}
+		fmt.Fprintf(w, "  %s  %8s  %s\n", pad(label, labelW), format(v), Bar(v, max, 40))
+	}
+}

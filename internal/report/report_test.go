@@ -1,0 +1,109 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAligned(t *testing.T) {
+	tbl := &Table{
+		Title:   "T",
+		Headers: []string{"Name", "Value"},
+	}
+	tbl.AddRow("short", "1")
+	tbl.AddRow("much-longer-name", "22,222")
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "T" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "Name") || !strings.Contains(lines[1], "Value") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "  ---") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	// Value column should start at the same offset on each row.
+	idx1 := strings.Index(lines[3], "1")
+	idx2 := strings.Index(lines[4], "22,222")
+	if idx1 != idx2 {
+		t.Errorf("columns misaligned: %d vs %d\n%s", idx1, idx2, out)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	cases := []struct {
+		n, d int
+		want string
+	}{
+		{1, 2, "50.0%"},
+		{0, 10, "0.0%"},
+		{10, 10, "100.0%"},
+		{1, 0, "-"},
+		{316, 1000, "31.6%"},
+	}
+	for _, c := range cases {
+		if got := Percent(c.n, c.d); got != c.want {
+			t.Errorf("Percent(%d,%d) = %q, want %q", c.n, c.d, got, c.want)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := []struct {
+		n    int
+		want string
+	}{
+		{0, "0"},
+		{999, "999"},
+		{1000, "1,000"},
+		{418842, "418,842"},
+		{1234567, "1,234,567"},
+		{-5, "-5"},
+	}
+	for _, c := range cases {
+		if got := Count(c.n); got != c.want {
+			t.Errorf("Count(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(5, 10, 10); got != "#####" {
+		t.Errorf("Bar(5,10,10) = %q", got)
+	}
+	if got := Bar(20, 10, 10); got != "##########" {
+		t.Errorf("overflow bar = %q", got)
+	}
+	if got := Bar(1, 0, 10); got != "" {
+		t.Errorf("zero-max bar = %q", got)
+	}
+	if got := Bar(0, 10, 10); got != "" {
+		t.Errorf("zero bar = %q", got)
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := &Series{
+		Title:  "rates",
+		Labels: []string{"2021-10-26", "2021-11-15"},
+		Values: []float64{1.0, 0.5},
+	}
+	var buf bytes.Buffer
+	s.Render(&buf)
+	out := buf.String()
+	if !strings.HasPrefix(out, "rates\n") {
+		t.Errorf("series title missing: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The full value's bar should be longer than the half value's.
+	if strings.Count(lines[1], "#") <= strings.Count(lines[2], "#") {
+		t.Errorf("bars not proportional:\n%s", out)
+	}
+}

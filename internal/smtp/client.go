@@ -1,0 +1,208 @@
+package smtp
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"spfail/internal/netsim"
+)
+
+// Client dials SMTP servers and drives probe transactions.
+type Client struct {
+	Net netsim.Network
+	// HELO is the identity announced in EHLO/HELO.
+	HELO string
+	// IOTimeout bounds each read/write; 0 means 30s.
+	IOTimeout time.Duration
+}
+
+func (c *Client) ioTimeout() time.Duration {
+	if c.IOTimeout > 0 {
+		return c.IOTimeout
+	}
+	return 30 * time.Second
+}
+
+// Conn is an established SMTP session.
+type Conn struct {
+	c       *Client
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	Greet   Reply // the 220/421 banner
+	didEHLO bool
+}
+
+// Dial connects and consumes the banner. A non-positive banner is returned
+// as *ReplyError alongside the connection (which is closed).
+func (c *Client) Dial(ctx context.Context, addr string) (*Conn, error) {
+	nc, err := c.Net.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn := &Conn{c: c, conn: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+	r, err := conn.readReply()
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	conn.Greet = *r
+	if !r.Positive() {
+		nc.Close()
+		return nil, &ReplyError{Reply: *r}
+	}
+	return conn, nil
+}
+
+// Close terminates the underlying connection without QUIT — the NoMsg
+// probe's deliberate mid-transaction termination.
+func (co *Conn) Close() error { return co.conn.Close() }
+
+// Quit sends QUIT and closes.
+func (co *Conn) Quit() error {
+	_, err := co.cmd("QUIT")
+	co.conn.Close()
+	return err
+}
+
+// Hello negotiates EHLO, falling back to HELO on rejection.
+func (co *Conn) Hello() error {
+	r, err := co.cmd("EHLO %s", co.c.HELO)
+	if err == nil && r.Positive() {
+		co.didEHLO = true
+		return nil
+	}
+	if err != nil {
+		if _, ok := err.(*ReplyError); !ok {
+			return err
+		}
+	}
+	r, err = co.cmd("HELO %s", co.c.HELO)
+	if err != nil {
+		return err
+	}
+	if !r.Positive() {
+		return &ReplyError{Reply: *r}
+	}
+	return nil
+}
+
+// Mail sends MAIL FROM.
+func (co *Conn) Mail(from string) error {
+	return co.expectPositive("MAIL FROM:<%s>", from)
+}
+
+// Rcpt sends RCPT TO.
+func (co *Conn) Rcpt(to string) error {
+	return co.expectPositive("RCPT TO:<%s>", to)
+}
+
+// Data sends the DATA command, expecting 354.
+func (co *Conn) Data() error {
+	r, err := co.cmd("DATA")
+	if err != nil {
+		return err
+	}
+	if r.Code != 354 {
+		return &ReplyError{Reply: *r}
+	}
+	return nil
+}
+
+// SendMessage transmits message content (dot-stuffed) and the terminator,
+// returning the server's final reply. An empty msg produces the BlankMsg
+// probe's entirely empty email.
+func (co *Conn) SendMessage(msg []byte) (*Reply, error) {
+	co.conn.SetWriteDeadline(time.Now().Add(co.c.ioTimeout()))
+	lines := strings.Split(string(msg), "\n")
+	for _, line := range lines {
+		line = strings.TrimSuffix(line, "\r")
+		if line == "" && len(msg) == 0 {
+			break // no body at all
+		}
+		if strings.HasPrefix(line, ".") {
+			line = "." + line
+		}
+		if _, err := co.bw.WriteString(line + "\r\n"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := co.bw.WriteString(".\r\n"); err != nil {
+		return nil, err
+	}
+	if err := co.bw.Flush(); err != nil {
+		return nil, err
+	}
+	return co.readReply()
+}
+
+// expectPositive sends a command and converts negative replies to errors.
+func (co *Conn) expectPositive(format string, args ...interface{}) error {
+	r, err := co.cmd(format, args...)
+	if err != nil {
+		return err
+	}
+	if !r.Positive() {
+		return &ReplyError{Reply: *r}
+	}
+	return nil
+}
+
+// cmd writes one command line and reads the reply.
+func (co *Conn) cmd(format string, args ...interface{}) (*Reply, error) {
+	co.conn.SetWriteDeadline(time.Now().Add(co.c.ioTimeout()))
+	if _, err := fmt.Fprintf(co.bw, format+"\r\n", args...); err != nil {
+		return nil, err
+	}
+	if err := co.bw.Flush(); err != nil {
+		return nil, err
+	}
+	return co.readReply()
+}
+
+// readReply parses a (possibly multi-line) SMTP reply.
+func (co *Conn) readReply() (*Reply, error) {
+	var reply Reply
+	for {
+		co.conn.SetReadDeadline(time.Now().Add(co.c.ioTimeout()))
+		line, err := co.br.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if len(line) < 3 {
+			return nil, fmt.Errorf("smtp: short reply line %q", line)
+		}
+		code, err := strconv.Atoi(line[:3])
+		if err != nil {
+			return nil, fmt.Errorf("smtp: bad reply code in %q", line)
+		}
+		if reply.Code == 0 {
+			reply.Code = code
+		} else if reply.Code != code {
+			return nil, fmt.Errorf("smtp: inconsistent codes %d vs %d", reply.Code, code)
+		}
+		cont := len(line) > 3 && line[3] == '-'
+		text := ""
+		if len(line) > 4 {
+			text = line[4:]
+		}
+		reply.Lines = append(reply.Lines, text)
+		if !cont {
+			return &reply, nil
+		}
+	}
+}
+
+// ReplyCode extracts the SMTP code from a *ReplyError, or 0.
+func ReplyCode(err error) int {
+	if re, ok := err.(*ReplyError); ok {
+		return re.Reply.Code
+	}
+	return 0
+}

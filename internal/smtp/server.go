@@ -1,0 +1,392 @@
+package smtp
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"spfail/internal/netsim"
+)
+
+// Handler receives the policy decision points of an SMTP session. Any hook
+// may return a nil reply to accept with the default response. Returning a
+// reply with code 421 or 554 on OnConnect refuses the session after the
+// banner.
+//
+// This is where simulated MTAs wire in SPF validation: hosts that validate
+// at MAIL FROM issue their DNS lookups inside OnMailFrom (visible to the
+// NoMsg probe); hosts that defer validation until a message has been
+// received issue them inside OnData (reachable only by the BlankMsg probe).
+type Handler interface {
+	// OnConnect is called before the banner. Returning a non-positive
+	// reply sends it and closes the session.
+	OnConnect(remote net.Addr) *Reply
+	// OnHelo is called for HELO/EHLO.
+	OnHelo(helo string, ehlo bool) *Reply
+	// OnMailFrom is called with the parsed reverse-path.
+	OnMailFrom(from string, remote net.Addr, helo string) *Reply
+	// OnRcptTo is called with each parsed forward-path.
+	OnRcptTo(to string) *Reply
+	// OnData is called with the complete message (possibly empty).
+	OnData(from string, rcpts []string, msg []byte, remote net.Addr, helo string) *Reply
+	// OnAbort is called when the client drops the connection mid-
+	// transaction (the NoMsg probe does this deliberately).
+	OnAbort(state string)
+}
+
+// NopHandler accepts everything and may be embedded to override selected
+// hooks.
+type NopHandler struct{}
+
+// OnConnect implements Handler.
+func (NopHandler) OnConnect(net.Addr) *Reply { return nil }
+
+// OnHelo implements Handler.
+func (NopHandler) OnHelo(string, bool) *Reply { return nil }
+
+// OnMailFrom implements Handler.
+func (NopHandler) OnMailFrom(string, net.Addr, string) *Reply { return nil }
+
+// OnRcptTo implements Handler.
+func (NopHandler) OnRcptTo(string) *Reply { return nil }
+
+// OnData implements Handler.
+func (NopHandler) OnData(string, []string, []byte, net.Addr, string) *Reply { return nil }
+
+// OnAbort implements Handler.
+func (NopHandler) OnAbort(string) {}
+
+// Server is an SMTP server bound to a Network.
+type Server struct {
+	// Hostname appears in the banner and EHLO response.
+	Hostname string
+	Net      netsim.Network
+	Addr     string // listen address, typically ":25"
+	Handler  Handler
+	// MaxMessageBytes caps DATA size; 0 means 10 MiB.
+	MaxMessageBytes int
+	// IOTimeout bounds each read/write; 0 means 30s.
+	IOTimeout time.Duration
+
+	mu  sync.Mutex
+	l   net.Listener
+	wg  sync.WaitGroup
+	run bool
+}
+
+func (s *Server) maxMsg() int {
+	if s.MaxMessageBytes > 0 {
+		return s.MaxMessageBytes
+	}
+	return 10 << 20
+}
+
+func (s *Server) ioTimeout() time.Duration {
+	if s.IOTimeout > 0 {
+		return s.IOTimeout
+	}
+	return 30 * time.Second
+}
+
+// Start binds the listener and serves until Stop or ctx cancellation.
+func (s *Server) Start(ctx context.Context) error {
+	l, err := s.Net.Listen("tcp", s.Addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.l = l
+	s.run = true
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(l)
+	if ctx != nil {
+		go func() {
+			<-ctx.Done()
+			s.Stop()
+		}()
+	}
+	return nil
+}
+
+// Stop closes the listener and waits for sessions to finish.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if !s.run {
+		s.mu.Unlock()
+		return
+	}
+	s.run = false
+	l := s.l
+	s.mu.Unlock()
+	l.Close()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	defer s.wg.Done()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(c)
+		}()
+	}
+}
+
+// session state names passed to OnAbort.
+const (
+	StateGreeting = "greeting"
+	StateHelo     = "helo"
+	StateMail     = "mail"
+	StateRcpt     = "rcpt"
+	StateData     = "data"
+)
+
+func (s *Server) serveConn(c net.Conn) {
+	defer c.Close()
+	sess := &serverSession{
+		srv:    s,
+		conn:   c,
+		br:     bufio.NewReader(c),
+		bw:     bufio.NewWriter(c),
+		remote: c.RemoteAddr(),
+		state:  StateGreeting,
+	}
+	sess.run()
+}
+
+type serverSession struct {
+	srv    *Server
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	remote net.Addr
+
+	state string
+	helo  string
+	from  string
+	haveF bool // MAIL FROM accepted (distinguishes empty reverse-path)
+	rcpts []string
+}
+
+func (ss *serverSession) send(r *Reply) error {
+	ss.conn.SetWriteDeadline(time.Now().Add(ss.srv.ioTimeout()))
+	if _, err := ss.bw.WriteString(r.String() + "\r\n"); err != nil {
+		return err
+	}
+	return ss.bw.Flush()
+}
+
+func (ss *serverSession) readLine() (string, error) {
+	ss.conn.SetReadDeadline(time.Now().Add(ss.srv.ioTimeout()))
+	line, err := ss.br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func (ss *serverSession) abortIfMidTransaction(err error) {
+	if err == nil {
+		return
+	}
+	// EOF or reset mid-session: report the state we were in so MTA
+	// simulations can distinguish NoMsg-style terminations.
+	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || isClosedPipe(err) {
+		ss.srv.Handler.OnAbort(ss.state)
+	}
+}
+
+// isClosedPipe detects net.Pipe's "io: read/write on closed pipe".
+func isClosedPipe(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "closed pipe")
+}
+
+func (ss *serverSession) run() {
+	h := ss.srv.Handler
+	if r := h.OnConnect(ss.remote); r != nil && !r.Positive() {
+		ss.send(r)
+		return
+	}
+	if err := ss.send(Replyf(220, "%s ESMTP ready", ss.srv.Hostname)); err != nil {
+		return
+	}
+	for {
+		line, err := ss.readLine()
+		if err != nil {
+			ss.abortIfMidTransaction(err)
+			return
+		}
+		verb, arg := splitCommand(line)
+		switch verb {
+		case "HELO", "EHLO":
+			ss.cmdHelo(verb == "EHLO", arg)
+		case "MAIL":
+			ss.cmdMail(arg)
+		case "RCPT":
+			ss.cmdRcpt(arg)
+		case "DATA":
+			if done := ss.cmdData(); done {
+				return
+			}
+		case "RSET":
+			ss.reset()
+			ss.send(ReplyOK)
+		case "NOOP":
+			ss.send(ReplyOK)
+		case "VRFY":
+			ss.send(NewReply(252, "Cannot VRFY user, but will accept message"))
+		case "QUIT":
+			ss.send(ReplyBye)
+			return
+		case "":
+			ss.send(ReplySyntaxError)
+		default:
+			ss.send(ReplySyntaxError)
+		}
+	}
+}
+
+func splitCommand(line string) (verb, arg string) {
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		return strings.ToUpper(line[:i]), strings.TrimSpace(line[i+1:])
+	}
+	return strings.ToUpper(line), ""
+}
+
+func (ss *serverSession) reset() {
+	ss.from = ""
+	ss.haveF = false
+	ss.rcpts = nil
+	if ss.helo != "" {
+		ss.state = StateHelo
+	} else {
+		ss.state = StateGreeting
+	}
+}
+
+func (ss *serverSession) cmdHelo(ehlo bool, arg string) {
+	if arg == "" {
+		ss.send(ReplyParamError)
+		return
+	}
+	if r := ss.srv.Handler.OnHelo(arg, ehlo); r != nil && !r.Positive() {
+		ss.send(r)
+		return
+	}
+	ss.helo = arg
+	ss.reset()
+	ss.state = StateHelo
+	if ehlo {
+		ss.send(&Reply{Code: 250, Lines: []string{ss.srv.Hostname, "8BITMIME", "SIZE 10485760", "PIPELINING"}})
+	} else {
+		ss.send(Replyf(250, "%s", ss.srv.Hostname))
+	}
+}
+
+func (ss *serverSession) cmdMail(arg string) {
+	upper := strings.ToUpper(arg)
+	if !strings.HasPrefix(upper, "FROM:") {
+		ss.send(ReplyParamError)
+		return
+	}
+	if ss.haveF {
+		ss.send(ReplyBadSequence)
+		return
+	}
+	path, err := ParsePath(arg[len("FROM:"):])
+	if err != nil {
+		ss.send(ReplyParamError)
+		return
+	}
+	if r := ss.srv.Handler.OnMailFrom(path, ss.remote, ss.helo); r != nil && !r.Positive() {
+		ss.send(r)
+		return
+	}
+	ss.from = path
+	ss.haveF = true
+	ss.state = StateMail
+	ss.send(ReplyOK)
+}
+
+func (ss *serverSession) cmdRcpt(arg string) {
+	upper := strings.ToUpper(arg)
+	if !strings.HasPrefix(upper, "TO:") {
+		ss.send(ReplyParamError)
+		return
+	}
+	if !ss.haveF {
+		ss.send(ReplyBadSequence)
+		return
+	}
+	path, err := ParsePath(arg[len("TO:"):])
+	if err != nil || path == "" {
+		ss.send(ReplyParamError)
+		return
+	}
+	if r := ss.srv.Handler.OnRcptTo(path); r != nil && !r.Positive() {
+		ss.send(r)
+		return
+	}
+	ss.rcpts = append(ss.rcpts, path)
+	ss.state = StateRcpt
+	ss.send(ReplyOK)
+}
+
+// cmdData runs the DATA phase. It returns true when the session must end
+// (client vanished mid-data).
+func (ss *serverSession) cmdData() bool {
+	if !ss.haveF || len(ss.rcpts) == 0 {
+		ss.send(ReplyBadSequence)
+		return false
+	}
+	if err := ss.send(ReplyStartMail); err != nil {
+		return true
+	}
+	ss.state = StateData
+	msg, err := ss.readData()
+	if err != nil {
+		ss.abortIfMidTransaction(err)
+		return true
+	}
+	r := ss.srv.Handler.OnData(ss.from, ss.rcpts, msg, ss.remote, ss.helo)
+	if r == nil {
+		r = NewReply(250, "OK: queued")
+	}
+	ss.send(r)
+	ss.reset()
+	return false
+}
+
+// readData consumes dot-stuffed message content up to the lone-dot
+// terminator.
+func (ss *serverSession) readData() ([]byte, error) {
+	var buf []byte
+	for {
+		line, err := ss.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if line == "." {
+			return buf, nil
+		}
+		if strings.HasPrefix(line, "..") {
+			line = line[1:] // un-stuff
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\r', '\n')
+		if len(buf) > ss.srv.maxMsg() {
+			return nil, errors.New("smtp: message too large")
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package smtp
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"spfail/internal/netsim"
+)
+
+func TestVrfyAndNoop(t *testing.T) {
+	h := &recordingHandler{}
+	fabric, addr := startServer(t, h)
+	conn := dial(t, fabric, addr)
+	defer conn.Close()
+	if r, err := conn.cmd("NOOP"); err != nil || r.Code != 250 {
+		t.Fatalf("NOOP = %v, %v", r, err)
+	}
+	if r, err := conn.cmd("VRFY postmaster"); err != nil || r.Code != 252 {
+		t.Fatalf("VRFY = %v, %v", r, err)
+	}
+}
+
+func TestUnknownCommandGets500(t *testing.T) {
+	h := &recordingHandler{}
+	fabric, addr := startServer(t, h)
+	conn := dial(t, fabric, addr)
+	defer conn.Close()
+	if r, err := conn.cmd("TURN"); err != nil || r.Code != 500 {
+		t.Fatalf("TURN = %v, %v", r, err)
+	}
+	if r, err := conn.cmd(""); err != nil || r.Code != 500 {
+		t.Fatalf("empty line = %v, %v", r, err)
+	}
+}
+
+func TestHeloWithoutArgumentGets501(t *testing.T) {
+	h := &recordingHandler{}
+	fabric, addr := startServer(t, h)
+	conn := dial(t, fabric, addr)
+	defer conn.Close()
+	if r, err := conn.cmd("EHLO"); err != nil || r.Code != 501 {
+		t.Fatalf("bare EHLO = %v, %v", r, err)
+	}
+}
+
+func TestMailWithESMTPParams(t *testing.T) {
+	h := &recordingHandler{}
+	fabric, addr := startServer(t, h)
+	conn := dial(t, fabric, addr)
+	defer conn.Close()
+	conn.Hello()
+	if r, err := conn.cmd("MAIL FROM:<a@b.example> SIZE=1000 BODY=8BITMIME"); err != nil || !r.Positive() {
+		t.Fatalf("MAIL with params = %v, %v", r, err)
+	}
+	got := h.snapshot()
+	if len(got.mails) != 1 || got.mails[0] != "a@b.example" {
+		t.Errorf("mails = %v", got.mails)
+	}
+}
+
+func TestNullReversePathAccepted(t *testing.T) {
+	h := &recordingHandler{}
+	fabric, addr := startServer(t, h)
+	conn := dial(t, fabric, addr)
+	defer conn.Close()
+	conn.Hello()
+	if r, err := conn.cmd("MAIL FROM:<>"); err != nil || !r.Positive() {
+		t.Fatalf("null reverse-path = %v, %v", r, err)
+	}
+	got := h.snapshot()
+	if len(got.mails) != 1 || got.mails[0] != "" {
+		t.Errorf("mails = %v", got.mails)
+	}
+}
+
+func TestDoubleMailFromRejected(t *testing.T) {
+	h := &recordingHandler{}
+	fabric, addr := startServer(t, h)
+	conn := dial(t, fabric, addr)
+	defer conn.Close()
+	conn.Hello()
+	conn.Mail("a@b.example")
+	if err := conn.Mail("c@d.example"); ReplyCode(err) != 503 {
+		t.Fatalf("second MAIL = %v, want 503", err)
+	}
+}
+
+func TestMessageTooLargeAborts(t *testing.T) {
+	h := &recordingHandler{}
+	fabric := netsim.NewFabric()
+	srv := &Server{
+		Hostname:        "mx.example.com",
+		Net:             fabric.Host("192.0.2.26"),
+		Addr:            ":25",
+		Handler:         h,
+		MaxMessageBytes: 64,
+	}
+	if err := srv.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	conn := dial(t, fabric, "192.0.2.26:25")
+	defer conn.Close()
+	conn.Hello()
+	conn.Mail("a@b.example")
+	conn.Rcpt("x@example.com")
+	if err := conn.Data(); err != nil {
+		t.Fatal(err)
+	}
+	big := strings.Repeat("spam spam spam\r\n", 64)
+	if _, err := conn.SendMessage([]byte(big)); err == nil {
+		t.Fatal("oversized message should break the session")
+	}
+	if len(h.snapshot().datas) != 0 {
+		t.Error("oversized message must not reach OnData")
+	}
+}
+
+func TestMultipleRecipients(t *testing.T) {
+	h := &recordingHandler{}
+	fabric, addr := startServer(t, h)
+	conn := dial(t, fabric, addr)
+	defer conn.Close()
+	conn.Hello()
+	conn.Mail("a@b.example")
+	for _, rcpt := range []string{"one@example.com", "two@example.com", "three@example.com"} {
+		if err := conn.Rcpt(rcpt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conn.Data()
+	conn.SendMessage([]byte("hi"))
+	got := h.snapshot()
+	if len(got.rcpts) != 3 {
+		t.Errorf("rcpts = %v", got.rcpts)
+	}
+}
+
+func TestSecondTransactionOnSameConnection(t *testing.T) {
+	h := &recordingHandler{}
+	fabric, addr := startServer(t, h)
+	conn := dial(t, fabric, addr)
+	defer conn.Close()
+	conn.Hello()
+	for i := 0; i < 2; i++ {
+		if err := conn.Mail("a@b.example"); err != nil {
+			t.Fatalf("transaction %d MAIL: %v", i, err)
+		}
+		if err := conn.Rcpt("x@example.com"); err != nil {
+			t.Fatalf("transaction %d RCPT: %v", i, err)
+		}
+		if err := conn.Data(); err != nil {
+			t.Fatalf("transaction %d DATA: %v", i, err)
+		}
+		if _, err := conn.SendMessage([]byte("msg")); err != nil {
+			t.Fatalf("transaction %d message: %v", i, err)
+		}
+	}
+	got := h.snapshot()
+	if len(got.datas) != 2 {
+		t.Errorf("datas = %d, want 2 transactions", len(got.datas))
+	}
+}
+
+func TestClientReadsMultilineGreetingServer(t *testing.T) {
+	// A raw server that sends a multi-line banner and replies.
+	fabric := netsim.NewFabric()
+	l, err := fabric.Host("192.0.2.30").Listen("tcp", ":25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		c.Write([]byte("220-mx.example.com welcomes you\r\n220-no really\r\n220 go ahead\r\n"))
+		buf := make([]byte, 256)
+		c.Read(buf)
+		c.Write([]byte("250-mx.example.com\r\n250-SIZE 1000\r\n250 OK\r\n"))
+		c.Read(buf)
+	}()
+	cli := &Client{Net: fabric.Host("198.51.100.9"), HELO: "probe"}
+	conn, err := cli.Dial(context.Background(), "192.0.2.30:25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if len(conn.Greet.Lines) != 3 {
+		t.Errorf("greeting lines = %v", conn.Greet.Lines)
+	}
+	if err := conn.Hello(); err != nil {
+		t.Fatalf("multiline EHLO reply: %v", err)
+	}
+}
+
+func TestReplyErrorMessage(t *testing.T) {
+	err := &ReplyError{Reply: *ReplyGreylisted}
+	if !strings.Contains(err.Error(), "450") {
+		t.Errorf("error text = %q", err.Error())
+	}
+	if ReplyCode(err) != 450 {
+		t.Errorf("ReplyCode = %d", ReplyCode(err))
+	}
+	if ReplyCode(context.Canceled) != 0 {
+		t.Error("ReplyCode of non-reply error should be 0")
+	}
+}

@@ -1,0 +1,71 @@
+package spf
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+)
+
+// FuzzParse checks that the record parser never panics and that accepted
+// records render and re-parse stably.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"v=spf1 -all",
+		"v=spf1 a mx ptr ip4:192.0.2.0/24 ip6:2001:db8::/32 include:x.org exists:%{ir}.rbl.example -all",
+		"v=spf1 a:%{d1r}.x.s.spf-test.dns-lab.org a:b.x.s.spf-test.dns-lab.org -all",
+		"v=spf1 redirect=_spf.example.com exp=e.%{d}",
+		"v=spf1 ~all ?a +mx -ptr:x.example",
+		"v=spf1 a/24//64",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		rec, err := Parse(s)
+		if err != nil {
+			return
+		}
+		out := rec.String()
+		rec2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("rendered record %q does not re-parse: %v", out, err)
+		}
+		if rec2.String() != out {
+			t.Fatalf("String not a fixed point: %q vs %q", out, rec2.String())
+		}
+	})
+}
+
+// FuzzTokenizeAndExpand checks macro tokenization and expansion for
+// panics across arbitrary macro-strings.
+func FuzzTokenizeAndExpand(f *testing.F) {
+	for _, s := range []string{
+		"%{d1r}.foo.com", "%{s}", "%{L2r-}", "%%x%_%-", "%{ir}.%{v}.arpa",
+		"%{p}", "plain.example",
+	} {
+		f.Add(s)
+	}
+	env := &MacroEnv{
+		Sender: "user@example.com",
+		Domain: "example.com",
+		IP:     netip.MustParseAddr("192.0.2.1"),
+		HELO:   "helo.example.com",
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		toks, err := TokenizeMacroString(s)
+		if err != nil {
+			return
+		}
+		// Every token must be well-formed.
+		for _, tok := range toks {
+			if tok.IsMacro && tok.Letter == 0 {
+				t.Fatal("macro token with zero letter")
+			}
+		}
+		if _, err := (Expander{}).Expand(context.Background(), s, env, true); err != nil {
+			// Expansion of tokenizable input may still fail for exp-only
+			// macros misuse etc. — but not here, since forExp is true and
+			// tokenization succeeded.
+			t.Fatalf("expand of tokenizable %q failed: %v", s, err)
+		}
+	})
+}

@@ -1,0 +1,236 @@
+package spf
+
+import (
+	"context"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testEnv() *MacroEnv {
+	return &MacroEnv{
+		Sender:   "user@example.com",
+		Domain:   "example.com",
+		IP:       netip.MustParseAddr("192.0.2.3"),
+		HELO:     "mta.example.com",
+		Receiver: "rx.example.net",
+		Now:      func() time.Time { return time.Unix(1634000000, 0) },
+	}
+}
+
+func expand(t *testing.T, spec string) string {
+	t.Helper()
+	out, err := (Expander{}).Expand(context.Background(), spec, testEnv(), false)
+	if err != nil {
+		t.Fatalf("Expand(%q): %v", spec, err)
+	}
+	return out
+}
+
+// TestPaperMacroExamples verifies the exact macro translations listed in
+// SPFail §2.2 for sender user@example.com.
+func TestPaperMacroExamples(t *testing.T) {
+	cases := []struct{ spec, want string }{
+		{"%{l}", "user"},
+		{"%{d}", "example.com"},
+		{"%{d2}", "example.com"},
+		{"%{d1}", "com"},
+		{"%{dr}", "com.example"},
+		{"%{d1r}", "example"},
+	}
+	for _, c := range cases {
+		if got := expand(t, c.spec); got != c.want {
+			t.Errorf("expand(%q) = %q, want %q", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestMacroD1RInTargetDomain(t *testing.T) {
+	// The compliant expansion from §4.2: a:%{d1r}.foo.com for
+	// user@example.com yields example.foo.com.
+	if got := expand(t, "%{d1r}.foo.com"); got != "example.foo.com" {
+		t.Errorf("got %q, want example.foo.com", got)
+	}
+}
+
+func TestMacroSenderAndParts(t *testing.T) {
+	if got := expand(t, "%{s}"); got != "user@example.com" {
+		t.Errorf("%%{s} = %q", got)
+	}
+	if got := expand(t, "%{o}"); got != "example.com" {
+		t.Errorf("%%{o} = %q", got)
+	}
+	if got := expand(t, "%{h}"); got != "mta.example.com" {
+		t.Errorf("%%{h} = %q", got)
+	}
+}
+
+func TestMacroEmptyLocalPartDefaultsPostmaster(t *testing.T) {
+	env := testEnv()
+	env.Sender = "example.com" // no local part
+	out, err := (Expander{}).Expand(context.Background(), "%{l}", env, false)
+	if err != nil || out != "postmaster" {
+		t.Errorf("%%{l} = %q, %v; want postmaster", out, err)
+	}
+	out, err = (Expander{}).Expand(context.Background(), "%{s}", env, false)
+	if err != nil || !strings.HasPrefix(out, "postmaster@") {
+		t.Errorf("%%{s} = %q, %v", out, err)
+	}
+}
+
+func TestMacroIPv4(t *testing.T) {
+	if got := expand(t, "%{i}"); got != "192.0.2.3" {
+		t.Errorf("%%{i} = %q", got)
+	}
+	if got := expand(t, "%{ir}"); got != "3.2.0.192" {
+		t.Errorf("%%{ir} = %q", got)
+	}
+	if got := expand(t, "%{v}"); got != "in-addr" {
+		t.Errorf("%%{v} = %q", got)
+	}
+	if got := expand(t, "%{ir}.%{v}.arpa"); got != "3.2.0.192.in-addr.arpa" {
+		t.Errorf("reverse zone = %q", got)
+	}
+}
+
+func TestMacroIPv6DotFormat(t *testing.T) {
+	env := testEnv()
+	env.IP = netip.MustParseAddr("2001:db8::cb01")
+	out, err := (Expander{}).Expand(context.Background(), "%{i}", env, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RFC 7208 §7.4 example format: dotted nibbles.
+	if !strings.HasPrefix(out, "2.0.0.1.0.d.b.8.") || !strings.HasSuffix(out, "c.b.0.1") {
+		t.Errorf("%%{i} v6 = %q", out)
+	}
+	if len(strings.Split(out, ".")) != 32 {
+		t.Errorf("v6 dot format has %d nibbles", len(strings.Split(out, ".")))
+	}
+	v, _ := (Expander{}).Expand(context.Background(), "%{v}", env, false)
+	if v != "ip6" {
+		t.Errorf("%%{v} v6 = %q", v)
+	}
+}
+
+func TestMacroCustomDelimiters(t *testing.T) {
+	env := testEnv()
+	env.Sender = "strong-bad@email.example.com"
+	// RFC 7208 §7.4 examples for local part "strong-bad".
+	cases := []struct{ spec, want string }{
+		{"%{l}", "strong-bad"},
+		{"%{l-}", "strong.bad"},
+		{"%{lr}", "strong-bad"},
+		{"%{lr-}", "bad.strong"},
+		{"%{l1r-}", "strong"},
+	}
+	for _, c := range cases {
+		out, err := (Expander{}).Expand(context.Background(), c.spec, env, false)
+		if err != nil {
+			t.Fatalf("Expand(%q): %v", c.spec, err)
+		}
+		if out != c.want {
+			t.Errorf("expand(%q) = %q, want %q", c.spec, out, c.want)
+		}
+	}
+}
+
+func TestMacroLiteralEscapes(t *testing.T) {
+	if got := expand(t, "a%%b"); got != "a%b" {
+		t.Errorf("%%%% = %q", got)
+	}
+	if got := expand(t, "a%_b"); got != "a b" {
+		t.Errorf("%%_ = %q", got)
+	}
+	if got := expand(t, "a%-b"); got != "a%20b" {
+		t.Errorf("%%- = %q", got)
+	}
+}
+
+func TestMacroURLEscapeUppercase(t *testing.T) {
+	env := testEnv()
+	env.Sender = "strange user+tag@example.com"
+	out, err := (Expander{}).Expand(context.Background(), "%{L}", env, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// space → %20, '+' → %2B; '+' is also a delimiter char but not used here.
+	if out != "strange%20user%2Btag" {
+		t.Errorf("%%{L} = %q", out)
+	}
+}
+
+func TestMacroExpOnlyLettersRejectedInDomain(t *testing.T) {
+	for _, spec := range []string{"%{c}", "%{r}", "%{t}"} {
+		if _, err := (Expander{}).Expand(context.Background(), spec, testEnv(), false); err == nil {
+			t.Errorf("%q should be rejected outside exp", spec)
+		}
+	}
+}
+
+func TestMacroExpOnlyLettersInExp(t *testing.T) {
+	env := testEnv()
+	out, err := (Expander{}).Expand(context.Background(), "ip %{c} at %{t} to %{r}", env, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "192.0.2.3") || !strings.Contains(out, "1634000000") ||
+		!strings.Contains(out, "rx.example.net") {
+		t.Errorf("exp text = %q", out)
+	}
+}
+
+func TestMacroSyntaxErrors(t *testing.T) {
+	bad := []string{"%{d", "%", "%x", "%{q}", "%{d0}", "%{d2x}", "%{}"}
+	for _, s := range bad {
+		if _, err := TokenizeMacroString(s); err == nil {
+			t.Errorf("TokenizeMacroString(%q) should fail", s)
+		}
+	}
+}
+
+func TestTokenizeStructure(t *testing.T) {
+	toks, err := TokenizeMacroString("%{d1r}.foo.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 2 {
+		t.Fatalf("tokens = %v", toks)
+	}
+	m := toks[0]
+	if !m.IsMacro || m.Letter != MacroDomain || m.Digits != 1 || !m.Reverse || m.URLEscape {
+		t.Errorf("macro token = %+v", m)
+	}
+	if toks[1].IsMacro || toks[1].Literal != ".foo.com" {
+		t.Errorf("literal token = %+v", toks[1])
+	}
+}
+
+func TestApplyTransformersEdgeCases(t *testing.T) {
+	// Digits larger than label count keeps everything.
+	if got := ApplyTransformers("a.b", MacroToken{Digits: 9}); got != "a.b" {
+		t.Errorf("digits overflow = %q", got)
+	}
+	// Value with no delimiter occurrences is a single part.
+	if got := ApplyTransformers("abc", MacroToken{Reverse: true}); got != "abc" {
+		t.Errorf("single part reverse = %q", got)
+	}
+}
+
+func TestMacroPTRUnknownWithoutResolver(t *testing.T) {
+	if got := expand(t, "%{p}"); got != "unknown" {
+		t.Errorf("%%{p} without resolver = %q", got)
+	}
+}
+
+func TestMacroPTRWithResolver(t *testing.T) {
+	env := testEnv()
+	env.LookupPTR = func(ctx context.Context, addr netip.Addr) ([]string, error) {
+		return []string{"mail.example.com."}, nil
+	}
+	out, err := (Expander{}).Expand(context.Background(), "%{p}", env, false)
+	if err != nil || out != "mail.example.com" {
+		t.Errorf("%%{p} = %q, %v", out, err)
+	}
+}

@@ -1,0 +1,235 @@
+package spf
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// IsSPFRecord reports whether a TXT string is an SPF version-1 policy:
+// exactly "v=spf1" followed by end-of-string or a space (RFC 7208 §4.5).
+func IsSPFRecord(txt string) bool {
+	if len(txt) == 6 {
+		return strings.EqualFold(txt, "v=spf1")
+	}
+	return len(txt) > 6 && strings.EqualFold(txt[:6], "v=spf1") && txt[6] == ' '
+}
+
+// SyntaxError describes a policy that cannot be interpreted; evaluation
+// maps it to permerror.
+type SyntaxError struct {
+	Term string
+	Msg  string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	if e.Term == "" {
+		return "spf: " + e.Msg
+	}
+	return fmt.Sprintf("spf: term %q: %s", e.Term, e.Msg)
+}
+
+// Parse parses the text of an SPF policy record.
+func Parse(txt string) (*Record, error) {
+	if !IsSPFRecord(txt) {
+		return nil, &SyntaxError{Msg: "missing v=spf1 version tag"}
+	}
+	rec := &Record{}
+	body := txt[6:]
+	for _, term := range strings.Fields(body) {
+		if err := parseTerm(rec, term); err != nil {
+			return nil, err
+		}
+	}
+	return rec, nil
+}
+
+func parseTerm(rec *Record, term string) error {
+	// Modifier? name=value with name starting alphabetic.
+	if i := strings.IndexByte(term, '='); i > 0 && isModifierName(term[:i]) {
+		name := strings.ToLower(term[:i])
+		val := term[i+1:]
+		switch name {
+		case "redirect":
+			if rec.Redirect != "" {
+				return &SyntaxError{Term: term, Msg: "duplicate redirect modifier"}
+			}
+			if val == "" {
+				return &SyntaxError{Term: term, Msg: "empty redirect target"}
+			}
+			rec.Redirect = val
+		case "exp":
+			if rec.Exp != "" {
+				return &SyntaxError{Term: term, Msg: "duplicate exp modifier"}
+			}
+			if val == "" {
+				return &SyntaxError{Term: term, Msg: "empty exp target"}
+			}
+			rec.Exp = val
+		default:
+			rec.Unknown = append(rec.Unknown, Modifier{Name: name, Value: val})
+		}
+		return nil
+	}
+
+	m := Mechanism{Qualifier: QPass, Prefix4: -1, Prefix6: -1}
+	rest := term
+	if len(rest) > 0 {
+		switch Qualifier(rest[0]) {
+		case QPass, QFail, QSoftFail, QNeutral:
+			m.Qualifier = Qualifier(rest[0])
+			rest = rest[1:]
+		}
+	}
+	if rest == "" {
+		return &SyntaxError{Term: term, Msg: "empty mechanism"}
+	}
+
+	nameEnd := len(rest)
+	if i := strings.IndexAny(rest, ":/"); i >= 0 {
+		nameEnd = i
+	}
+	kind := MechanismKind(strings.ToLower(rest[:nameEnd]))
+	arg := rest[nameEnd:]
+
+	switch kind {
+	case MechAll:
+		if arg != "" {
+			return &SyntaxError{Term: term, Msg: "all takes no argument"}
+		}
+		m.Kind = MechAll
+	case MechInclude, MechExists:
+		if !strings.HasPrefix(arg, ":") || len(arg) == 1 {
+			return &SyntaxError{Term: term, Msg: string(kind) + " requires a domain"}
+		}
+		m.Kind = kind
+		m.Domain = arg[1:]
+	case MechPTR:
+		m.Kind = MechPTR
+		if strings.HasPrefix(arg, ":") {
+			if len(arg) == 1 {
+				return &SyntaxError{Term: term, Msg: "empty ptr domain"}
+			}
+			m.Domain = arg[1:]
+		} else if arg != "" {
+			return &SyntaxError{Term: term, Msg: "bad ptr argument"}
+		}
+	case MechA, MechMX:
+		m.Kind = kind
+		if err := parseDualCIDR(&m, arg); err != nil {
+			return &SyntaxError{Term: term, Msg: err.Error()}
+		}
+	case MechIP4:
+		m.Kind = MechIP4
+		if err := parseIPArg(&m, arg, false); err != nil {
+			return &SyntaxError{Term: term, Msg: err.Error()}
+		}
+	case MechIP6:
+		m.Kind = MechIP6
+		if err := parseIPArg(&m, arg, true); err != nil {
+			return &SyntaxError{Term: term, Msg: err.Error()}
+		}
+	default:
+		return &SyntaxError{Term: term, Msg: "unknown mechanism"}
+	}
+	rec.Mechanisms = append(rec.Mechanisms, m)
+	return nil
+}
+
+// isModifierName reports whether s is a valid modifier name: ALPHA
+// *( ALPHA / DIGIT / "-" / "_" / "." ).
+func isModifierName(s string) bool {
+	if s == "" || !isAlpha(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		if !isAlpha(c) && !isDigit(c) && c != '-' && c != '_' && c != '.' {
+			return false
+		}
+	}
+	return true
+}
+
+func isAlpha(c byte) bool { return 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' }
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// parseDualCIDR parses a/mx arguments: [":"domain]["/"n[//m]] .
+func parseDualCIDR(m *Mechanism, arg string) error {
+	if strings.HasPrefix(arg, ":") {
+		arg = arg[1:]
+		slash := strings.IndexByte(arg, '/')
+		if slash == 0 {
+			return fmt.Errorf("empty domain before CIDR")
+		}
+		if slash < 0 {
+			if arg == "" {
+				return fmt.Errorf("empty domain")
+			}
+			m.Domain = arg
+			return nil
+		}
+		m.Domain = arg[:slash]
+		arg = arg[slash:]
+	}
+	if arg == "" {
+		return nil
+	}
+	if !strings.HasPrefix(arg, "/") {
+		return fmt.Errorf("bad dual-CIDR %q", arg)
+	}
+	arg = arg[1:]
+	// Forms: "n", "n//m", "/m" (v6 only: written as "//m" overall).
+	if strings.HasPrefix(arg, "/") {
+		return parsePrefix(arg[1:], &m.Prefix6, 128)
+	}
+	if i := strings.Index(arg, "//"); i >= 0 {
+		if err := parsePrefix(arg[:i], &m.Prefix4, 32); err != nil {
+			return err
+		}
+		return parsePrefix(arg[i+2:], &m.Prefix6, 128)
+	}
+	return parsePrefix(arg, &m.Prefix4, 32)
+}
+
+func parsePrefix(s string, dst *int, max int) error {
+	if s == "" {
+		return fmt.Errorf("empty CIDR length")
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 || n > max {
+		return fmt.Errorf("bad CIDR length %q", s)
+	}
+	*dst = n
+	return nil
+}
+
+// parseIPArg parses ip4:addr[/n] or ip6:addr[/n].
+func parseIPArg(m *Mechanism, arg string, v6 bool) error {
+	if !strings.HasPrefix(arg, ":") || len(arg) == 1 {
+		return fmt.Errorf("ip mechanism requires an address")
+	}
+	arg = arg[1:]
+	addrStr := arg
+	var prefixStr string
+	if i := strings.IndexByte(arg, '/'); i >= 0 {
+		addrStr, prefixStr = arg[:i], arg[i+1:]
+	}
+	addr, err := netip.ParseAddr(addrStr)
+	if err != nil {
+		return fmt.Errorf("bad IP %q", addrStr)
+	}
+	if v6 == addr.Is4() {
+		return fmt.Errorf("address family mismatch for %q", addrStr)
+	}
+	m.IP = addr
+	if prefixStr != "" {
+		if v6 {
+			return parsePrefix(prefixStr, &m.Prefix6, 128)
+		}
+		return parsePrefix(prefixStr, &m.Prefix4, 32)
+	}
+	return nil
+}

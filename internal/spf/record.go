@@ -1,0 +1,135 @@
+package spf
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// MechanismKind identifies one of the eight RFC 7208 mechanisms.
+type MechanismKind string
+
+// The mechanisms of RFC 7208 §5.
+const (
+	MechAll     MechanismKind = "all"
+	MechInclude MechanismKind = "include"
+	MechA       MechanismKind = "a"
+	MechMX      MechanismKind = "mx"
+	MechPTR     MechanismKind = "ptr"
+	MechIP4     MechanismKind = "ip4"
+	MechIP6     MechanismKind = "ip6"
+	MechExists  MechanismKind = "exists"
+)
+
+// NeedsDNS reports whether evaluating the mechanism consumes one of the
+// ten permitted DNS-querying terms (RFC 7208 §4.6.4).
+func (k MechanismKind) NeedsDNS() bool {
+	switch k {
+	case MechInclude, MechA, MechMX, MechPTR, MechExists:
+		return true
+	}
+	return false
+}
+
+// Mechanism is one directive in a policy.
+type Mechanism struct {
+	Qualifier Qualifier
+	Kind      MechanismKind
+	// Domain is the domain-spec (possibly containing macros). Empty for
+	// a/mx/ptr means "use the current domain".
+	Domain string
+	// IP and Prefix4/Prefix6 depend on the kind: ip4/ip6 carry IP and one
+	// prefix; a/mx carry the dual-CIDR lengths applied to resolved
+	// addresses.
+	IP      netip.Addr
+	Prefix4 int // -1 when unspecified
+	Prefix6 int // -1 when unspecified
+}
+
+// String renders the mechanism in record syntax.
+func (m Mechanism) String() string {
+	var b strings.Builder
+	if m.Qualifier != QPass {
+		b.WriteByte(byte(m.Qualifier))
+	}
+	b.WriteString(string(m.Kind))
+	switch m.Kind {
+	case MechIP4:
+		fmt.Fprintf(&b, ":%s", m.IP)
+		if m.Prefix4 >= 0 {
+			fmt.Fprintf(&b, "/%d", m.Prefix4)
+		}
+	case MechIP6:
+		fmt.Fprintf(&b, ":%s", m.IP)
+		if m.Prefix6 >= 0 {
+			fmt.Fprintf(&b, "/%d", m.Prefix6)
+		}
+	default:
+		if m.Domain != "" {
+			fmt.Fprintf(&b, ":%s", m.Domain)
+		}
+		if m.Prefix4 >= 0 {
+			fmt.Fprintf(&b, "/%d", m.Prefix4)
+		}
+		if m.Prefix6 >= 0 {
+			fmt.Fprintf(&b, "//%d", m.Prefix6)
+		}
+	}
+	return b.String()
+}
+
+// Modifier is a name=value term (redirect, exp, or unknown).
+type Modifier struct {
+	Name  string // lower-cased
+	Value string // macro-string, unexpanded
+}
+
+// String renders the modifier in record syntax.
+func (m Modifier) String() string { return m.Name + "=" + m.Value }
+
+// Record is a parsed SPF policy.
+type Record struct {
+	// Mechanisms in evaluation order.
+	Mechanisms []Mechanism
+	// Redirect is the redirect= modifier value, if present.
+	Redirect string
+	// Exp is the exp= modifier value, if present.
+	Exp string
+	// Unknown preserves unrecognized modifiers (ignored per RFC 7208
+	// §6, but kept for round-tripping and diagnostics).
+	Unknown []Modifier
+}
+
+// String renders the record, starting with the version tag.
+func (r *Record) String() string {
+	parts := []string{"v=spf1"}
+	for _, m := range r.Mechanisms {
+		parts = append(parts, m.String())
+	}
+	if r.Redirect != "" {
+		parts = append(parts, "redirect="+r.Redirect)
+	}
+	if r.Exp != "" {
+		parts = append(parts, "exp="+r.Exp)
+	}
+	for _, u := range r.Unknown {
+		parts = append(parts, u.String())
+	}
+	return strings.Join(parts, " ")
+}
+
+// LookupTerms counts the DNS-consuming terms in this record alone
+// (mechanisms plus redirect), useful for linting policies against the
+// 10-term budget.
+func (r *Record) LookupTerms() int {
+	n := 0
+	for _, m := range r.Mechanisms {
+		if m.Kind.NeedsDNS() {
+			n++
+		}
+	}
+	if r.Redirect != "" {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,73 @@
+// Package spf implements the Sender Policy Framework (RFC 7208): policy
+// record parsing, the full macro language, and the check_host() evaluation
+// algorithm with its DNS-lookup limits.
+//
+// The package is the substrate that both sides of the SPFail study stand
+// on: simulated mail hosts validate inbound mail with it (or with the
+// deliberately buggy variants in internal/spfimpl that share this package's
+// parser and evaluator), and the probe policies served by the measurement
+// DNS zone are expressed in its record syntax.
+package spf
+
+import "errors"
+
+// Result is the outcome of check_host() (RFC 7208 §2.6).
+type Result string
+
+// The seven SPF results.
+const (
+	// ResultNone means no policy was found (or no checkable domain).
+	ResultNone Result = "none"
+	// ResultNeutral means the policy makes no assertion about the sender.
+	ResultNeutral Result = "neutral"
+	// ResultPass means the client is authorized to send for the domain.
+	ResultPass Result = "pass"
+	// ResultFail means the client is not authorized.
+	ResultFail Result = "fail"
+	// ResultSoftFail means the client is probably not authorized.
+	ResultSoftFail Result = "softfail"
+	// ResultTempError means a transient error (typically DNS) occurred.
+	ResultTempError Result = "temperror"
+	// ResultPermError means the policy could not be correctly interpreted.
+	ResultPermError Result = "permerror"
+)
+
+// Qualifier is a mechanism's result-on-match prefix (RFC 7208 §4.6.1).
+type Qualifier byte
+
+// The four qualifiers.
+const (
+	QPass     Qualifier = '+'
+	QFail     Qualifier = '-'
+	QSoftFail Qualifier = '~'
+	QNeutral  Qualifier = '?'
+)
+
+// Result maps the qualifier to the result returned when its mechanism
+// matches.
+func (q Qualifier) Result() Result {
+	switch q {
+	case QFail:
+		return ResultFail
+	case QSoftFail:
+		return ResultSoftFail
+	case QNeutral:
+		return ResultNeutral
+	default:
+		return ResultPass
+	}
+}
+
+// String implements fmt.Stringer.
+func (q Qualifier) String() string { return string(q) }
+
+// Sentinel errors that Resolver implementations wrap so the evaluator can
+// distinguish "name does not exist" from "try again later".
+var (
+	// ErrNotFound reports a nonexistent name or an empty answer
+	// (NXDOMAIN / NODATA).
+	ErrNotFound = errors.New("spf: domain not found")
+	// ErrTemporary reports a transient resolution failure (SERVFAIL,
+	// timeout, unreachable server).
+	ErrTemporary = errors.New("spf: temporary DNS failure")
+)

@@ -1,0 +1,162 @@
+package spfimpl
+
+import (
+	"context"
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"spfail/internal/spf"
+)
+
+// randomMacroSpec builds a random valid macro-string from lowercase macro
+// letters, transformers, and literal labels.
+func randomMacroSpec(r *rand.Rand) string {
+	letters := []string{"s", "l", "o", "d", "i", "h", "v"}
+	var b strings.Builder
+	n := 1 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		if r.Intn(2) == 0 {
+			b.WriteString("lbl")
+			continue
+		}
+		b.WriteString("%{")
+		b.WriteString(letters[r.Intn(len(letters))])
+		if r.Intn(2) == 0 {
+			b.WriteByte(byte('1' + r.Intn(4)))
+		}
+		if r.Intn(2) == 0 {
+			b.WriteByte('r')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteString(".base.example")
+	return b.String()
+}
+
+func randomEnv(r *rand.Rand) *spf.MacroEnv {
+	domains := []string{"example.com", "a.b.example.org", "mail.corp.example.co.uk", "x.io"}
+	d := domains[r.Intn(len(domains))]
+	ip := netip.AddrFrom4([4]byte{198, 51, 100, byte(r.Intn(255))})
+	if r.Intn(4) == 0 {
+		ip = netip.MustParseAddr("2001:db8::1")
+	}
+	return &spf.MacroEnv{
+		Sender: "user@" + d,
+		Domain: d,
+		IP:     ip,
+		HELO:   "helo." + d,
+	}
+}
+
+// TestPropertyPatchedLibSPF2EqualsCompliant: the patched expander must be
+// byte-identical to the RFC expander on every macro-string.
+func TestPropertyPatchedLibSPF2EqualsCompliant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := randomMacroSpec(r)
+		env := randomEnv(r)
+		want, err1 := spf.Expander{}.Expand(context.Background(), spec, env, false)
+		got, err2 := (&LibSPF2Expander{Patched: true}).Expand(context.Background(), spec, env, false)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		return err1 != nil || got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyVulnExpansionContainsCompliantSuffix: for reverse+truncate
+// macros, the buggy output is the compliant truncation prefix glued ahead
+// of the full reversed value — so it always *ends* with the no-truncate
+// expansion and *starts* with the compliant one.
+func TestPropertyVulnFingerprintStructure(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		env := randomEnv(r)
+		digits := 1 + r.Intn(2)
+		spec := "%{d" + string(byte('0'+digits)) + "r}"
+		vuln, err := (&LibSPF2Expander{}).Expand(context.Background(), spec, env, false)
+		if err != nil {
+			return false
+		}
+		noTrunc, _ := spf.Expander{}.Expand(context.Background(), "%{dr}", env, false)
+		parts := strings.Split(env.Domain, ".")
+		if digits >= len(parts) {
+			// No truncation happens: clean code path, output equals the
+			// plain reversal.
+			return vuln == noTrunc
+		}
+		// The duplicated prefix is the first `digits` labels of the
+		// reversed sequence — i.e. the domain's last labels in reverse.
+		reversed := make([]string, len(parts))
+		for i, p := range parts {
+			reversed[len(parts)-1-i] = p
+		}
+		prefix := strings.Join(reversed[:digits], ".")
+		return vuln == prefix+"."+noTrunc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyNonVulnBehaviorsNeverProduceFingerprint: no non-vulnerable
+// behaviour may ever emit the duplicated-prefix pattern for the probe
+// macro (that would be a false positive in the detector).
+func TestPropertyNonVulnBehaviorsNeverProduceFingerprint(t *testing.T) {
+	behaviors := []Behavior{
+		BehaviorCompliant, BehaviorPatchedLibSPF2, BehaviorNoReverse,
+		BehaviorNoTruncate, BehaviorRawValue, BehaviorNoExpansion,
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		env := randomEnv(r)
+		vuln, err := (&LibSPF2Expander{}).Expand(context.Background(), "%{d1r}", env, false)
+		if err != nil {
+			return false
+		}
+		for _, b := range behaviors {
+			out, err := ExpanderFor(b).Expand(context.Background(), "%{d1r}", env, false)
+			if err != nil {
+				return false
+			}
+			// Fingerprint collision is only legal when no truncation
+			// occurred (single-label domains cannot exist here).
+			if out == vuln && strings.Count(env.Domain, ".") >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyOverflowOnlyWithURLEncoding: the modeled memory corruption
+// must require the URL-encoding path, as §4.2's benign-detection argument
+// depends on it.
+func TestPropertyOverflowOnlyWithURLEncoding(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		env := randomEnv(r)
+		var events []OverflowEvent
+		l := &LibSPF2Expander{OnOverflow: func(e OverflowEvent) { events = append(events, e) }}
+		// Lowercase (no URL encoding): never overflows.
+		if _, err := l.Expand(context.Background(), randomMacroSpec(r), env, false); err != nil {
+			return true // syntax-invalid spec; nothing to assert
+		}
+		return len(events) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

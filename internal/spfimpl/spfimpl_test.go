@@ -1,0 +1,262 @@
+package spfimpl
+
+import (
+	"context"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"spfail/internal/spf"
+)
+
+func env(sender string) *spf.MacroEnv {
+	domain := sender[strings.IndexByte(sender, '@')+1:]
+	return &spf.MacroEnv{
+		Sender: sender,
+		Domain: domain,
+		IP:     netip.MustParseAddr("198.51.100.9"),
+		HELO:   "probe.example",
+	}
+}
+
+func expandAs(t *testing.T, b Behavior, spec, sender string) string {
+	t.Helper()
+	out, err := ExpanderFor(b).Expand(context.Background(), spec, env(sender), false)
+	if err != nil {
+		t.Fatalf("%s: Expand(%q): %v", b, spec, err)
+	}
+	return out
+}
+
+// TestPaperSection42Expansions verifies the three expansions listed in
+// paper §4.2 for mechanism a:%{d1r}.foo.com with sender user@example.com.
+func TestPaperSection42Expansions(t *testing.T) {
+	const spec = "%{d1r}.foo.com"
+	const sender = "user@example.com"
+	cases := []struct {
+		b    Behavior
+		want string
+	}{
+		{BehaviorCompliant, "example.foo.com"},
+		{BehaviorNoTruncate, "com.example.foo.com"},
+		{BehaviorVulnLibSPF2, "com.com.example.foo.com"},
+	}
+	for _, c := range cases {
+		if got := expandAs(t, c.b, spec, sender); got != c.want {
+			t.Errorf("%s: %q, want %q", c.b, got, c.want)
+		}
+	}
+}
+
+func TestAllBehaviorsDistinctOnProbeRecord(t *testing.T) {
+	// The SPFail detector relies on each behavior producing a distinct
+	// query for the probe macro. Verify pairwise distinctness (patched
+	// libSPF2 collides with compliant by design).
+	const spec = "%{d1r}.x7.s1.spf-test.dns-lab.org"
+	const sender = "user@x7.s1.spf-test.dns-lab.org"
+	seen := map[string]Behavior{}
+	for _, b := range AllBehaviors() {
+		out := expandAs(t, b, spec, sender)
+		if prev, dup := seen[out]; dup {
+			okCollision := (b == BehaviorPatchedLibSPF2 && prev == BehaviorCompliant) ||
+				(b == BehaviorCompliant && prev == BehaviorPatchedLibSPF2)
+			if !okCollision {
+				t.Errorf("behaviors %s and %s both expand to %q", prev, b, out)
+			}
+			continue
+		}
+		seen[out] = b
+	}
+}
+
+func TestNoReverseBehavior(t *testing.T) {
+	// Truncation without reversal keeps the right-most label of the
+	// original order: "com".
+	if got := expandAs(t, BehaviorNoReverse, "%{d1r}.foo.com", "user@example.com"); got != "com.foo.com" {
+		t.Errorf("no-reverse = %q", got)
+	}
+}
+
+func TestRawValueBehavior(t *testing.T) {
+	if got := expandAs(t, BehaviorRawValue, "%{d1r}.foo.com", "user@example.com"); got != "example.com.foo.com" {
+		t.Errorf("raw = %q", got)
+	}
+}
+
+func TestNoExpansionBehavior(t *testing.T) {
+	if got := expandAs(t, BehaviorNoExpansion, "%{d1r}.foo.com", "user@example.com"); got != "%{d1r}.foo.com" {
+		t.Errorf("no-expansion = %q", got)
+	}
+}
+
+func TestPatchedLibSPF2IsCompliant(t *testing.T) {
+	specs := []string{"%{d1r}.foo.com", "%{dr}.x.org", "%{d2}.y.net", "%{l}.z.io"}
+	for _, spec := range specs {
+		want := expandAs(t, BehaviorCompliant, spec, "user@mail.example.com")
+		got := expandAs(t, BehaviorPatchedLibSPF2, spec, "user@mail.example.com")
+		if got != want {
+			t.Errorf("patched(%q) = %q, compliant = %q", spec, got, want)
+		}
+	}
+}
+
+func TestVulnFingerprintWiderDomains(t *testing.T) {
+	// Five-label domain, d2r: reversed = e.d.c.b.a → prefix 2 = e.d →
+	// buggy output e.d.e.d.c.b.a.
+	got := expandAs(t, BehaviorVulnLibSPF2, "%{d2r}.t.example", "u@a.b.c.d.e")
+	if got != "e.d.e.d.c.b.a.t.example" {
+		t.Errorf("d2r fingerprint = %q", got)
+	}
+}
+
+func TestVulnNoBugWithoutTruncation(t *testing.T) {
+	// Reversal without digits takes the clean code path.
+	if got := expandAs(t, BehaviorVulnLibSPF2, "%{dr}.t.example", "u@example.com"); got != "com.example.t.example" {
+		t.Errorf("dr = %q", got)
+	}
+	// Truncation without reversal is also correct in libSPF2.
+	if got := expandAs(t, BehaviorVulnLibSPF2, "%{d1}.t.example", "u@example.com"); got != "com.t.example" {
+		t.Errorf("d1 = %q", got)
+	}
+	// Digits >= label count: no truncation happens, no bug.
+	if got := expandAs(t, BehaviorVulnLibSPF2, "%{d5r}.t.example", "u@example.com"); got != "com.example.t.example" {
+		t.Errorf("d5r = %q", got)
+	}
+}
+
+func TestCVE202133912SignExtendedEncoding(t *testing.T) {
+	var events []OverflowEvent
+	l := &LibSPF2Expander{OnOverflow: func(e OverflowEvent) { events = append(events, e) }}
+	e := env("user@example.com")
+	e.Sender = "caf\xe9@example.com" // 0xE9 high byte in local part
+	out, err := l.Expand(context.Background(), "%{L}.t.example", e, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "%ffffffe9") {
+		t.Errorf("sign-extended encoding missing: %q", out)
+	}
+	if len(events) != 1 || events[0].CVE != CVEURLEncoding || events[0].Bytes != 6 {
+		t.Errorf("overflow events = %v", events)
+	}
+}
+
+func TestCVE202133912PatchedEncoding(t *testing.T) {
+	var events []OverflowEvent
+	l := &LibSPF2Expander{Patched: true, OnOverflow: func(e OverflowEvent) { events = append(events, e) }}
+	e := env("user@example.com")
+	e.Sender = "caf\xe9@example.com"
+	out, err := l.Expand(context.Background(), "%{L}.t.example", e, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.ToLower(out), "%e9") || strings.Contains(out, "ffffff") {
+		t.Errorf("patched encoding = %q", out)
+	}
+	if len(events) != 0 {
+		t.Errorf("patched expander reported overflows: %v", events)
+	}
+}
+
+func TestCVE202133913OverflowOnReverseWithEncoding(t *testing.T) {
+	var events []OverflowEvent
+	l := &LibSPF2Expander{OnOverflow: func(e OverflowEvent) { events = append(events, e) }}
+	_, err := l.Expand(context.Background(), "%{D1R}.t.example", env("user@mail.corp.example.com"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, ev := range events {
+		if ev.CVE == CVEBufferLength {
+			found = true
+			if ev.Bytes <= 0 || ev.Bytes > 100 {
+				t.Errorf("overflow bytes = %d, want 1..100", ev.Bytes)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no %s event; got %v", CVEBufferLength, events)
+	}
+}
+
+func TestNoOverflowWithoutURLEncoding(t *testing.T) {
+	var events []OverflowEvent
+	l := &LibSPF2Expander{OnOverflow: func(e OverflowEvent) { events = append(events, e) }}
+	// Lowercase macro: fingerprint produced, but memory stays intact —
+	// this is what makes benign remote detection possible (paper §4.2).
+	out, err := l.Expand(context.Background(), "%{d1r}.t.example", env("user@example.com"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "com.com.example.t.example" {
+		t.Errorf("fingerprint = %q", out)
+	}
+	if len(events) != 0 {
+		t.Errorf("unexpected overflow events: %v", events)
+	}
+}
+
+func TestBehaviorPredicates(t *testing.T) {
+	if !BehaviorVulnLibSPF2.Vulnerable() || BehaviorCompliant.Vulnerable() {
+		t.Error("Vulnerable() wrong")
+	}
+	if !BehaviorNoReverse.Erroneous() || BehaviorPatchedLibSPF2.Erroneous() || BehaviorCompliant.Erroneous() {
+		t.Error("Erroneous() wrong")
+	}
+	if !BehaviorVulnLibSPF2.Erroneous() {
+		t.Error("vulnerable should also be erroneous")
+	}
+}
+
+func TestNewCheckerEndToEnd(t *testing.T) {
+	// A vulnerable checker evaluating the probe policy issues the
+	// fingerprint lookup through the real evaluator.
+	r := &recordingResolver{
+		txt: map[string][]string{
+			"x7.s1.spf-test.dns-lab.org": {
+				"v=spf1 a:%{d1r}.x7.s1.spf-test.dns-lab.org a:b.x7.s1.spf-test.dns-lab.org -all"},
+		},
+	}
+	c := NewChecker(BehaviorVulnLibSPF2, r)
+	res := c.CheckHost(context.Background(), netip.MustParseAddr("198.51.100.9"),
+		"x7.s1.spf-test.dns-lab.org", "probe@x7.s1.spf-test.dns-lab.org", "probe.example")
+	if res.Result != spf.ResultFail {
+		t.Fatalf("result = %s (%v)", res.Result, res.Err)
+	}
+	want := "org.org.dns-lab.spf-test.s1.x7.x7.s1.spf-test.dns-lab.org"
+	var sawFingerprint bool
+	for _, q := range r.ipQueries {
+		if q == want {
+			sawFingerprint = true
+		}
+	}
+	if !sawFingerprint {
+		t.Errorf("fingerprint query %q not issued; queries = %v", want, r.ipQueries)
+	}
+}
+
+// recordingResolver records LookupIP targets.
+type recordingResolver struct {
+	txt       map[string][]string
+	ipQueries []string
+}
+
+func (r *recordingResolver) LookupTXT(_ context.Context, name string) ([]string, error) {
+	if v, ok := r.txt[strings.TrimSuffix(name, ".")]; ok {
+		return v, nil
+	}
+	return nil, spf.ErrNotFound
+}
+
+func (r *recordingResolver) LookupIP(_ context.Context, _, name string) ([]netip.Addr, error) {
+	r.ipQueries = append(r.ipQueries, strings.TrimSuffix(name, "."))
+	return nil, spf.ErrNotFound
+}
+
+func (r *recordingResolver) LookupMX(context.Context, string) ([]spf.MX, error) {
+	return nil, spf.ErrNotFound
+}
+
+func (r *recordingResolver) LookupPTR(context.Context, netip.Addr) ([]string, error) {
+	return nil, spf.ErrNotFound
+}

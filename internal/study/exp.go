@@ -1,0 +1,549 @@
+package study
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"spfail/internal/core"
+	"spfail/internal/geo"
+	"spfail/internal/measure"
+	"spfail/internal/population"
+)
+
+// This file extracts, from a Results, the data behind every table and
+// figure of the paper. Rendering lives in internal/report; benchmarks in
+// bench_test.go regenerate each experiment through these functions.
+
+// ---- Table 1: domain-set overlaps ----
+
+// Table1Cell is the count of domains in set Row that are also in Col.
+type Table1Cell struct {
+	Row, Col population.Set
+	Count    int
+}
+
+// Table1 computes the overlap matrix across the three measured sets.
+func Table1(w *population.World) []Table1Cell {
+	sets := []population.Set{population.SetTwoWeekMX, population.SetAlexa1000, population.SetAlexaTopList}
+	var out []Table1Cell
+	for _, row := range sets {
+		for _, col := range sets {
+			n := 0
+			for _, d := range w.Domains {
+				if d.Sets.Has(row) && d.Sets.Has(col) {
+					n++
+				}
+			}
+			out = append(out, Table1Cell{Row: row, Col: col, Count: n})
+		}
+	}
+	return out
+}
+
+// ---- Table 2: TLD frequency ----
+
+// TLDCount is one row of a TLD frequency table.
+type TLDCount struct {
+	TLD   string
+	Count int
+}
+
+// Table2 returns the top-n TLDs of a set by frequency.
+func Table2(w *population.World, set population.Set, n int) []TLDCount {
+	counts := map[string]int{}
+	for _, d := range w.DomainsIn(set) {
+		counts[d.TLD]++
+	}
+	out := make([]TLDCount, 0, len(counts))
+	for tld, c := range counts {
+		out = append(out, TLDCount{TLD: tld, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].TLD < out[j].TLD
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// ---- Table 3: probe outcome funnel ----
+
+// Funnel is the Table 3 outcome breakdown for one domain set, by address
+// and by domain.
+type Funnel struct {
+	Set population.Set
+
+	Addresses         int
+	AddrRefused       int
+	AddrNoMsgRun      int
+	AddrNoMsgSMTPFail int
+	AddrNoMsgMeasured int
+	AddrNoMsgNotMeas  int
+	AddrBlankRun      int
+	AddrBlankSMTPFail int
+	AddrBlankMeasured int
+	AddrBlankNotMeas  int
+	AddrTotalMeasured int
+
+	Domains        int
+	DomRefused     int
+	DomSMTPFailure int
+	DomMeasured    int
+	DomNotMeasured int
+}
+
+// Table3 computes the funnel for a set from the initial measurement.
+func Table3(r *Results, set population.Set) Funnel {
+	f := Funnel{Set: set}
+	inSet := func(domain string) bool { return r.DomainSet(domain).Has(set) }
+
+	seen := map[netip.Addr]bool{}
+	for _, t := range r.Targets {
+		if !inSet(t.Domain) {
+			continue
+		}
+		f.Domains++
+		domBest := 0 // 0 refused, 1 smtp fail, 2 not measured, 3 measured
+		for _, a := range t.Addrs {
+			o, ok := r.Initial[a]
+			if !ok {
+				continue
+			}
+			rank := outcomeRank(o)
+			if rank > domBest {
+				domBest = rank
+			}
+			if seen[a] {
+				continue
+			}
+			seen[a] = true
+			f.Addresses++
+			switch o.Status {
+			case core.StatusConnectionRefused:
+				f.AddrRefused++
+				continue
+			}
+			f.AddrNoMsgRun++
+			noMsgMeasured := o.Status == core.StatusSPFMeasured && o.Method == core.MethodNoMsg
+			switch {
+			case noMsgMeasured:
+				f.AddrNoMsgMeasured++
+			case o.Status == core.StatusSMTPFailure && !o.BlankMsgRan:
+				f.AddrNoMsgSMTPFail++
+			default:
+				f.AddrNoMsgNotMeas++
+			}
+			if o.BlankMsgRan {
+				f.AddrBlankRun++
+				switch {
+				case o.Status == core.StatusSPFMeasured && o.Method == core.MethodBlankMsg:
+					f.AddrBlankMeasured++
+				case o.Status == core.StatusSMTPFailure:
+					f.AddrBlankSMTPFail++
+				default:
+					f.AddrBlankNotMeas++
+				}
+			}
+			if o.Status == core.StatusSPFMeasured {
+				f.AddrTotalMeasured++
+			}
+		}
+		switch domBest {
+		case 3:
+			f.DomMeasured++
+		case 2:
+			f.DomNotMeasured++
+		case 1:
+			f.DomSMTPFailure++
+		default:
+			f.DomRefused++
+		}
+	}
+	return f
+}
+
+func outcomeRank(o core.Outcome) int {
+	switch o.Status {
+	case core.StatusSPFMeasured:
+		return 3
+	case core.StatusSPFNotMeasured:
+		return 2
+	case core.StatusSMTPFailure:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// ---- Table 4: initial vulnerability breakdown ----
+
+// Breakdown is the Table 4 classification of SPF-measured addresses.
+type Breakdown struct {
+	Set population.Set
+	// Measured addresses with conclusive SPF behaviour.
+	Measured int
+	// Vulnerable carries the libSPF2 fingerprint.
+	Vulnerable int
+	// ErroneousOther expanded incorrectly in some other way.
+	ErroneousOther int
+	// Compliant expanded per RFC 7208.
+	Compliant int
+	// Domains measured / vulnerable, for the domain columns.
+	DomainsMeasured   int
+	DomainsVulnerable int
+}
+
+// Table4 computes the initial-results breakdown for one set (use
+// population.Set(0) mask == match-all via SetAny).
+func Table4(r *Results, set population.Set) Breakdown {
+	b := Breakdown{Set: set}
+	counted := map[netip.Addr]bool{}
+	for _, t := range r.Targets {
+		if set != 0 && !r.DomainSet(t.Domain).Has(set) {
+			continue
+		}
+		domMeasured, domVuln := false, false
+		for _, a := range t.Addrs {
+			o, ok := r.Initial[a]
+			if !ok || o.Status != core.StatusSPFMeasured {
+				continue
+			}
+			domMeasured = true
+			if o.Observation.Vulnerable() {
+				domVuln = true
+			}
+			if counted[a] {
+				continue
+			}
+			counted[a] = true
+			b.Measured++
+			switch {
+			case o.Observation.Vulnerable():
+				b.Vulnerable++
+			case o.Observation.DominantClass().Erroneous():
+				b.ErroneousOther++
+			default:
+				b.Compliant++
+			}
+		}
+		if domMeasured {
+			b.DomainsMeasured++
+		}
+		if domVuln {
+			b.DomainsVulnerable++
+		}
+	}
+	return b
+}
+
+// ---- Table 5: TLD patch rates ----
+
+// TLDPatch is one row of the patch-rate-by-TLD table.
+type TLDPatch struct {
+	TLD        string
+	Vulnerable int
+	Patched    int
+}
+
+// Rate is the patched share.
+func (t TLDPatch) Rate() float64 {
+	if t.Vulnerable == 0 {
+		return 0
+	}
+	return float64(t.Patched) / float64(t.Vulnerable)
+}
+
+// Table5 computes per-TLD patch rates over initially vulnerable domains,
+// sorted by rate descending; minVulnerable filters noise rows (paper: 50).
+func Table5(r *Results, minVulnerable int) []TLDPatch {
+	agg := map[string]*TLDPatch{}
+	for domain := range r.VulnDomains {
+		d := r.World.ByName[domain]
+		if d == nil {
+			continue
+		}
+		row := agg[d.TLD]
+		if row == nil {
+			row = &TLDPatch{TLD: d.TLD}
+			agg[d.TLD] = row
+		}
+		row.Vulnerable++
+		if r.FinalDomainStatus(domain) == measure.DomPatched {
+			row.Patched++
+		}
+	}
+	var out []TLDPatch
+	for _, row := range agg {
+		if row.Vulnerable >= minVulnerable {
+			out = append(out, *row)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rate() != out[j].Rate() {
+			return out[i].Rate() > out[j].Rate()
+		}
+		return out[i].TLD < out[j].TLD
+	})
+	return out
+}
+
+// ---- Table 7: macro-expansion behaviour taxonomy ----
+
+// BehaviorCount is one row of the Table 7 taxonomy.
+type BehaviorCount struct {
+	Class core.BehaviorClass
+	Count int
+}
+
+// Table7Result carries the taxonomy plus the multi-pattern statistic.
+type Table7Result struct {
+	Rows             []BehaviorCount
+	MultiplePatterns int
+	TotalMeasured    int
+}
+
+// Table7 classifies every measured address by its dominant behaviour.
+func Table7(r *Results) Table7Result {
+	counts := map[core.BehaviorClass]int{}
+	res := Table7Result{}
+	for _, o := range r.Initial {
+		if o.Status != core.StatusSPFMeasured {
+			continue
+		}
+		res.TotalMeasured++
+		counts[o.Observation.DominantClass()]++
+		if o.Observation.MultiplePatterns() {
+			res.MultiplePatterns++
+		}
+	}
+	order := []core.BehaviorClass{
+		core.ClassCompliant, core.ClassVulnerable, core.ClassNoExpansion,
+		core.ClassNoTruncate, core.ClassNoReverse, core.ClassRawValue,
+		core.ClassMacroSkipped, core.ClassOther,
+	}
+	for _, c := range order {
+		if counts[c] > 0 {
+			res.Rows = append(res.Rows, BehaviorCount{Class: c, Count: counts[c]})
+		}
+	}
+	return res
+}
+
+// ---- Figure 2: final patched/vulnerable/unknown split ----
+
+// FinalSplit is one set's final-state distribution.
+type FinalSplit struct {
+	Set        population.Set
+	Vulnerable int
+	Patched    int
+	Unknown    int
+}
+
+// Figure2 computes the February 2022 distribution for each set over the
+// initially vulnerable domains.
+func Figure2(r *Results) []FinalSplit {
+	sets := []population.Set{population.SetAlexaTopList, population.SetAlexa1000, population.SetTwoWeekMX}
+	out := make([]FinalSplit, 0, len(sets)+1)
+	combined := FinalSplit{}
+	counted := map[string]bool{}
+	for _, set := range sets {
+		fs := FinalSplit{Set: set}
+		for domain := range r.VulnDomains {
+			if !r.DomainSet(domain).Has(set) {
+				continue
+			}
+			st := r.FinalDomainStatus(domain)
+			switch st {
+			case measure.DomPatched:
+				fs.Patched++
+			case measure.DomVulnerable:
+				fs.Vulnerable++
+			default:
+				fs.Unknown++
+			}
+			if !counted[domain] {
+				counted[domain] = true
+				switch st {
+				case measure.DomPatched:
+					combined.Patched++
+				case measure.DomVulnerable:
+					combined.Vulnerable++
+				default:
+					combined.Unknown++
+				}
+			}
+		}
+		out = append(out, fs)
+	}
+	// Domains outside the three sets (provider-only) join the combined row.
+	for domain := range r.VulnDomains {
+		if counted[domain] {
+			continue
+		}
+		switch r.FinalDomainStatus(domain) {
+		case measure.DomPatched:
+			combined.Patched++
+		case measure.DomVulnerable:
+			combined.Vulnerable++
+		default:
+			combined.Unknown++
+		}
+	}
+	out = append(out, combined) // Set == 0 marks "all domains"
+	return out
+}
+
+// ---- Figure 3: geographic distribution ----
+
+// Figure3 returns the choropleth buckets for (a) vulnerable addresses and
+// (b) their patch rates, plus per-country aggregates.
+func Figure3(r *Results, cellDeg float64) (buckets []geo.BucketStats, countries []geo.CountryStats) {
+	patched := func(a netip.Addr) bool {
+		o, ok := r.Snapshot[a]
+		if ok && measure.StatusOf(o) == measure.IPSafe {
+			return true
+		}
+		// Fall back to the longitudinal end state.
+		if r.Analysis != nil {
+			if series, ok := r.Analysis.Inferred[a]; ok && len(series) > 0 {
+				return series[len(series)-1] == measure.IPSafe
+			}
+		}
+		return false
+	}
+	buckets = r.World.Geo.Choropleth(r.VulnAddrs, cellDeg, patched)
+	countries = r.World.Geo.ByCountry(r.VulnAddrs, patched)
+	return buckets, countries
+}
+
+// ---- Figure 4: vulnerability by site ranking ----
+
+// RankBucket is one of the 20 rank partitions.
+type RankBucket struct {
+	Index      int
+	Lo, Hi     int // rank range (inclusive) or usage-rank range
+	Vulnerable int
+	Patched    int
+}
+
+// Figure4 buckets initially vulnerable domains by rank. For the Alexa set
+// the explicit rank is used; for the 2-Week MX set domains are ranked by
+// their observed MX-query counts.
+func Figure4(r *Results, set population.Set, buckets int) []RankBucket {
+	if buckets <= 0 {
+		buckets = 20
+	}
+	type ranked struct {
+		domain string
+		rank   int
+	}
+	var all []ranked
+	for _, d := range r.World.DomainsIn(set) {
+		rk := d.Rank
+		if set == population.SetTwoWeekMX {
+			rk = -d.MXQueries // more queries = higher usage rank
+		}
+		all = append(all, ranked{domain: d.Name, rank: rk})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].rank < all[j].rank })
+	out := make([]RankBucket, buckets)
+	for i := range out {
+		lo := i * len(all) / buckets
+		hi := (i+1)*len(all)/buckets - 1
+		out[i] = RankBucket{Index: i, Lo: lo + 1, Hi: hi + 1}
+	}
+	for pos, entry := range all {
+		b := pos * buckets / len(all)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		if _, vulnerable := r.VulnDomains[entry.domain]; !vulnerable {
+			continue
+		}
+		out[b].Vulnerable++
+		if r.FinalDomainStatus(entry.domain) == measure.DomPatched {
+			out[b].Patched++
+		}
+	}
+	return out
+}
+
+// ---- Figures 5–8: longitudinal series ----
+
+// SetSeries returns the longitudinal domain series for a set (Figures
+// 5/6/7; pass population.SetAlexa1000 for Figure 8).
+func SetSeries(r *Results, set population.Set) []measure.SeriesPoint {
+	domains := map[string][]netip.Addr{}
+	for d, addrs := range r.VulnDomains {
+		if set == 0 || r.DomainSet(d).Has(set) {
+			domains[d] = addrs
+		}
+	}
+	if r.Analysis == nil {
+		return nil
+	}
+	return r.Analysis.DomainSeries(domains)
+}
+
+// WindowSeries filters a series to a time window.
+func WindowSeries(points []measure.SeriesPoint, from, to time.Time) []measure.SeriesPoint {
+	var out []measure.SeriesPoint
+	for _, p := range points {
+		if !p.Time.Before(from) && !p.Time.After(to) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ---- §7.6/§7.7 narrative: when did patching happen? ----
+
+// PatchTiming breaks the measured patch events down by disclosure window,
+// the quantities behind the paper's conclusion that public disclosure
+// correlated with far more patching than private notification.
+type PatchTiming struct {
+	// PreNotification: first measured patched before November 15
+	// (proactive package-update monitoring).
+	PreNotification int
+	// BetweenDisclosures: between the private notification and the
+	// public CVE disclosure.
+	BetweenDisclosures int
+	// PostDisclosure: on or after January 19.
+	PostDisclosure int
+	// SnapshotOnly: never measured patched in the longitudinal series
+	// but conclusively patched in the final snapshot.
+	SnapshotOnly int
+	// Never: still vulnerable (or unknown) at the end.
+	Never int
+	Total int
+}
+
+// PatchTimingBreakdown classifies every initially vulnerable domain by
+// when its patch was first measured.
+func PatchTimingBreakdown(r *Results) PatchTiming {
+	var out PatchTiming
+	for domain := range r.VulnDomains {
+		out.Total++
+		at := r.DomainPatchedAt(domain)
+		switch {
+		case at.IsZero():
+			if r.FinalDomainStatus(domain) == measure.DomPatched {
+				out.SnapshotOnly++
+			} else {
+				out.Never++
+			}
+		case at.Before(population.TNotification):
+			out.PreNotification++
+		case at.Before(population.TDisclosure):
+			out.BetweenDisclosures++
+		default:
+			out.PostDisclosure++
+		}
+	}
+	return out
+}

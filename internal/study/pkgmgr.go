@@ -1,0 +1,125 @@
+package study
+
+import (
+	"sort"
+	"time"
+)
+
+// PackageManager models one distribution's libSPF2 patch response
+// (Table 6). A zero time means the package was never patched during the
+// observation period.
+type PackageManager struct {
+	Name string
+	// CVE20314PatchedAt is when the fix for CVE-2021-20314 (the earlier
+	// Jeitner et al. stack overflow) shipped.
+	CVE20314PatchedAt time.Time
+	// CVE33912PatchedAt is when the fix for CVE-2021-33912/33913
+	// shipped. Several distributions picked up our fixes while packaging
+	// the earlier CVE's patch (IncludedInEarlier).
+	CVE33912PatchedAt time.Time
+	// IncludedInEarlier marks distros whose CVE-2021-20314 update
+	// already contained our fixes (the 0* rows of Table 6).
+	IncludedInEarlier bool
+	// Orphaned marks packages with no assigned maintainer — the factor
+	// §7.8 identifies behind never-patching distros.
+	Orphaned bool
+}
+
+// Disclosure dates for the two CVE groups.
+var (
+	// CVE20314Disclosed is the public disclosure of CVE-2021-20314.
+	CVE20314Disclosed = time.Date(2021, 8, 11, 0, 0, 0, 0, time.UTC)
+	// CVE33912Disclosed is the public disclosure of CVE-2021-33912/13.
+	CVE33912Disclosed = time.Date(2022, 1, 19, 0, 0, 0, 0, time.UTC)
+	// ObservationEnd bounds the "days to patch" accounting ("230+",
+	// "70+" rows).
+	ObservationEnd = time.Date(2022, 3, 30, 0, 0, 0, 0, time.UTC)
+)
+
+func date(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// PackageManagers reproduces Table 6.
+var PackageManagers = []PackageManager{
+	// Debian's update coincided with the public disclosure day (§7.6).
+	{Name: "Debian", CVE20314PatchedAt: date(2021, 8, 11), CVE33912PatchedAt: date(2022, 1, 19), Orphaned: true},
+	{Name: "Alpine", CVE20314PatchedAt: date(2021, 8, 11), CVE33912PatchedAt: date(2022, 3, 11), Orphaned: true},
+	{Name: "RedHat", CVE20314PatchedAt: date(2021, 9, 22), CVE33912PatchedAt: date(2021, 9, 22), IncludedInEarlier: true},
+	{Name: "Gentoo", CVE20314PatchedAt: date(2021, 10, 25), CVE33912PatchedAt: date(2021, 10, 25), IncludedInEarlier: true, Orphaned: true},
+	{Name: "Arch Linux", CVE20314PatchedAt: date(2021, 11, 22), CVE33912PatchedAt: date(2021, 11, 22), IncludedInEarlier: true},
+	{Name: "Ubuntu", Orphaned: true},
+	{Name: "FreeBSD Ports", Orphaned: true},
+	{Name: "NetBSD", Orphaned: true},
+	{Name: "SUSE Hub", Orphaned: true},
+}
+
+// DaysToPatch returns the day count between a disclosure and a patch
+// date; open reports a still-unpatched package (rendered as "N+").
+func DaysToPatch(disclosed, patched time.Time) (days int, open bool) {
+	if patched.IsZero() {
+		return int(ObservationEnd.Sub(disclosed).Hours() / 24), true
+	}
+	d := int(patched.Sub(disclosed).Hours() / 24)
+	if d < 0 {
+		d = 0 // patched before public disclosure (pre-notified)
+	}
+	return d, false
+}
+
+// Table6Row is one rendered row of the package-manager table.
+type Table6Row struct {
+	Manager      string
+	CVE20314Days int
+	CVE20314Open bool
+	CVE20314Date time.Time
+	CVE33912Days int
+	CVE33912Open bool
+	CVE33912Date time.Time
+	IncludedStar bool
+}
+
+// Table6 computes the rows, ordered as the paper does (days between
+// disclosure and patch for the earlier CVE, unpatched rows last).
+func Table6() []Table6Row {
+	rows := make([]Table6Row, 0, len(PackageManagers))
+	for _, pm := range PackageManagers {
+		r := Table6Row{Manager: pm.Name, IncludedStar: pm.IncludedInEarlier}
+		r.CVE20314Days, r.CVE20314Open = DaysToPatch(CVE20314Disclosed, pm.CVE20314PatchedAt)
+		r.CVE20314Date = pm.CVE20314PatchedAt
+		if pm.IncludedInEarlier {
+			r.CVE33912Days, r.CVE33912Open = 0, false
+			r.CVE33912Date = pm.CVE33912PatchedAt
+		} else {
+			r.CVE33912Days, r.CVE33912Open = DaysToPatch(CVE33912Disclosed, pm.CVE33912PatchedAt)
+			r.CVE33912Date = pm.CVE33912PatchedAt
+		}
+		rows = append(rows, r)
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].CVE20314Open != rows[j].CVE20314Open {
+			return !rows[i].CVE20314Open
+		}
+		return rows[i].CVE20314Days < rows[j].CVE20314Days
+	})
+	return rows
+}
+
+// DistroPatchDate returns when a host tracking the given distro would
+// receive the libSPF2 fix for our CVEs (zero: never during the study).
+func DistroPatchDate(distro string) time.Time {
+	switch distro {
+	case "debian":
+		return date(2022, 1, 19)
+	case "alpine":
+		return date(2022, 3, 11) // after the measurement window
+	case "redhat":
+		return date(2021, 9, 22)
+	case "gentoo":
+		return date(2021, 10, 25)
+	case "arch":
+		return date(2021, 11, 22)
+	default:
+		return time.Time{}
+	}
+}

@@ -1,0 +1,290 @@
+package study
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"spfail/internal/clock"
+	"spfail/internal/core"
+	"spfail/internal/measure"
+	"spfail/internal/population"
+)
+
+// Config parameterizes a full study run.
+type Config struct {
+	Spec population.Spec
+	// Concurrency caps simultaneous probes (paper: 250).
+	Concurrency int
+	// BatchSize bounds simultaneously running simulated hosts.
+	BatchSize int
+	// Interval is the longitudinal cadence (paper: 48h).
+	Interval time.Duration
+	// Progress, if non-nil, receives coarse stage updates.
+	Progress func(stage string)
+}
+
+func (c *Config) interval() time.Duration {
+	if c.Interval > 0 {
+		return c.Interval
+	}
+	return 48 * time.Hour
+}
+
+// Results carries everything the experiments section consumes.
+type Results struct {
+	World *population.World
+
+	// Targets is the DNS-resolved measurement set; AddrDomains indexes
+	// domains by address; RepDomain is the representative domain used in
+	// RCPT TO for each address.
+	Targets     []measure.Target
+	AddrDomains map[netip.Addr][]string
+	RepDomain   map[netip.Addr]string
+
+	// Initial is the full-population measurement of October 11.
+	InitialTime time.Time
+	Initial     map[netip.Addr]core.Outcome
+
+	// VulnAddrs were measured vulnerable initially; RetryAddrs were
+	// inconclusive but considered re-measurable (paper: 7,212 + 721).
+	VulnAddrs  []netip.Addr
+	RetryAddrs []netip.Addr
+	// VulnDomains maps each initially vulnerable domain to its
+	// vulnerable addresses.
+	VulnDomains map[string][]netip.Addr
+
+	// Rounds is the longitudinal series; Analysis applies inference.
+	Rounds   []measure.Round
+	Analysis *measure.Analysis
+
+	// Notification is the §7.7 funnel.
+	Notification NotificationResult
+
+	// Snapshot is the final re-resolved measurement of February 14.
+	SnapshotTime time.Time
+	Snapshot     map[netip.Addr]core.Outcome
+}
+
+// Run executes the complete study on a simulated clock starting at the
+// paper's initial measurement date.
+func Run(ctx context.Context, cfg Config) (*Results, error) {
+	progress := cfg.Progress
+	if progress == nil {
+		progress = func(string) {}
+	}
+	world := population.Generate(cfg.Spec)
+	sim := clock.NewSim(population.TInitial)
+	defer sim.Close()
+
+	rig, err := measure.NewRig(ctx, world, sim)
+	if err != nil {
+		return nil, err
+	}
+	defer rig.Close()
+
+	const trackerIP = "192.0.2.90"
+	tracker := &Tracker{Net: rig.Fabric.Host(trackerIP), Addr: ":80", Clk: sim}
+	if err := tracker.Start(); err != nil {
+		return nil, err
+	}
+	defer tracker.Stop()
+
+	res := &Results{World: world}
+	campaign := &measure.Campaign{
+		Rig:         rig,
+		Suite:       "s01",
+		Concurrency: cfg.Concurrency,
+		BatchSize:   cfg.BatchSize,
+		IOTimeout:   5 * time.Second,
+	}
+
+	done := make(chan error, 1)
+	clock.Go(sim, func() {
+		done <- run(ctx, cfg, res, rig, campaign, tracker, trackerIP, progress)
+	})
+	select {
+	case err := <-done:
+		return res, err
+	case <-ctx.Done():
+		return res, ctx.Err()
+	}
+}
+
+// run is the study driver; it executes on a clock-accounted goroutine.
+func run(ctx context.Context, cfg Config, res *Results, rig *measure.Rig, campaign *measure.Campaign, tracker *Tracker, trackerIP string, progress func(string)) error {
+	clk := rig.Clock
+	world := rig.World
+
+	// 1. Resolve every domain's mail hosts through the DNS.
+	progress("resolving targets")
+	var domainNames []string
+	for _, d := range world.Domains {
+		domainNames = append(domainNames, d.Name)
+	}
+	res.Targets = rig.ResolveTargets(ctx, domainNames)
+	addrs, rep := measure.UniqueAddrs(res.Targets)
+	res.RepDomain = rep
+	res.AddrDomains = make(map[netip.Addr][]string)
+	for _, t := range res.Targets {
+		for _, a := range t.Addrs {
+			res.AddrDomains[a] = append(res.AddrDomains[a], t.Domain)
+		}
+	}
+
+	// 2. Initial full measurement (October 11).
+	progress(fmt.Sprintf("initial measurement of %d addresses", len(addrs)))
+	res.InitialTime = clk.Now()
+	res.Initial = campaign.MeasureAddrs(ctx, addrs, rep)
+
+	// 3. Select longitudinal targets.
+	res.VulnDomains = make(map[string][]netip.Addr)
+	for _, a := range addrs {
+		out := res.Initial[a]
+		switch {
+		case out.Vulnerable():
+			res.VulnAddrs = append(res.VulnAddrs, a)
+			for _, d := range res.AddrDomains[a] {
+				res.VulnDomains[d] = append(res.VulnDomains[d], a)
+			}
+		case out.Status == core.StatusSMTPFailure && out.FailStage != core.StageDial:
+			// Reached but failed: re-measurable (the paper's 721).
+			res.RetryAddrs = append(res.RetryAddrs, a)
+		}
+	}
+	targets := append(append([]netip.Addr(nil), res.VulnAddrs...), res.RetryAddrs...)
+	sort.Slice(targets, func(i, j int) bool { return targets[i].Less(targets[j]) })
+
+	// 4. Longitudinal windows with the notification event in between.
+	progress(fmt.Sprintf("longitudinal measurement of %d addresses", len(targets)))
+	notifier := &Notifier{
+		Rig:         rig,
+		Tracker:     tracker,
+		TrackerAddr: trackerIP + ":80",
+		SenderIP:    "198.51.100.77",
+		Seed:        cfg.Spec.Seed ^ 0x707,
+	}
+	notified := false
+	runWindow := func(start, end time.Time) error {
+		// Rounds are pinned to an even grid (paper: "evenly-spaced
+		// measurements every 2 days") regardless of how long each round's
+		// probing takes.
+		for next := start; !next.After(end); next = next.Add(cfg.interval()) {
+			if d := next.Sub(clk.Now()); d > 0 {
+				if err := clk.Sleep(ctx, d); err != nil {
+					return err
+				}
+			}
+			if !notified && !clk.Now().Before(population.TNotification) {
+				progress("sending private notifications")
+				if err := rig.Manager.Ensure(ctx, res.VulnAddrs); err != nil {
+					return err
+				}
+				res.Notification = notifier.Notify(ctx, res.VulnDomains)
+				rig.Manager.Stop(res.VulnAddrs)
+				notified = true
+			}
+			results := campaign.MeasureAddrs(ctx, targets, res.RepDomain)
+			res.Rounds = append(res.Rounds, measure.Round{Time: next, Results: results})
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+		}
+		return nil
+	}
+	if err := runWindow(population.TLongitudinal, population.TPause); err != nil {
+		return err
+	}
+	if err := runWindow(population.TResume, population.TEnd.Add(-24*time.Hour)); err != nil {
+		return err
+	}
+
+	// 5. Final snapshot with re-resolved addresses (February 14).
+	progress("final snapshot")
+	if d := population.TEnd.Sub(clk.Now()); d > 0 {
+		if err := clk.Sleep(ctx, d); err != nil {
+			return err
+		}
+	}
+	res.SnapshotTime = clk.Now()
+	var vulnDomainNames []string
+	for d := range res.VulnDomains {
+		vulnDomainNames = append(vulnDomainNames, d)
+	}
+	sort.Strings(vulnDomainNames)
+	snapTargets := rig.ResolveTargets(ctx, vulnDomainNames)
+	snapAddrs, snapRep := measure.UniqueAddrs(snapTargets)
+	snapCampaign := &measure.Campaign{
+		Rig:         rig,
+		Suite:       "s02",
+		Concurrency: cfg.Concurrency,
+		BatchSize:   cfg.BatchSize,
+		IOTimeout:   5 * time.Second,
+	}
+	res.Snapshot = snapCampaign.MeasureAddrs(ctx, snapAddrs, snapRep)
+
+	// 6. Aggregate.
+	progress("aggregating")
+	res.Analysis = measure.Analyze(res.Rounds, targets)
+	res.Notification.Finalize(res.DomainPatchedAt)
+	return nil
+}
+
+// DomainPatchedAt returns the first longitudinal round time at which the
+// domain measured patched (zero when it never did).
+func (r *Results) DomainPatchedAt(domain string) time.Time {
+	addrs := r.VulnDomains[domain]
+	if len(addrs) == 0 || r.Analysis == nil {
+		return time.Time{}
+	}
+	for i, t := range r.Analysis.Times {
+		if r.Analysis.DomainStatusAt(addrs, i) == measure.DomPatched {
+			return t
+		}
+	}
+	return time.Time{}
+}
+
+// FinalDomainStatus combines the longitudinal end state with the final
+// snapshot: snapshot evidence wins when conclusive (it re-resolved
+// addresses and reached hosts the longitudinal probes could not — §7.2).
+func (r *Results) FinalDomainStatus(domain string) measure.DomainStatus {
+	addrs := r.VulnDomains[domain]
+	if len(addrs) == 0 {
+		return measure.DomUncertain
+	}
+	// Snapshot verdict.
+	snapConclusive := true
+	snapVulnerable := false
+	for _, a := range addrs {
+		o, ok := r.Snapshot[a]
+		if !ok || measure.StatusOf(o) == measure.IPInconclusive {
+			snapConclusive = false
+			break
+		}
+		if measure.StatusOf(o) == measure.IPVulnerable {
+			snapVulnerable = true
+		}
+	}
+	if snapConclusive {
+		if snapVulnerable {
+			return measure.DomVulnerable
+		}
+		return measure.DomPatched
+	}
+	// Fall back to the last longitudinal state.
+	if r.Analysis != nil && len(r.Analysis.Times) > 0 {
+		return r.Analysis.DomainStatusAt(addrs, len(r.Analysis.Times)-1)
+	}
+	return measure.DomUncertain
+}
+
+// DomainSet returns a domain's set membership from the world.
+func (r *Results) DomainSet(domain string) population.Set {
+	if d := r.World.ByName[domain]; d != nil {
+		return d.Sets
+	}
+	return 0
+}

@@ -1,0 +1,149 @@
+// Package spfail is a reproduction of "SPFail: Discovering, Measuring, and
+// Remediating Vulnerabilities in Email Sender Validation" (IMC 2022). It
+// provides, as a library:
+//
+//   - a complete RFC 7208 SPF implementation (parsing, the full macro
+//     language, and check_host() evaluation with DNS-lookup limits);
+//   - a memory-safe behavioural port of the vulnerable libSPF2 macro
+//     expander (CVE-2021-33912, CVE-2021-33913) and the other
+//     non-compliant expansion behaviours observed in the wild;
+//   - the paper's benign remote-detection technique: the NoMsg→BlankMsg
+//     SMTP probe ladder and the DNS macro-expansion fingerprint
+//     classifier;
+//   - the full measurement harness — synthetic Internet population,
+//     longitudinal campaign, notification study — that regenerates every
+//     table and figure of the paper.
+//
+// This root package re-exports the stable surface; the implementation
+// lives under internal/. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package spfail
+
+import (
+	"context"
+	"net/netip"
+
+	"spfail/internal/core"
+	"spfail/internal/population"
+	"spfail/internal/spf"
+	"spfail/internal/spfimpl"
+	"spfail/internal/study"
+)
+
+// SPF engine re-exports.
+type (
+	// Result is an SPF evaluation result (pass, fail, softfail, ...).
+	Result = spf.Result
+	// Record is a parsed SPF policy.
+	Record = spf.Record
+	// Checker evaluates SPF policies against a Resolver.
+	Checker = spf.Checker
+	// CheckResult is the outcome of Checker.CheckHost.
+	CheckResult = spf.CheckResult
+	// Resolver is the DNS dependency of the evaluator.
+	Resolver = spf.Resolver
+	// MacroEnv carries the per-transaction macro values.
+	MacroEnv = spf.MacroEnv
+)
+
+// SPF results.
+const (
+	ResultNone      = spf.ResultNone
+	ResultNeutral   = spf.ResultNeutral
+	ResultPass      = spf.ResultPass
+	ResultFail      = spf.ResultFail
+	ResultSoftFail  = spf.ResultSoftFail
+	ResultTempError = spf.ResultTempError
+	ResultPermError = spf.ResultPermError
+)
+
+// ParseRecord parses the text of an SPF policy ("v=spf1 ...").
+func ParseRecord(txt string) (*Record, error) { return spf.Parse(txt) }
+
+// IsSPFRecord reports whether a TXT string is an SPF version-1 policy.
+func IsSPFRecord(txt string) bool { return spf.IsSPFRecord(txt) }
+
+// CheckHost evaluates the SPF policy of domain for a message from sender
+// arriving from ip, resolving through r. It is the RFC 7208 check_host()
+// entry point.
+func CheckHost(ctx context.Context, r Resolver, ip netip.Addr, domain, sender, helo string) CheckResult {
+	c := &Checker{Resolver: r}
+	return c.CheckHost(ctx, ip, domain, sender, helo)
+}
+
+// ExpandMacros expands an SPF macro-string with the RFC-compliant
+// expander.
+func ExpandMacros(ctx context.Context, macroStr string, env *MacroEnv) (string, error) {
+	return spf.Expander{}.Expand(ctx, macroStr, env, false)
+}
+
+// Implementation behaviours (the paper's taxonomy).
+type (
+	// Behavior names an SPF implementation's macro-expansion behaviour.
+	Behavior = spfimpl.Behavior
+	// LibSPF2Expander is the memory-safe port of the buggy libSPF2
+	// expansion code path.
+	LibSPF2Expander = spfimpl.LibSPF2Expander
+	// OverflowEvent records a simulated heap overflow.
+	OverflowEvent = spfimpl.OverflowEvent
+)
+
+// Behaviours.
+const (
+	BehaviorCompliant      = spfimpl.BehaviorCompliant
+	BehaviorVulnLibSPF2    = spfimpl.BehaviorVulnLibSPF2
+	BehaviorPatchedLibSPF2 = spfimpl.BehaviorPatchedLibSPF2
+	BehaviorNoReverse      = spfimpl.BehaviorNoReverse
+	BehaviorNoTruncate     = spfimpl.BehaviorNoTruncate
+	BehaviorRawValue       = spfimpl.BehaviorRawValue
+	BehaviorNoExpansion    = spfimpl.BehaviorNoExpansion
+)
+
+// NewChecker builds an SPF checker whose macro expansion behaves per b —
+// use BehaviorVulnLibSPF2 to reproduce the vulnerable fingerprint.
+func NewChecker(b Behavior, r Resolver) *Checker { return spfimpl.NewChecker(b, r) }
+
+// Detection re-exports.
+type (
+	// Prober drives the NoMsg→BlankMsg remote-detection ladder.
+	Prober = core.Prober
+	// Outcome is the result of probing one mail-server address.
+	Outcome = core.Outcome
+	// Observation is the classified DNS evidence of one probe.
+	Observation = core.Observation
+	// BehaviorClass is a fingerprint verdict.
+	BehaviorClass = core.BehaviorClass
+)
+
+// Fingerprint classes.
+const (
+	ClassCompliant    = core.ClassCompliant
+	ClassVulnerable   = core.ClassVulnerable
+	ClassNoReverse    = core.ClassNoReverse
+	ClassNoTruncate   = core.ClassNoTruncate
+	ClassRawValue     = core.ClassRawValue
+	ClassNoExpansion  = core.ClassNoExpansion
+	ClassMacroSkipped = core.ClassMacroSkipped
+	ClassOther        = core.ClassOther
+)
+
+// Study re-exports.
+type (
+	// StudyConfig parameterizes a full end-to-end reproduction run.
+	StudyConfig = study.Config
+	// StudyResults carries the data behind every table and figure.
+	StudyResults = study.Results
+	// PopulationSpec parameterizes the synthetic Internet.
+	PopulationSpec = population.Spec
+)
+
+// DefaultPopulationSpec returns the paper-calibrated population
+// parameters.
+func DefaultPopulationSpec() PopulationSpec { return population.DefaultSpec() }
+
+// RunStudy executes the complete SPFail study (initial measurement,
+// two-window longitudinal campaign, notification mailing, final snapshot)
+// on a simulated clock and returns the aggregated results.
+func RunStudy(ctx context.Context, cfg StudyConfig) (*StudyResults, error) {
+	return study.Run(ctx, cfg)
+}

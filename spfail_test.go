@@ -1,0 +1,117 @@
+package spfail
+
+import (
+	"context"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"spfail/internal/spf"
+)
+
+// stubResolver backs the public-API tests.
+type stubResolver struct {
+	txt map[string][]string
+}
+
+func (s stubResolver) LookupTXT(_ context.Context, name string) ([]string, error) {
+	if v, ok := s.txt[strings.TrimSuffix(name, ".")]; ok {
+		return v, nil
+	}
+	return nil, spf.ErrNotFound
+}
+
+func (s stubResolver) LookupIP(context.Context, string, string) ([]netip.Addr, error) {
+	return nil, spf.ErrNotFound
+}
+
+func (s stubResolver) LookupMX(context.Context, string) ([]MX, error) {
+	return nil, spf.ErrNotFound
+}
+
+func (s stubResolver) LookupPTR(context.Context, netip.Addr) ([]string, error) {
+	return nil, spf.ErrNotFound
+}
+
+// MX is re-exported through the spf package type used by Resolver.
+type MX = spf.MX
+
+func TestPublicParseRecord(t *testing.T) {
+	rec, err := ParseRecord("v=spf1 ip4:192.0.2.0/24 -all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Mechanisms) != 2 {
+		t.Fatalf("mechanisms = %d", len(rec.Mechanisms))
+	}
+	if !IsSPFRecord("v=spf1 -all") || IsSPFRecord("not spf") {
+		t.Error("IsSPFRecord")
+	}
+}
+
+func TestPublicCheckHost(t *testing.T) {
+	r := stubResolver{txt: map[string][]string{
+		"example.com": {"v=spf1 ip4:192.0.2.0/24 -all"},
+	}}
+	res := CheckHost(context.Background(), r, netip.MustParseAddr("192.0.2.9"),
+		"example.com", "user@example.com", "helo.example")
+	if res.Result != ResultPass {
+		t.Fatalf("result = %s", res.Result)
+	}
+	res = CheckHost(context.Background(), r, netip.MustParseAddr("198.51.100.1"),
+		"example.com", "user@example.com", "helo.example")
+	if res.Result != ResultFail {
+		t.Fatalf("result = %s", res.Result)
+	}
+}
+
+func TestPublicExpandMacros(t *testing.T) {
+	env := &MacroEnv{Sender: "user@example.com", Domain: "example.com"}
+	out, err := ExpandMacros(context.Background(), "%{d1r}.foo.com", env)
+	if err != nil || out != "example.foo.com" {
+		t.Fatalf("ExpandMacros = %q, %v", out, err)
+	}
+}
+
+func TestPublicVulnerableChecker(t *testing.T) {
+	r := stubResolver{txt: map[string][]string{
+		"x.s.spf-test.dns-lab.org": {"v=spf1 a:%{d1r}.x.s.spf-test.dns-lab.org -all"},
+	}}
+	c := NewChecker(BehaviorVulnLibSPF2, r)
+	res := c.CheckHost(context.Background(), netip.MustParseAddr("198.51.100.9"),
+		"x.s.spf-test.dns-lab.org", "probe@x.s.spf-test.dns-lab.org", "probe")
+	// The lookup of the fingerprint target NXDOMAINs, so -all fails the
+	// check; what matters is that evaluation succeeded with the buggy
+	// expander plugged in.
+	if res.Result != ResultFail {
+		t.Fatalf("result = %s (%v)", res.Result, res.Err)
+	}
+}
+
+func TestPublicLibSPF2ExpanderFingerprint(t *testing.T) {
+	exp := &LibSPF2Expander{}
+	env := &MacroEnv{Sender: "user@example.com", Domain: "example.com"}
+	out, err := exp.Expand(context.Background(), "%{d1r}.foo.com", env, false)
+	if err != nil || out != "com.com.example.foo.com" {
+		t.Fatalf("fingerprint = %q, %v", out, err)
+	}
+}
+
+func TestPublicBehaviorClasses(t *testing.T) {
+	if !ClassVulnerable.Erroneous() || ClassCompliant.Erroneous() {
+		t.Error("class predicates")
+	}
+	if BehaviorVulnLibSPF2 == BehaviorCompliant {
+		t.Error("behaviors must differ")
+	}
+}
+
+func TestPublicDefaultPopulationSpec(t *testing.T) {
+	spec := DefaultPopulationSpec()
+	if spec.AlexaTopListSize != 418842 || spec.TwoWeekMXSize != 22911 {
+		t.Errorf("paper sizes missing: %+v", spec)
+	}
+	if spec.NotificationBounceRate != 0.316 {
+		t.Errorf("bounce rate = %v", spec.NotificationBounceRate)
+	}
+}
