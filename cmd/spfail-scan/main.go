@@ -25,6 +25,7 @@ import (
 	"spfail/internal/dnsmsg"
 	"spfail/internal/dnsserver"
 	"spfail/internal/netsim"
+	"spfail/internal/telemetry"
 )
 
 func main() {
@@ -37,6 +38,9 @@ func main() {
 		suite      = flag.String("suite", "s01", "test-suite label")
 		settle     = flag.Duration("settle", 2*time.Second, "wait for trailing DNS queries before classifying")
 		timeout    = flag.Duration("timeout", 30*time.Second, "SMTP I/O timeout")
+		reconnect  = flag.Duration("reconnect-wait", 90*time.Second, "politeness gap between connections to the same server")
+		greylist   = flag.Duration("greylist-wait", 8*time.Minute, "pause before retrying a 450 greylisting")
+		metrics    = flag.Bool("metrics", false, "dump a JSON telemetry snapshot to stdout at exit")
 	)
 	flag.Parse()
 	targets := flag.Args()
@@ -53,10 +57,11 @@ func main() {
 	if err != nil {
 		fatal("bad -addr4: %v", err)
 	}
+	reg := telemetry.New()
 	zone := &dnsserver.SPFTestZone{Base: baseName, Addr4: a4}
 	collector := core.NewCollector(zone)
 	handler := &dnsserver.LoggingHandler{Inner: zone, Sink: collector, Now: time.Now}
-	srv := &dnsserver.Server{Net: netsim.Real{}, Addr: *dnsListen, Handler: handler}
+	srv := &dnsserver.Server{Net: netsim.Real{}, Addr: *dnsListen, Handler: handler, Metrics: reg}
 	if err := srv.Start(context.Background()); err != nil {
 		fatal("starting DNS zone: %v", err)
 	}
@@ -64,18 +69,22 @@ func main() {
 	fmt.Printf("spfail-scan: measurement zone %s on %s\n", baseName, *dnsListen)
 
 	prober := &core.Prober{
-		Net:        netsim.Real{},
-		HELO:       *helo,
-		Clock:      clock.Real{},
-		Zone:       zone,
-		Labels:     core.NewLabelAllocator(time.Now().UnixNano()),
-		Collector:  collector,
-		Classifier: core.NewClassifier(zone),
-		Suite:      *suite,
-		IOTimeout:  *timeout,
+		Net:           netsim.Real{},
+		HELO:          *helo,
+		Clock:         clock.Real{},
+		Zone:          zone,
+		Labels:        core.NewLabelAllocator(time.Now().UnixNano()),
+		Collector:     collector,
+		Classifier:    core.NewClassifier(zone),
+		Suite:         *suite,
+		IOTimeout:     *timeout,
+		GreylistWait:  *greylist,
+		ReconnectWait: *reconnect,
+		Metrics:       reg,
 	}
 
 	exitCode := 0
+	outcomeTotals := make(map[core.Status]int)
 	for _, target := range targets {
 		rd := *rcptDomain
 		if rd == "" {
@@ -87,10 +96,18 @@ func main() {
 		// reclassify with the full evidence.
 		time.Sleep(*settle)
 		printOutcome(out)
+		outcomeTotals[out.Status]++
 		if out.Vulnerable() {
 			exitCode = 1
 		}
 	}
+	if *metrics {
+		fmt.Printf("\n-- metrics (probe.outcome.* must equal the scan's outcome totals: %v)\n", outcomeTotals)
+		if err := reg.Snapshot().WriteJSON(os.Stdout); err != nil {
+			fatal("writing metrics: %v", err)
+		}
+	}
+	srv.Stop()
 	os.Exit(exitCode)
 }
 

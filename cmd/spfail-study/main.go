@@ -20,6 +20,7 @@ import (
 	"spfail/internal/population"
 	"spfail/internal/report"
 	"spfail/internal/study"
+	"spfail/internal/telemetry"
 )
 
 func main() {
@@ -31,8 +32,13 @@ func main() {
 		interval    = flag.Duration("interval", 48*time.Hour, "longitudinal cadence (virtual)")
 		csvDir      = flag.String("csv", "", "directory to write figure data as CSV (optional)")
 		verbose     = flag.Bool("v", true, "print progress to stderr")
+		metrics     = flag.Bool("metrics", false, "periodic telemetry progress lines and a JSON snapshot at exit (stderr)")
+		metricsOut  = flag.String("metrics-out", "", "write the JSON telemetry snapshot to this file (implies -metrics)")
 	)
 	flag.Parse()
+	if *metricsOut != "" {
+		*metrics = true
+	}
 
 	spec := population.DefaultSpec()
 	spec.Scale = *scale
@@ -51,10 +57,25 @@ func main() {
 		}
 	}
 
+	var stopProgress func()
+	if *metrics {
+		cfg.Metrics = telemetry.New()
+		stopProgress = progressLoop(cfg.Metrics, 5*time.Second)
+	}
+
 	res, err := study.Run(context.Background(), cfg)
+	if stopProgress != nil {
+		stopProgress()
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spfail-study: %v\n", err)
 		os.Exit(1)
+	}
+	if *metrics {
+		if err := writeMetrics(*metricsOut, res.Metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "spfail-study: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	w := bufio.NewWriter(os.Stdout)
@@ -74,6 +95,49 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "figure data written to %s\n", *csvDir)
 	}
+}
+
+// progressLoop prints one telemetry line per tick (wall time; the study
+// itself runs on a virtual clock) until the returned stop function runs.
+func progressLoop(reg *telemetry.Registry, every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				s := reg.Snapshot()
+				fmt.Fprintf(os.Stderr,
+					"[metrics] probes=%d batches=%d inflight=%d (max %d) dns_queries=%d smtp_sessions=%d greylist_waits=%d\n",
+					s.Counters["probe.total"],
+					s.Counters["campaign.batches_done"],
+					s.Gauges["campaign.inflight"].Value,
+					s.Gauges["campaign.inflight"].Max,
+					s.Counters["dns.server.queries"],
+					s.Counters["smtp.client.sessions"],
+					s.Counters["probe.greylist_waits"])
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// writeMetrics dumps the final JSON snapshot to path, or stderr when path
+// is empty.
+func writeMetrics(path string, reg *telemetry.Registry) error {
+	w := os.Stderr
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return reg.Snapshot().WriteJSON(w)
 }
 
 // writeCSVs exports the figures' underlying data for external plotting.

@@ -25,7 +25,7 @@ func main() {
 
 	sim := clock.NewSim(population.TInitial)
 	defer sim.Close()
-	rig, err := measure.NewRig(context.Background(), world, sim)
+	rig, err := measure.NewRig(context.Background(), world, sim, nil)
 	if err != nil {
 		panic(err)
 	}

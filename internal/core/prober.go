@@ -10,6 +10,7 @@ import (
 	"spfail/internal/dnsserver"
 	"spfail/internal/netsim"
 	"spfail/internal/smtp"
+	"spfail/internal/telemetry"
 )
 
 // ProbeMethod is one of the two probe transaction shapes (paper §5.1).
@@ -125,6 +126,10 @@ type Prober struct {
 	ReconnectWait time.Duration
 	// IOTimeout bounds SMTP I/O.
 	IOTimeout time.Duration
+	// Metrics, when non-nil, receives probe outcome/stage counters and
+	// the probe latency histogram (see docs/telemetry.md). Latency is
+	// measured on Clock, so virtual campaigns report virtual durations.
+	Metrics *telemetry.Registry
 }
 
 func (p *Prober) usernames() []string {
@@ -153,6 +158,22 @@ func (p *Prober) reconnectWait() time.Duration {
 // when NoMsg connected but elicited no SPF lookup, per the paper's
 // minimization methodology.
 func (p *Prober) TestIP(ctx context.Context, addr, rcptDomain string) Outcome {
+	start := p.Clock.Now()
+	out := p.testIP(ctx, addr, rcptDomain)
+	p.Metrics.Histogram("probe.latency").Record(p.Clock.Now().Sub(start))
+	p.Metrics.Counter("probe.total").Inc()
+	p.Metrics.Counter("probe.outcome." + string(out.Status)).Inc()
+	if out.FailStage != "" {
+		p.Metrics.Counter("probe.fail_stage." + out.FailStage).Inc()
+	}
+	if out.Vulnerable() {
+		p.Metrics.Counter("probe.vulnerable").Inc()
+	}
+	return out
+}
+
+// testIP is TestIP's uninstrumented body.
+func (p *Prober) testIP(ctx context.Context, addr, rcptDomain string) Outcome {
 	out := Outcome{Addr: addr}
 
 	noMsg := p.runTransaction(ctx, addr, rcptDomain, MethodNoMsg)
@@ -244,6 +265,7 @@ func (p *Prober) runTransaction(ctx context.Context, addr, rcptDomain string, me
 	for attempt := 0; attempt < 2; attempt++ {
 		id := p.Labels.Next()
 		tr.ids = append(tr.ids, id)
+		p.Metrics.Counter("probe.transactions").Inc()
 		greylisted := p.attempt(ctx, tr, id, addr, rcptDomain, method)
 		// Classify whatever evidence this attempt produced.
 		obs := p.Classifier.Classify(id, p.Suite, p.Collector.QueriesFor(id))
@@ -252,6 +274,7 @@ func (p *Prober) runTransaction(ctx context.Context, addr, rcptDomain string, me
 		if tr.obs.Conclusive() || !greylisted {
 			return tr
 		}
+		p.Metrics.Counter("probe.greylist_waits").Inc()
 		if err := p.Clock.Sleep(ctx, p.greylistWait()); err != nil {
 			return tr
 		}
@@ -287,7 +310,7 @@ func (p *Prober) attempt(ctx context.Context, tr *transactionResult, id, addr, r
 	}
 	from := p.usernames()[0] + "@" + strings.TrimSuffix(mailDomain.String(), ".")
 
-	cli := &smtp.Client{Net: p.Net, HELO: p.HELO, IOTimeout: p.IOTimeout}
+	cli := &smtp.Client{Net: p.Net, HELO: p.HELO, IOTimeout: p.IOTimeout, Metrics: p.Metrics}
 	conn, err := cli.Dial(ctx, addr)
 	if err != nil {
 		if code := smtp.ReplyCode(err); code != 0 {

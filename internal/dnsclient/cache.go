@@ -7,6 +7,7 @@ import (
 
 	"spfail/internal/clock"
 	"spfail/internal/dnsmsg"
+	"spfail/internal/telemetry"
 )
 
 // CachingClient wraps a Client with a TTL-respecting message cache, the
@@ -28,6 +29,8 @@ type CachingClient struct {
 	// NegativeTTL is used for negative answers without a SOA; 0 means
 	// 60 seconds.
 	NegativeTTL time.Duration
+	// Metrics, when non-nil, receives cache hit/miss counters.
+	Metrics *telemetry.Registry
 
 	mu      sync.Mutex
 	entries map[cacheKey]cacheEntry
@@ -80,10 +83,12 @@ func (cc *CachingClient) Exchange(ctx context.Context, name dnsmsg.Name, typ dns
 	if e, ok := cc.entries[key]; ok && now.Before(e.expires) {
 		cc.hits++
 		cc.mu.Unlock()
+		cc.Metrics.Counter("dns.cache.hits").Inc()
 		return e.msg, nil
 	}
 	cc.misses++
 	cc.mu.Unlock()
+	cc.Metrics.Counter("dns.cache.misses").Inc()
 
 	msg, err := cc.Client.Exchange(ctx, name, typ)
 	if err != nil {

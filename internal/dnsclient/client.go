@@ -18,6 +18,7 @@ import (
 	"spfail/internal/dnsmsg"
 	"spfail/internal/dnsserver"
 	"spfail/internal/netsim"
+	"spfail/internal/telemetry"
 )
 
 // Error taxonomy mapped from response codes and transport failures.
@@ -39,6 +40,9 @@ type Client struct {
 	Timeout time.Duration
 	// Retries is the number of additional UDP attempts. Defaults to 1.
 	Retries int
+	// Metrics, when non-nil, receives lookup/retry/latency metrics
+	// (see docs/telemetry.md).
+	Metrics *telemetry.Registry
 
 	mu     sync.Mutex
 	nextID uint16
@@ -60,6 +64,8 @@ func (c *Client) id() uint16 {
 
 // Exchange sends one query and returns the validated response.
 func (c *Client) Exchange(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type) (*dnsmsg.Message, error) {
+	c.Metrics.Counter("dns.client.lookups").Inc()
+	start := time.Now()
 	q := dnsmsg.NewQuery(c.id(), name, typ)
 	attempts := 1 + c.Retries
 	if c.Retries == 0 {
@@ -67,20 +73,26 @@ func (c *Client) Exchange(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type
 	}
 	var lastErr error
 	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			c.Metrics.Counter("dns.client.retries").Inc()
+		}
 		resp, err := c.exchangeUDP(ctx, q)
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		if resp.Header.Truncated {
+			c.Metrics.Counter("dns.client.tcp_fallbacks").Inc()
 			resp, err = c.exchangeTCP(ctx, q)
 			if err != nil {
 				lastErr = err
 				continue
 			}
 		}
+		c.Metrics.Histogram("dns.client.latency").Record(time.Since(start))
 		return resp, nil
 	}
+	c.Metrics.Counter("dns.client.failures").Inc()
 	return nil, fmt.Errorf("%w: %v", ErrTemporary, lastErr)
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"spfail/internal/dnsmsg"
 	"spfail/internal/netsim"
+	"spfail/internal/telemetry"
 )
 
 // MaxUDPPayload is the classic 512-byte UDP response limit (RFC 1035
@@ -44,6 +45,9 @@ type Server struct {
 	Net     netsim.Network
 	Addr    string // "ip:port", typically ":53"
 	Handler Handler
+	// Metrics, when non-nil, receives query/error/qtype counters
+	// (see docs/telemetry.md). Set before Start.
+	Metrics *telemetry.Registry
 
 	mu  sync.Mutex
 	pc  net.PacketConn
@@ -117,6 +121,7 @@ func (s *Server) serveUDP(pc net.PacketConn) {
 			}
 			if len(out) > MaxUDPPayload {
 				// Truncate to header + question and signal TC.
+				s.Metrics.Counter("dns.server.truncated").Inc()
 				tr := &dnsmsg.Message{Header: resp.Header, Questions: resp.Questions}
 				tr.Header.Truncated = true
 				if out, err = tr.Pack(); err != nil {
@@ -160,6 +165,7 @@ func (s *Server) serveTCP(l net.Listener) {
 func (s *Server) respond(pkt []byte, from net.Addr) *dnsmsg.Message {
 	q, err := dnsmsg.Unpack(pkt)
 	if err != nil || q.Header.Response || len(q.Questions) == 0 {
+		s.Metrics.Counter("dns.server.decode_errors").Inc()
 		return nil
 	}
 	if q.Header.OpCode != dnsmsg.OpCodeQuery {
@@ -167,10 +173,15 @@ func (s *Server) respond(pkt []byte, from net.Addr) *dnsmsg.Message {
 		r.Header.RCode = dnsmsg.RCodeNotImp
 		return r
 	}
+	s.Metrics.Counter("dns.server.queries").Inc()
+	s.Metrics.Counter("dns.server.qtype." + q.Questions[0].Type.String()).Inc()
 	resp := s.Handler.ServeDNS(q, from)
 	if resp == nil {
 		resp = q.Reply()
 		resp.Header.RCode = dnsmsg.RCodeServFail
+	}
+	if resp.Header.RCode == dnsmsg.RCodeServFail {
+		s.Metrics.Counter("dns.server.servfail").Inc()
 	}
 	return resp
 }

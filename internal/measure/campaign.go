@@ -8,6 +8,7 @@ import (
 
 	"spfail/internal/clock"
 	"spfail/internal/core"
+	"spfail/internal/telemetry"
 )
 
 // Campaign probes sets of addresses under the paper's operational
@@ -28,9 +29,19 @@ type Campaign struct {
 	ReconnectWait time.Duration
 	// IOTimeout bounds SMTP I/O (real time, keep small in simulation).
 	IOTimeout time.Duration
+	// Metrics overrides the rig's registry for this campaign's probe and
+	// scheduling telemetry; nil uses Rig.Metrics.
+	Metrics *telemetry.Registry
 
 	labelsOnce sync.Once
 	labels     *core.LabelAllocator
+}
+
+func (c *Campaign) metrics() *telemetry.Registry {
+	if c.Metrics != nil {
+		return c.Metrics
+	}
+	return c.Rig.Metrics
 }
 
 func (c *Campaign) concurrency() int {
@@ -67,6 +78,7 @@ func (c *Campaign) newProber() *core.Prober {
 		GreylistWait:  c.GreylistWait,
 		ReconnectWait: c.ReconnectWait,
 		IOTimeout:     c.IOTimeout,
+		Metrics:       c.metrics(),
 	}
 }
 
@@ -77,6 +89,7 @@ func (c *Campaign) MeasureAddrs(ctx context.Context, addrs []netip.Addr, rcptDom
 	results := make(map[netip.Addr]core.Outcome, len(addrs))
 	var mu sync.Mutex
 
+	reg := c.metrics()
 	for start := 0; start < len(addrs); start += c.batchSize() {
 		end := start + c.batchSize()
 		if end > len(addrs) {
@@ -90,8 +103,16 @@ func (c *Campaign) MeasureAddrs(ctx context.Context, addrs []netip.Addr, rcptDom
 			mu.Lock()
 			results[a] = o
 			mu.Unlock()
+			reg.Counter("campaign.probes_done").Inc()
 		})
 		c.Rig.Manager.Stop(batch)
+		reg.Counter("campaign.batches_done").Inc()
+		reg.Emit("campaign.batch", map[string]any{
+			"suite": c.Suite,
+			"size":  len(batch),
+			"done":  end,
+			"total": len(addrs),
+		})
 		if ctx.Err() != nil {
 			break
 		}
@@ -104,6 +125,7 @@ func (c *Campaign) MeasureAddrs(ctx context.Context, addrs []netip.Addr, rcptDom
 // (clock.Go); the internal waits yield to the virtual scheduler.
 func (c *Campaign) probeBatch(ctx context.Context, batch []netip.Addr, rcptDomain map[netip.Addr]string, record func(netip.Addr, core.Outcome)) {
 	clk := c.Rig.Clock
+	inflight := c.metrics().Gauge("campaign.inflight")
 	sem := make(chan struct{}, c.concurrency())
 	var wg sync.WaitGroup
 	for _, a := range batch {
@@ -113,6 +135,8 @@ func (c *Campaign) probeBatch(ctx context.Context, batch []netip.Addr, rcptDomai
 		clock.Go(clk, func() {
 			defer wg.Done()
 			defer func() { <-sem }()
+			inflight.Add(1)
+			defer inflight.Add(-1)
 			dom := rcptDomain[a]
 			if dom == "" {
 				dom = "example.com"

@@ -1,0 +1,103 @@
+package measure
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+
+	"spfail/internal/clock"
+	"spfail/internal/core"
+	"spfail/internal/telemetry"
+)
+
+// TestCampaignMetricsMatchOutcomes runs a campaign with a private registry
+// and checks that the probe-outcome counters agree exactly with the
+// returned Outcome map — the invariant the --metrics report relies on.
+func TestCampaignMetricsMatchOutcomes(t *testing.T) {
+	rig := newTestRig(t, clock.Real{})
+	c := fastCampaign(rig)
+	c.Metrics = telemetry.New()
+	c.BatchSize = 11
+
+	addrs := rig.World.AllAddrs()
+	if len(addrs) > 40 {
+		addrs = addrs[:40]
+	}
+	rcpt := map[netip.Addr]string{}
+	for _, a := range addrs {
+		if ds := rig.World.DomainsOn(a); len(ds) > 0 {
+			rcpt[a] = ds[0].Name
+		}
+	}
+	results := c.MeasureAddrs(context.Background(), addrs, rcpt)
+	if len(results) != len(addrs) {
+		t.Fatalf("results = %d, want %d", len(results), len(addrs))
+	}
+
+	wantByStatus := map[core.Status]int64{}
+	var wantVulnerable int64
+	for _, o := range results {
+		wantByStatus[o.Status]++
+		if o.Vulnerable() {
+			wantVulnerable++
+		}
+	}
+
+	s := c.Metrics.Snapshot()
+	for status, want := range wantByStatus {
+		if got := s.Counters["probe.outcome."+string(status)]; got != want {
+			t.Errorf("probe.outcome.%s = %d, want %d", status, got, want)
+		}
+	}
+	for name, v := range s.Counters {
+		if len(name) > len("probe.outcome.") && name[:len("probe.outcome.")] == "probe.outcome." {
+			status := core.Status(name[len("probe.outcome."):])
+			if wantByStatus[status] != v {
+				t.Errorf("counter %s = %d has no matching outcomes (want %d)", name, v, wantByStatus[status])
+			}
+		}
+	}
+	if got := s.Counters["probe.total"]; got != int64(len(addrs)) {
+		t.Errorf("probe.total = %d, want %d", got, len(addrs))
+	}
+	if got := s.Counters["probe.vulnerable"]; got != wantVulnerable {
+		t.Errorf("probe.vulnerable = %d, want %d", got, wantVulnerable)
+	}
+	if got := s.Counters["campaign.probes_done"]; got != int64(len(addrs)) {
+		t.Errorf("campaign.probes_done = %d, want %d", got, len(addrs))
+	}
+	wantBatches := int64((len(addrs) + c.BatchSize - 1) / c.BatchSize)
+	if got := s.Counters["campaign.batches_done"]; got != wantBatches {
+		t.Errorf("campaign.batches_done = %d, want %d", got, wantBatches)
+	}
+
+	// Scheduling telemetry: nothing in flight afterwards, and the
+	// high-water mark can never exceed the configured concurrency.
+	in := s.Gauges["campaign.inflight"]
+	if in.Value != 0 {
+		t.Errorf("campaign.inflight = %d after campaign, want 0", in.Value)
+	}
+	if in.Max < 1 || in.Max > int64(c.Concurrency) {
+		t.Errorf("campaign.inflight max = %d, want within [1,%d]", in.Max, c.Concurrency)
+	}
+
+	// The probe latency histogram must have one sample per probe.
+	if h := s.Histograms["probe.latency"]; h.Count != int64(len(addrs)) {
+		t.Errorf("probe.latency count = %d, want %d", h.Count, len(addrs))
+	}
+
+	// Batch events fire once per wave.
+	c2 := fastCampaign(rig)
+	c2.Metrics = telemetry.New()
+	c2.BatchSize = 11
+	var events int
+	c2.Metrics.OnEvent(func(ev telemetry.Event) {
+		if ev.Name == "campaign.batch" {
+			events++
+		}
+	})
+	c2.MeasureAddrs(context.Background(), addrs, rcpt)
+	if int64(events) != wantBatches {
+		t.Errorf("campaign.batch events = %d, want %d", events, wantBatches)
+	}
+}

@@ -21,7 +21,7 @@ func tinySpec() population.Spec {
 func newTestRig(t *testing.T, clk clock.Clock) *Rig {
 	t.Helper()
 	w := population.Generate(tinySpec())
-	rig, err := NewRig(context.Background(), w, clk)
+	rig, err := NewRig(context.Background(), w, clk, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

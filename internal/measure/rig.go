@@ -20,6 +20,7 @@ import (
 	"spfail/internal/dnsserver"
 	"spfail/internal/netsim"
 	"spfail/internal/population"
+	"spfail/internal/telemetry"
 )
 
 // Rig wires together the measurement-side infrastructure on a fabric: the
@@ -33,6 +34,9 @@ type Rig struct {
 	Collector  *core.Collector
 	Classifier *core.Classifier
 	Manager    *population.HostManager
+	// Metrics aggregates telemetry from every measurement-side layer
+	// (DNS server, prober, campaigns). Always non-nil after NewRig.
+	Metrics *telemetry.Registry
 
 	// DNSAddr is the single authoritative/resolver address every
 	// simulated party uses.
@@ -51,11 +55,16 @@ const (
 )
 
 // NewRig builds and starts the measurement infrastructure for a world.
-func NewRig(ctx context.Context, w *population.World, clk clock.Clock) (*Rig, error) {
+// metrics may be nil, in which case the rig creates its own registry.
+func NewRig(ctx context.Context, w *population.World, clk clock.Clock, metrics *telemetry.Registry) (*Rig, error) {
+	if metrics == nil {
+		metrics = telemetry.New()
+	}
 	r := &Rig{
 		Fabric:  netsim.NewFabric(),
 		Clock:   clk,
 		World:   w,
+		Metrics: metrics,
 		DNSAddr: defaultDNSIP + ":53",
 		ProbeIP: defaultProbeIP,
 		Zone: &dnsserver.SPFTestZone{
@@ -71,7 +80,7 @@ func NewRig(ctx context.Context, w *population.World, clk clock.Clock) (*Rig, er
 	mux.Handle(r.Zone.Base, r.Zone)
 	handler := &dnsserver.LoggingHandler{Inner: mux, Sink: r.Collector, Now: clk.Now}
 
-	r.dns = &dnsserver.Server{Net: r.Fabric.Host(defaultDNSIP), Addr: ":53", Handler: handler}
+	r.dns = &dnsserver.Server{Net: r.Fabric.Host(defaultDNSIP), Addr: ":53", Handler: handler, Metrics: metrics}
 	if err := r.dns.Start(ctx); err != nil {
 		return nil, fmt.Errorf("measure: starting DNS: %w", err)
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"spfail/internal/netsim"
+	"spfail/internal/telemetry"
 )
 
 // Client dials SMTP servers and drives probe transactions.
@@ -19,6 +20,14 @@ type Client struct {
 	HELO string
 	// IOTimeout bounds each read/write; 0 means 30s.
 	IOTimeout time.Duration
+	// Metrics, when non-nil, receives session and per-command failure
+	// counters (see docs/telemetry.md).
+	Metrics *telemetry.Registry
+}
+
+// fail counts one failed client command.
+func (c *Client) fail(verb string) {
+	c.Metrics.Counter("smtp.client.cmd_failures." + verb).Inc()
 }
 
 func (c *Client) ioTimeout() time.Duration {
@@ -41,19 +50,23 @@ type Conn struct {
 // Dial connects and consumes the banner. A non-positive banner is returned
 // as *ReplyError alongside the connection (which is closed).
 func (c *Client) Dial(ctx context.Context, addr string) (*Conn, error) {
+	c.Metrics.Counter("smtp.client.sessions").Inc()
 	nc, err := c.Net.DialContext(ctx, "tcp", addr)
 	if err != nil {
+		c.Metrics.Counter("smtp.client.dial_failures").Inc()
 		return nil, err
 	}
 	conn := &Conn{c: c, conn: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
 	r, err := conn.readReply()
 	if err != nil {
 		nc.Close()
+		c.fail("banner")
 		return nil, err
 	}
 	conn.Greet = *r
 	if !r.Positive() {
 		nc.Close()
+		c.fail("banner")
 		return nil, &ReplyError{Reply: *r}
 	}
 	return conn, nil
@@ -79,14 +92,17 @@ func (co *Conn) Hello() error {
 	}
 	if err != nil {
 		if _, ok := err.(*ReplyError); !ok {
+			co.c.fail("helo")
 			return err
 		}
 	}
 	r, err = co.cmd("HELO %s", co.c.HELO)
 	if err != nil {
+		co.c.fail("helo")
 		return err
 	}
 	if !r.Positive() {
+		co.c.fail("helo")
 		return &ReplyError{Reply: *r}
 	}
 	return nil
@@ -94,24 +110,34 @@ func (co *Conn) Hello() error {
 
 // Mail sends MAIL FROM.
 func (co *Conn) Mail(from string) error {
-	return co.expectPositive("MAIL FROM:<%s>", from)
+	return co.countFail("mail", co.expectPositive("MAIL FROM:<%s>", from))
 }
 
 // Rcpt sends RCPT TO.
 func (co *Conn) Rcpt(to string) error {
-	return co.expectPositive("RCPT TO:<%s>", to)
+	return co.countFail("rcpt", co.expectPositive("RCPT TO:<%s>", to))
 }
 
 // Data sends the DATA command, expecting 354.
 func (co *Conn) Data() error {
 	r, err := co.cmd("DATA")
 	if err != nil {
+		co.c.fail("data")
 		return err
 	}
 	if r.Code != 354 {
+		co.c.fail("data")
 		return &ReplyError{Reply: *r}
 	}
 	return nil
+}
+
+// countFail records a command failure and passes the error through.
+func (co *Conn) countFail(verb string, err error) error {
+	if err != nil {
+		co.c.fail(verb)
+	}
+	return err
 }
 
 // SendMessage transmits message content (dot-stuffed) and the terminator,
@@ -133,12 +159,18 @@ func (co *Conn) SendMessage(msg []byte) (*Reply, error) {
 		}
 	}
 	if _, err := co.bw.WriteString(".\r\n"); err != nil {
+		co.c.fail("message")
 		return nil, err
 	}
 	if err := co.bw.Flush(); err != nil {
+		co.c.fail("message")
 		return nil, err
 	}
-	return co.readReply()
+	r, err := co.readReply()
+	if err != nil || !r.Positive() {
+		co.c.fail("message")
+	}
+	return r, err
 }
 
 // expectPositive sends a command and converts negative replies to errors.

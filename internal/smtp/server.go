@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"spfail/internal/netsim"
+	"spfail/internal/telemetry"
 )
 
 // Handler receives the policy decision points of an SMTP session. Any hook
@@ -72,6 +73,9 @@ type Server struct {
 	MaxMessageBytes int
 	// IOTimeout bounds each read/write; 0 means 30s.
 	IOTimeout time.Duration
+	// Metrics, when non-nil, receives session/abort/per-command failure
+	// counters (see docs/telemetry.md). Set before Start.
+	Metrics *telemetry.Registry
 
 	mu  sync.Mutex
 	l   net.Listener
@@ -154,6 +158,7 @@ const (
 
 func (s *Server) serveConn(c net.Conn) {
 	defer c.Close()
+	s.Metrics.Counter("smtp.server.sessions").Inc()
 	sess := &serverSession{
 		srv:    s,
 		conn:   c,
@@ -173,6 +178,7 @@ type serverSession struct {
 	remote net.Addr
 
 	state string
+	verb  string // command being served, for failure attribution
 	helo  string
 	from  string
 	haveF bool // MAIL FROM accepted (distinguishes empty reverse-path)
@@ -180,6 +186,9 @@ type serverSession struct {
 }
 
 func (ss *serverSession) send(r *Reply) error {
+	if !r.Positive() && ss.verb != "" {
+		ss.srv.Metrics.Counter("smtp.server.cmd_failures." + strings.ToLower(ss.verb)).Inc()
+	}
 	ss.conn.SetWriteDeadline(time.Now().Add(ss.srv.ioTimeout()))
 	if _, err := ss.bw.WriteString(r.String() + "\r\n"); err != nil {
 		return err
@@ -203,6 +212,7 @@ func (ss *serverSession) abortIfMidTransaction(err error) {
 	// EOF or reset mid-session: report the state we were in so MTA
 	// simulations can distinguish NoMsg-style terminations.
 	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || isClosedPipe(err) {
+		ss.srv.Metrics.Counter("smtp.server.aborts." + ss.state).Inc()
 		ss.srv.Handler.OnAbort(ss.state)
 	}
 }
@@ -228,6 +238,7 @@ func (ss *serverSession) run() {
 			return
 		}
 		verb, arg := splitCommand(line)
+		ss.verb = verb
 		switch verb {
 		case "HELO", "EHLO":
 			ss.cmdHelo(verb == "EHLO", arg)

@@ -11,6 +11,7 @@ import (
 	"spfail/internal/core"
 	"spfail/internal/measure"
 	"spfail/internal/population"
+	"spfail/internal/telemetry"
 )
 
 // Config parameterizes a full study run.
@@ -24,6 +25,10 @@ type Config struct {
 	Interval time.Duration
 	// Progress, if non-nil, receives coarse stage updates.
 	Progress func(stage string)
+	// Metrics, if non-nil, aggregates telemetry from every layer of the
+	// run (callers can watch it live); nil creates a private registry,
+	// exposed afterwards as Results.Metrics.
+	Metrics *telemetry.Registry
 }
 
 func (c *Config) interval() time.Duration {
@@ -36,6 +41,9 @@ func (c *Config) interval() time.Duration {
 // Results carries everything the experiments section consumes.
 type Results struct {
 	World *population.World
+
+	// Metrics is the run's telemetry registry (see docs/telemetry.md).
+	Metrics *telemetry.Registry
 
 	// Targets is the DNS-resolved measurement set; AddrDomains indexes
 	// domains by address; RepDomain is the representative domain used in
@@ -79,7 +87,7 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	sim := clock.NewSim(population.TInitial)
 	defer sim.Close()
 
-	rig, err := measure.NewRig(ctx, world, sim)
+	rig, err := measure.NewRig(ctx, world, sim, cfg.Metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +100,7 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	}
 	defer tracker.Stop()
 
-	res := &Results{World: world}
+	res := &Results{World: world, Metrics: rig.Metrics}
 	campaign := &measure.Campaign{
 		Rig:         rig,
 		Suite:       "s01",

@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkSPFCheckHost-8   \t   1234\t    56789 ns/op\t  432 B/op\t  7 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "BenchmarkSPFCheckHost" || r.Iterations != 1234 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.Metrics["ns/op"] != 56789 || r.Metrics["B/op"] != 432 || r.Metrics["allocs/op"] != 7 {
+		t.Fatalf("metrics = %v", r.Metrics)
+	}
+}
+
+func TestParseLineCustomMetric(t *testing.T) {
+	r, ok := parseLine("BenchmarkTable3Funnel-4 1 123 ns/op 0.47 refused-frac")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Metrics["refused-frac"] != 0.47 {
+		t.Fatalf("metrics = %v", r.Metrics)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"goos: linux",
+		"PASS",
+		"ok  \tspfail\t1.2s",
+		"--- BENCH: BenchmarkX",
+		"BenchmarkBroken notanumber",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("line %q unexpectedly parsed", line)
+		}
+	}
+}
