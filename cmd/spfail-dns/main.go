@@ -16,8 +16,8 @@ import (
 	"net/netip"
 	"os"
 	"os/signal"
-	"time"
 
+	"spfail/internal/clock"
 	"spfail/internal/dnsmsg"
 	"spfail/internal/dnsserver"
 	"spfail/internal/netsim"
@@ -71,7 +71,7 @@ func main() {
 	if !*quiet {
 		log.AddSink(printSink{zone: zone})
 	}
-	handler := &dnsserver.LoggingHandler{Inner: inner, Sink: log, Now: time.Now}
+	handler := &dnsserver.LoggingHandler{Inner: inner, Sink: log, Now: clock.Real{}.Now}
 	srv := &dnsserver.Server{Net: netsim.Real{}, Addr: *listen, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

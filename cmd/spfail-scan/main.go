@@ -41,6 +41,7 @@ func main() {
 		reconnect  = flag.Duration("reconnect-wait", 90*time.Second, "politeness gap between connections to the same server")
 		greylist   = flag.Duration("greylist-wait", 8*time.Minute, "pause before retrying a 450 greylisting")
 		metrics    = flag.Bool("metrics", false, "dump a JSON telemetry snapshot to stdout at exit")
+		seed       = flag.Int64("seed", 0, "label-allocator seed for replayable scans (0: derive from the clock)")
 	)
 	flag.Parse()
 	targets := flag.Args()
@@ -57,10 +58,15 @@ func main() {
 	if err != nil {
 		fatal("bad -addr4: %v", err)
 	}
+	clk := clock.Real{}
+	if *seed == 0 {
+		*seed = clk.Now().UnixNano()
+		fmt.Printf("spfail-scan: -seed %d (pass it back to replay label allocation)\n", *seed)
+	}
 	reg := telemetry.New()
 	zone := &dnsserver.SPFTestZone{Base: baseName, Addr4: a4}
 	collector := core.NewCollector(zone)
-	handler := &dnsserver.LoggingHandler{Inner: zone, Sink: collector, Now: time.Now}
+	handler := &dnsserver.LoggingHandler{Inner: zone, Sink: collector, Now: clk.Now}
 	srv := &dnsserver.Server{Net: netsim.Real{}, Addr: *dnsListen, Handler: handler, Metrics: reg}
 	if err := srv.Start(context.Background()); err != nil {
 		fatal("starting DNS zone: %v", err)
@@ -71,9 +77,9 @@ func main() {
 	prober := &core.Prober{
 		Net:           netsim.Real{},
 		HELO:          *helo,
-		Clock:         clock.Real{},
+		Clock:         clk,
 		Zone:          zone,
-		Labels:        core.NewLabelAllocator(time.Now().UnixNano()),
+		Labels:        core.NewLabelAllocator(*seed),
 		Collector:     collector,
 		Classifier:    core.NewClassifier(zone),
 		Suite:         *suite,
@@ -94,7 +100,7 @@ func main() {
 		out := prober.TestIP(context.Background(), target, rd)
 		// Give slow validators a moment for trailing lookups, then
 		// reclassify with the full evidence.
-		time.Sleep(*settle)
+		_ = clk.Sleep(context.Background(), *settle)
 		printOutcome(out)
 		outcomeTotals[out.Status]++
 		if out.Vulnerable() {

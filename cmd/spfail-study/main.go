@@ -17,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"spfail/internal/clock"
 	"spfail/internal/population"
 	"spfail/internal/report"
 	"spfail/internal/study"
@@ -51,9 +52,10 @@ func main() {
 		Interval:    *interval,
 	}
 	if *verbose {
-		start := time.Now()
+		clk := clock.Real{}
+		start := clk.Now()
 		cfg.Progress = func(stage string) {
-			fmt.Fprintf(os.Stderr, "[%7.1fs] %s\n", time.Since(start).Seconds(), stage)
+			fmt.Fprintf(os.Stderr, "[%7.1fs] %s\n", clk.Now().Sub(start).Seconds(), stage)
 		}
 	}
 
@@ -101,14 +103,13 @@ func main() {
 // itself runs on a virtual clock) until the returned stop function runs.
 func progressLoop(reg *telemetry.Registry, every time.Duration) (stop func()) {
 	done := make(chan struct{})
+	clk := clock.Real{}
 	go func() {
-		t := time.NewTicker(every)
-		defer t.Stop()
 		for {
 			select {
 			case <-done:
 				return
-			case <-t.C:
+			case <-clk.After(every):
 				s := reg.Snapshot()
 				fmt.Fprintf(os.Stderr,
 					"[metrics] probes=%d batches=%d inflight=%d (max %d) dns_queries=%d smtp_sessions=%d greylist_waits=%d\n",

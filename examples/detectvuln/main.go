@@ -35,7 +35,7 @@ func main() {
 		Net:  fabric.Host("192.0.2.53"),
 		Addr: ":53",
 		Handler: &dnsserver.LoggingHandler{
-			Inner: zone, Sink: collector, Now: time.Now,
+			Inner: zone, Sink: collector, Now: clock.Real{}.Now,
 		},
 	}
 	if err := dns.Start(ctx); err != nil {

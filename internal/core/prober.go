@@ -310,7 +310,7 @@ func (p *Prober) attempt(ctx context.Context, tr *transactionResult, id, addr, r
 	}
 	from := p.usernames()[0] + "@" + strings.TrimSuffix(mailDomain.String(), ".")
 
-	cli := &smtp.Client{Net: p.Net, HELO: p.HELO, IOTimeout: p.IOTimeout, Metrics: p.Metrics}
+	cli := &smtp.Client{Net: p.Net, HELO: p.HELO, IOTimeout: p.IOTimeout, Metrics: p.Metrics, Clk: p.Clock}
 	conn, err := cli.Dial(ctx, addr)
 	if err != nil {
 		if code := smtp.ReplyCode(err); code != 0 {

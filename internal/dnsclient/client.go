@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"spfail/internal/clock"
 	"spfail/internal/dnsmsg"
 	"spfail/internal/dnsserver"
 	"spfail/internal/netsim"
@@ -43,9 +44,19 @@ type Client struct {
 	// Metrics, when non-nil, receives lookup/retry/latency metrics
 	// (see docs/telemetry.md).
 	Metrics *telemetry.Registry
+	// Clk supplies time for deadlines and latency accounting. Defaults
+	// to the real clock.
+	Clk clock.Clock
 
 	mu     sync.Mutex
 	nextID uint16
+}
+
+func (c *Client) clock() clock.Clock {
+	if c.Clk != nil {
+		return c.Clk
+	}
+	return clock.Real{}
 }
 
 func (c *Client) timeout() time.Duration {
@@ -65,7 +76,7 @@ func (c *Client) id() uint16 {
 // Exchange sends one query and returns the validated response.
 func (c *Client) Exchange(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type) (*dnsmsg.Message, error) {
 	c.Metrics.Counter("dns.client.lookups").Inc()
-	start := time.Now()
+	start := c.clock().Now()
 	q := dnsmsg.NewQuery(c.id(), name, typ)
 	attempts := 1 + c.Retries
 	if c.Retries == 0 {
@@ -89,7 +100,7 @@ func (c *Client) Exchange(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type
 				continue
 			}
 		}
-		c.Metrics.Histogram("dns.client.latency").Record(time.Since(start))
+		c.Metrics.Histogram("dns.client.latency").Record(c.clock().Now().Sub(start))
 		return resp, nil
 	}
 	c.Metrics.Counter("dns.client.failures").Inc()
@@ -106,11 +117,13 @@ func (c *Client) exchangeUDP(ctx context.Context, q *dnsmsg.Message) (*dnsmsg.Me
 	if err != nil {
 		return nil, err
 	}
-	deadline := time.Now().Add(c.timeout())
+	deadline := c.clock().Now().Add(c.timeout())
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
-	conn.SetDeadline(deadline)
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
 	if _, err := conn.Write(pkt); err != nil {
 		return nil, err
 	}
@@ -136,11 +149,13 @@ func (c *Client) exchangeTCP(ctx context.Context, q *dnsmsg.Message) (*dnsmsg.Me
 		return nil, err
 	}
 	defer conn.Close()
-	deadline := time.Now().Add(c.timeout())
+	deadline := c.clock().Now().Add(c.timeout())
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
-	conn.SetDeadline(deadline)
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
 	if err := dnsserver.WriteTCPMessage(conn, q); err != nil {
 		return nil, err
 	}

@@ -65,7 +65,7 @@ func (s *Server) Start(ctx context.Context) error {
 	}
 	l, err := s.Net.Listen("tcp", s.Addr)
 	if err != nil {
-		pc.Close()
+		_ = pc.Close()
 		return err
 	}
 	s.mu.Lock()
@@ -94,8 +94,8 @@ func (s *Server) Stop() {
 	s.run = false
 	pc, l := s.pc, s.l
 	s.mu.Unlock()
-	pc.Close()
-	l.Close()
+	_ = pc.Close()
+	_ = l.Close()
 	s.wg.Wait()
 }
 

@@ -90,13 +90,17 @@ func (c *Campaign) MeasureAddrs(ctx context.Context, addrs []netip.Addr, rcptDom
 	var mu sync.Mutex
 
 	reg := c.metrics()
+	// All batches of a round share one effective time: the virtual instant a
+	// later batch starts depends on scheduler interleaving, and host
+	// behaviour must not (determinism).
+	asOf := c.Rig.Clock.Now()
 	for start := 0; start < len(addrs); start += c.batchSize() {
 		end := start + c.batchSize()
 		if end > len(addrs) {
 			end = len(addrs)
 		}
 		batch := addrs[start:end]
-		if err := c.Rig.Manager.Ensure(ctx, batch); err != nil {
+		if err := c.Rig.Manager.EnsureAt(ctx, batch, asOf); err != nil {
 			return results
 		}
 		c.probeBatch(ctx, batch, rcptDomain, func(a netip.Addr, o core.Outcome) {

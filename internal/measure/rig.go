@@ -60,8 +60,10 @@ func NewRig(ctx context.Context, w *population.World, clk clock.Clock, metrics *
 	if metrics == nil {
 		metrics = telemetry.New()
 	}
+	fabric := netsim.NewFabric()
+	fabric.Clock = clk
 	r := &Rig{
-		Fabric:  netsim.NewFabric(),
+		Fabric:  fabric,
 		Clock:   clk,
 		World:   w,
 		Metrics: metrics,
@@ -104,6 +106,7 @@ func (r *Rig) Close() {
 func (r *Rig) Resolver() *dnsclient.Resolver {
 	res := dnsclient.NewResolver(r.Fabric.Host(r.ProbeIP), r.DNSAddr)
 	res.Client.Timeout = time.Second
+	res.Client.Clk = r.Clock
 	return res
 }
 

@@ -143,6 +143,7 @@ func New(cfg Config) *Host {
 	}
 	base := dnsclient.NewResolver(cfg.Net, cfg.DNSServer)
 	base.Client.Timeout = cfg.DNSTimeout
+	base.Client.Clk = cfg.Clock
 	cached, _ := dnsclient.WrapResolver(base, cfg.Clock)
 	h.res = ResolverAdapter{R: cached}
 	listen := cfg.ListenAddr
@@ -154,6 +155,7 @@ func New(cfg Config) *Host {
 		Net:      cfg.Net,
 		Addr:     listen,
 		Handler:  (*hostHandler)(h),
+		Clk:      cfg.Clock,
 	}
 	return h
 }

@@ -26,7 +26,12 @@ type world struct {
 
 const dnsIP = "192.0.2.53"
 
-func newWorld(t *testing.T) *world {
+func newWorld(t *testing.T) *world { return newWorldClock(t, nil) }
+
+// newWorldClock builds a world whose fabric enforces deadlines against clk
+// (nil: the real clock). The clock must be fixed here, before the DNS
+// server starts reading from fabric connections.
+func newWorldClock(t *testing.T, clk clock.Clock) *world {
 	t.Helper()
 	w := &world{
 		fabric: netsim.NewFabric(),
@@ -36,6 +41,7 @@ func newWorld(t *testing.T) *world {
 			Addr4: netip.MustParseAddr("192.0.2.80"),
 		},
 	}
+	w.fabric.Clock = clk
 	handler := &dnsserver.LoggingHandler{
 		Inner: w.zone,
 		Sink:  w.log,
@@ -243,9 +249,11 @@ func TestRefuseSMTPHost(t *testing.T) {
 }
 
 func TestBlacklistActivatesAtTime(t *testing.T) {
-	w := newWorld(t)
 	sim := clock.NewSim(time.Date(2021, 10, 11, 0, 0, 0, 0, time.UTC))
 	defer sim.Close()
+	// Deadlines on fabric connections are enforced against the fabric
+	// clock; a Sim-clocked host needs the fabric on the same timeline.
+	w := newWorldClock(t, sim)
 	w.newHost(t, "203.0.113.16", Config{
 		Clock:             sim,
 		Behaviors:         []spfimpl.Behavior{spfimpl.BehaviorVulnLibSPF2},

@@ -18,6 +18,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"spfail/internal/clock"
 )
 
 // Network abstracts dialing and listening so protocol code can run on the
@@ -85,6 +87,20 @@ type Fabric struct {
 	// DropUDP, when non-nil, is consulted for every datagram; returning
 	// true silently drops it (used to inject DNS loss in tests).
 	DropUDP func(from, to Addr) bool
+
+	// Clock is the time source deadlines on fabric connections are
+	// enforced against. Campaigns that drive protocol code with a
+	// virtual clock set it to the same clock.Sim so deadlines computed
+	// as clk.Now().Add(timeout) mean the same thing on both sides. Nil
+	// means the real clock. Set before handing out connections.
+	Clock clock.Clock
+}
+
+func (f *Fabric) clock() clock.Clock {
+	if f.Clock != nil {
+		return f.Clock
+	}
+	return clock.Real{}
 }
 
 // NewFabric returns an empty fabric.
@@ -172,18 +188,18 @@ func (f *Fabric) dialTCP(ctx context.Context, srcIP, address string) (net.Conn, 
 		return nil, &net.OpError{Op: "dial", Net: "tcp", Addr: raddr, Err: ErrRefused}
 	}
 	cli, srv := net.Pipe()
-	clientConn := &fabricConn{Conn: cli, local: laddr, remote: raddr}
-	serverConn := &fabricConn{Conn: srv, local: raddr, remote: laddr}
+	clientConn := &fabricConn{Conn: cli, clk: f.clock(), local: laddr, remote: raddr}
+	serverConn := &fabricConn{Conn: srv, clk: f.clock(), local: raddr, remote: laddr}
 	select {
 	case l.ch <- serverConn:
 		return clientConn, nil
 	case <-l.done:
-		cli.Close()
-		srv.Close()
+		_ = cli.Close()
+		_ = srv.Close()
 		return nil, &net.OpError{Op: "dial", Net: "tcp", Addr: raddr, Err: ErrRefused}
 	case <-ctx.Done():
-		cli.Close()
-		srv.Close()
+		_ = cli.Close()
+		_ = srv.Close()
 		return nil, ctx.Err()
 	}
 }
@@ -278,14 +294,42 @@ func (f *Fabric) deliver(d datagram) {
 	}
 }
 
-// fabricConn wraps a net.Pipe end with fabric addresses.
+// fabricConn wraps a net.Pipe end with fabric addresses. Deadlines arrive
+// on the fabric clock's timeline and are translated to the wall-clock
+// timeline net.Pipe enforces internally; under the real clock the
+// translation is the identity.
 type fabricConn struct {
 	net.Conn
+	clk           clock.Clock
 	local, remote Addr
 }
 
 func (c *fabricConn) LocalAddr() net.Addr  { return c.local }
 func (c *fabricConn) RemoteAddr() net.Addr { return c.remote }
+
+// toWall converts a deadline expressed on the fabric clock to the wall
+// clock net.Pipe compares against. The remaining budget (t minus virtual
+// now) is preserved; a virtual clock that later jumps forward cannot
+// retroactively shorten it, which is acceptable for the simulator's
+// politeness bounds.
+func (c *fabricConn) toWall(t time.Time) time.Time {
+	if t.IsZero() {
+		return t
+	}
+	//spfail:allow wallclock translating a virtual deadline onto net.Pipe's wall-clock timeline
+	return time.Now().Add(t.Sub(c.clk.Now()))
+}
+
+// SetDeadline implements net.Conn on the fabric clock's timeline.
+func (c *fabricConn) SetDeadline(t time.Time) error { return c.Conn.SetDeadline(c.toWall(t)) }
+
+// SetReadDeadline implements net.Conn on the fabric clock's timeline.
+func (c *fabricConn) SetReadDeadline(t time.Time) error { return c.Conn.SetReadDeadline(c.toWall(t)) }
+
+// SetWriteDeadline implements net.Conn on the fabric clock's timeline.
+func (c *fabricConn) SetWriteDeadline(t time.Time) error {
+	return c.Conn.SetWriteDeadline(c.toWall(t))
+}
 
 // fabricListener implements net.Listener on the fabric.
 type fabricListener struct {
@@ -342,17 +386,23 @@ type fabricPacketConn struct {
 	deadline time.Time
 }
 
-// ReadFrom implements net.PacketConn.
+// ReadFrom implements net.PacketConn. The deadline is interpreted on the
+// fabric clock's timeline: the remaining budget is measured against the
+// fabric clock, then waited out in wall time. Fabric datagrams are
+// delivered in real microseconds regardless of virtual time, so waiting on
+// the virtual clock instead would turn every virtual-time jump (politeness
+// sleeps, window gaps) into a scheduling race against in-flight reads.
 func (p *fabricPacketConn) ReadFrom(b []byte) (int, net.Addr, error) {
 	var timeout <-chan time.Time
+	clk := p.f.clock()
 	p.mu.Lock()
 	if !p.deadline.IsZero() {
-		d := time.Until(p.deadline)
+		d := p.deadline.Sub(clk.Now())
 		if d <= 0 {
 			p.mu.Unlock()
 			return 0, nil, timeoutError{}
 		}
-		t := time.NewTimer(d)
+		t := time.NewTimer(d) //spfail:allow wallclock virtual budget waited out in wall time; see comment above
 		defer t.Stop()
 		timeout = t.C
 	}

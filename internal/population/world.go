@@ -276,12 +276,20 @@ type HostManager struct {
 // Ensure starts hosts for every listening address in addrs that is not
 // already running, with behaviour effective at the current clock time.
 func (m *HostManager) Ensure(ctx context.Context, addrs []netip.Addr) error {
+	return m.EnsureAt(ctx, addrs, m.Clock.Now())
+}
+
+// EnsureAt is Ensure with an explicit effective time. Campaigns pass the
+// round's grid time here: the virtual instant at which a mid-round batch
+// comes up depends on how probe sleeps interleaved with the scheduler, so
+// deriving behaviour (and the flakiness seed) from the live clock would
+// make same-seed runs diverge.
+func (m *HostManager) EnsureAt(ctx context.Context, addrs []netip.Addr, now time.Time) error {
 	m.mu.Lock()
 	if m.running == nil {
 		m.running = make(map[netip.Addr]*mta.Host)
 	}
 	m.mu.Unlock()
-	now := m.Clock.Now()
 	for _, a := range addrs {
 		spec := m.World.Hosts[a]
 		if spec == nil || !spec.Listens {

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"spfail/internal/clock"
 	"spfail/internal/netsim"
 	"spfail/internal/telemetry"
 )
@@ -23,6 +24,15 @@ type Client struct {
 	// Metrics, when non-nil, receives session and per-command failure
 	// counters (see docs/telemetry.md).
 	Metrics *telemetry.Registry
+	// Clk supplies time for I/O deadlines. Defaults to the real clock.
+	Clk clock.Clock
+}
+
+func (c *Client) clock() clock.Clock {
+	if c.Clk != nil {
+		return c.Clk
+	}
+	return clock.Real{}
 }
 
 // fail counts one failed client command.
@@ -59,13 +69,13 @@ func (c *Client) Dial(ctx context.Context, addr string) (*Conn, error) {
 	conn := &Conn{c: c, conn: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
 	r, err := conn.readReply()
 	if err != nil {
-		nc.Close()
+		_ = nc.Close()
 		c.fail("banner")
 		return nil, err
 	}
 	conn.Greet = *r
 	if !r.Positive() {
-		nc.Close()
+		_ = nc.Close()
 		c.fail("banner")
 		return nil, &ReplyError{Reply: *r}
 	}
@@ -76,10 +86,13 @@ func (c *Client) Dial(ctx context.Context, addr string) (*Conn, error) {
 // probe's deliberate mid-transaction termination.
 func (co *Conn) Close() error { return co.conn.Close() }
 
-// Quit sends QUIT and closes.
+// Quit sends QUIT and closes. A close failure is reported only when the
+// QUIT exchange itself succeeded.
 func (co *Conn) Quit() error {
 	_, err := co.cmd("QUIT")
-	co.conn.Close()
+	if cerr := co.conn.Close(); err == nil {
+		err = cerr
+	}
 	return err
 }
 
@@ -144,7 +157,9 @@ func (co *Conn) countFail(verb string, err error) error {
 // returning the server's final reply. An empty msg produces the BlankMsg
 // probe's entirely empty email.
 func (co *Conn) SendMessage(msg []byte) (*Reply, error) {
-	co.conn.SetWriteDeadline(time.Now().Add(co.c.ioTimeout()))
+	if err := co.conn.SetWriteDeadline(co.c.clock().Now().Add(co.c.ioTimeout())); err != nil {
+		return nil, err
+	}
 	lines := strings.Split(string(msg), "\n")
 	for _, line := range lines {
 		line = strings.TrimSuffix(line, "\r")
@@ -187,7 +202,9 @@ func (co *Conn) expectPositive(format string, args ...interface{}) error {
 
 // cmd writes one command line and reads the reply.
 func (co *Conn) cmd(format string, args ...interface{}) (*Reply, error) {
-	co.conn.SetWriteDeadline(time.Now().Add(co.c.ioTimeout()))
+	if err := co.conn.SetWriteDeadline(co.c.clock().Now().Add(co.c.ioTimeout())); err != nil {
+		return nil, err
+	}
 	if _, err := fmt.Fprintf(co.bw, format+"\r\n", args...); err != nil {
 		return nil, err
 	}
@@ -201,7 +218,9 @@ func (co *Conn) cmd(format string, args ...interface{}) (*Reply, error) {
 func (co *Conn) readReply() (*Reply, error) {
 	var reply Reply
 	for {
-		co.conn.SetReadDeadline(time.Now().Add(co.c.ioTimeout()))
+		if err := co.conn.SetReadDeadline(co.c.clock().Now().Add(co.c.ioTimeout())); err != nil {
+			return nil, err
+		}
 		line, err := co.br.ReadString('\n')
 		if err != nil {
 			return nil, err

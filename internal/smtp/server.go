@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"spfail/internal/clock"
 	"spfail/internal/netsim"
 	"spfail/internal/telemetry"
 )
@@ -76,6 +77,8 @@ type Server struct {
 	// Metrics, when non-nil, receives session/abort/per-command failure
 	// counters (see docs/telemetry.md). Set before Start.
 	Metrics *telemetry.Registry
+	// Clk supplies time for I/O deadlines. Defaults to the real clock.
+	Clk clock.Clock
 
 	mu  sync.Mutex
 	l   net.Listener
@@ -95,6 +98,13 @@ func (s *Server) ioTimeout() time.Duration {
 		return s.IOTimeout
 	}
 	return 30 * time.Second
+}
+
+func (s *Server) clock() clock.Clock {
+	if s.Clk != nil {
+		return s.Clk
+	}
+	return clock.Real{}
 }
 
 // Start binds the listener and serves until Stop or ctx cancellation.
@@ -128,7 +138,7 @@ func (s *Server) Stop() {
 	s.run = false
 	l := s.l
 	s.mu.Unlock()
-	l.Close()
+	_ = l.Close()
 	s.wg.Wait()
 }
 
@@ -189,7 +199,9 @@ func (ss *serverSession) send(r *Reply) error {
 	if !r.Positive() && ss.verb != "" {
 		ss.srv.Metrics.Counter("smtp.server.cmd_failures." + strings.ToLower(ss.verb)).Inc()
 	}
-	ss.conn.SetWriteDeadline(time.Now().Add(ss.srv.ioTimeout()))
+	if err := ss.conn.SetWriteDeadline(ss.srv.clock().Now().Add(ss.srv.ioTimeout())); err != nil {
+		return err
+	}
 	if _, err := ss.bw.WriteString(r.String() + "\r\n"); err != nil {
 		return err
 	}
@@ -197,7 +209,9 @@ func (ss *serverSession) send(r *Reply) error {
 }
 
 func (ss *serverSession) readLine() (string, error) {
-	ss.conn.SetReadDeadline(time.Now().Add(ss.srv.ioTimeout()))
+	if err := ss.conn.SetReadDeadline(ss.srv.clock().Now().Add(ss.srv.ioTimeout())); err != nil {
+		return "", err
+	}
 	line, err := ss.br.ReadString('\n')
 	if err != nil {
 		return "", err

@@ -253,7 +253,9 @@ func MacroValue(ctx context.Context, letter MacroLetter, env *MacroEnv, forExp b
 		case MacroReceiver:
 			return env.Receiver, nil
 		default:
-			now := time.Now
+			// Envelopes built by the simulator always carry a clocked
+			// Now; the fallback only serves real-Internet use.
+			now := time.Now //spfail:allow wallclock RFC 7208 %{t} fallback when the envelope has no clock
 			if env.Now != nil {
 				now = env.Now
 			}

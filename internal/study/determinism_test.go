@@ -1,0 +1,74 @@
+package study_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"spfail/internal/population"
+	"spfail/internal/report"
+	"spfail/internal/study"
+)
+
+// TestSameSeedProducesIdenticalReports is the determinism regression test:
+// two runs of the same campaign spec must render byte-identical reports.
+// Everything that could diverge — world generation, probe label allocation,
+// bounce/open sampling, virtual-clock timeouts — is seeded or clocked, so
+// any diff here means a wall-clock read or an unseeded random source crept
+// back in.
+func TestSameSeedProducesIdenticalReports(t *testing.T) {
+	render := func() []byte {
+		t.Helper()
+		spec := population.DefaultSpec()
+		spec.Scale = 0.003
+		spec.Seed = 7
+		res, err := study.Run(context.Background(), study.Config{
+			Spec:        spec,
+			Concurrency: 64,
+			BatchSize:   400,
+			Interval:    4 * 24 * time.Hour,
+		})
+		if err != nil {
+			t.Fatalf("study run: %v", err)
+		}
+		var buf bytes.Buffer
+		report.All(&buf, res)
+		return buf.Bytes()
+	}
+
+	first := render()
+	second := render()
+	if !bytes.Equal(first, second) {
+		a, _ := os.CreateTemp("", "spfail-report-a-*.txt")
+		b, _ := os.CreateTemp("", "spfail-report-b-*.txt")
+		a.Write(first)
+		b.Write(second)
+		a.Close()
+		b.Close()
+		t.Errorf("same-seed runs rendered different reports (dumped to %s and %s):\n--- first ---\n%s\n--- second ---\n%s",
+			a.Name(), b.Name(), firstDiffContext(first, second), firstDiffContext(second, first))
+	}
+}
+
+// firstDiffContext returns a window of a around the first byte where a and
+// b differ, to keep failure output readable.
+func firstDiffContext(a, b []byte) []byte {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	lo, hi := i-200, i+200
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(a) {
+		hi = len(a)
+	}
+	return a[lo:hi]
+}

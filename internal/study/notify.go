@@ -92,6 +92,7 @@ func (n *Notifier) Notify(ctx context.Context, vulnDomains map[string][]netip.Ad
 		Net:       n.Rig.Fabric.Host(n.SenderIP),
 		HELO:      "notify.dns-lab.org",
 		IOTimeout: 5 * time.Second,
+		Clk:       clk,
 	}
 
 	for i, d := range toNotify {
@@ -113,7 +114,7 @@ func (n *Notifier) Notify(ctx context.Context, vulnDomains map[string][]netip.Ad
 					// The recipient's mail client fetches the pixel from
 					// the domain's own vantage.
 					from := addrs[0].String()
-					if err := FetchPixel(ctx, n.Rig.Fabric.Host(from), n.TrackerAddr, pixelID); err == nil {
+					if err := FetchPixel(ctx, clk, n.Rig.Fabric.Host(from), n.TrackerAddr, pixelID); err == nil {
 						st.Opened = true
 						st.OpenedAt = clk.Now()
 					}

@@ -268,11 +268,11 @@ func TestTrackerRecordsOpens(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer tr.Stop()
-	if err := FetchPixel(context.Background(), fabric.Host("10.0.0.5"), "192.0.2.90:80", "abc123"); err != nil {
+	if err := FetchPixel(context.Background(), nil, fabric.Host("10.0.0.5"), "192.0.2.90:80", "abc123"); err != nil {
 		t.Fatal(err)
 	}
 	// Duplicate opens keep the first timestamp.
-	if err := FetchPixel(context.Background(), fabric.Host("10.0.0.5"), "192.0.2.90:80", "abc123"); err != nil {
+	if err := FetchPixel(context.Background(), nil, fabric.Host("10.0.0.5"), "192.0.2.90:80", "abc123"); err != nil {
 		t.Fatal(err)
 	}
 	opens := tr.Opens()
@@ -291,7 +291,7 @@ func TestTrackerRejectsBadPaths(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer tr.Stop()
-	err := FetchPixel(context.Background(), fabric.Host("10.0.0.6"), "192.0.2.91:80", "../etc/passwd")
+	err := FetchPixel(context.Background(), nil, fabric.Host("10.0.0.6"), "192.0.2.91:80", "../etc/passwd")
 	if err != nil {
 		t.Skip("path traversal blocked at fetch level")
 	}

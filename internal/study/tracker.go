@@ -26,11 +26,27 @@ type Tracker struct {
 	Net  netsim.Network
 	Addr string // listen address, e.g. ":80"
 	Clk  clock.Clock
+	// Timeout bounds each pixel request; 0 means 10s.
+	Timeout time.Duration
 
 	mu    sync.Mutex
 	l     net.Listener
 	wg    sync.WaitGroup
 	opens map[string]time.Time
+}
+
+func (t *Tracker) clock() clock.Clock {
+	if t.Clk != nil {
+		return t.Clk
+	}
+	return clock.Real{}
+}
+
+func (t *Tracker) timeout() time.Duration {
+	if t.Timeout > 0 {
+		return t.Timeout
+	}
+	return 10 * time.Second
 }
 
 // opened1x1 is a 1×1 GIF, the classic tracking pixel.
@@ -57,7 +73,7 @@ func (t *Tracker) Stop() {
 	l := t.l
 	t.mu.Unlock()
 	if l != nil {
-		l.Close()
+		_ = l.Close()
 	}
 	t.wg.Wait()
 }
@@ -80,7 +96,9 @@ func (t *Tracker) serve(l net.Listener) {
 
 // handle processes one HTTP request: GET /px/<id>.gif.
 func (t *Tracker) handle(c net.Conn) {
-	c.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := c.SetDeadline(t.clock().Now().Add(t.timeout())); err != nil {
+		return
+	}
 	br := bufio.NewReader(c)
 	line, err := br.ReadString('\n')
 	if err != nil {
@@ -105,17 +123,14 @@ func (t *Tracker) handle(c net.Conn) {
 		return
 	}
 	id := strings.TrimSuffix(strings.TrimPrefix(path, prefix), ".gif")
-	now := time.Now()
-	if t.Clk != nil {
-		now = t.Clk.Now()
-	}
+	now := t.clock().Now()
 	t.mu.Lock()
 	if _, seen := t.opens[id]; !seen {
 		t.opens[id] = now
 	}
 	t.mu.Unlock()
 	fmt.Fprintf(c, "HTTP/1.0 200 OK\r\nContent-Type: image/gif\r\nContent-Length: %d\r\n\r\n", len(opened1x1))
-	c.Write(opened1x1)
+	_, _ = c.Write(opened1x1)
 }
 
 // Opens returns a copy of the recorded open events (id → first open time).
@@ -136,14 +151,20 @@ func PixelURL(host, id string) string {
 
 // FetchPixel performs the HTTP GET a mail client makes when rendering the
 // notification — used by the simulation to "open" an email from the
-// recipient host's vantage.
-func FetchPixel(ctx context.Context, n netsim.Network, addr, id string) error {
+// recipient host's vantage. clk supplies the deadline base; nil means the
+// real clock.
+func FetchPixel(ctx context.Context, clk clock.Clock, n netsim.Network, addr, id string) error {
+	if clk == nil {
+		clk = clock.Real{}
+	}
 	c, err := n.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
-	c.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := c.SetDeadline(clk.Now().Add(10 * time.Second)); err != nil {
+		return err
+	}
 	fmt.Fprintf(c, "GET /px/%s.gif HTTP/1.0\r\nHost: tracker\r\n\r\n", id)
 	br := bufio.NewReader(c)
 	status, err := br.ReadString('\n')

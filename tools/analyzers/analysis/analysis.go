@@ -1,0 +1,156 @@
+// Package analysis is a dependency-free miniature of golang.org/x/tools'
+// go/analysis: an Analyzer is a named check over one type-checked package,
+// a Pass is one invocation of it, and Diagnostics are positioned findings.
+//
+// The x/tools module is deliberately not vendored — the root module's
+// dependency-free property extends to its tooling — so this package keeps
+// the same conceptual surface (Analyzer.Run(*Pass), Pass.Reportf) to make a
+// future migration mechanical.
+//
+// Suppression: a diagnostic is dropped when the offending line, or the line
+// directly above it, carries a comment of the form
+//
+//	//spfail:allow <pass> <reason>
+//
+// The reason is mandatory; an allow comment without one is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and suppression comments.
+	Name string
+	// Doc is a one-paragraph description shown by spfail-vet -list.
+	Doc string
+	// Run executes the check, reporting findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's worth of inputs to an Analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed source files (comments included).
+	Files []*ast.File
+	// Pkg and TypesInfo hold the type-checked package.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the import path under analysis (fixture paths in tests,
+	// module paths in the real run).
+	PkgPath string
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Pass: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Pass    string
+	Message string
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// Test code is exempt from the determinism passes: tests may use the wall
+// clock and unseeded randomness freely.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// allowMarker introduces a suppression comment.
+const allowMarker = "//spfail:allow"
+
+// suppressionIndex maps file → line → set of allowed pass names.
+type suppressionIndex map[string]map[int]map[string]bool
+
+// buildSuppressions scans every comment in files for allow markers. A
+// malformed marker (no pass name, or no reason) yields a diagnostic so
+// suppressions cannot silently rot.
+func buildSuppressions(fset *token.FileSet, files []*ast.File) (suppressionIndex, []Diagnostic) {
+	idx := make(suppressionIndex)
+	var malformed []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowMarker) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowMarker)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Pos:     c.Pos(),
+						Pass:    "suppression",
+						Message: "malformed //spfail:allow: want \"//spfail:allow <pass> <reason>\"",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					idx[pos.Filename] = lines
+				}
+				if lines[pos.Line] == nil {
+					lines[pos.Line] = make(map[string]bool)
+				}
+				lines[pos.Line][fields[0]] = true
+			}
+		}
+	}
+	return idx, malformed
+}
+
+// suppressed reports whether d is covered by an allow comment on its own
+// line or the line directly above.
+func (idx suppressionIndex) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	lines := idx[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][d.Pass] || lines[pos.Line-1][d.Pass]
+}
+
+// Run executes analyzers over one package and returns the unsuppressed
+// diagnostics sorted by position. Malformed suppression comments are
+// reported alongside the passes' own findings.
+func Run(pass *Pass, analyzers []*Analyzer) ([]Diagnostic, error) {
+	idx, malformed := buildSuppressions(pass.Fset, pass.Files)
+	diags := malformed
+	for _, a := range analyzers {
+		p := *pass
+		p.Analyzer = a
+		p.report = func(d Diagnostic) {
+			if !idx.suppressed(pass.Fset, d) {
+				diags = append(diags, d)
+			}
+		}
+		if err := a.Run(&p); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pass.PkgPath, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := pass.Fset.Position(diags[i].Pos), pass.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return diags, nil
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// flagEveryCall reports a diagnostic at every call expression, which makes
+// suppression behavior easy to probe.
+var flagEveryCall = &Analyzer{
+	Name: "flagcall",
+	Doc:  "test analyzer: flags every call",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok {
+					p.Reportf(c.Pos(), "call flagged")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func runOn(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &Pass{
+		Fset:    fset,
+		Files:   []*ast.File{f},
+		Pkg:     types.NewPackage("p", "p"),
+		PkgPath: "p",
+	}
+	diags, err := Run(pass, []*Analyzer{flagEveryCall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func TestSuppressionSameLineAndAbove(t *testing.T) {
+	diags := runOn(t, `package p
+
+func g() {}
+
+func h() {
+	g() //spfail:allow flagcall known-good call
+	//spfail:allow flagcall the next line is fine too
+	g()
+	g()
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %d, want 1 (only the unsuppressed call): %v", len(diags), diags)
+	}
+	if diags[0].Pass != "flagcall" {
+		t.Errorf("pass = %q", diags[0].Pass)
+	}
+}
+
+func TestSuppressionIsPerPass(t *testing.T) {
+	diags := runOn(t, `package p
+
+func g() {}
+
+func h() {
+	g() //spfail:allow otherpass reason does not cover flagcall
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %d, want 1 (allow names a different pass): %v", len(diags), diags)
+	}
+}
+
+func TestMalformedSuppressionReported(t *testing.T) {
+	diags := runOn(t, `package p
+
+func g() {}
+
+func h() {
+	//spfail:allow flagcall
+	g()
+}
+`)
+	// The reason-less marker is itself reported, and it does not suppress.
+	var sawMalformed, sawCall bool
+	for _, d := range diags {
+		switch d.Pass {
+		case "suppression":
+			sawMalformed = true
+			if !strings.Contains(d.Message, "malformed") {
+				t.Errorf("suppression message = %q", d.Message)
+			}
+		case "flagcall":
+			sawCall = true
+		}
+	}
+	if !sawMalformed || !sawCall {
+		t.Fatalf("want malformed-marker and call diagnostics, got %v", diags)
+	}
+}
+
+func TestDiagnosticsSortedByPosition(t *testing.T) {
+	diags := runOn(t, `package p
+
+func g() {}
+
+func h() {
+	g()
+	g()
+}
+`)
+	if len(diags) != 2 {
+		t.Fatalf("diagnostics = %d", len(diags))
+	}
+	if diags[0].Pos >= diags[1].Pos {
+		t.Errorf("diagnostics not sorted: %v", diags)
+	}
+}

@@ -1,0 +1,159 @@
+// Package analysistest runs an analyzer over a fixture package and checks
+// its diagnostics against `// want "regexp"` comments, mirroring the
+// golang.org/x/tools package of the same name. Fixtures live under a
+// testdata directory, one package per directory; the directory's relative
+// path becomes the package path (so a fixture under testdata/src/internal/
+// clock exercises path-based exemptions). Fixture imports must be standard
+// library packages — export data is resolved through the go toolchain.
+//
+// Unlike the go tool, the harness loads files named *_test.go too: the
+// determinism passes exempt test files by name, and fixtures must be able
+// to assert that exemption.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"testing"
+
+	"spfail/tools/analyzers/analysis"
+	"spfail/tools/analyzers/internal/load"
+)
+
+// wantRe extracts the quoted patterns of a `// want "a"` or "// want `a`"
+// comment; both double-quoted and backquoted patterns are accepted, as in
+// golang.org/x/tools.
+var wantRe = regexp.MustCompile("//\\s*want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+
+var quotedRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// expectation is one `want` pattern at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package rooted at dir, analyzes it as package path
+// pkgpath, and reports mismatches between diagnostics and want comments on
+// t. Suppression comments are honored, so fixtures can assert them.
+func Run(t *testing.T, dir, pkgpath string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, expects := parseFixture(t, fset, dir)
+
+	imports := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			imports[path] = true
+		}
+	}
+	var importList []string
+	for p := range imports {
+		importList = append(importList, p)
+	}
+	sort.Strings(importList)
+
+	exports, err := load.StdExports(".", importList)
+	if err != nil {
+		t.Fatalf("resolving fixture imports: %v", err)
+	}
+	info := load.NewInfo()
+	conf := types.Config{Importer: load.ExportImporter(fset, exports)}
+	tpkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+
+	pass := &analysis.Pass{
+		Fset:      fset,
+		Files:     files,
+		Pkg:       tpkg,
+		TypesInfo: info,
+		PkgPath:   pkgpath,
+	}
+	diags, err := analysis.Run(pass, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, e := range expects {
+			if e.file == filepath.Base(pos.Filename) && e.line == pos.Line && e.pattern.MatchString(d.Message) {
+				e.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern)
+		}
+	}
+}
+
+// parseFixture parses every .go file under dir and collects want comments.
+func parseFixture(t *testing.T, fset *token.FileSet, dir string) ([]*ast.File, []*expectation) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	var expects []*expectation
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", path, err)
+		}
+		files = append(files, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				for _, q := range quotedRe.FindAllString(m[1], -1) {
+					var pat string
+					if q[0] == '`' {
+						pat = q[1 : len(q)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", path, line, q, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", path, line, pat, err)
+					}
+					expects = append(expects, &expectation{file: e.Name(), line: line, pattern: re})
+				}
+			}
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	return files, expects
+}

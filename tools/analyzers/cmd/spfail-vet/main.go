@@ -1,0 +1,71 @@
+// Command spfail-vet runs the project's static-analysis suite over a Go
+// module: wallclock, seededrand, nilsafe, decodepanic, and deadlinecheck
+// (see docs/static-analysis.md in the root repository).
+//
+//	spfail-vet [-C moduledir] [packages...]
+//
+// Packages default to ./... relative to the module directory. The exit
+// status is 1 when any unsuppressed diagnostic is reported, 2 on load
+// errors. Diagnostics are suppressed by an adjacent comment of the form
+// `//spfail:allow <pass> <reason>`.
+//
+// The tool lives in its own module so the root module stays dependency-
+// free; it is stdlib-only and drives type-checking through the go
+// toolchain (`go list -export`), so it needs no network access.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spfail/tools/analyzers/analysis"
+	"spfail/tools/analyzers/internal/load"
+	"spfail/tools/analyzers/passes"
+)
+
+func main() {
+	var (
+		dir  = flag.String("C", ".", "directory of the module to analyze")
+		list = flag.Bool("list", false, "print the suite's passes and exit")
+	)
+	flag.Parse()
+
+	suite := passes.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	fset, pkgs, err := load.Module(*dir, flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spfail-vet: %v\n", err)
+		os.Exit(2)
+	}
+
+	bad := 0
+	for _, pkg := range pkgs {
+		pass := &analysis.Pass{
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+			PkgPath:   pkg.PkgPath,
+		}
+		diags, err := analysis.Run(pass, suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spfail-vet: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			bad++
+			fmt.Printf("%s: %s: %s\n", fset.Position(d.Pos), d.Pass, d.Message)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "spfail-vet: %d unsuppressed diagnostic(s)\n", bad)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module spfail/tools/analyzers
+
+go 1.22

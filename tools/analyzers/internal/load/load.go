@@ -1,0 +1,162 @@
+// Package load type-checks Go packages without golang.org/x/tools. It
+// shells out to `go list -deps -export -json` so the toolchain does the
+// build-tag filtering and produces gc export data for every dependency,
+// then parses the target packages from source and type-checks them with
+// go/importer reading that export data. This works fully offline: the only
+// inputs are the toolchain and the module's own sources.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	PkgPath string
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// listPkg is the subset of `go list -json` output we consume.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Module     *struct{ Path string }
+	DepsErrors []*struct{ Err string }
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json patterns...` in dir.
+func goList(dir string, patterns []string) ([]listPkg, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportImporter returns a types.Importer that resolves imports from the
+// gc export data files recorded in exports (import path → file path).
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// StdExports resolves the transitive export data of the given standard
+// library packages (for test fixtures, whose imports are std-only). dir
+// must be inside any Go module so the go tool has a work context.
+func StdExports(dir string, pkgs []string) (map[string]string, error) {
+	if len(pkgs) == 0 {
+		return map[string]string{}, nil
+	}
+	listed, err := goList(dir, pkgs)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// Module loads every package matched by patterns (default "./...") in the
+// module rooted at rootDir. Only non-test files are loaded — the passes
+// deliberately do not see test code.
+func Module(rootDir string, patterns []string) (*token.FileSet, []*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	abs, err := filepath.Abs(rootDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	listed, err := goList(abs, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	fset := token.NewFileSet()
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	imp := ExportImporter(fset, exports)
+
+	var out []*Package
+	for _, p := range listed {
+		if p.Standard || p.Module == nil {
+			continue // dependency, not a target
+		}
+		files := make([]*ast.File, 0, len(p.GoFiles))
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, nil, fmt.Errorf("load: %s: %v", p.ImportPath, err)
+			}
+			files = append(files, f)
+		}
+		info := NewInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, nil, fmt.Errorf("load: type-checking %s: %v", p.ImportPath, err)
+		}
+		out = append(out, &Package{PkgPath: p.ImportPath, Files: files, Pkg: tpkg, Info: info})
+	}
+	return fset, out, nil
+}
+
+// NewInfo allocates the types.Info maps the passes rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}

@@ -1,0 +1,135 @@
+// Package deadlinecheck flags discarded error returns from connection
+// deadline setters and from non-deferred Close calls on net connections.
+// The probing stack leans on deadlines for every politeness and greylist
+// bound (paper §6.1); a SetDeadline that silently fails turns a bounded
+// probe into an unbounded hang, and an unchecked Close on a write path can
+// lose the final SMTP bytes. Deferred Closes are cleanup — their error is
+// unactionable — and stay legal; explicitly assigning to _ acknowledges a
+// deliberately ignored error.
+package deadlinecheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"spfail/tools/analyzers/analysis"
+)
+
+// Analyzer is the deadlinecheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "deadlinecheck",
+	Doc: "SetDeadline/SetReadDeadline/SetWriteDeadline errors must be checked; " +
+		"Close on net.Conn/Listener/PacketConn must be checked unless deferred",
+	Run: run,
+}
+
+var deadlineSetters = map[string]bool{
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+}
+
+func run(p *analysis.Pass) error {
+	ifaces := netInterfaces(p.Pkg)
+	for _, f := range p.Files {
+		if analysis.IsTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					check(p, call, false, ifaces)
+				}
+			case *ast.DeferStmt:
+				check(p, stmt.Call, true, ifaces)
+			case *ast.GoStmt:
+				check(p, stmt.Call, true, ifaces)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// check reports a discarded error on call when it is a deadline setter
+// (always) or a non-deferred Close on a connection-like receiver.
+func check(p *analysis.Pass, call *ast.CallExpr, deferred bool, ifaces []*types.Interface) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil || !returnsOnlyError(sig) {
+		return
+	}
+	switch {
+	case deadlineSetters[fn.Name()]:
+		p.Reportf(call.Pos(), "%s error discarded; a failed deadline makes the probe unbounded", fn.Name())
+	case fn.Name() == "Close" && !deferred:
+		if connLike(p.TypesInfo.TypeOf(sel.X), ifaces) {
+			p.Reportf(call.Pos(), "Close error discarded on connection; check it or assign to _")
+		}
+	}
+}
+
+// returnsOnlyError matches `func(...) error`.
+func returnsOnlyError(sig *types.Signature) bool {
+	if sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// netInterfaces collects net.Conn, net.Listener, and net.PacketConn from
+// the package's transitive imports. When the "net" package is unreachable
+// the Close check is skipped (the deadline checks still run).
+func netInterfaces(pkg *types.Package) []*types.Interface {
+	netPkg := findImport(pkg, "net", make(map[*types.Package]bool))
+	if netPkg == nil {
+		return nil
+	}
+	var out []*types.Interface
+	for _, name := range []string{"Conn", "Listener", "PacketConn"} {
+		if obj := netPkg.Scope().Lookup(name); obj != nil {
+			if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+				out = append(out, iface)
+			}
+		}
+	}
+	return out
+}
+
+func findImport(pkg *types.Package, path string, seen map[*types.Package]bool) *types.Package {
+	if seen[pkg] {
+		return nil
+	}
+	seen[pkg] = true
+	for _, imp := range pkg.Imports() {
+		if imp.Path() == path {
+			return imp
+		}
+		if found := findImport(imp, path, seen); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// connLike reports whether t (or *t) satisfies one of the net interfaces.
+func connLike(t types.Type, ifaces []*types.Interface) bool {
+	if t == nil {
+		return false
+	}
+	for _, iface := range ifaces {
+		if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+			return true
+		}
+	}
+	return false
+}

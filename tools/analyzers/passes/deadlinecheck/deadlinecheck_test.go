@@ -1,0 +1,12 @@
+package deadlinecheck_test
+
+import (
+	"testing"
+
+	"spfail/tools/analyzers/analysistest"
+	"spfail/tools/analyzers/passes/deadlinecheck"
+)
+
+func TestDeadlineCheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", "a", deadlinecheck.Analyzer)
+}

@@ -1,0 +1,43 @@
+package a
+
+import (
+	"net"
+	"time"
+)
+
+// fileLike closes like a file, not a connection: ignoring its Close error
+// is legal.
+type fileLike struct{}
+
+func (fileLike) Close() error { return nil }
+
+func deadlines(c net.Conn) {
+	c.SetDeadline(time.Now().Add(time.Second))     // want `SetDeadline error discarded`
+	c.SetReadDeadline(time.Now().Add(time.Second)) // want `SetReadDeadline error discarded`
+	c.SetWriteDeadline(time.Now())                 // want `SetWriteDeadline error discarded`
+	defer c.SetDeadline(time.Time{})               // want `SetDeadline error discarded`
+
+	// Checked or explicitly discarded: legal.
+	if err := c.SetDeadline(time.Now()); err != nil {
+		_ = err
+	}
+	_ = c.SetReadDeadline(time.Now())
+}
+
+func closes(c net.Conn, l net.Listener, pc net.PacketConn, tc *net.TCPConn, f fileLike) {
+	c.Close()  // want `Close error discarded on connection`
+	l.Close()  // want `Close error discarded on connection`
+	pc.Close() // want `Close error discarded on connection`
+	tc.Close() // want `Close error discarded on connection`
+
+	// Deferred cleanup and acknowledged discards: legal.
+	defer c.Close()
+	go l.Close()
+	_ = pc.Close()
+
+	f.Close()
+}
+
+func suppressed(c net.Conn) {
+	c.Close() //spfail:allow deadlinecheck fire-and-forget teardown
+}

@@ -1,0 +1,115 @@
+// Package decodepanic forbids panics reachable from the DNS wire-decode
+// paths of internal/dnsmsg. Decode input is attacker-controlled — a remote
+// mail server or resolver chooses every byte — and a reachable panic is a
+// remotely triggerable crash, the exact failure class behind the libSPF2
+// CVEs (CVE-2021-33912/33913) the paper discloses. Decode entry points must
+// return errors; panics and Must* helpers are reserved for programmer
+// errors on the encode/constant side.
+package decodepanic
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"spfail/tools/analyzers/analysis"
+)
+
+// Analyzer is the decodepanic pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "decodepanic",
+	Doc: "no panic() or Must* call may be reachable from internal/dnsmsg " +
+		"wire-decode entry points (Unpack, read*, decode*); wire input returns errors",
+	Run: run,
+}
+
+func dnsmsgPackage(path string) bool {
+	return path == "spfail/internal/dnsmsg" || strings.HasSuffix(path, "/dnsmsg") || path == "dnsmsg"
+}
+
+// decodeRoot reports whether a function name is a wire-decode entry point.
+func decodeRoot(name string) bool {
+	return name == "Unpack" ||
+		strings.HasPrefix(name, "read") ||
+		strings.HasPrefix(name, "decode") ||
+		strings.HasPrefix(name, "unpack")
+}
+
+func run(p *analysis.Pass) error {
+	if !dnsmsgPackage(p.PkgPath) {
+		return nil
+	}
+
+	// Map every function/method object in the package to its declaration.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	var roots []*ast.FuncDecl
+	for _, f := range p.Files {
+		if analysis.IsTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := p.TypesInfo.Defs[fd.Name]; obj != nil {
+				decls[obj] = fd
+			}
+			if decodeRoot(fd.Name.Name) {
+				roots = append(roots, fd)
+			}
+		}
+	}
+
+	// DFS the intra-package static call graph from each decode root,
+	// reporting panic sites and Must* calls in every reachable function.
+	visited := make(map[*ast.FuncDecl]bool)
+	var visit func(fd *ast.FuncDecl, root string)
+	visit = func(fd *ast.FuncDecl, root string) {
+		if visited[fd] {
+			return
+		}
+		visited[fd] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeObj(p, call)
+			switch obj := callee.(type) {
+			case *types.Builtin:
+				if obj.Name() == "panic" {
+					p.Reportf(call.Pos(), "panic reachable from wire-decode entry %s; decode paths must return errors", root)
+				}
+			case *types.Func:
+				if strings.HasPrefix(obj.Name(), "Must") {
+					p.Reportf(call.Pos(), "%s (panics on error) reachable from wire-decode entry %s; decode paths must return errors", obj.Name(), root)
+					return true
+				}
+				if next, ok := decls[obj]; ok {
+					visit(next, root)
+				}
+			}
+			return true
+		})
+	}
+	for _, r := range roots {
+		// Reset per root so a shared helper is attributed to every entry
+		// point that reaches it? No — one report per site is enough, and
+		// keeping visited across roots keeps the pass linear.
+		visit(r, r.Name.Name)
+	}
+	return nil
+}
+
+// calleeObj resolves the static callee of a call expression, looking
+// through plain identifiers and selector calls.
+func calleeObj(p *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return p.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return p.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package decodepanic_test
+
+import (
+	"testing"
+
+	"spfail/tools/analyzers/analysistest"
+	"spfail/tools/analyzers/passes/decodepanic"
+)
+
+func TestDecodePanic(t *testing.T) {
+	analysistest.Run(t, "testdata/src/dnsmsg", "dnsmsg", decodepanic.Analyzer)
+}
+
+func TestDecodePanicOtherPackagesIgnored(t *testing.T) {
+	analysistest.Run(t, "testdata/src/other", "other", decodepanic.Analyzer)
+}

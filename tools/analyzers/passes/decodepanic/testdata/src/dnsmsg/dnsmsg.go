@@ -1,0 +1,68 @@
+// Package dnsmsg is a fixture standing in for spfail/internal/dnsmsg: no
+// panic or Must* helper may be reachable from wire-decode entry points.
+package dnsmsg
+
+import "errors"
+
+var errShort = errors.New("short")
+
+type Name struct{ s string }
+
+func ParseName(s string) (Name, error) {
+	if s == "" {
+		return Name{}, errShort
+	}
+	return Name{s}, nil
+}
+
+// MustParseName panics on error: fine to define, illegal to reach from a
+// decode path.
+func MustParseName(s string) Name {
+	n, err := ParseName(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Unpack is a decode root: a direct panic is flagged.
+func (n *Name) Unpack(b []byte) error {
+	if len(b) == 0 {
+		panic("empty input") // want `panic reachable from wire-decode entry Unpack`
+	}
+	n.s = string(b)
+	return nil
+}
+
+// readHeader reaches a panic through a helper one hop away.
+func readHeader(b []byte) error {
+	return growCheck(b)
+}
+
+func growCheck(b []byte) error {
+	if len(b) > 512 {
+		panic("oversize") // want `panic reachable from wire-decode entry readHeader`
+	}
+	return nil
+}
+
+// decodeQuestion calls a Must helper: flagged at the call site.
+func decodeQuestion(s string) Name {
+	return MustParseName(s) // want `MustParseName \(panics on error\) reachable from wire-decode entry decodeQuestion`
+}
+
+// AppendName is encode-side: input is programmer-controlled, panics are
+// legal here.
+func AppendName(b []byte, n Name) []byte {
+	if n.s == "" {
+		panic("empty name")
+	}
+	return append(b, n.s...)
+}
+
+func decodeSuppressed(b []byte) error {
+	if len(b) == 0 {
+		panic("empty") //spfail:allow decodepanic fixture demonstrates suppression
+	}
+	return nil
+}

@@ -1,0 +1,10 @@
+// Package other is outside internal/dnsmsg, so decodepanic ignores it even
+// though readThing panics.
+package other
+
+func readThing(b []byte) byte {
+	if len(b) == 0 {
+		panic("empty")
+	}
+	return b[0]
+}

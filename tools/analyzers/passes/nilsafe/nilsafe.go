@@ -1,0 +1,111 @@
+// Package nilsafe enforces the telemetry contract from PR 1: every exported
+// method on a pointer type in internal/telemetry must check its receiver
+// against nil before using it, so an unwired component (nil *Registry, nil
+// *Counter) pays one predictable branch instead of crashing the prober on
+// the hot path.
+package nilsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"spfail/tools/analyzers/analysis"
+)
+
+// Analyzer is the nilsafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilsafe",
+	Doc: "exported methods on internal/telemetry pointer types must guard the " +
+		"receiver against nil before first use (zero-cost-when-off contract)",
+	Run: run,
+}
+
+func telemetryPackage(path string) bool {
+	return path == "spfail/internal/telemetry" || strings.HasSuffix(path, "/telemetry") || path == "telemetry"
+}
+
+func run(p *analysis.Pass) error {
+	if !telemetryPackage(p.PkgPath) {
+		return nil
+	}
+	for _, f := range p.Files {
+		if analysis.IsTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if _, ok := fd.Recv.List[0].Type.(*ast.StarExpr); !ok {
+				continue // value receiver: nil is impossible
+			}
+			if len(fd.Recv.List[0].Names) == 0 || fd.Recv.List[0].Names[0].Name == "_" {
+				continue // receiver unnamed, hence unused
+			}
+			recvObj := p.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+			if recvObj == nil {
+				continue
+			}
+			checkMethod(p, fd, recvObj)
+		}
+	}
+	return nil
+}
+
+// checkMethod verifies that the receiver's first use (in source order) is a
+// comparison against nil. Any other first use — field access, method call,
+// passing it along — can dereference a nil receiver.
+func checkMethod(p *analysis.Pass, fd *ast.FuncDecl, recv types.Object) {
+	first := token.Pos(0)
+	firstIsGuard := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || p.TypesInfo.Uses[id] != recv {
+			return true
+		}
+		if first == 0 || id.Pos() < first {
+			first = id.Pos()
+			firstIsGuard = false // reset; recomputed below for this use
+		}
+		return true
+	})
+	if first == 0 {
+		return // receiver never used
+	}
+	// Is the first use inside a `recv == nil` / `recv != nil` comparison?
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if coversGuard(p, be, recv, first) {
+			firstIsGuard = true
+		}
+		return true
+	})
+	if !firstIsGuard {
+		p.Reportf(fd.Name.Pos(), "exported method %s on pointer receiver uses the receiver before a nil guard; start with `if %s == nil`",
+			fd.Name.Name, recv.Name())
+	}
+}
+
+// coversGuard reports whether be is a nil comparison whose receiver operand
+// sits exactly at pos.
+func coversGuard(p *analysis.Pass, be *ast.BinaryExpr, recv types.Object, pos token.Pos) bool {
+	isRecvAt := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Pos() == pos && p.TypesInfo.Uses[id] == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, isNilObj := p.TypesInfo.Uses[id].(*types.Nil)
+		return isNilObj
+	}
+	return (isRecvAt(be.X) && isNil(be.Y)) || (isRecvAt(be.Y) && isNil(be.X))
+}

@@ -1,0 +1,17 @@
+package nilsafe_test
+
+import (
+	"testing"
+
+	"spfail/tools/analyzers/analysistest"
+	"spfail/tools/analyzers/passes/nilsafe"
+)
+
+func TestNilSafe(t *testing.T) {
+	analysistest.Run(t, "testdata/src/telemetry", "telemetry", nilsafe.Analyzer)
+}
+
+func TestNilSafeOtherPackagesIgnored(t *testing.T) {
+	// The same source under a non-telemetry import path produces nothing.
+	analysistest.Run(t, "testdata/src/other", "other", nilsafe.Analyzer)
+}

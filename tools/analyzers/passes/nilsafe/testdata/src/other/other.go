@@ -1,0 +1,11 @@
+// Package other is outside internal/telemetry, so nilsafe ignores it even
+// though Inc would be flagged there.
+package other
+
+type Counter struct {
+	n int64
+}
+
+func (c *Counter) Inc() {
+	c.n++
+}

@@ -1,0 +1,77 @@
+// Package telemetry is a fixture standing in for spfail/internal/telemetry:
+// exported pointer-receiver methods must guard the receiver against nil
+// before first use.
+package telemetry
+
+type Counter struct {
+	n int64
+}
+
+// Add guards first: legal.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.n += d
+}
+
+// Value guards with != nil: legal.
+func (c *Counter) Value() int64 {
+	if c != nil {
+		return c.n
+	}
+	return 0
+}
+
+// Inc uses the receiver before any guard.
+func (c *Counter) Inc() { // want `exported method Inc on pointer receiver uses the receiver before a nil guard`
+	c.n++
+}
+
+// LateGuard dereferences first, then guards — too late.
+func (c *Counter) LateGuard() int64 { // want `exported method LateGuard on pointer receiver uses the receiver before a nil guard`
+	v := c.n
+	if c == nil {
+		return 0
+	}
+	return v
+}
+
+type Registry struct {
+	counters map[string]*Counter
+}
+
+// Snapshot mirrors the real Registry.Snapshot: the guard is not the first
+// statement, but it IS the first receiver use. Legal.
+func (r *Registry) Snapshot() map[string]int64 {
+	out := map[string]int64{}
+	if r == nil {
+		return out
+	}
+	for k, c := range r.counters {
+		out[k] = c.Value()
+	}
+	return out
+}
+
+// reset is unexported: internal callers own the invariant.
+func (r *Registry) reset() {
+	r.counters = nil
+}
+
+type Gauge struct {
+	v float64
+}
+
+// Set has a value receiver: nil is impossible, no guard needed.
+func (g Gauge) Set(v float64) {}
+
+// Name never touches the receiver: nothing to guard.
+func (g *Gauge) Name() string {
+	return "gauge"
+}
+
+//spfail:allow nilsafe hot path, caller guarantees non-nil
+func (g *Gauge) Bump() {
+	g.v++
+}

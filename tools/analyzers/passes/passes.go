@@ -1,0 +1,22 @@
+// Package passes aggregates the spfail-vet analyzer suite.
+package passes
+
+import (
+	"spfail/tools/analyzers/analysis"
+	"spfail/tools/analyzers/passes/deadlinecheck"
+	"spfail/tools/analyzers/passes/decodepanic"
+	"spfail/tools/analyzers/passes/nilsafe"
+	"spfail/tools/analyzers/passes/seededrand"
+	"spfail/tools/analyzers/passes/wallclock"
+)
+
+// All returns every pass in the suite, in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		wallclock.Analyzer,
+		seededrand.Analyzer,
+		nilsafe.Analyzer,
+		decodepanic.Analyzer,
+		deadlinecheck.Analyzer,
+	}
+}

@@ -1,0 +1,55 @@
+// Package seededrand forbids the global math/rand source in non-test code.
+// Campaign replay requires every random decision (flaky sessions, bounce
+// sampling, label allocation) to come from an explicitly seeded *rand.Rand;
+// the global functions draw from a process-wide source whose state depends
+// on everything else that ran. Constructors (rand.New, rand.NewSource,
+// rand.NewZipf, ...) remain legal — they are how seeded generators are
+// built at the wiring edge.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"spfail/tools/analyzers/analysis"
+)
+
+// Analyzer is the seededrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: "forbid global math/rand functions (rand.Intn, rand.Float64, rand.Seed, ...); " +
+		"thread a seeded *rand.Rand so campaigns replay",
+	Run: run,
+}
+
+func randPackage(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func run(p *analysis.Pass) error {
+	for _, f := range p.Files {
+		if analysis.IsTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !randPackage(fn.Pkg().Path()) {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // *rand.Rand method: the injected generator
+			}
+			if strings.HasPrefix(fn.Name(), "New") {
+				return true // seeded-source constructor
+			}
+			p.Reportf(sel.Pos(), "global math/rand source via rand.%s; use an injected, seeded *rand.Rand", fn.Name())
+			return true
+		})
+	}
+	return nil
+}

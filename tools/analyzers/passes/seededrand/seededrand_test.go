@@ -1,0 +1,12 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"spfail/tools/analyzers/analysistest"
+	"spfail/tools/analyzers/passes/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", "a", seededrand.Analyzer)
+}

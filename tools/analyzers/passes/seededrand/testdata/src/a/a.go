@@ -1,0 +1,23 @@
+package a
+
+import "math/rand"
+
+func bad() {
+	_ = rand.Intn(10)    // want `global math/rand source via rand\.Intn`
+	_ = rand.Int63()     // want `global math/rand source via rand\.Int63`
+	_ = rand.Float64()   // want `global math/rand source via rand\.Float64`
+	rand.Shuffle(3, nil) // want `global math/rand source via rand\.Shuffle`
+	rand.Seed(42)        // want `global math/rand source via rand\.Seed`
+}
+
+func allowed() {
+	// Seeded generators are the sanctioned pattern.
+	r := rand.New(rand.NewSource(42))
+	_ = r.Intn(10)
+	_ = r.Float64()
+	r.Shuffle(3, func(i, j int) {})
+}
+
+func suppressed() {
+	_ = rand.Intn(10) //spfail:allow seededrand demo code only
+}

@@ -1,0 +1,9 @@
+package a
+
+import "math/rand"
+
+// Test files are exempt: unseeded randomness is fine in tests.
+func helperForTests() {
+	_ = rand.Intn(10)
+	_ = rand.Float64()
+}

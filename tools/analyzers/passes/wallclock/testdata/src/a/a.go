@@ -1,0 +1,36 @@
+package a
+
+import "time"
+
+func bad() {
+	_ = time.Now()              // want `direct wall-clock call time\.Now`
+	time.Sleep(time.Second)     // want `direct wall-clock call time\.Sleep`
+	<-time.After(time.Second)   // want `direct wall-clock call time\.After`
+	_ = time.NewTimer(0)        // want `direct wall-clock call time\.NewTimer`
+	_ = time.NewTicker(1)       // want `direct wall-clock call time\.NewTicker`
+	_ = time.Since(time.Time{}) // want `direct wall-clock call time\.Since`
+}
+
+// funcValue passes time.Now as a value — still a wall-clock dependency.
+func funcValue() func() time.Time {
+	return time.Now // want `direct wall-clock call time\.Now`
+}
+
+func allowed() {
+	// Pure time construction and methods are fine.
+	t := time.Date(2021, 10, 1, 0, 0, 0, 0, time.UTC)
+	_ = t.Add(time.Hour)
+	d, _ := time.ParseDuration("5s")
+	_ = d
+	tm := new(time.Timer)
+	tm.Stop()
+}
+
+func suppressedSameLine() {
+	_ = time.Now() //spfail:allow wallclock boundary with the real clock
+}
+
+func suppressedLineAbove() {
+	//spfail:allow wallclock boundary with the real clock
+	_ = time.Now()
+}

@@ -1,0 +1,72 @@
+// Package wallclock forbids direct wall-clock access outside the clock
+// package. The longitudinal study (paper §5, §7.6) is reproducible offline
+// only because every sleep, cadence, and timestamp flows through
+// clock.Clock; a stray time.Now() silently re-couples a campaign to real
+// time and breaks bit-for-bit replay. Test files are exempt.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"spfail/tools/analyzers/analysis"
+)
+
+// banned is the set of package-level time functions that read or schedule
+// against the wall clock. Methods (Timer.Stop, Time.Add, ...) and pure
+// constructors (time.Date, time.Parse) are fine.
+var banned = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// Analyzer is the wallclock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/Sleep/After/NewTimer/... outside internal/clock; " +
+		"inject clock.Clock so campaigns replay deterministically",
+	Run: run,
+}
+
+// exemptPackage reports whether path is the clock abstraction itself —
+// the one place allowed to touch the real clock.
+func exemptPackage(path string) bool {
+	return path == "spfail/internal/clock" || strings.HasSuffix(path, "internal/clock")
+}
+
+func run(p *analysis.Pass) error {
+	if exemptPackage(p.PkgPath) {
+		return nil
+	}
+	for _, f := range p.Files {
+		if analysis.IsTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // method on Timer/Ticker/Time, not a clock read
+			}
+			if banned[fn.Name()] {
+				p.Reportf(sel.Pos(), "direct wall-clock call time.%s; inject clock.Clock (see docs/static-analysis.md)", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

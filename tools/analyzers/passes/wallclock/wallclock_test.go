@@ -1,0 +1,16 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"spfail/tools/analyzers/analysistest"
+	"spfail/tools/analyzers/passes/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", "a", wallclock.Analyzer)
+}
+
+func TestWallclockClockPackageExempt(t *testing.T) {
+	analysistest.Run(t, "testdata/src/internal/clock", "spfail/internal/clock", wallclock.Analyzer)
+}
