@@ -24,11 +24,16 @@ import (
 	"spfail/internal/core"
 	"spfail/internal/dnsmsg"
 	"spfail/internal/dnsserver"
+	"spfail/internal/measure"
 	"spfail/internal/netsim"
+	"spfail/internal/retry"
 	"spfail/internal/telemetry"
 )
 
 func main() {
+	// Flag defaults come from the campaign configuration surface so the
+	// CLI and library agree on the paper's operational parameters.
+	def := measure.DefaultConfig()
 	var (
 		dnsListen  = flag.String("dns-listen", "127.0.0.1:5353", "address for the measurement DNS zone")
 		base       = flag.String("base", "spf-test.dns-lab.org", "zone apex under our control")
@@ -37,9 +42,11 @@ func main() {
 		helo       = flag.String("helo", "probe.dns-lab.org", "HELO identity")
 		suite      = flag.String("suite", "s01", "test-suite label")
 		settle     = flag.Duration("settle", 2*time.Second, "wait for trailing DNS queries before classifying")
-		timeout    = flag.Duration("timeout", 30*time.Second, "SMTP I/O timeout")
-		reconnect  = flag.Duration("reconnect-wait", 90*time.Second, "politeness gap between connections to the same server")
-		greylist   = flag.Duration("greylist-wait", 8*time.Minute, "pause before retrying a 450 greylisting")
+		timeout    = flag.Duration("timeout", def.IOTimeout, "SMTP I/O timeout")
+		reconnect  = flag.Duration("reconnect-wait", def.ReconnectWait, "politeness gap between connections to the same server")
+		greylist   = flag.Duration("greylist-wait", def.GreylistWait, "pause before retrying a 450 greylisting")
+		retries    = flag.Int("retries", 1, "attempts per transiently-failed probe (1 disables retries)")
+		retryBase  = flag.Duration("retry-base", 2*time.Second, "backoff before the first probe retry")
 		metrics    = flag.Bool("metrics", false, "dump a JSON telemetry snapshot to stdout at exit")
 		seed       = flag.Int64("seed", 0, "label-allocator seed for replayable scans (0: derive from the clock)")
 	)
@@ -87,6 +94,15 @@ func main() {
 		GreylistWait:  *greylist,
 		ReconnectWait: *reconnect,
 		Metrics:       reg,
+	}
+	if *retries > 1 {
+		prober.Retry = retry.Policy{
+			MaxAttempts: *retries,
+			BaseDelay:   *retryBase,
+			MaxDelay:    16 * *retryBase,
+			Jitter:      0.2,
+			Seed:        *seed,
+		}
 	}
 
 	exitCode := 0

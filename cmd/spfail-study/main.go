@@ -14,23 +14,36 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/netip"
 	"os"
+	"strings"
 	"time"
 
 	"spfail/internal/clock"
+	"spfail/internal/core"
+	"spfail/internal/faults"
+	"spfail/internal/measure"
 	"spfail/internal/population"
 	"spfail/internal/report"
+	"spfail/internal/retry"
 	"spfail/internal/study"
 	"spfail/internal/telemetry"
 )
 
 func main() {
+	def := measure.DefaultConfig()
 	var (
 		scale       = flag.Float64("scale", 0.02, "population scale relative to the paper")
 		seed        = flag.Int64("seed", 1, "world generation seed")
-		concurrency = flag.Int("concurrency", 250, "max concurrent SMTP probes")
-		batch       = flag.Int("batch", 2000, "simulated hosts brought up per wave")
+		concurrency = flag.Int("concurrency", def.Concurrency, "max concurrent SMTP probes")
+		batch       = flag.Int("batch", def.BatchSize, "simulated hosts brought up per wave")
 		interval    = flag.Duration("interval", 48*time.Hour, "longitudinal cadence (virtual)")
+		ioTimeout   = flag.Duration("io-timeout", 5*time.Second, "per-probe SMTP I/O timeout (spent in real time; shrink it under fault plans)")
+		faultsName  = flag.String("faults", "none", "fault-injection preset: "+strings.Join(faults.PresetNames, "|"))
+		retries     = flag.Int("retries", 1, "attempts per transiently-failed probe (1 disables retries)")
+		retryBase   = flag.Duration("retry-base", 2*time.Second, "backoff before the first probe retry (virtual time)")
+		breakerN    = flag.Int("breaker", 0, "consecutive failures that open a per-address circuit breaker (0 disables)")
+		checkpoint  = flag.String("checkpoint", "", "stream per-probe outcomes to this CSV file as they complete")
 		csvDir      = flag.String("csv", "", "directory to write figure data as CSV (optional)")
 		verbose     = flag.Bool("v", true, "print progress to stderr")
 		metrics     = flag.Bool("metrics", false, "periodic telemetry progress lines and a JSON snapshot at exit (stderr)")
@@ -45,11 +58,47 @@ func main() {
 	spec.Scale = *scale
 	spec.Seed = *seed
 
+	plan, err := faults.Preset(*faultsName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spfail-study: %v\n", err)
+		os.Exit(2)
+	}
+
 	cfg := study.Config{
 		Spec:        spec,
 		Concurrency: *concurrency,
 		BatchSize:   *batch,
 		Interval:    *interval,
+		IOTimeout:   *ioTimeout,
+	}
+	if !plan.Empty() {
+		cfg.Faults = &plan
+	}
+	if *retries > 1 {
+		cfg.Retry = retry.Policy{
+			MaxAttempts: *retries,
+			BaseDelay:   *retryBase,
+			MaxDelay:    16 * *retryBase,
+			Jitter:      0.2,
+		}
+		cfg.DNSRetry = cfg.Retry
+	}
+	if *breakerN > 0 {
+		cfg.Breaker = retry.BreakerConfig{Threshold: *breakerN}
+	}
+	if *checkpoint != "" {
+		f, err := os.Create(*checkpoint)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spfail-study: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		cw := bufio.NewWriter(f)
+		defer cw.Flush()
+		fmt.Fprintln(cw, "suite,addr,status,attempts,fail_reason")
+		cfg.Observe = func(suite string, addr netip.Addr, out core.Outcome) {
+			fmt.Fprintf(cw, "%s,%s,%s,%d,%q\n", suite, addr, out.Status, out.Attempts, out.FailReason)
+		}
 	}
 	if *verbose {
 		clk := clock.Real{}

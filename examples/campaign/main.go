@@ -25,7 +25,10 @@ func main() {
 
 	sim := clock.NewSim(population.TInitial)
 	defer sim.Close()
-	rig, err := measure.NewRig(context.Background(), world, sim, nil)
+	rig, err := measure.NewRigFromOptions(context.Background(), measure.RigOptions{
+		World: world,
+		Clock: sim,
+	})
 	if err != nil {
 		panic(err)
 	}
@@ -40,17 +43,22 @@ func main() {
 	addrs, rep := measure.UniqueAddrs(targets)
 	fmt.Printf("resolved %s distinct addresses via MX/A lookups\n\n", report.Count(len(addrs)))
 
-	campaign := &measure.Campaign{
-		Rig:         rig,
+	campaign, err := measure.NewCampaign(rig, measure.Config{
 		Suite:       "ex01",
 		Concurrency: 100,
 		BatchSize:   500,
 		IOTimeout:   5 * time.Second,
+	})
+	if err != nil {
+		panic(err)
 	}
 	done := make(chan map[string]int, 1)
 	var outcomes map[string]int
 	clock.Go(sim, func() {
-		results := campaign.MeasureAddrs(context.Background(), addrs, rep)
+		results, err := campaign.MeasureAddrs(context.Background(), addrs, rep)
+		if err != nil {
+			panic(err)
+		}
 		counts := map[string]int{}
 		vulnerable := 0
 		for _, o := range results {

@@ -9,6 +9,7 @@ import (
 	"spfail/internal/clock"
 	"spfail/internal/dnsserver"
 	"spfail/internal/netsim"
+	"spfail/internal/retry"
 	"spfail/internal/smtp"
 	"spfail/internal/telemetry"
 )
@@ -42,7 +43,20 @@ const (
 	// StatusSPFNotMeasured: the dialogue succeeded but the server never
 	// performed an attributable SPF lookup.
 	StatusSPFNotMeasured Status = "spf-not-measured"
+	// StatusInconclusive: the probe exhausted its retry budget (or was
+	// skipped by an open circuit breaker) without a conclusive dialogue;
+	// Outcome.FailReason says why. Only produced when a retry policy is
+	// configured.
+	StatusInconclusive Status = "inconclusive"
 )
+
+// transientStatus reports whether a status is worth retrying: the
+// connection or dialogue failed in a way a transient network fault could
+// explain. Measured and not-measured outcomes are terminal (the dialogue
+// completed).
+func transientStatus(s Status) bool {
+	return s == StatusConnectionRefused || s == StatusSMTPFailure
+}
 
 // Stage names where an SMTP dialogue can fail.
 const (
@@ -93,6 +107,11 @@ type Outcome struct {
 	IDs []string
 	// Username is the recipient local-part that was finally accepted.
 	Username string
+	// Attempts is how many full probe attempts ran (0 when the circuit
+	// breaker skipped the address; 1 without a retry policy).
+	Attempts int
+	// FailReason explains an Inconclusive status.
+	FailReason string
 }
 
 // Vulnerable is a convenience for Observation.Vulnerable on measured
@@ -126,6 +145,15 @@ type Prober struct {
 	ReconnectWait time.Duration
 	// IOTimeout bounds SMTP I/O.
 	IOTimeout time.Duration
+	// Retry, when enabled (MaxAttempts > 1), reruns transiently-failed
+	// probes (refused connections, SMTP failures) with the policy's
+	// jittered backoff slept on Clock. The zero value keeps the legacy
+	// single-attempt behaviour.
+	Retry retry.Policy
+	// Breakers, when non-nil, is the shared per-address circuit-breaker
+	// set: addresses whose breaker is open are skipped (Inconclusive)
+	// until the cooldown elapses. Typically one set per campaign.
+	Breakers *retry.Breakers
 	// Metrics, when non-nil, receives probe outcome/stage counters and
 	// the probe latency histogram (see docs/telemetry.md). Latency is
 	// measured on Clock, so virtual campaigns report virtual durations.
@@ -156,10 +184,13 @@ func (p *Prober) reconnectWait() time.Duration {
 // TestIP probes the mail server at addr ("ip:port"), using rcptDomain in
 // recipient addresses. It runs NoMsg first and escalates to BlankMsg only
 // when NoMsg connected but elicited no SPF lookup, per the paper's
-// minimization methodology.
+// minimization methodology. With a retry policy configured, transiently
+// failed probes are rerun with backoff; an exhausted budget degrades to
+// StatusInconclusive rather than reporting the last transient failure as
+// the host's behaviour.
 func (p *Prober) TestIP(ctx context.Context, addr, rcptDomain string) Outcome {
 	start := p.Clock.Now()
-	out := p.testIP(ctx, addr, rcptDomain)
+	out := p.testIPRetrying(ctx, addr, rcptDomain)
 	p.Metrics.Histogram("probe.latency").Record(p.Clock.Now().Sub(start))
 	p.Metrics.Counter("probe.total").Inc()
 	p.Metrics.Counter("probe.outcome." + string(out.Status)).Inc()
@@ -170,6 +201,68 @@ func (p *Prober) TestIP(ctx context.Context, addr, rcptDomain string) Outcome {
 		p.Metrics.Counter("probe.vulnerable").Inc()
 	}
 	return out
+}
+
+// testIPRetrying runs the probe ladder under the retry policy and circuit
+// breaker. Without a policy (MaxAttempts ≤ 1) it is exactly one testIP
+// call, preserving the pre-retry behaviour bit for bit.
+func (p *Prober) testIPRetrying(ctx context.Context, addr, rcptDomain string) Outcome {
+	max := p.Retry.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	var out Outcome
+	allRefused := true
+	for attempt := 1; attempt <= max; attempt++ {
+		if !p.Breakers.Allow(addr, p.Clock.Now()) {
+			p.Metrics.Counter("probe.breaker_skips").Inc()
+			return Outcome{
+				Addr:       addr,
+				Status:     StatusInconclusive,
+				FailReason: "circuit breaker open",
+				Attempts:   attempt - 1,
+			}
+		}
+		out = p.testIP(ctx, addr, rcptDomain)
+		out.Attempts = attempt
+		if !transientStatus(out.Status) {
+			p.Breakers.Success(addr)
+			return out
+		}
+		allRefused = allRefused && out.Status == StatusConnectionRefused
+		p.Breakers.Failure(addr, p.Clock.Now())
+		if attempt == max || ctx.Err() != nil {
+			break
+		}
+		p.Metrics.Counter("probe.retries").Inc()
+		if err := p.Retry.Wait(ctx, p.Clock, addr, attempt); err != nil {
+			break
+		}
+	}
+	if max > 1 && transientStatus(out.Status) {
+		p.Metrics.Counter("probe.retry_exhausted").Inc()
+		// A host that refused every single attempt is a refusing host
+		// (Table 3's connection-refused row), not an inconclusive one;
+		// anything else transient — timeouts, resets, 4xx churn — is.
+		if !allRefused {
+			out.FailReason = exhaustReason(out)
+			out.Status = StatusInconclusive
+		}
+	}
+	return out
+}
+
+// exhaustReason renders a stable failure description for an exhausted
+// retry budget.
+func exhaustReason(out Outcome) string {
+	reason := "retry budget exhausted"
+	if out.FailStage != "" {
+		reason += " at stage " + out.FailStage
+	}
+	if out.Err != nil {
+		reason += ": " + out.Err.Error()
+	}
+	return reason
 }
 
 // testIP is TestIP's uninstrumented body.

@@ -19,6 +19,7 @@ import (
 	"spfail/internal/dnsmsg"
 	"spfail/internal/dnsserver"
 	"spfail/internal/netsim"
+	"spfail/internal/retry"
 	"spfail/internal/telemetry"
 )
 
@@ -40,7 +41,15 @@ type Client struct {
 	// Timeout bounds each transaction attempt. Defaults to 2s.
 	Timeout time.Duration
 	// Retries is the number of additional UDP attempts. Defaults to 1.
+	// Ignored when Retry is enabled.
 	Retries int
+	// Retry, when enabled (MaxAttempts > 1), replaces the legacy
+	// immediate-retransmit loop: attempts are bounded by the policy and
+	// separated by its jittered backoff slept on Clk. Leave zero on
+	// resolvers driven by goroutines not accounted to a simulated clock
+	// (e.g. MTA hosts): their sleeps would corrupt the clock's
+	// bookkeeping.
+	Retry retry.Policy
 	// Metrics, when non-nil, receives lookup/retry/latency metrics
 	// (see docs/telemetry.md).
 	Metrics *telemetry.Registry
@@ -82,10 +91,21 @@ func (c *Client) Exchange(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type
 	if c.Retries == 0 {
 		attempts = 2
 	}
+	if c.Retry.Enabled() {
+		attempts = c.Retry.MaxAttempts
+	}
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
 			c.Metrics.Counter("dns.client.retries").Inc()
+			if c.Retry.Enabled() {
+				if err := c.Retry.Wait(ctx, c.clock(), c.Server, i); err != nil {
+					if lastErr == nil {
+						lastErr = err
+					}
+					break
+				}
+			}
 		}
 		resp, err := c.exchangeUDP(ctx, q)
 		if err != nil {

@@ -1,0 +1,190 @@
+// Package faults is a seeded, deterministic fault-injection engine for the
+// netsim fabric. A declarative Plan describes which flows misbehave and how
+// (packet loss, DNS SERVFAIL/timeout bursts, truncation storms, connection
+// refusals/resets, SMTP tarpits and blackholes); the Engine implements
+// netsim.FaultInjector and applies the plan to live traffic.
+//
+// Determinism contract: every fault decision is a pure hash of stable flow
+// identities — the plan seed, the rule index, the subject host IP, and a
+// per-(rule, host) event sequence number. Decisions never consult the
+// clock (the virtual instant at which concurrent traffic is observed is
+// scheduler-dependent) and never key on ephemeral ports (the fabric's port
+// allocator is a global counter whose values depend on goroutine
+// interleaving). Because each subject host's traffic is sequential in this
+// simulator — one prober goroutine per address, sequential DNS lookups per
+// MTA resolver — per-host sequence numbers are identical across same-seed
+// runs, so same-seed campaigns under a fault plan stay byte-deterministic.
+package faults
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// Kind names one fault behaviour.
+type Kind string
+
+// The fault kinds.
+const (
+	// KindDropUDP drops matching datagrams (generic packet loss).
+	KindDropUDP Kind = "drop-udp"
+	// KindDNSServfail answers matching hosts' DNS queries with a forged
+	// SERVFAIL instead of delivering them to the server.
+	KindDNSServfail Kind = "dns-servfail"
+	// KindDNSTimeout silently drops matching hosts' DNS queries, so the
+	// client burns its full timeout.
+	KindDNSTimeout Kind = "dns-timeout"
+	// KindDNSTruncate sets the TC bit on (and strips the answers from)
+	// DNS responses to matching hosts, forcing TCP fallback.
+	KindDNSTruncate Kind = "dns-truncate"
+	// KindConnRefuse refuses TCP dials to matching hosts' port 25.
+	KindConnRefuse Kind = "conn-refuse"
+	// KindConnReset resets SMTP connections to matching hosts after the
+	// dialer has read ResetAfter bytes.
+	KindConnReset Kind = "conn-reset"
+	// KindSMTPTarpit delays SMTP dials to matching hosts by Delay on the
+	// fabric clock (added latency / tarpitting).
+	KindSMTPTarpit Kind = "smtp-tarpit"
+	// KindSMTPBlackhole completes SMTP dials to matching hosts but
+	// connects them to nothing; I/O hangs until the deadline.
+	KindSMTPBlackhole Kind = "smtp-blackhole"
+)
+
+var validKinds = map[Kind]bool{
+	KindDropUDP: true, KindDNSServfail: true, KindDNSTimeout: true,
+	KindDNSTruncate: true, KindConnRefuse: true, KindConnReset: true,
+	KindSMTPTarpit: true, KindSMTPBlackhole: true,
+}
+
+// smtpKind reports whether k targets TCP dials to port 25.
+func smtpKind(k Kind) bool {
+	switch k {
+	case KindConnRefuse, KindConnReset, KindSMTPTarpit, KindSMTPBlackhole:
+		return true
+	}
+	return false
+}
+
+// Rule matches a set of flows and applies one fault kind to them. The
+// subject of a rule is always the client-side host: the MTA performing DNS
+// lookups for DNS kinds, the dialed mail server for SMTP kinds, and the
+// non-DNS endpoint for generic packet loss.
+type Rule struct {
+	// Kind selects the fault behaviour; required.
+	Kind Kind
+	// Host restricts the rule to one subject IP (exact match); "" matches
+	// any host, subject to Class.
+	Host string
+	// Class restricts the rule to hosts of one behaviour class as named
+	// by the engine's classifier (see population.World.FaultClassifier:
+	// "unreachable", "refusing", "greylisting", "flaky", "silent",
+	// "validating"); "" matches any class.
+	Class string
+	// Rate is the per-event fault probability in (0, 1]; 0 means 1
+	// (always, within Burst).
+	Rate float64
+	// Burst, when positive, limits the rule to the first Burst matching
+	// events per subject host — a deterministic burst at the start of
+	// each host's flow history.
+	Burst int
+	// Delay is the tarpit duration for KindSMTPTarpit (default 10s).
+	Delay time.Duration
+	// ResetAfter is the read-byte budget for KindConnReset (default 48,
+	// roughly one SMTP banner).
+	ResetAfter int
+}
+
+func (r Rule) validate(i int) error {
+	if !validKinds[r.Kind] {
+		return fmt.Errorf("faults: rule %d: unknown kind %q", i, r.Kind)
+	}
+	if r.Host != "" {
+		if _, err := netip.ParseAddr(r.Host); err != nil {
+			return fmt.Errorf("faults: rule %d: bad host %q: %v", i, r.Host, err)
+		}
+	}
+	if r.Rate < 0 || r.Rate > 1 {
+		return fmt.Errorf("faults: rule %d: rate %v outside [0,1]", i, r.Rate)
+	}
+	if r.Burst < 0 {
+		return fmt.Errorf("faults: rule %d: negative burst %d", i, r.Burst)
+	}
+	if r.Delay < 0 {
+		return fmt.Errorf("faults: rule %d: negative delay %v", i, r.Delay)
+	}
+	if r.Delay != 0 && r.Kind != KindSMTPTarpit {
+		return fmt.Errorf("faults: rule %d: Delay only applies to %s", i, KindSMTPTarpit)
+	}
+	if r.ResetAfter < 0 {
+		return fmt.Errorf("faults: rule %d: negative ResetAfter %d", i, r.ResetAfter)
+	}
+	if r.ResetAfter != 0 && r.Kind != KindConnReset {
+		return fmt.Errorf("faults: rule %d: ResetAfter only applies to %s", i, KindConnReset)
+	}
+	return nil
+}
+
+// Plan is a declarative fault schedule: a seed and an ordered rule list.
+// The zero value is a valid empty plan (no faults).
+type Plan struct {
+	// Seed feeds every probabilistic decision; two engines built from
+	// identical plans make identical decisions.
+	Seed int64
+	// Rules are evaluated in order for each event; for datagrams the
+	// first rule that fires wins, for dials all firing rules compose.
+	Rules []Rule
+}
+
+// Empty reports whether the plan injects nothing.
+func (p Plan) Empty() bool { return len(p.Rules) == 0 }
+
+// Normalize validates the plan and fills per-rule defaults (10s tarpit,
+// 48-byte reset budget).
+func (p Plan) Normalize() (Plan, error) {
+	out := p
+	out.Rules = append([]Rule(nil), p.Rules...)
+	for i := range out.Rules {
+		if err := out.Rules[i].validate(i); err != nil {
+			return p, err
+		}
+		if out.Rules[i].Kind == KindSMTPTarpit && out.Rules[i].Delay == 0 {
+			out.Rules[i].Delay = 10 * time.Second
+		}
+		if out.Rules[i].Kind == KindConnReset && out.Rules[i].ResetAfter == 0 {
+			out.Rules[i].ResetAfter = 48
+		}
+	}
+	return out, nil
+}
+
+// PresetNames lists the built-in plans, mildest first.
+var PresetNames = []string{"none", "mild", "aggressive"}
+
+// Preset returns a named built-in plan (seed zero; callers set Plan.Seed).
+// Known names are "none" (empty), "mild" (light transient loss), and
+// "aggressive" (the full fault menagerie the resilience tests run under).
+func Preset(name string) (Plan, error) {
+	switch name {
+	case "", "none":
+		return Plan{}, nil
+	case "mild":
+		return Plan{Rules: []Rule{
+			{Kind: KindDropUDP, Rate: 0.05},
+			{Kind: KindDNSServfail, Burst: 1},
+			{Kind: KindConnRefuse, Rate: 0.05},
+		}}, nil
+	case "aggressive":
+		return Plan{Rules: []Rule{
+			{Kind: KindDNSServfail, Burst: 2},
+			{Kind: KindDNSTruncate, Rate: 0.25},
+			{Kind: KindDropUDP, Rate: 0.2},
+			{Kind: KindConnRefuse, Rate: 0.2},
+			{Kind: KindConnReset, Rate: 0.15, ResetAfter: 64},
+			{Kind: KindSMTPTarpit, Rate: 0.25, Delay: 20 * time.Second},
+			{Kind: KindSMTPBlackhole, Rate: 0.1},
+		}}, nil
+	default:
+		return Plan{}, fmt.Errorf("faults: unknown preset %q (have %v)", name, PresetNames)
+	}
+}

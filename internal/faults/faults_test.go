@@ -1,0 +1,220 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"spfail/internal/dnsmsg"
+	"spfail/internal/netsim"
+	"spfail/internal/telemetry"
+)
+
+func addr(host string, port int, network string) netsim.Addr {
+	return netsim.Addr{Net: network, Host: host, Port: port}
+}
+
+func packedQuery(t *testing.T, id uint16, name string) []byte {
+	t.Helper()
+	q := dnsmsg.NewQuery(id, dnsmsg.MustParseName(name), dnsmsg.TypeTXT)
+	pkt, err := q.Pack()
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	return pkt
+}
+
+func packedResponse(t *testing.T, id uint16, name string) []byte {
+	t.Helper()
+	q := dnsmsg.NewQuery(id, dnsmsg.MustParseName(name), dnsmsg.TypeTXT)
+	r := q.Reply()
+	r.Answers = append(r.Answers, dnsmsg.Record{
+		Name:  q.Questions[0].Name,
+		Class: dnsmsg.ClassIN,
+		TTL:   60,
+		Data:  dnsmsg.TXT{Strings: []string{"v=spf1 -all"}},
+	})
+	pkt, err := r.Pack()
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	return pkt
+}
+
+// TestEngineDeterminism: two engines built from the same plan make
+// identical decisions for identical event sequences.
+func TestEngineDeterminism(t *testing.T) {
+	plan := Plan{Seed: 99, Rules: []Rule{
+		{Kind: KindDropUDP, Rate: 0.5},
+		{Kind: KindConnRefuse, Rate: 0.4},
+	}}
+	run := func() ([]netsim.DatagramVerdict, []bool) {
+		e, err := NewEngine(plan)
+		if err != nil {
+			t.Fatalf("NewEngine: %v", err)
+		}
+		var verdicts []netsim.DatagramVerdict
+		var refusals []bool
+		for i := 0; i < 200; i++ {
+			host := []string{"203.0.113.1", "203.0.113.2", "203.0.113.3"}[i%3]
+			_, v := e.Datagram(addr(host, 30000, "udp"), addr("192.0.2.53", 53, "udp"), packedQuery(t, uint16(i), "example.com"))
+			verdicts = append(verdicts, v)
+			refusals = append(refusals, e.DialTCP(addr("198.51.100.9", 0, "tcp"), addr(host, 25, "tcp")).Refuse)
+		}
+		return verdicts, refusals
+	}
+	v1, r1 := run()
+	v2, r2 := run()
+	varied := false
+	for i := range v1 {
+		if v1[i] != v2[i] || r1[i] != r2[i] {
+			t.Fatalf("event %d: decisions diverged across same-plan engines", i)
+		}
+		if v1[i] == netsim.VerdictDrop || r1[i] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("rate 0.5/0.4 rules never fired in 200 events")
+	}
+}
+
+// TestServfailForgery: a matching query is reflected as a SERVFAIL reply
+// with the query's ID and question.
+func TestServfailForgery(t *testing.T) {
+	e, err := NewEngine(Plan{Rules: []Rule{{Kind: KindDNSServfail}}})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	reg := telemetry.New()
+	e.SetMetrics(reg)
+	payload, v := e.Datagram(addr("203.0.113.7", 31000, "udp"), addr("192.0.2.53", 53, "udp"), packedQuery(t, 7777, "victim.example"))
+	if v != netsim.VerdictReflect {
+		t.Fatalf("verdict = %v, want reflect", v)
+	}
+	m, err := dnsmsg.Unpack(payload)
+	if err != nil {
+		t.Fatalf("Unpack forged reply: %v", err)
+	}
+	if !m.Header.Response || m.Header.ID != 7777 || m.Header.RCode != dnsmsg.RCodeServFail {
+		t.Fatalf("forged reply header = %+v, want SERVFAIL response id 7777", m.Header)
+	}
+	if len(m.Questions) != 1 || m.Questions[0].Name.String() != "victim.example." {
+		t.Fatalf("forged reply questions = %v", m.Questions)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["faults.injected.dns-servfail"] != 1 {
+		t.Fatalf("injection counter = %v, want 1", snap.Counters)
+	}
+
+	// Responses are not queries: the rule must not touch them.
+	if _, v := e.Datagram(addr("192.0.2.53", 53, "udp"), addr("203.0.113.7", 31000, "udp"), packedResponse(t, 7778, "victim.example")); v != netsim.VerdictPass {
+		t.Fatalf("servfail rule touched a response (verdict %v)", v)
+	}
+}
+
+// TestTruncateResponse: responses to matching hosts get TC set and answers
+// stripped; queries pass untouched.
+func TestTruncateResponse(t *testing.T) {
+	e, err := NewEngine(Plan{Rules: []Rule{{Kind: KindDNSTruncate}}})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	payload, v := e.Datagram(addr("192.0.2.53", 53, "udp"), addr("203.0.113.7", 31000, "udp"), packedResponse(t, 5, "example.com"))
+	if v != netsim.VerdictPass || payload == nil {
+		t.Fatalf("truncate verdict = %v payload nil=%v, want pass with rewritten payload", v, payload == nil)
+	}
+	m, err := dnsmsg.Unpack(payload)
+	if err != nil {
+		t.Fatalf("Unpack truncated: %v", err)
+	}
+	if !m.Header.Truncated || len(m.Answers) != 0 {
+		t.Fatalf("truncated response = %+v (TC %v, %d answers)", m.Header, m.Header.Truncated, len(m.Answers))
+	}
+	if payload, _ := e.Datagram(addr("203.0.113.7", 31000, "udp"), addr("192.0.2.53", 53, "udp"), packedQuery(t, 6, "example.com")); payload != nil {
+		t.Fatal("truncate rule rewrote a query")
+	}
+}
+
+// TestBurstWindow: Burst N fires the rule on exactly the first N events per
+// subject host, independently per host.
+func TestBurstWindow(t *testing.T) {
+	e, err := NewEngine(Plan{Rules: []Rule{{Kind: KindDNSTimeout, Burst: 2}}})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	for _, host := range []string{"203.0.113.1", "203.0.113.2"} {
+		for i := 0; i < 5; i++ {
+			_, v := e.Datagram(addr(host, 29000, "udp"), addr("192.0.2.53", 53, "udp"), packedQuery(t, uint16(i), "example.com"))
+			want := netsim.VerdictDrop
+			if i >= 2 {
+				want = netsim.VerdictPass
+			}
+			if v != want {
+				t.Fatalf("host %s event %d: verdict %v, want %v", host, i, v, want)
+			}
+		}
+	}
+}
+
+// TestDialFaultScope: SMTP rules only touch port-25 dials, compose across
+// rules, and honour Host/Class selectors.
+func TestDialFaultScope(t *testing.T) {
+	e, err := NewEngine(Plan{Rules: []Rule{
+		{Kind: KindSMTPTarpit, Host: "203.0.113.9", Delay: 5 * time.Second},
+		{Kind: KindConnReset, Host: "203.0.113.9"},
+		{Kind: KindSMTPBlackhole, Class: "flaky"},
+	}})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	e.SetClassifier(func(host string) string {
+		if host == "203.0.113.44" {
+			return "flaky"
+		}
+		return "validating"
+	})
+	src := addr("198.51.100.9", 0, "tcp")
+
+	f := e.DialTCP(src, addr("203.0.113.9", 25, "tcp"))
+	if f.Delay != 5*time.Second || f.ResetAfter != 48 || f.Blackhole || f.Refuse {
+		t.Fatalf("composed fault = %+v, want 5s delay + default 48B reset", f)
+	}
+	if f := e.DialTCP(src, addr("203.0.113.9", 53, "tcp")); f != (netsim.DialFault{}) {
+		t.Fatalf("port-53 dial got fault %+v", f)
+	}
+	if f := e.DialTCP(src, addr("203.0.113.44", 25, "tcp")); !f.Blackhole {
+		t.Fatalf("class-matched host missing blackhole: %+v", f)
+	}
+	if f := e.DialTCP(src, addr("203.0.113.50", 25, "tcp")); f != (netsim.DialFault{}) {
+		t.Fatalf("unmatched host got fault %+v", f)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	bad := []Plan{
+		{Rules: []Rule{{Kind: "nope"}}},
+		{Rules: []Rule{{Kind: KindDropUDP, Rate: 1.5}}},
+		{Rules: []Rule{{Kind: KindDropUDP, Rate: -0.1}}},
+		{Rules: []Rule{{Kind: KindDropUDP, Burst: -1}}},
+		{Rules: []Rule{{Kind: KindDropUDP, Host: "not-an-ip"}}},
+		{Rules: []Rule{{Kind: KindDropUDP, Delay: time.Second}}},
+		{Rules: []Rule{{Kind: KindSMTPTarpit, ResetAfter: 10}}},
+	}
+	for i, p := range bad {
+		if _, err := p.Normalize(); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+	for _, name := range PresetNames {
+		p, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if _, err := p.Normalize(); err != nil {
+			t.Fatalf("preset %q does not normalize: %v", name, err)
+		}
+	}
+	if _, err := Preset("bogus"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}

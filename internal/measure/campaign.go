@@ -2,12 +2,14 @@ package measure
 
 import (
 	"context"
+	"fmt"
 	"net/netip"
 	"sync"
 	"time"
 
 	"spfail/internal/clock"
 	"spfail/internal/core"
+	"spfail/internal/retry"
 	"spfail/internal/telemetry"
 )
 
@@ -15,48 +17,87 @@ import (
 // constraints (§6.1): each distinct IP tested once per round, a hard cap
 // of 250 concurrent outgoing SMTP connections, 90-second gaps between
 // connections to the same server, and 8-minute greylist backoffs.
+//
+// Construct campaigns with NewCampaign and a Config. The exported legacy
+// fields remain usable (they are folded into a Config on first use) but
+// new knobs — retry policy, circuit breaker — are only reachable through
+// Config.
 type Campaign struct {
 	Rig *Rig
-	// Suite labels all probes of this campaign.
-	Suite string
-	// Concurrency caps simultaneous SMTP probes (paper: 250).
-	Concurrency int
-	// BatchSize bounds how many simulated hosts run at once; hosts are
-	// brought up and torn down in waves (memory control at full scale).
-	BatchSize int
-	// GreylistWait and ReconnectWait override the paper's 8 min / 90 s.
+	// Config, when non-nil, supplies every campaign parameter; it is
+	// normalized on first use. When nil, the legacy fields below are
+	// folded into one.
+	Config *Config
+
+	// Legacy configuration fields, superseded by Config.
+	Suite         string
+	Concurrency   int
+	BatchSize     int
 	GreylistWait  time.Duration
 	ReconnectWait time.Duration
-	// IOTimeout bounds SMTP I/O (real time, keep small in simulation).
-	IOTimeout time.Duration
-	// Metrics overrides the rig's registry for this campaign's probe and
-	// scheduling telemetry; nil uses Rig.Metrics.
-	Metrics *telemetry.Registry
+	IOTimeout     time.Duration
+	Metrics       *telemetry.Registry
+
+	cfgOnce  sync.Once
+	cfg      Config
+	breakers *retry.Breakers
 
 	labelsOnce sync.Once
 	labels     *core.LabelAllocator
 }
 
+// NewCampaign builds a campaign for rig from a validated config.
+func NewCampaign(rig *Rig, cfg Config) (*Campaign, error) {
+	norm, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	return &Campaign{Rig: rig, Config: &norm}, nil
+}
+
+// effective folds Config (or the legacy fields) into the normalized
+// configuration all campaign behaviour derives from.
+func (c *Campaign) effective() Config {
+	c.cfgOnce.Do(func() {
+		base := Config{
+			Suite:         c.Suite,
+			Concurrency:   c.Concurrency,
+			BatchSize:     c.BatchSize,
+			GreylistWait:  c.GreylistWait,
+			ReconnectWait: c.ReconnectWait,
+			IOTimeout:     c.IOTimeout,
+			Metrics:       c.Metrics,
+		}
+		if c.Config != nil {
+			base = *c.Config
+		}
+		norm, err := base.Normalize()
+		if err != nil {
+			// Legacy field sets are unvalidated; a nonsensical one falls
+			// back to the paper defaults rather than probing with it.
+			norm = DefaultConfig()
+			norm.Suite = base.Suite
+		}
+		c.cfg = norm
+		if norm.Breaker.Enabled() {
+			c.breakers = retry.NewBreakers(norm.Breaker)
+		}
+	})
+	return c.cfg
+}
+
 func (c *Campaign) metrics() *telemetry.Registry {
-	if c.Metrics != nil {
-		return c.Metrics
+	if m := c.effective().Metrics; m != nil {
+		return m
 	}
 	return c.Rig.Metrics
 }
 
-func (c *Campaign) concurrency() int {
-	if c.Concurrency > 0 {
-		return c.Concurrency
-	}
-	return 250
-}
+func (c *Campaign) suite() string { return c.effective().Suite }
 
-func (c *Campaign) batchSize() int {
-	if c.BatchSize > 0 {
-		return c.BatchSize
-	}
-	return 2000
-}
+func (c *Campaign) concurrency() int { return c.effective().Concurrency }
+
+func (c *Campaign) batchSize() int { return c.effective().BatchSize }
 
 func (c *Campaign) allocator() *core.LabelAllocator {
 	c.labelsOnce.Do(func() {
@@ -66,6 +107,7 @@ func (c *Campaign) allocator() *core.LabelAllocator {
 }
 
 func (c *Campaign) newProber() *core.Prober {
+	cfg := c.effective()
 	return &core.Prober{
 		Net:           c.Rig.Fabric.Host(c.Rig.ProbeIP),
 		HELO:          "probe.dns-lab.org",
@@ -74,22 +116,27 @@ func (c *Campaign) newProber() *core.Prober {
 		Labels:        c.allocator(),
 		Collector:     c.Rig.Collector,
 		Classifier:    c.Rig.Classifier,
-		Suite:         c.Suite,
-		GreylistWait:  c.GreylistWait,
-		ReconnectWait: c.ReconnectWait,
-		IOTimeout:     c.IOTimeout,
+		Suite:         cfg.Suite,
+		GreylistWait:  cfg.GreylistWait,
+		ReconnectWait: cfg.ReconnectWait,
+		IOTimeout:     cfg.IOTimeout,
+		Retry:         cfg.Retry,
+		Breakers:      c.breakers,
 		Metrics:       c.metrics(),
 	}
 }
 
-// MeasureAddrs probes each address once and returns its outcome. rcptDomain
-// supplies the recipient domain used for each address (typically the first
-// domain that resolved to it).
-func (c *Campaign) MeasureAddrs(ctx context.Context, addrs []netip.Addr, rcptDomain map[netip.Addr]string) map[netip.Addr]core.Outcome {
-	results := make(map[netip.Addr]core.Outcome, len(addrs))
-	var mu sync.Mutex
-
+// MeasureAddrsFunc probes each address once, streaming outcomes to fn as
+// they complete so callers can checkpoint incrementally instead of holding
+// the full result map. fn is invoked serially (no locking needed inside)
+// but in completion order, not input order. Every address passed in is
+// reported to fn exactly once — a probe that cannot complete yields a
+// StatusInconclusive outcome rather than disappearing — unless ctx is
+// cancelled or host setup fails, both of which surface in the returned
+// error.
+func (c *Campaign) MeasureAddrsFunc(ctx context.Context, addrs []netip.Addr, rcptDomain map[netip.Addr]string, fn func(netip.Addr, core.Outcome)) error {
 	reg := c.metrics()
+	var mu sync.Mutex
 	// All batches of a round share one effective time: the virtual instant a
 	// later batch starts depends on scheduler interleaving, and host
 	// behaviour must not (determinism).
@@ -101,27 +148,39 @@ func (c *Campaign) MeasureAddrs(ctx context.Context, addrs []netip.Addr, rcptDom
 		}
 		batch := addrs[start:end]
 		if err := c.Rig.Manager.EnsureAt(ctx, batch, asOf); err != nil {
-			return results
+			return fmt.Errorf("measure: starting batch hosts [%d:%d]: %w", start, end, err)
 		}
 		c.probeBatch(ctx, batch, rcptDomain, func(a netip.Addr, o core.Outcome) {
 			mu.Lock()
-			results[a] = o
+			fn(a, o)
 			mu.Unlock()
 			reg.Counter("campaign.probes_done").Inc()
 		})
 		c.Rig.Manager.Stop(batch)
 		reg.Counter("campaign.batches_done").Inc()
 		reg.Emit("campaign.batch", map[string]any{
-			"suite": c.Suite,
+			"suite": c.suite(),
 			"size":  len(batch),
 			"done":  end,
 			"total": len(addrs),
 		})
-		if ctx.Err() != nil {
-			break
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 	}
-	return results
+	return nil
+}
+
+// MeasureAddrs probes each address once and returns its outcome. rcptDomain
+// supplies the recipient domain used for each address (typically the first
+// domain that resolved to it). The results map holds whatever completed
+// before the error, if any.
+func (c *Campaign) MeasureAddrs(ctx context.Context, addrs []netip.Addr, rcptDomain map[netip.Addr]string) (map[netip.Addr]core.Outcome, error) {
+	results := make(map[netip.Addr]core.Outcome, len(addrs))
+	err := c.MeasureAddrsFunc(ctx, addrs, rcptDomain, func(a netip.Addr, o core.Outcome) {
+		results[a] = o
+	})
+	return results, err
 }
 
 // probeBatch fans probes over the batch with the concurrency cap. When the
@@ -186,8 +245,9 @@ type Window struct {
 
 // Run executes rounds every Interval within each window, advancing the
 // campaign clock. It must run on a goroutine accounted to the simulated
-// clock (use clock.Go) or with a real clock.
-func (l *Longitudinal) Run(ctx context.Context, windows []Window) []Round {
+// clock (use clock.Go) or with a real clock. On error the completed rounds
+// are returned alongside it.
+func (l *Longitudinal) Run(ctx context.Context, windows []Window) ([]Round, error) {
 	clk := l.Campaign.Rig.Clock
 	var rounds []Round
 	for _, w := range windows {
@@ -196,15 +256,18 @@ func (l *Longitudinal) Run(ctx context.Context, windows []Window) []Round {
 		for next := w.Start; !next.After(w.End); next = next.Add(l.Interval) {
 			if d := next.Sub(clk.Now()); d > 0 {
 				if err := clk.Sleep(ctx, d); err != nil {
-					return rounds
+					return rounds, err
 				}
 			}
-			results := l.Campaign.MeasureAddrs(ctx, l.Targets, l.RcptDomain)
+			results, err := l.Campaign.MeasureAddrs(ctx, l.Targets, l.RcptDomain)
+			if err != nil {
+				return rounds, err
+			}
 			rounds = append(rounds, Round{Time: next, Results: results})
-			if ctx.Err() != nil {
-				return rounds
+			if err := ctx.Err(); err != nil {
+				return rounds, err
 			}
 		}
 	}
-	return rounds
+	return rounds, nil
 }

@@ -27,7 +27,10 @@ func TestCampaignBatchWaves(t *testing.T) {
 			rcpt[a] = ds[0].Name
 		}
 	}
-	results := c.MeasureAddrs(context.Background(), addrs, rcpt)
+	results, err := c.MeasureAddrs(context.Background(), addrs, rcpt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(results) != len(addrs) {
 		t.Fatalf("results = %d, want %d", len(results), len(addrs))
 	}
@@ -50,14 +53,26 @@ func TestCampaignContextCancellation(t *testing.T) {
 		addrs = addrs[:40]
 	}
 	rcpt := map[netip.Addr]string{}
-	done := make(chan map[netip.Addr]core.Outcome, 1)
-	go func() { done <- c.MeasureAddrs(ctx, addrs, rcpt) }()
+	type measured struct {
+		results map[netip.Addr]core.Outcome
+		err     error
+	}
+	done := make(chan measured, 1)
+	go func() {
+		results, err := c.MeasureAddrs(ctx, addrs, rcpt)
+		done <- measured{results, err}
+	}()
 	time.Sleep(20 * time.Millisecond)
 	cancel()
 	select {
-	case results := <-done:
-		if len(results) >= len(addrs) {
-			t.Logf("campaign finished before cancellation took effect (%d results)", len(results))
+	case m := <-done:
+		switch {
+		case m.err == nil:
+			t.Logf("campaign finished before cancellation took effect (%d results)", len(m.results))
+		case context.Cause(ctx) != nil:
+			// Cancellation surfaced as an error, as documented.
+		default:
+			t.Fatalf("unexpected error: %v", m.err)
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("cancelled campaign did not return")
@@ -91,8 +106,11 @@ func TestCampaignStableVerdictsAcrossRounds(t *testing.T) {
 	if len(addrs) == 0 {
 		t.Skip("no stable vulnerable hosts in tiny world")
 	}
-	r1 := c.MeasureAddrs(context.Background(), addrs, rcpt)
-	r2 := c.MeasureAddrs(context.Background(), addrs, rcpt)
+	r1, err1 := c.MeasureAddrs(context.Background(), addrs, rcpt)
+	r2, err2 := c.MeasureAddrs(context.Background(), addrs, rcpt)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("MeasureAddrs: %v / %v", err1, err2)
+	}
 	for _, a := range addrs {
 		s1, s2 := StatusOf(r1[a]), StatusOf(r2[a])
 		if s1 != s2 {

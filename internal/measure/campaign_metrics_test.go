@@ -29,7 +29,10 @@ func TestCampaignMetricsMatchOutcomes(t *testing.T) {
 			rcpt[a] = ds[0].Name
 		}
 	}
-	results := c.MeasureAddrs(context.Background(), addrs, rcpt)
+	results, err := c.MeasureAddrs(context.Background(), addrs, rcpt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(results) != len(addrs) {
 		t.Fatalf("results = %d, want %d", len(results), len(addrs))
 	}
@@ -96,7 +99,9 @@ func TestCampaignMetricsMatchOutcomes(t *testing.T) {
 			events++
 		}
 	})
-	c2.MeasureAddrs(context.Background(), addrs, rcpt)
+	if _, err := c2.MeasureAddrs(context.Background(), addrs, rcpt); err != nil {
+		t.Fatal(err)
+	}
 	if int64(events) != wantBatches {
 		t.Errorf("campaign.batch events = %d, want %d", events, wantBatches)
 	}

@@ -1,0 +1,127 @@
+package measure
+
+import (
+	"context"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"spfail/internal/clock"
+	"spfail/internal/core"
+	"spfail/internal/faults"
+	"spfail/internal/population"
+	"spfail/internal/retry"
+)
+
+// TestFaultyCampaignNoLostProbes is the resilience acceptance test: under
+// the aggressive fault preset with retries and a circuit breaker enabled,
+// every probed address must still appear in the results — with a real
+// outcome or an explicit StatusInconclusive — never silently vanish.
+func TestFaultyCampaignNoLostProbes(t *testing.T) {
+	sim := clock.NewSim(population.TInitial)
+	defer sim.Close()
+	w := population.Generate(tinySpec())
+	plan, err := faults.Preset("aggressive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Seed = 99
+	rig, err := NewRigFromOptions(context.Background(), RigOptions{
+		World:  w,
+		Clock:  sim,
+		Faults: &plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rig.Close()
+
+	c, err := NewCampaign(rig, Config{
+		Suite:       "f01",
+		Concurrency: 32,
+		BatchSize:   64,
+		// Blackholed connections wait out IOTimeout in real time, so keep
+		// it small; the politeness waits are virtual and stay paper-sized.
+		IOTimeout:     150 * time.Millisecond,
+		GreylistWait:  8 * time.Minute,
+		ReconnectWait: 90 * time.Second,
+		Retry:         retry.Policy{MaxAttempts: 3, BaseDelay: 30 * time.Second, Jitter: 0.2, Seed: 99},
+		Breaker:       retry.BreakerConfig{Threshold: 3, Cooldown: 30 * time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := rig.World.AllAddrs()
+	if len(addrs) > 48 {
+		addrs = addrs[:48]
+	}
+	rcpt := map[netip.Addr]string{}
+	for _, a := range addrs {
+		if ds := rig.World.DomainsOn(a); len(ds) > 0 {
+			rcpt[a] = ds[0].Name
+		}
+	}
+
+	done := make(chan map[netip.Addr]core.Outcome, 1)
+	clock.Go(sim, func() {
+		results, err := c.MeasureAddrs(context.Background(), addrs, rcpt)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- results
+	})
+	var results map[netip.Addr]core.Outcome
+	select {
+	case results = <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("faulty campaign did not complete")
+	}
+
+	if len(results) != len(addrs) {
+		t.Fatalf("results = %d, want %d (probes lost under faults)", len(results), len(addrs))
+	}
+	counts := map[core.Status]int{}
+	for _, a := range addrs {
+		out, ok := results[a]
+		if !ok {
+			t.Errorf("%s: no outcome recorded", a)
+			continue
+		}
+		counts[out.Status]++
+		if out.Status == core.StatusInconclusive && out.FailReason == "" {
+			t.Errorf("%s: inconclusive without a failure reason", a)
+		}
+		if out.Attempts < 1 {
+			t.Errorf("%s: Attempts = %d, want ≥1", a, out.Attempts)
+		}
+	}
+	t.Logf("outcomes under faults: %v", counts)
+
+	// The plan must actually have fired, and the retry machinery must have
+	// been exercised — otherwise this test proves nothing.
+	s := c.metrics().Snapshot()
+	var injected int64
+	for name, v := range s.Counters {
+		if strings.HasPrefix(name, "faults.injected.") {
+			injected += v
+		}
+	}
+	if injected == 0 {
+		t.Error("aggressive plan injected no faults")
+	}
+	if s.Counters["probe.retries"] == 0 {
+		t.Error("no probe retries recorded under the aggressive plan")
+	}
+}
+
+// TestStatusOfInconclusive pins the classifier mapping for the retry-
+// exhaustion status: it must flow into the longitudinal analysis as an
+// inconclusive measurement, exactly like the legacy failure statuses.
+func TestStatusOfInconclusive(t *testing.T) {
+	out := core.Outcome{Status: core.StatusInconclusive, FailReason: "retry budget exhausted"}
+	if got := StatusOf(out); got != IPInconclusive {
+		t.Fatalf("StatusOf(StatusInconclusive) = %s, want %s", got, IPInconclusive)
+	}
+}

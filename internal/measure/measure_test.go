@@ -121,7 +121,10 @@ func TestCampaignDetectsGroundTruth(t *testing.T) {
 
 	addrs := []netip.Addr{vulnAddr, safeAddr, refusedAddr}
 	rcpt := map[netip.Addr]string{vulnAddr: vulnDom, safeAddr: safeDom, refusedAddr: refusedDom}
-	results := c.MeasureAddrs(context.Background(), addrs, rcpt)
+	results, err := c.MeasureAddrs(context.Background(), addrs, rcpt)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if got := results[vulnAddr]; !got.Vulnerable() {
 		t.Errorf("vulnerable host: %+v", got)
@@ -160,7 +163,11 @@ func TestCampaignOnSimClock(t *testing.T) {
 	}
 	done := make(chan map[netip.Addr]core.Outcome, 1)
 	clock.Go(sim, func() {
-		done <- c.MeasureAddrs(context.Background(), addrs, rcpt)
+		results, err := c.MeasureAddrs(context.Background(), addrs, rcpt)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- results
 	})
 	select {
 	case results := <-done:
@@ -324,7 +331,13 @@ func TestLongitudinalWindowsOnSimClock(t *testing.T) {
 		{Start: population.TResume, End: population.TResume.Add(4 * 24 * time.Hour)},
 	}
 	done := make(chan []Round, 1)
-	clock.Go(sim, func() { done <- l.Run(context.Background(), windows) })
+	clock.Go(sim, func() {
+		rounds, err := l.Run(context.Background(), windows)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- rounds
+	})
 	select {
 	case rounds := <-done:
 		// Window 1 fits ~4 biday rounds, window 2 ~3; probe time drifts

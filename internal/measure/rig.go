@@ -18,8 +18,10 @@ import (
 	"spfail/internal/dnsclient"
 	"spfail/internal/dnsmsg"
 	"spfail/internal/dnsserver"
+	"spfail/internal/faults"
 	"spfail/internal/netsim"
 	"spfail/internal/population"
+	"spfail/internal/retry"
 	"spfail/internal/telemetry"
 )
 
@@ -44,7 +46,8 @@ type Rig struct {
 	// ProbeIP is the measurement vantage address.
 	ProbeIP string
 
-	dns *dnsserver.Server
+	dns      *dnsserver.Server
+	dnsRetry retry.Policy
 }
 
 // Rig addresses.
@@ -54,21 +57,70 @@ const (
 	testZoneBase   = "spf-test.dns-lab.org"
 )
 
-// NewRig builds and starts the measurement infrastructure for a world.
-// metrics may be nil, in which case the rig creates its own registry.
-func NewRig(ctx context.Context, w *population.World, clk clock.Clock, metrics *telemetry.Registry) (*Rig, error) {
+// RigOptions configures NewRigFromOptions. Only World and Clock are
+// required; everything else has a sensible default, so new knobs can be
+// added without another signature break.
+type RigOptions struct {
+	// World is the synthetic Internet to measure; required.
+	World *population.World
+	// Clock drives every timeline in the rig; required.
+	Clock clock.Clock
+	// Metrics aggregates rig-wide telemetry; nil creates a fresh registry.
+	Metrics *telemetry.Registry
+	// Faults, when non-nil and non-empty, is installed on the fabric as a
+	// deterministic fault-injection engine, classified against the
+	// world's host classes (see internal/faults).
+	Faults *faults.Plan
+	// DNSRetry is the retry policy for the probe-side resolver returned
+	// by Rig.Resolver (target resolution). Zero value: the dnsclient's
+	// legacy immediate retransmits.
+	DNSRetry retry.Policy
+	// DNSIP and ProbeIP override the rig's well-known addresses.
+	DNSIP   string
+	ProbeIP string
+}
+
+// NewRigFromOptions builds and starts the measurement infrastructure for a
+// world.
+func NewRigFromOptions(ctx context.Context, opts RigOptions) (*Rig, error) {
+	if opts.World == nil {
+		return nil, fmt.Errorf("measure: RigOptions.World is required")
+	}
+	if opts.Clock == nil {
+		return nil, fmt.Errorf("measure: RigOptions.Clock is required")
+	}
+	metrics := opts.Metrics
 	if metrics == nil {
 		metrics = telemetry.New()
 	}
+	dnsIP := opts.DNSIP
+	if dnsIP == "" {
+		dnsIP = defaultDNSIP
+	}
+	probeIP := opts.ProbeIP
+	if probeIP == "" {
+		probeIP = defaultProbeIP
+	}
+	w, clk := opts.World, opts.Clock
 	fabric := netsim.NewFabric()
 	fabric.Clock = clk
+	if opts.Faults != nil && !opts.Faults.Empty() {
+		engine, err := faults.NewEngine(*opts.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("measure: fault plan: %w", err)
+		}
+		engine.SetClassifier(w.FaultClassifier())
+		engine.SetMetrics(metrics)
+		fabric.Faults = engine
+	}
 	r := &Rig{
-		Fabric:  fabric,
-		Clock:   clk,
-		World:   w,
-		Metrics: metrics,
-		DNSAddr: defaultDNSIP + ":53",
-		ProbeIP: defaultProbeIP,
+		Fabric:   fabric,
+		Clock:    clk,
+		World:    w,
+		Metrics:  metrics,
+		DNSAddr:  dnsIP + ":53",
+		ProbeIP:  probeIP,
+		dnsRetry: opts.DNSRetry,
 		Zone: &dnsserver.SPFTestZone{
 			Base:  dnsmsg.MustParseName(testZoneBase),
 			Addr4: netip.MustParseAddr("192.0.2.80"),
@@ -82,7 +134,7 @@ func NewRig(ctx context.Context, w *population.World, clk clock.Clock, metrics *
 	mux.Handle(r.Zone.Base, r.Zone)
 	handler := &dnsserver.LoggingHandler{Inner: mux, Sink: r.Collector, Now: clk.Now}
 
-	r.dns = &dnsserver.Server{Net: r.Fabric.Host(defaultDNSIP), Addr: ":53", Handler: handler, Metrics: metrics}
+	r.dns = &dnsserver.Server{Net: r.Fabric.Host(dnsIP), Addr: ":53", Handler: handler, Metrics: metrics}
 	if err := r.dns.Start(ctx); err != nil {
 		return nil, fmt.Errorf("measure: starting DNS: %w", err)
 	}
@@ -96,17 +148,30 @@ func NewRig(ctx context.Context, w *population.World, clk clock.Clock, metrics *
 	return r, nil
 }
 
+// NewRig builds and starts the measurement infrastructure for a world.
+// metrics may be nil, in which case the rig creates its own registry.
+//
+// Deprecated: use NewRigFromOptions, which admits the fault plan and
+// future knobs without further signature breaks. This wrapper will be
+// removed after one release.
+func NewRig(ctx context.Context, w *population.World, clk clock.Clock, metrics *telemetry.Registry) (*Rig, error) {
+	return NewRigFromOptions(ctx, RigOptions{World: w, Clock: clk, Metrics: metrics})
+}
+
 // Close stops the DNS server and all running hosts.
 func (r *Rig) Close() {
 	r.Manager.StopAll()
 	r.dns.Stop()
 }
 
-// Resolver returns a stub resolver from the probe vantage.
+// Resolver returns a stub resolver from the probe vantage, carrying the
+// rig's DNS retry policy. Callers on a simulated clock must drive it from
+// an accounted goroutine (the policy's backoff sleeps on the rig clock).
 func (r *Rig) Resolver() *dnsclient.Resolver {
 	res := dnsclient.NewResolver(r.Fabric.Host(r.ProbeIP), r.DNSAddr)
 	res.Client.Timeout = time.Second
 	res.Client.Clk = r.Clock
+	res.Client.Retry = r.dnsRetry
 	return res
 }
 

@@ -60,7 +60,55 @@ var (
 	ErrAddrInUse   = errors.New("address already in use")
 	ErrClosed      = net.ErrClosed
 	ErrUnreachable = errors.New("host unreachable")
+	// ErrReset unwraps from the *net.OpError a fault-injected connection
+	// returns once its byte budget is spent.
+	ErrReset = errors.New("connection reset by peer")
 )
+
+// DialFault tells the fabric how to mistreat one TCP dial. The zero value
+// means a healthy dial.
+type DialFault struct {
+	// Refuse fails the dial with ErrRefused even when a listener exists.
+	Refuse bool
+	// Blackhole completes the dial but connects it to nothing: every read
+	// and write blocks until the connection's deadline expires.
+	Blackhole bool
+	// Delay tarpits the dial for this long on the fabric clock before it
+	// proceeds. Injectors must only delay dials made from goroutines
+	// accounted to the simulated clock (in this repository: the prober's
+	// port-25 dials), or the clock's bookkeeping is corrupted.
+	Delay time.Duration
+	// ResetAfter, when positive, resets the connection (ErrReset) after
+	// the dialer has read this many bytes.
+	ResetAfter int
+}
+
+// DatagramVerdict is a fault injector's decision about one datagram.
+type DatagramVerdict int
+
+// Datagram verdicts.
+const (
+	// VerdictPass delivers the (possibly rewritten) datagram normally.
+	VerdictPass DatagramVerdict = iota
+	// VerdictDrop silently discards the datagram.
+	VerdictDrop
+	// VerdictReflect bounces the rewritten payload back to the sender as
+	// if it came from the destination (used to forge DNS SERVFAILs).
+	VerdictReflect
+)
+
+// FaultInjector lets a fault engine intercept fabric traffic. Implementations
+// must be deterministic functions of stable flow identities — never of the
+// fabric clock or of ephemeral ports, both of which depend on goroutine
+// interleaving (see internal/faults).
+type FaultInjector interface {
+	// DialTCP is consulted for every TCP dial; src carries only the
+	// dialing host (no port — ephemeral ports are not stable identities).
+	DialTCP(src, dst Addr) DialFault
+	// Datagram is consulted for every delivered datagram and may rewrite
+	// the payload. Returning (nil, VerdictPass) keeps the original bytes.
+	Datagram(from, to Addr, payload []byte) ([]byte, DatagramVerdict)
+}
 
 // Addr is a fabric address.
 type Addr struct {
@@ -87,6 +135,11 @@ type Fabric struct {
 	// DropUDP, when non-nil, is consulted for every datagram; returning
 	// true silently drops it (used to inject DNS loss in tests).
 	DropUDP func(from, to Addr) bool
+
+	// Faults, when non-nil, intercepts dials and datagrams (see
+	// internal/faults for the declarative engine). Set before handing out
+	// connections.
+	Faults FaultInjector
 
 	// Clock is the time source deadlines on fabric connections are
 	// enforced against. Campaigns that drive protocol code with a
@@ -180,16 +233,37 @@ func (f *Fabric) dialTCP(ctx context.Context, srcIP, address string) (net.Conn, 
 	if err != nil {
 		return nil, err
 	}
+	var fault DialFault
+	if f.Faults != nil {
+		fault = f.Faults.DialTCP(Addr{Net: "tcp", Host: srcIP}, raddr)
+	}
+	if fault.Delay > 0 {
+		if err := f.clock().Sleep(ctx, fault.Delay); err != nil {
+			return nil, err
+		}
+	}
+	if fault.Refuse {
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Addr: raddr, Err: ErrRefused}
+	}
 	f.mu.Lock()
 	l := f.listeners[raddr.String()]
 	laddr := Addr{Net: "tcp", Host: srcIP, Port: f.allocPortLocked()}
 	f.mu.Unlock()
+	if fault.Blackhole {
+		// The dial "succeeds", but the server end of the pipe is discarded:
+		// reads and writes hang until the connection deadline expires.
+		cli, _ := net.Pipe()
+		return &fabricConn{Conn: cli, clk: f.clock(), local: laddr, remote: raddr}, nil
+	}
 	if l == nil {
 		return nil, &net.OpError{Op: "dial", Net: "tcp", Addr: raddr, Err: ErrRefused}
 	}
 	cli, srv := net.Pipe()
-	clientConn := &fabricConn{Conn: cli, clk: f.clock(), local: laddr, remote: raddr}
+	var clientConn net.Conn = &fabricConn{Conn: cli, clk: f.clock(), local: laddr, remote: raddr}
 	serverConn := &fabricConn{Conn: srv, clk: f.clock(), local: raddr, remote: laddr}
+	if fault.ResetAfter > 0 {
+		clientConn = &resetConn{Conn: clientConn, remaining: fault.ResetAfter, raddr: raddr}
+	}
 	select {
 	case l.ch <- serverConn:
 		return clientConn, nil
@@ -202,6 +276,58 @@ func (f *Fabric) dialTCP(ctx context.Context, srcIP, address string) (net.Conn, 
 		_ = srv.Close()
 		return nil, ctx.Err()
 	}
+}
+
+// resetConn simulates a peer reset: after the dialer has read its byte
+// budget, every further read or write fails with ErrReset and the
+// underlying pipe is closed so the server side unblocks.
+type resetConn struct {
+	net.Conn
+	raddr Addr
+
+	mu        sync.Mutex
+	remaining int
+	tripped   bool
+}
+
+func (c *resetConn) resetErr(op string) error {
+	return &net.OpError{Op: op, Net: "tcp", Addr: c.raddr, Err: ErrReset}
+}
+
+// trip closes the wrapped conn once and marks the reset. Caller holds c.mu.
+func (c *resetConn) tripLocked() {
+	if !c.tripped {
+		c.tripped = true
+		_ = c.Conn.Close()
+	}
+}
+
+func (c *resetConn) Read(b []byte) (int, error) {
+	c.mu.Lock()
+	if c.tripped || c.remaining <= 0 {
+		c.tripLocked()
+		c.mu.Unlock()
+		return 0, c.resetErr("read")
+	}
+	if len(b) > c.remaining {
+		b = b[:c.remaining]
+	}
+	c.mu.Unlock()
+	n, err := c.Conn.Read(b)
+	c.mu.Lock()
+	c.remaining -= n
+	c.mu.Unlock()
+	return n, err
+}
+
+func (c *resetConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	tripped := c.tripped
+	c.mu.Unlock()
+	if tripped {
+		return 0, c.resetErr("write")
+	}
+	return c.Conn.Write(b)
 }
 
 // dialUDP returns a connected packet conn presented as a net.Conn.
@@ -280,6 +406,19 @@ func (f *Fabric) listenPacket(network, address string) (net.PacketConn, error) {
 func (f *Fabric) deliver(d datagram) {
 	if f.DropUDP != nil && f.DropUDP(d.from, d.to) {
 		return
+	}
+	if f.Faults != nil {
+		payload, verdict := f.Faults.Datagram(d.from, d.to, d.data)
+		switch verdict {
+		case VerdictDrop:
+			return
+		case VerdictReflect:
+			d = datagram{from: d.to, to: d.from, data: payload}
+		default:
+			if payload != nil {
+				d.data = payload
+			}
+		}
 	}
 	f.mu.Lock()
 	pc := f.packet[d.to.String()]

@@ -209,6 +209,52 @@ func (w *World) AddrsIn(set Set) []netip.Addr {
 	return out
 }
 
+// Host behaviour classes as named by HostClass, for fault-plan targeting.
+const (
+	ClassUnreachable = "unreachable"
+	ClassRefusing    = "refusing"
+	ClassGreylisting = "greylisting"
+	ClassFlaky       = "flaky"
+	ClassSilent      = "silent"
+	ClassValidating  = "validating"
+)
+
+// HostClass names the fault-relevant behaviour class of a host address so
+// fault plans can target "all greylisting hosts" instead of enumerating
+// IPs. Unknown addresses (e.g. the probe vantage) return "".
+func (w *World) HostClass(a netip.Addr) string {
+	h := w.Hosts[a]
+	if h == nil {
+		return ""
+	}
+	switch {
+	case !h.Listens:
+		return ClassUnreachable
+	case h.RefuseSMTP:
+		return ClassRefusing
+	case h.Greylist:
+		return ClassGreylisting
+	case h.FlakyRate > 0:
+		return ClassFlaky
+	case len(h.Behaviors) == 0 || h.ValidateAt == mta.ValidateNever:
+		return ClassSilent
+	default:
+		return ClassValidating
+	}
+}
+
+// FaultClassifier adapts HostClass to the string-keyed host classifier the
+// fault engine consumes. The returned func is safe for concurrent use.
+func (w *World) FaultClassifier() func(host string) string {
+	return func(host string) string {
+		a, err := netip.ParseAddr(host)
+		if err != nil {
+			return ""
+		}
+		return w.HostClass(a)
+	}
+}
+
 // DomainsOn returns the domains hosted on an address.
 func (w *World) DomainsOn(addr netip.Addr) []*Domain {
 	var out []*Domain

@@ -6,6 +6,9 @@ import (
 	"testing"
 	"time"
 
+	"net/netip"
+
+	"spfail/internal/core"
 	"spfail/internal/geo"
 	"spfail/internal/measure"
 )
@@ -44,5 +47,38 @@ func TestChoroplethCSV(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "52.5,12.5,7,3,0.4286") {
 		t.Errorf("csv = %q", out)
+	}
+}
+
+// TestInconclusiveOutcomeReachesCSV walks the retry-exhaustion status
+// through the full reporting path: a StatusInconclusive outcome must
+// classify as an inconclusive measurement, count as uncertain in the
+// domain series, and land in the rendered CSV row.
+func TestInconclusiveOutcomeReachesCSV(t *testing.T) {
+	a1 := netip.MustParseAddr("100.64.9.1")
+	t0 := time.Date(2021, 10, 26, 0, 0, 0, 0, time.UTC)
+	rounds := []measure.Round{
+		{Time: t0, Results: map[netip.Addr]core.Outcome{
+			a1: {Status: core.StatusInconclusive, FailReason: "retry budget exhausted", Attempts: 3},
+		}},
+	}
+	an := measure.Analyze(rounds, []netip.Addr{a1})
+	series := an.DomainSeries(map[string][]netip.Addr{"d.example": {a1}})
+	if len(series) != 1 {
+		t.Fatalf("series = %d points", len(series))
+	}
+	if series[0].Uncertain != 1 || series[0].Measured != 0 {
+		t.Fatalf("inconclusive outcome classified as %+v, want 1 uncertain / 0 measured", series[0])
+	}
+	var buf bytes.Buffer
+	if err := SeriesCSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "2021-10-26,0,0,0,0,1") {
+		t.Errorf("row = %q, want uncertain=1 and no measured/vulnerable counts", lines[1])
 	}
 }

@@ -1,0 +1,293 @@
+// Package retry is the shared fault-tolerance policy layer for the probing
+// stack: bounded attempts with exponential backoff, seeded deterministic
+// jitter computed on whatever clock the caller injects, and a per-key
+// circuit breaker. The paper's four-month campaign survived SERVFAIL
+// bursts, greylisting tarpits, and flaky MTAs only because every layer
+// retried with discipline; this package gives internal/dnsclient and
+// internal/core.Prober one policy vocabulary so campaigns stay
+// byte-deterministic under the virtual clock (same seed → same jittered
+// delays, same breaker transitions).
+package retry
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"spfail/internal/clock"
+)
+
+// Policy is a bounded exponential-backoff schedule. The zero value means
+// "one attempt, no waits", so unconfigured components keep their current
+// fail-fast behaviour.
+type Policy struct {
+	// MaxAttempts is the total number of attempts including the first;
+	// values ≤ 1 disable retries.
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown delay. 0 means no cap.
+	MaxDelay time.Duration
+	// Multiplier grows the delay per retry; values ≤ 1 mean constant
+	// delay, 0 defaults to 2.
+	Multiplier float64
+	// Jitter spreads each delay by ±Jitter fraction (e.g. 0.2 → ±20%),
+	// derived deterministically from Seed, the caller's key, and the
+	// attempt number — never from a shared RNG stream, so concurrent
+	// probes cannot perturb each other's schedules.
+	Jitter float64
+	// Seed feeds the jitter hash.
+	Seed int64
+}
+
+// Enabled reports whether the policy performs any retries.
+func (p Policy) Enabled() bool { return p.MaxAttempts > 1 }
+
+// Normalize validates the policy and fills defaults. The zero value
+// normalizes to a single attempt.
+func (p Policy) Normalize() (Policy, error) {
+	if p.MaxAttempts < 0 {
+		return p, fmt.Errorf("retry: MaxAttempts %d is negative", p.MaxAttempts)
+	}
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay < 0 {
+		return p, fmt.Errorf("retry: BaseDelay %v is negative", p.BaseDelay)
+	}
+	if p.MaxDelay < 0 {
+		return p, fmt.Errorf("retry: MaxDelay %v is negative", p.MaxDelay)
+	}
+	if p.MaxDelay > 0 && p.MaxDelay < p.BaseDelay {
+		return p, fmt.Errorf("retry: MaxDelay %v is below BaseDelay %v", p.MaxDelay, p.BaseDelay)
+	}
+	if p.Multiplier < 0 {
+		return p, fmt.Errorf("retry: Multiplier %v is negative", p.Multiplier)
+	}
+	if p.Multiplier == 0 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter >= 1 {
+		return p, fmt.Errorf("retry: Jitter %v outside [0,1)", p.Jitter)
+	}
+	return p, nil
+}
+
+// Backoff returns the delay before retry number attempt (1-based: attempt 1
+// is the wait after the first failure) for the given key. It is a pure
+// function of (policy, key, attempt): two runs with the same seed produce
+// identical jittered schedules regardless of scheduler interleaving.
+func (p Policy) Backoff(key string, attempt int) time.Duration {
+	if attempt < 1 || p.BaseDelay <= 0 {
+		return 0
+	}
+	mult := p.Multiplier
+	if mult == 0 {
+		mult = 2
+	}
+	if mult < 1 {
+		mult = 1
+	}
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= mult
+		if p.MaxDelay > 0 && d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		// Map the hash onto [-1, 1) and scale by the jitter fraction.
+		frac := float64(int64(hash64(p.Seed, key, uint64(attempt))%2_000_001)-1_000_000) / 1_000_000
+		d *= 1 + p.Jitter*frac
+	}
+	if d < 0 {
+		return 0
+	}
+	return time.Duration(d)
+}
+
+// Wait sleeps the backoff for attempt on clk. It returns ctx.Err() when the
+// context ends first, nil otherwise (including a zero-length backoff).
+func (p Policy) Wait(ctx context.Context, clk clock.Clock, key string, attempt int) error {
+	d := p.Backoff(key, attempt)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return clk.Sleep(ctx, d)
+}
+
+// hash64 is an FNV-1a mix of the jitter inputs.
+func hash64(seed int64, key string, n uint64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(seed) >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(key))
+	for i := 0; i < 8; i++ {
+		b[i] = byte(n >> (8 * i))
+	}
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// BreakerState is a circuit breaker's position.
+type BreakerState string
+
+// The three classical breaker states.
+const (
+	// BreakerClosed: requests flow; failures are counted.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen: requests fail fast until the cooldown elapses.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen: one trial request probes whether the target
+	// recovered; success closes the breaker, failure reopens it.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// BreakerConfig parameterizes the per-key circuit breakers.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens a breaker;
+	// values ≤ 0 disable breaking entirely.
+	Threshold int
+	// Cooldown is how long an open breaker rejects before moving to
+	// half-open.
+	Cooldown time.Duration
+}
+
+// Enabled reports whether breakers ever open.
+func (c BreakerConfig) Enabled() bool { return c.Threshold > 0 }
+
+// Normalize validates the config and fills defaults (30 min cooldown).
+func (c BreakerConfig) Normalize() (BreakerConfig, error) {
+	if c.Cooldown < 0 {
+		return c, fmt.Errorf("retry: breaker Cooldown %v is negative", c.Cooldown)
+	}
+	if c.Enabled() && c.Cooldown == 0 {
+		c.Cooldown = 30 * time.Minute
+	}
+	return c, nil
+}
+
+// breaker is the state for one key.
+type breaker struct {
+	state     BreakerState
+	failures  int
+	openUntil time.Time
+}
+
+// Breakers is a set of circuit breakers keyed by string (the probing stack
+// keys them by target address). The zero value and the nil pointer are
+// both usable and never open, so unwired components pay nothing.
+//
+// Time flows in from the caller (the campaign's clock), keeping breaker
+// transitions on the virtual timeline and therefore deterministic.
+type Breakers struct {
+	cfg BreakerConfig
+
+	mu sync.Mutex
+	m  map[string]*breaker
+}
+
+// NewBreakers builds a breaker set; cfg should be normalized.
+func NewBreakers(cfg BreakerConfig) *Breakers {
+	return &Breakers{cfg: cfg}
+}
+
+func (b *Breakers) get(key string) *breaker {
+	if b.m == nil {
+		b.m = make(map[string]*breaker)
+	}
+	st := b.m[key]
+	if st == nil {
+		st = &breaker{state: BreakerClosed}
+		b.m[key] = st
+	}
+	return st
+}
+
+// Allow reports whether a request for key may proceed at time now. An open
+// breaker whose cooldown has elapsed transitions to half-open and admits
+// the caller as its trial request.
+func (b *Breakers) Allow(key string, now time.Time) bool {
+	if b == nil || !b.cfg.Enabled() {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.get(key)
+	switch st.state {
+	case BreakerOpen:
+		if now.Before(st.openUntil) {
+			return false
+		}
+		st.state = BreakerHalfOpen
+		return true
+	default:
+		return true
+	}
+}
+
+// Success records a successful request, closing the breaker.
+func (b *Breakers) Success(key string) {
+	if b == nil || !b.cfg.Enabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.get(key)
+	st.state = BreakerClosed
+	st.failures = 0
+}
+
+// Failure records a failed request at time now. In half-open it reopens
+// immediately; in closed it opens once Threshold consecutive failures
+// accumulate. It reports whether the breaker is now open.
+func (b *Breakers) Failure(key string, now time.Time) bool {
+	if b == nil || !b.cfg.Enabled() {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.get(key)
+	if st.state == BreakerHalfOpen {
+		st.state = BreakerOpen
+		st.openUntil = now.Add(b.cfg.Cooldown)
+		return true
+	}
+	st.failures++
+	if st.failures >= b.cfg.Threshold {
+		st.state = BreakerOpen
+		st.openUntil = now.Add(b.cfg.Cooldown)
+		return true
+	}
+	return false
+}
+
+// State returns the breaker state for key at time now (resolving an
+// elapsed cooldown to half-open without mutating it).
+func (b *Breakers) State(key string, now time.Time) BreakerState {
+	if b == nil || !b.cfg.Enabled() {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.m[key]
+	if !ok {
+		return BreakerClosed
+	}
+	if st.state == BreakerOpen && !now.Before(st.openUntil) {
+		return BreakerHalfOpen
+	}
+	return st.state
+}

@@ -9,8 +9,10 @@ import (
 
 	"spfail/internal/clock"
 	"spfail/internal/core"
+	"spfail/internal/faults"
 	"spfail/internal/measure"
 	"spfail/internal/population"
+	"spfail/internal/retry"
 	"spfail/internal/telemetry"
 )
 
@@ -23,6 +25,26 @@ type Config struct {
 	BatchSize int
 	// Interval is the longitudinal cadence (paper: 48h).
 	Interval time.Duration
+	// IOTimeout bounds per-probe SMTP I/O (default 5s). It is spent in
+	// real time even on the virtual clock, so shrink it when the fault
+	// plan blackholes connections.
+	IOTimeout time.Duration
+	// Retry reruns transiently failed probes (see retry.Policy); zero
+	// keeps single attempts. A zero Seed is filled from Spec.Seed so
+	// same-seed studies share jitter schedules.
+	Retry retry.Policy
+	// DNSRetry is the probe-side resolver's retry policy.
+	DNSRetry retry.Policy
+	// Breaker configures the campaigns' per-address circuit breaker.
+	Breaker retry.BreakerConfig
+	// Faults, when non-nil and non-empty, is installed on the fabric as
+	// a deterministic fault-injection plan. A zero Plan.Seed is filled
+	// from Spec.Seed.
+	Faults *faults.Plan
+	// Observe, if non-nil, receives every probe outcome as it completes
+	// (in completion order) — the incremental checkpoint hook for long
+	// campaigns. It is called serially.
+	Observe func(suite string, addr netip.Addr, out core.Outcome)
 	// Progress, if non-nil, receives coarse stage updates.
 	Progress func(stage string)
 	// Metrics, if non-nil, aggregates telemetry from every layer of the
@@ -36,6 +58,48 @@ func (c *Config) interval() time.Duration {
 		return c.Interval
 	}
 	return 48 * time.Hour
+}
+
+func (c *Config) ioTimeout() time.Duration {
+	if c.IOTimeout > 0 {
+		return c.IOTimeout
+	}
+	return 5 * time.Second
+}
+
+// retrySeeded returns the probe retry policy with its jitter seed pinned
+// to the world seed when unset, so same-seed runs share backoff schedules.
+func (c *Config) retrySeeded() retry.Policy {
+	r := c.Retry
+	if r.Seed == 0 {
+		r.Seed = c.Spec.Seed
+	}
+	return r
+}
+
+// faultsSeeded returns the fault plan with its seed pinned to the world
+// seed when unset.
+func (c *Config) faultsSeeded() *faults.Plan {
+	if c.Faults == nil || c.Faults.Empty() {
+		return nil
+	}
+	p := *c.Faults
+	if p.Seed == 0 {
+		p.Seed = c.Spec.Seed
+	}
+	return &p
+}
+
+// campaignConfig builds the measure.Config for one probe suite.
+func (c *Config) campaignConfig(suite string) measure.Config {
+	return measure.Config{
+		Suite:       suite,
+		Concurrency: c.Concurrency,
+		BatchSize:   c.BatchSize,
+		IOTimeout:   c.ioTimeout(),
+		Retry:       c.retrySeeded(),
+		Breaker:     c.Breaker,
+	}
 }
 
 // Results carries everything the experiments section consumes.
@@ -87,7 +151,13 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	sim := clock.NewSim(population.TInitial)
 	defer sim.Close()
 
-	rig, err := measure.NewRig(ctx, world, sim, cfg.Metrics)
+	rig, err := measure.NewRigFromOptions(ctx, measure.RigOptions{
+		World:    world,
+		Clock:    sim,
+		Metrics:  cfg.Metrics,
+		Faults:   cfg.faultsSeeded(),
+		DNSRetry: cfg.DNSRetry,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -101,12 +171,9 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	defer tracker.Stop()
 
 	res := &Results{World: world, Metrics: rig.Metrics}
-	campaign := &measure.Campaign{
-		Rig:         rig,
-		Suite:       "s01",
-		Concurrency: cfg.Concurrency,
-		BatchSize:   cfg.BatchSize,
-		IOTimeout:   5 * time.Second,
+	campaign, err := measure.NewCampaign(rig, cfg.campaignConfig("s01"))
+	if err != nil {
+		return nil, err
 	}
 
 	done := make(chan error, 1)
@@ -142,10 +209,19 @@ func run(ctx context.Context, cfg Config, res *Results, rig *measure.Rig, campai
 		}
 	}
 
-	// 2. Initial full measurement (October 11).
+	// 2. Initial full measurement (October 11), streamed so callers can
+	// checkpoint incrementally.
 	progress(fmt.Sprintf("initial measurement of %d addresses", len(addrs)))
 	res.InitialTime = clk.Now()
-	res.Initial = campaign.MeasureAddrs(ctx, addrs, rep)
+	res.Initial = make(map[netip.Addr]core.Outcome, len(addrs))
+	if err := campaign.MeasureAddrsFunc(ctx, addrs, rep, func(a netip.Addr, o core.Outcome) {
+		res.Initial[a] = o
+		if cfg.Observe != nil {
+			cfg.Observe("s01", a, o)
+		}
+	}); err != nil {
+		return err
+	}
 
 	// 3. Select longitudinal targets.
 	res.VulnDomains = make(map[string][]netip.Addr)
@@ -194,7 +270,15 @@ func run(ctx context.Context, cfg Config, res *Results, rig *measure.Rig, campai
 				rig.Manager.Stop(res.VulnAddrs)
 				notified = true
 			}
-			results := campaign.MeasureAddrs(ctx, targets, res.RepDomain)
+			results := make(map[netip.Addr]core.Outcome, len(targets))
+			if err := campaign.MeasureAddrsFunc(ctx, targets, res.RepDomain, func(a netip.Addr, o core.Outcome) {
+				results[a] = o
+				if cfg.Observe != nil {
+					cfg.Observe("s01", a, o)
+				}
+			}); err != nil {
+				return err
+			}
 			res.Rounds = append(res.Rounds, measure.Round{Time: next, Results: results})
 			if ctx.Err() != nil {
 				return ctx.Err()
@@ -224,14 +308,19 @@ func run(ctx context.Context, cfg Config, res *Results, rig *measure.Rig, campai
 	sort.Strings(vulnDomainNames)
 	snapTargets := rig.ResolveTargets(ctx, vulnDomainNames)
 	snapAddrs, snapRep := measure.UniqueAddrs(snapTargets)
-	snapCampaign := &measure.Campaign{
-		Rig:         rig,
-		Suite:       "s02",
-		Concurrency: cfg.Concurrency,
-		BatchSize:   cfg.BatchSize,
-		IOTimeout:   5 * time.Second,
+	snapCampaign, err := measure.NewCampaign(rig, cfg.campaignConfig("s02"))
+	if err != nil {
+		return err
 	}
-	res.Snapshot = snapCampaign.MeasureAddrs(ctx, snapAddrs, snapRep)
+	res.Snapshot = make(map[netip.Addr]core.Outcome, len(snapAddrs))
+	if err := snapCampaign.MeasureAddrsFunc(ctx, snapAddrs, snapRep, func(a netip.Addr, o core.Outcome) {
+		res.Snapshot[a] = o
+		if cfg.Observe != nil {
+			cfg.Observe("s02", a, o)
+		}
+	}); err != nil {
+		return err
+	}
 
 	// 6. Aggregate.
 	progress("aggregating")

@@ -1,0 +1,39 @@
+package a
+
+import (
+	"context"
+	"time"
+)
+
+// retryLoop is shaped like the probing stack's backoff code: the tempting
+// bug is bounding each attempt with a context deadline, which runs on the
+// wall clock while the campaign sleeps on the virtual one.
+func retryLoop(ctx context.Context, attempt func(context.Context) error) error {
+	var err error
+	for i := 0; i < 3; i++ {
+		actx, cancel := context.WithTimeout(ctx, time.Second) // want `context\.WithTimeout arms a wall-clock timer`
+		err = attempt(actx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+func deadlineVariant(ctx context.Context, t time.Time) (context.Context, context.CancelFunc) {
+	return context.WithDeadline(ctx, t) // want `context\.WithDeadline arms a wall-clock timer`
+}
+
+func contextAllowed(ctx context.Context) {
+	// Cancellation without a timer is fine.
+	c, cancel := context.WithCancel(ctx)
+	cancel()
+	_ = c
+}
+
+func contextSuppressed(ctx context.Context) {
+	//spfail:allow wallclock boundary with a real-time API
+	_, cancel := context.WithTimeout(ctx, time.Second)
+	cancel()
+}

@@ -28,10 +28,22 @@ var banned = map[string]bool{
 	"Until":     true,
 }
 
+// bannedContext is the set of context constructors that arm a wall-clock
+// timer under the hood. Retry backoff and breaker cooldowns must bound
+// their waits with retry.Policy deadlines on the injected clock instead —
+// a context deadline would cancel probes on the real timeline while the
+// campaign sleeps on the virtual one.
+var bannedContext = map[string]bool{
+	"WithTimeout":       true,
+	"WithDeadline":      true,
+	"WithTimeoutCause":  true,
+	"WithDeadlineCause": true,
+}
+
 // Analyzer is the wallclock pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "wallclock",
-	Doc: "forbid time.Now/Sleep/After/NewTimer/... outside internal/clock; " +
+	Doc: "forbid time.Now/Sleep/After/NewTimer/... and context.WithTimeout/WithDeadline outside internal/clock; " +
 		"inject clock.Clock so campaigns replay deterministically",
 	Run: run,
 }
@@ -56,14 +68,21 @@ func run(p *analysis.Pass) error {
 				return true
 			}
 			fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func)
-			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			if !ok || fn.Pkg() == nil {
 				return true
 			}
 			if fn.Type().(*types.Signature).Recv() != nil {
 				return true // method on Timer/Ticker/Time, not a clock read
 			}
-			if banned[fn.Name()] {
-				p.Reportf(sel.Pos(), "direct wall-clock call time.%s; inject clock.Clock (see docs/static-analysis.md)", fn.Name())
+			switch fn.Pkg().Path() {
+			case "time":
+				if banned[fn.Name()] {
+					p.Reportf(sel.Pos(), "direct wall-clock call time.%s; inject clock.Clock (see docs/static-analysis.md)", fn.Name())
+				}
+			case "context":
+				if bannedContext[fn.Name()] {
+					p.Reportf(sel.Pos(), "context.%s arms a wall-clock timer; bound waits with retry.Policy on the injected clock (see docs/static-analysis.md)", fn.Name())
+				}
 			}
 			return true
 		})
