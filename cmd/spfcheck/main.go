@@ -77,8 +77,11 @@ func main() {
 	case *record != "":
 		resolver = inlineResolver{domain: dom, record: *record}
 	case *server != "":
-		r := dnsclient.NewResolver(netsim.Real{}, *server)
-		r.Client.Timeout = *timeout
+		r := dnsclient.NewResolver(&dnsclient.Client{
+			Net:     netsim.Real{},
+			Server:  *server,
+			Timeout: *timeout,
+		})
 		resolver = mta.ResolverAdapter{R: r}
 	default:
 		fatal("one of -record or -server is required")

@@ -52,8 +52,11 @@ func main() {
 
 	// Resolve through the real client code path (UDP wire format, TCP
 	// fallback, error taxonomy).
-	stub := dnsclient.NewResolver(fabric.Host("198.51.100.9"), "192.0.2.53:53")
-	stub.Client.Timeout = 2 * time.Second
+	stub := dnsclient.NewResolver(&dnsclient.Client{
+		Net:     fabric.Host("198.51.100.9"),
+		Server:  "192.0.2.53:53",
+		Timeout: 2 * time.Second,
+	})
 	resolver := mta.ResolverAdapter{R: stub}
 
 	mxs, err := resolver.LookupMX(context.Background(), "corp.example")

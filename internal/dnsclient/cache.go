@@ -10,7 +10,7 @@ import (
 	"spfail/internal/telemetry"
 )
 
-// CachingClient wraps a Client with a TTL-respecting message cache, the
+// CachingClient wraps a Querier with a TTL-respecting message cache, the
 // recursive-resolver behaviour real MTAs sit behind. Positive answers are
 // cached for the minimum answer TTL; negative answers (NXDOMAIN/empty)
 // for the SOA minimum when present.
@@ -20,7 +20,9 @@ import (
 // cache and must arrive at the measurement's authoritative server
 // (paper §5.1).
 type CachingClient struct {
-	Client *Client
+	// Upstream performs transactions on cache misses; required. Layer a
+	// SingleFlight here to also coalesce concurrent misses for one name.
+	Upstream Querier
 	// Clock supplies cache timestamps (use the simulation clock so TTLs
 	// interact correctly with virtual time).
 	Clock clock.Clock
@@ -29,13 +31,13 @@ type CachingClient struct {
 	// NegativeTTL is used for negative answers without a SOA; 0 means
 	// 60 seconds.
 	NegativeTTL time.Duration
-	// Metrics, when non-nil, receives cache hit/miss counters.
+	// Metrics receives the dns.cache.hits / dns.cache.misses counters and
+	// backs Stats. NewCachingClient installs a private registry when the
+	// caller does not supply one.
 	Metrics *telemetry.Registry
 
 	mu      sync.Mutex
 	entries map[cacheKey]cacheEntry
-	hits    int
-	misses  int
 }
 
 type cacheKey struct {
@@ -48,15 +50,16 @@ type cacheEntry struct {
 	expires time.Time
 }
 
-// NewCachingClient builds a caching wrapper around c.
-func NewCachingClient(c *Client, clk clock.Clock) *CachingClient {
+// NewCachingClient builds a caching wrapper around q.
+func NewCachingClient(q Querier, clk clock.Clock) *CachingClient {
 	if clk == nil {
 		clk = clock.Real{}
 	}
 	return &CachingClient{
-		Client:  c,
-		Clock:   clk,
-		entries: make(map[cacheKey]cacheEntry),
+		Upstream: q,
+		Clock:    clk,
+		Metrics:  telemetry.New(),
+		entries:  make(map[cacheKey]cacheEntry),
 	}
 }
 
@@ -74,23 +77,22 @@ func (cc *CachingClient) negTTL() time.Duration {
 	return time.Minute
 }
 
-// Exchange serves from cache when possible, forwarding otherwise.
-func (cc *CachingClient) Exchange(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type) (*dnsmsg.Message, error) {
+// Query implements Querier: it serves from cache when possible, forwarding
+// to Upstream otherwise.
+func (cc *CachingClient) Query(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type) (*dnsmsg.Message, error) {
 	key := cacheKey{name: name.CanonicalKey(), typ: typ}
 	now := cc.Clock.Now()
 
 	cc.mu.Lock()
 	if e, ok := cc.entries[key]; ok && now.Before(e.expires) {
-		cc.hits++
 		cc.mu.Unlock()
 		cc.Metrics.Counter("dns.cache.hits").Inc()
 		return e.msg, nil
 	}
-	cc.misses++
 	cc.mu.Unlock()
 	cc.Metrics.Counter("dns.cache.misses").Inc()
 
-	msg, err := cc.Client.Exchange(ctx, name, typ)
+	msg, err := cc.Upstream.Query(ctx, name, typ)
 	if err != nil {
 		return nil, err
 	}
@@ -136,11 +138,13 @@ func (cc *CachingClient) ttlFor(msg *dnsmsg.Message) time.Duration {
 	return ttl
 }
 
-// Stats returns cache hit/miss counters.
+// Stats returns the cache hit/miss counters, read from the telemetry
+// registry (metric names dns.cache.hits / dns.cache.misses, PR 1 naming).
+// When the registry is shared, the counts cover every cache publishing to
+// it.
 func (cc *CachingClient) Stats() (hits, misses int) {
-	cc.mu.Lock()
-	defer cc.mu.Unlock()
-	return cc.hits, cc.misses
+	return int(cc.Metrics.Counter("dns.cache.hits").Value()),
+		int(cc.Metrics.Counter("dns.cache.misses").Value())
 }
 
 // Flush empties the cache.
@@ -148,12 +152,4 @@ func (cc *CachingClient) Flush() {
 	cc.mu.Lock()
 	cc.entries = make(map[cacheKey]cacheEntry)
 	cc.mu.Unlock()
-}
-
-// WrapResolver attaches a cache to an existing resolver. The returned
-// resolver shares the underlying Client but routes every transaction
-// through the cache.
-func WrapResolver(r *Resolver, clk clock.Clock) (*Resolver, *CachingClient) {
-	cache := NewCachingClient(r.Client, clk)
-	return &Resolver{Client: r.Client, exchange: cache.Exchange}, cache
 }

@@ -26,10 +26,9 @@ func newCachedSetup(t *testing.T, clk clock.Clock) (*Resolver, *CachingClient, *
 		t.Fatal(err)
 	}
 	t.Cleanup(srv.Stop)
-	base := NewResolver(fabric.Host("198.51.100.1"), "192.0.2.53:53")
-	base.Client.Timeout = time.Second
-	cached, cache := WrapResolver(base, clk)
-	return cached, cache, sink
+	wire := &Client{Net: fabric.Host("198.51.100.1"), Server: "192.0.2.53:53", Timeout: time.Second}
+	cache := NewCachingClient(wire, clk)
+	return NewResolver(cache), cache, sink
 }
 
 func TestCacheServesRepeatsLocally(t *testing.T) {
@@ -108,6 +107,41 @@ func TestCacheDistinctNamesMiss(t *testing.T) {
 	}
 	if hits, _ := cache.Stats(); hits != 0 {
 		t.Fatalf("distinct names produced %d cache hits", hits)
+	}
+}
+
+func TestCacheNegativeHonorsSOAMinimum(t *testing.T) {
+	// A zone whose SOA carries a nonzero minimum: negative answers must be
+	// cached for exactly that long on the virtual clock, not the fallback.
+	sim := clock.NewSim(time.Unix(1_700_000_000, 0))
+	defer sim.Close()
+	fabric := netsim.NewFabric()
+	sink := &countingSink{}
+	z := dnsserver.NewZoneSet()
+	z.Add(dnsmsg.Record{Name: dnsmsg.MustParseName("example.org"), Class: dnsmsg.ClassIN, TTL: 3600,
+		Data: dnsmsg.SOA{MName: dnsmsg.MustParseName("ns.example.org"),
+			RName: dnsmsg.MustParseName("root.example.org"), Serial: 1, Minimum: 120}})
+	handler := &dnsserver.LoggingHandler{Inner: z, Sink: sink, Now: time.Now}
+	srv := &dnsserver.Server{Net: fabric.Host("192.0.2.53"), Addr: ":53", Handler: handler}
+	if err := srv.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Stop)
+	wire := &Client{Net: fabric.Host("198.51.100.1"), Server: "192.0.2.53:53", Timeout: time.Second}
+	r := NewResolver(NewCachingClient(wire, sim))
+
+	if _, err := r.LookupTXT(context.Background(), "nope.example.org"); !IsNotFound(err) {
+		t.Fatalf("err = %v", err)
+	}
+	sim.Advance(119 * time.Second)
+	r.LookupTXT(context.Background(), "nope.example.org")
+	if sink.n != 1 {
+		t.Fatalf("within SOA minimum: server saw %d queries, want 1", sink.n)
+	}
+	sim.Advance(2 * time.Second)
+	r.LookupTXT(context.Background(), "nope.example.org")
+	if sink.n != 2 {
+		t.Fatalf("past SOA minimum: server saw %d queries, want 2", sink.n)
 	}
 }
 

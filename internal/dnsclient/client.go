@@ -82,8 +82,9 @@ func (c *Client) id() uint16 {
 	return c.nextID
 }
 
-// Exchange sends one query and returns the validated response.
-func (c *Client) Exchange(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type) (*dnsmsg.Message, error) {
+// Query sends one query and returns the validated response, implementing
+// Querier over the wire (UDP with TCP fallback on truncation).
+func (c *Client) Query(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type) (*dnsmsg.Message, error) {
 	c.Metrics.Counter("dns.client.lookups").Inc()
 	start := c.clock().Now()
 	q := dnsmsg.NewQuery(c.id(), name, typ)
@@ -203,25 +204,20 @@ func (c *Client) matches(q, r *dnsmsg.Message) bool {
 }
 
 // Resolver provides typed lookups with the RFC 7208 error taxonomy on top
-// of Client.
+// of any Querier — a bare Client, a SingleFlight, or a CachingClient stack.
 type Resolver struct {
-	Client *Client
-	// exchange, when set, overrides the transaction path (the cache
-	// wrapper installs itself here; see WrapResolver).
-	exchange func(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type) (*dnsmsg.Message, error)
+	// Querier performs transactions; required.
+	Querier Querier
 }
 
-// NewResolver builds a resolver that queries server over n.
-func NewResolver(n netsim.Network, server string) *Resolver {
-	return &Resolver{Client: &Client{Net: n, Server: server}}
+// NewResolver builds a resolver over q.
+func NewResolver(q Querier) *Resolver {
+	return &Resolver{Querier: q}
 }
 
 // do performs one transaction via the configured path.
 func (r *Resolver) do(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type) (*dnsmsg.Message, error) {
-	if r.exchange != nil {
-		return r.exchange(ctx, name, typ)
-	}
-	return r.Client.Exchange(ctx, name, typ)
+	return r.Querier.Query(ctx, name, typ)
 }
 
 // rcodeErr maps response codes to the error taxonomy; nil means usable.

@@ -40,12 +40,16 @@ func testZone() *dnsserver.ZoneSet {
 	return z
 }
 
+// stubResolver builds a Resolver over a bare wire Client — the layering
+// every production caller now uses via NewResolver(Querier).
+func stubResolver(n netsim.Network, server string, timeout time.Duration) *Resolver {
+	return NewResolver(&Client{Net: n, Server: server, Timeout: timeout})
+}
+
 func newResolver(t *testing.T) (*Resolver, *netsim.Fabric) {
 	fabric := netsim.NewFabric()
 	startServer(t, fabric, "192.0.2.53", testZone())
-	r := NewResolver(fabric.Host("198.51.100.1"), "192.0.2.53:53")
-	r.Client.Timeout = 2 * time.Second
-	return r, fabric
+	return stubResolver(fabric.Host("198.51.100.1"), "192.0.2.53:53", 2*time.Second), fabric
 }
 
 func TestLookupTXT(t *testing.T) {
@@ -120,8 +124,7 @@ func TestLookupPTR(t *testing.T) {
 func TestExchangeTimeoutIsTemporary(t *testing.T) {
 	fabric := netsim.NewFabric()
 	// No server at this address: UDP datagrams vanish.
-	r := NewResolver(fabric.Host("198.51.100.1"), "192.0.2.99:53")
-	r.Client.Timeout = 30 * time.Millisecond
+	r := stubResolver(fabric.Host("198.51.100.1"), "192.0.2.99:53", 30*time.Millisecond)
 	_, err := r.LookupTXT(context.Background(), "example.com")
 	if err == nil {
 		t.Fatal("lookup against absent server should fail")
@@ -139,8 +142,7 @@ func TestExchangeTruncationFallsBackToTCP(t *testing.T) {
 	}
 	fabric := netsim.NewFabric()
 	startServer(t, fabric, "10.0.0.53", z)
-	r := NewResolver(fabric.Host("10.0.0.2"), "10.0.0.53:53")
-	r.Client.Timeout = 2 * time.Second
+	r := stubResolver(fabric.Host("10.0.0.2"), "10.0.0.53:53", 2*time.Second)
 	txts, err := r.LookupTXT(context.Background(), "big.example.com")
 	if err != nil {
 		t.Fatal(err)
@@ -161,9 +163,12 @@ func TestExchangeRetriesAfterLoss(t *testing.T) {
 		}
 		return false
 	}
-	r := NewResolver(fabric.Host("10.0.1.2"), "10.0.1.53:53")
-	r.Client.Timeout = 100 * time.Millisecond
-	r.Client.Retries = 2
+	r := NewResolver(&Client{
+		Net:     fabric.Host("10.0.1.2"),
+		Server:  "10.0.1.53:53",
+		Timeout: 100 * time.Millisecond,
+		Retries: 2,
+	})
 	txts, err := r.LookupTXT(context.Background(), "example.com")
 	if err != nil {
 		t.Fatalf("retry did not recover from loss: %v", err)
@@ -217,8 +222,7 @@ func TestClientIgnoresSpoofedResponses(t *testing.T) {
 			}
 		}
 	}()
-	r := NewResolver(fabric.Host("10.7.0.2"), "10.7.0.53:53")
-	r.Client.Timeout = 2 * time.Second
+	r := stubResolver(fabric.Host("10.7.0.2"), "10.7.0.53:53", 2*time.Second)
 	txts, err := r.LookupTXT(context.Background(), "example.com")
 	if err != nil {
 		t.Fatal(err)
@@ -253,8 +257,7 @@ func TestServFailIsTemporary(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Stop()
-	r := NewResolver(fabric.Host("10.0.2.2"), "10.0.2.53:53")
-	r.Client.Timeout = time.Second
+	r := stubResolver(fabric.Host("10.0.2.2"), "10.0.2.53:53", time.Second)
 	_, err := r.LookupTXT(context.Background(), "example.com")
 	if !IsTemporary(err) {
 		t.Fatalf("SERVFAIL should map to temporary, got %v", err)

@@ -1,0 +1,175 @@
+package dnsclient
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"spfail/internal/dnsmsg"
+	"spfail/internal/telemetry"
+)
+
+// blockingQuerier answers queries only after release is closed, counting
+// upstream transactions so coalescing is observable.
+type blockingQuerier struct {
+	release chan struct{}
+	started chan struct{} // one tick per upstream call reaching the querier
+	calls   atomic.Int64
+	err     error
+}
+
+func (b *blockingQuerier) Query(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type) (*dnsmsg.Message, error) {
+	b.calls.Add(1)
+	if b.started != nil {
+		b.started <- struct{}{}
+	}
+	<-b.release
+	if b.err != nil {
+		return nil, b.err
+	}
+	r := dnsmsg.NewQuery(1, name, typ).Reply()
+	r.Answers = append(r.Answers, dnsmsg.Record{
+		Name: name, Class: dnsmsg.ClassIN, TTL: 60,
+		Data: dnsmsg.TXT{Strings: []string{"v=spf1 -all"}},
+	})
+	return r, nil
+}
+
+func TestSingleFlightCoalescesConcurrentQueries(t *testing.T) {
+	up := &blockingQuerier{release: make(chan struct{}), started: make(chan struct{}, 1)}
+	reg := telemetry.New()
+	sf := &SingleFlight{Upstream: up, Metrics: reg}
+	n := name("coalesce.example.com")
+
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([]*dnsmsg.Message, callers)
+	errs := make([]error, callers)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0], errs[0] = sf.Query(context.Background(), n, dnsmsg.TypeTXT)
+	}()
+	<-up.started // leader is now in flight; everyone else must coalesce
+	for i := 1; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = sf.Query(context.Background(), n, dnsmsg.TypeTXT)
+		}(i)
+	}
+	// Wait until all followers are registered before releasing the leader.
+	for {
+		sf.mu.Lock()
+		c, ok := sf.inflight[cacheKey{name: n.CanonicalKey(), typ: dnsmsg.TypeTXT}]
+		sf.mu.Unlock()
+		if ok && c != nil && reg.Counter("dns.flight.coalesced").Value() == callers-1 {
+			break
+		}
+	}
+	close(up.release)
+	wg.Wait()
+
+	if got := up.calls.Load(); got != 1 {
+		t.Fatalf("upstream saw %d transactions for %d concurrent callers, want 1", got, callers)
+	}
+	for i := range results {
+		if errs[i] != nil || results[i] == nil {
+			t.Fatalf("caller %d: msg=%v err=%v", i, results[i], errs[i])
+		}
+		if results[i] != results[0] {
+			t.Errorf("caller %d got a different message pointer than the leader", i)
+		}
+	}
+	if leaders := reg.Counter("dns.flight.leaders").Value(); leaders != 1 {
+		t.Errorf("dns.flight.leaders = %d, want 1", leaders)
+	}
+	if co := reg.Counter("dns.flight.coalesced").Value(); co != callers-1 {
+		t.Errorf("dns.flight.coalesced = %d, want %d", co, callers-1)
+	}
+}
+
+func TestSingleFlightSharesLeaderError(t *testing.T) {
+	boom := errors.New("upstream exploded")
+	up := &blockingQuerier{release: make(chan struct{}), started: make(chan struct{}, 1), err: boom}
+	sf := &SingleFlight{Upstream: up}
+	n := name("fail.example.com")
+
+	var wg sync.WaitGroup
+	var leaderErr, followerErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, leaderErr = sf.Query(context.Background(), n, dnsmsg.TypeA)
+	}()
+	<-up.started
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, followerErr = sf.Query(context.Background(), n, dnsmsg.TypeA)
+	}()
+	// The follower may still be pre-registration; give it until it either
+	// coalesces or becomes a second leader (both paths end the test).
+	close(up.release)
+	wg.Wait()
+
+	if !errors.Is(leaderErr, boom) {
+		t.Fatalf("leader error = %v", leaderErr)
+	}
+	if !errors.Is(followerErr, boom) {
+		t.Fatalf("follower error = %v, want the leader's", followerErr)
+	}
+}
+
+func TestSingleFlightFollowerHonorsContext(t *testing.T) {
+	up := &blockingQuerier{release: make(chan struct{}), started: make(chan struct{}, 1)}
+	sf := &SingleFlight{Upstream: up}
+	n := name("stuck.example.com")
+
+	go sf.Query(context.Background(), n, dnsmsg.TypeTXT) // leader, blocked forever
+	<-up.started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := sf.Query(ctx, n, dnsmsg.TypeTXT)
+		done <- err
+	}()
+	// Spin until the follower has coalesced (it holds no lock while waiting).
+	for {
+		sf.mu.Lock()
+		_, ok := sf.inflight[cacheKey{name: n.CanonicalKey(), typ: dnsmsg.TypeTXT}]
+		sf.mu.Unlock()
+		if ok {
+			break
+		}
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled follower returned %v, want context.Canceled", err)
+	}
+	close(up.release) // unblock the leader so the goroutine exits
+}
+
+func TestSingleFlightDistinctKeysDoNotCoalesce(t *testing.T) {
+	up := &blockingQuerier{release: make(chan struct{})}
+	close(up.release) // answer immediately
+	sf := &SingleFlight{Upstream: up}
+
+	if _, err := sf.Query(context.Background(), name("a.example.com"), dnsmsg.TypeTXT); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sf.Query(context.Background(), name("a.example.com"), dnsmsg.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	// Sequential queries for the same key also each reach upstream: the
+	// flight is deregistered before its result is published.
+	if _, err := sf.Query(context.Background(), name("a.example.com"), dnsmsg.TypeTXT); err != nil {
+		t.Fatal(err)
+	}
+	if got := up.calls.Load(); got != 3 {
+		t.Fatalf("upstream saw %d transactions, want 3", got)
+	}
+}

@@ -1,0 +1,262 @@
+package dnsmsg
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+)
+
+// spfExchangeMessages builds the representative SPF probe exchange: a TXT
+// query for a target domain and the authoritative response carrying the
+// macro-bearing SPF policy the paper's test domains serve (§5.1).
+func spfExchangeMessages() (query, response *Message) {
+	name := MustParseName("target-domain.example")
+	q := NewQuery(0x1234, name, TypeTXT)
+	r := q.Reply()
+	r.Header.Authoritative = true
+	policy := "v=spf1 a:%{d1r}.x7k2.s01.spf-test.dns-lab.org a:b.x7k2.s01.spf-test.dns-lab.org -all"
+	r.Answers = append(r.Answers, Record{Name: name, Class: ClassIN, TTL: 300, Data: SplitTXT(policy)})
+	return q, r
+}
+
+func spfExchangeWire(t testing.TB) (query, response []byte) {
+	t.Helper()
+	q, r := spfExchangeMessages()
+	qb, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := r.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qb, rb
+}
+
+// mixedResponseWire packs a response exercising every modelled RData type,
+// so decoder comparisons cover the cached and uncached paths alike.
+func mixedResponseWire(t testing.TB) []byte {
+	t.Helper()
+	name := MustParseName("example.com")
+	mx1 := MustParseName("mail1.example.com")
+	m := &Message{
+		Header:    Header{ID: 42, Response: true, Authoritative: true},
+		Questions: []Question{{Name: name, Type: TypeANY, Class: ClassIN}},
+		Answers: []Record{
+			{Name: name, Class: ClassIN, TTL: 300, Data: MX{Preference: 10, Host: mx1}},
+			{Name: name, Class: ClassIN, TTL: 300, Data: TXT{Strings: []string{"v=spf1 mx -all"}}},
+			{Name: mx1, Class: ClassIN, TTL: 60, Data: A{Addr: netip.MustParseAddr("192.0.2.1")}},
+			{Name: mx1, Class: ClassIN, TTL: 60, Data: AAAA{Addr: netip.MustParseAddr("2001:db8::1")}},
+			{Name: name, Class: ClassIN, TTL: 60, Data: CNAME{Target: mx1}},
+			{Name: name, Class: ClassIN, TTL: 60, Data: NS{Host: mx1}},
+			{Name: name, Class: ClassIN, TTL: 60, Data: PTR{Target: mx1}},
+		},
+		Authority: []Record{
+			{Name: name, Class: ClassIN, TTL: 3600, Data: SOA{
+				MName: mx1, RName: MustParseName("hostmaster.example.com"),
+				Serial: 2021101100, Refresh: 7200, Retry: 900, Expire: 86400, Minimum: 60,
+			}},
+		},
+	}
+	b, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func sameMessage(t *testing.T, got, want *Message) {
+	t.Helper()
+	if got.Header != want.Header {
+		t.Errorf("header = %+v, want %+v", got.Header, want.Header)
+	}
+	if len(got.Questions) != len(want.Questions) {
+		t.Fatalf("questions = %d, want %d", len(got.Questions), len(want.Questions))
+	}
+	for i := range want.Questions {
+		if got.Questions[i].String() != want.Questions[i].String() {
+			t.Errorf("question %d = %q, want %q", i, got.Questions[i], want.Questions[i])
+		}
+	}
+	for s, secs := range map[string][2][]Record{
+		"answers":    {got.Answers, want.Answers},
+		"authority":  {got.Authority, want.Authority},
+		"additional": {got.Additional, want.Additional},
+	} {
+		g, w := secs[0], secs[1]
+		if len(g) != len(w) {
+			t.Fatalf("%s = %d records, want %d", s, len(g), len(w))
+		}
+		for i := range w {
+			if g[i].String() != w[i].String() {
+				t.Errorf("%s %d = %q, want %q", s, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// TestDecoderReuseMatchesUnpack checks that a single reused Decoder yields
+// the same messages as independent Unpack calls, across repeated decodes
+// that recycle the internal slots.
+func TestDecoderReuseMatchesUnpack(t *testing.T) {
+	qb, rb := spfExchangeWire(t)
+	mixed := mixedResponseWire(t)
+	d := NewDecoder()
+	for i := 0; i < 3; i++ {
+		for _, pkt := range [][]byte{qb, rb, mixed, qb} {
+			want, err := Unpack(pkt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := d.Decode(pkt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameMessage(t, got, want)
+		}
+	}
+}
+
+// TestDecoderRejectsGarbage mirrors the Unpack truncation tests on the
+// reused decoder: errors must not corrupt later decodes.
+func TestDecoderRejectsGarbage(t *testing.T) {
+	qb, rb := spfExchangeWire(t)
+	d := NewDecoder()
+	for cut := 0; cut < len(rb); cut += 5 {
+		if cut < 12 {
+			if _, err := d.Decode(rb[:cut]); err == nil {
+				t.Errorf("Decode of %d-byte prefix should error", cut)
+			}
+		} else {
+			_, _ = d.Decode(rb[:cut]) // must not panic
+		}
+		want, err := Unpack(qb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.Decode(qb)
+		if err != nil {
+			t.Fatalf("decode after error: %v", err)
+		}
+		sameMessage(t, got, want)
+	}
+}
+
+// TestDecoderInternBound floods the decoder with unique probe-style labels
+// and checks the interning tables stay bounded while decodes stay correct —
+// the memory profile a long SPFail campaign imposes.
+func TestDecoderInternBound(t *testing.T) {
+	d := NewDecoder()
+	for i := 0; i < maxInternedLabels+500; i++ {
+		name := MustParseName(fmt.Sprintf("u%06d.probe.example", i))
+		pkt, err := NewQuery(uint16(i), name, TypeTXT).Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := d.Decode(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Questions[0].Name.Equal(name) {
+			t.Fatalf("decode %d: name = %v, want %v", i, m.Questions[0].Name, name)
+		}
+	}
+	if len(d.labels) > maxInternedLabels+3 {
+		t.Errorf("interner grew to %d entries, bound is %d", len(d.labels), maxInternedLabels)
+	}
+}
+
+// TestDecoderPool checks the Get/Put cycle and that Unpack's messages are
+// never backed by pooled state.
+func TestDecoderPool(t *testing.T) {
+	qb, _ := spfExchangeWire(t)
+	d := GetDecoder()
+	if _, err := d.Decode(qb); err != nil {
+		t.Fatal(err)
+	}
+	PutDecoder(d)
+	PutDecoder(nil) // must be a no-op
+
+	// Unpack must hand out retained messages: decoding other packets
+	// through the pool afterwards must not disturb them.
+	m1, err := Unpack(qb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m1.Questions[0].String()
+	for i := 0; i < 8; i++ {
+		d := GetDecoder()
+		other, err := NewQuery(9, MustParseName("other.example"), TypeA).Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Decode(other); err != nil {
+			t.Fatal(err)
+		}
+		PutDecoder(d)
+	}
+	if got := m1.Questions[0].String(); got != before {
+		t.Errorf("Unpack message mutated by pooled decodes: %q != %q", got, before)
+	}
+}
+
+// TestCompressorFull checks that overflowing the offset table only loses
+// compression, never correctness.
+func TestCompressorFull(t *testing.T) {
+	m := &Message{Header: Header{ID: 3, Response: true}}
+	m.Questions = append(m.Questions, Question{Name: MustParseName("q.example"), Type: TypeTXT, Class: ClassIN})
+	for i := 0; i < maxCompressorEntries+20; i++ {
+		n := MustParseName(fmt.Sprintf("h%03d.example", i))
+		m.Answers = append(m.Answers, Record{Name: n, Class: ClassIN, TTL: 1, Data: A{Addr: netip.MustParseAddr("192.0.2.7")}})
+	}
+	pkt, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Answers {
+		if got.Answers[i].String() != m.Answers[i].String() {
+			t.Fatalf("answer %d = %q, want %q", i, got.Answers[i], m.Answers[i])
+		}
+	}
+}
+
+// BenchmarkDecode measures pooled decode of the representative SPF TXT
+// response (the packet every probe's policy fetch receives).
+func BenchmarkDecode(b *testing.B) {
+	_, rb := spfExchangeWire(b)
+	d := NewDecoder()
+	if _, err := d.Decode(rb); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(rb)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Decode(rb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncode measures append-style encode of the same response into a
+// reused buffer.
+func BenchmarkEncode(b *testing.B) {
+	_, r := spfExchangeMessages()
+	buf := make([]byte, 0, 512)
+	var err error
+	if buf, err = r.Append(buf[:0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if buf, err = r.Append(buf[:0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

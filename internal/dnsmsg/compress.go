@@ -1,0 +1,109 @@
+package dnsmsg
+
+import "sync"
+
+// maxCompressorEntries bounds the number of name offsets a compressor
+// tracks. Entries beyond the cap are silently not registered, which only
+// degrades compression, never correctness. 64 covers every response the
+// probing stack emits (a handful of names per section).
+const maxCompressorEntries = 64
+
+// compressorPtrBudget bounds pointer chasing while comparing a candidate
+// suffix against already-encoded wire bytes. Encoded names never chain more
+// than MaxNameLen/2 pointers; 64 is comfortably above that.
+const compressorPtrBudget = 64
+
+// compressor is the RFC 1035 §4.1.4 name-compression state for one message
+// encode. Instead of a map from canonical suffix strings to offsets (which
+// allocates a key per suffix), it records the buffer offsets at which name
+// suffixes begin and matches candidates by walking the wire bytes already
+// written — making encode allocation-free.
+type compressor struct {
+	offs [maxCompressorEntries]uint16
+	n    int
+}
+
+var compressorPool = sync.Pool{New: func() any { return new(compressor) }}
+
+func (c *compressor) reset() { c.n = 0 }
+
+// add registers off as the start of a freshly-encoded name suffix.
+func (c *compressor) add(off int) {
+	if c.n < maxCompressorEntries && off < 0x3FFF {
+		c.offs[c.n] = uint16(off)
+		c.n++
+	}
+}
+
+// lookup returns the offset of an already-encoded name equal to labels,
+// comparing case-insensitively against the wire bytes in buf.
+func (c *compressor) lookup(buf []byte, labels []string) (uint16, bool) {
+	for i := 0; i < c.n; i++ {
+		if wireNameEquals(buf, int(c.offs[i]), labels) {
+			return c.offs[i], true
+		}
+	}
+	return 0, false
+}
+
+// wireNameEquals reports whether the (possibly compressed) name encoded at
+// buf[off:] equals labels, case-insensitively. It only ever follows
+// pointers into bytes the encoder itself wrote, so a bounded hop budget is
+// a pure belt-and-suspenders check.
+func wireNameEquals(buf []byte, off int, labels []string) bool {
+	hops := 0
+	for _, l := range labels {
+		off, hops = followPointers(buf, off, hops)
+		if off < 0 || off >= len(buf) {
+			return false
+		}
+		n := int(buf[off])
+		if n == 0 || n&0xC0 != 0 || n != len(l) || off+1+n > len(buf) {
+			return false
+		}
+		if !asciiEqualFold(buf[off+1:off+1+n], l) {
+			return false
+		}
+		off += 1 + n
+	}
+	off, _ = followPointers(buf, off, hops)
+	return off >= 0 && off < len(buf) && buf[off] == 0
+}
+
+// followPointers resolves a chain of compression pointers starting at off,
+// returning the offset of the first non-pointer byte, or -1 on a malformed
+// or over-long chain.
+func followPointers(buf []byte, off, hops int) (int, int) {
+	for off < len(buf) && buf[off]&0xC0 == 0xC0 {
+		if off+1 >= len(buf) {
+			return -1, hops
+		}
+		if hops++; hops > compressorPtrBudget {
+			return -1, hops
+		}
+		off = int(buf[off]&0x3F)<<8 | int(buf[off+1])
+	}
+	return off, hops
+}
+
+// asciiEqualFold reports ASCII case-insensitive equality of b and s, the
+// comparison RFC 1035 §2.3.3 prescribes for domain names. It never
+// allocates, unlike strings.EqualFold on a converted []byte.
+func asciiEqualFold(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		x, y := b[i], s[i]
+		if 'A' <= x && x <= 'Z' {
+			x += 'a' - 'A'
+		}
+		if 'A' <= y && y <= 'Z' {
+			y += 'a' - 'A'
+		}
+		if x != y {
+			return false
+		}
+	}
+	return true
+}

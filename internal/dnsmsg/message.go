@@ -102,11 +102,14 @@ func (m *Message) Append(buf []byte) ([]byte, error) {
 
 	// Compression offsets are relative to the start of the DNS message,
 	// which must be the start of buf growth for pointers to be valid.
-	// We track offsets relative to base and require base == 0 for pointer
-	// emission to stay correct; when base != 0 compression is disabled.
-	var cmp map[string]int
+	// When base != 0 compression is disabled. The compressor comes from a
+	// pool so a fully-warmed Append into a caller-supplied buffer is
+	// allocation-free.
+	var cmp *compressor
 	if base == 0 {
-		cmp = make(map[string]int)
+		cmp = compressorPool.Get().(*compressor)
+		cmp.reset()
+		defer compressorPool.Put(cmp)
 	}
 
 	var err error
@@ -117,11 +120,19 @@ func (m *Message) Append(buf []byte) ([]byte, error) {
 		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
 		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Class))
 	}
-	for _, sec := range [][]Record{m.Answers, m.Authority, m.Additional} {
-		for _, rr := range sec {
-			if buf, err = appendRecord(buf, rr, cmp); err != nil {
-				return nil, err
-			}
+	for _, rr := range m.Answers {
+		if buf, err = appendRecord(buf, rr, cmp); err != nil {
+			return nil, err
+		}
+	}
+	for _, rr := range m.Authority {
+		if buf, err = appendRecord(buf, rr, cmp); err != nil {
+			return nil, err
+		}
+	}
+	for _, rr := range m.Additional {
+		if buf, err = appendRecord(buf, rr, cmp); err != nil {
+			return nil, err
 		}
 	}
 	return buf, nil
@@ -132,7 +143,7 @@ func (m *Message) Pack() ([]byte, error) {
 	return m.Append(make([]byte, 0, 512))
 }
 
-func appendRecord(buf []byte, rr Record, cmp map[string]int) ([]byte, error) {
+func appendRecord(buf []byte, rr Record, cmp *compressor) ([]byte, error) {
 	var err error
 	if buf, err = appendName(buf, rr.Name, cmp); err != nil {
 		return nil, err
@@ -156,76 +167,10 @@ func appendRecord(buf []byte, rr Record, cmp map[string]int) ([]byte, error) {
 	return buf, nil
 }
 
-// Unpack decodes a complete DNS message.
+// Unpack decodes a complete DNS message into freshly-allocated structures
+// that the caller may retain indefinitely. Hot paths that can bound the
+// message's lifetime should use a pooled Decoder instead.
 func Unpack(msg []byte) (*Message, error) {
-	if len(msg) < 12 {
-		return nil, ErrTruncatedMessage
-	}
-	flags := binary.BigEndian.Uint16(msg[2:])
-	m := &Message{Header: Header{
-		ID:                 binary.BigEndian.Uint16(msg[0:]),
-		Response:           flags&flagQR != 0,
-		OpCode:             OpCode(flags >> 11 & 0xF),
-		Authoritative:      flags&flagAA != 0,
-		Truncated:          flags&flagTC != 0,
-		RecursionDesired:   flags&flagRD != 0,
-		RecursionAvailable: flags&flagRA != 0,
-		RCode:              RCode(flags & 0xF),
-	}}
-	qd := int(binary.BigEndian.Uint16(msg[4:]))
-	an := int(binary.BigEndian.Uint16(msg[6:]))
-	ns := int(binary.BigEndian.Uint16(msg[8:]))
-	ar := int(binary.BigEndian.Uint16(msg[10:]))
-
-	off := 12
-	for i := 0; i < qd; i++ {
-		name, n, err := readName(msg, off)
-		if err != nil {
-			return nil, err
-		}
-		if n+4 > len(msg) {
-			return nil, ErrTruncatedMessage
-		}
-		m.Questions = append(m.Questions, Question{
-			Name:  name,
-			Type:  Type(binary.BigEndian.Uint16(msg[n:])),
-			Class: Class(binary.BigEndian.Uint16(msg[n+2:])),
-		})
-		off = n + 4
-	}
-	var err error
-	if m.Answers, off, err = readRecords(msg, off, an); err != nil {
-		return nil, err
-	}
-	if m.Authority, off, err = readRecords(msg, off, ns); err != nil {
-		return nil, err
-	}
-	if m.Additional, _, err = readRecords(msg, off, ar); err != nil {
-		return nil, err
-	}
-	return m, nil
-}
-
-func readRecords(msg []byte, off, count int) ([]Record, int, error) {
-	var out []Record
-	for i := 0; i < count; i++ {
-		name, n, err := readName(msg, off)
-		if err != nil {
-			return nil, 0, err
-		}
-		if n+10 > len(msg) {
-			return nil, 0, ErrTruncatedMessage
-		}
-		typ := Type(binary.BigEndian.Uint16(msg[n:]))
-		class := Class(binary.BigEndian.Uint16(msg[n+2:]))
-		ttl := binary.BigEndian.Uint32(msg[n+4:])
-		rdlen := int(binary.BigEndian.Uint16(msg[n+8:]))
-		data, err := decodeRData(msg, n+10, rdlen, typ)
-		if err != nil {
-			return nil, 0, err
-		}
-		out = append(out, Record{Name: name, Class: class, TTL: ttl, Data: data})
-		off = n + 10 + rdlen
-	}
-	return out, off, nil
+	d := &Decoder{retained: true}
+	return d.Decode(msg)
 }

@@ -28,6 +28,8 @@ var (
 	ErrBadPointer       = errors.New("dnsmsg: bad compression pointer")
 	ErrPointerLoop      = errors.New("dnsmsg: compression pointer loop")
 	ErrTruncatedMessage = errors.New("dnsmsg: truncated message")
+
+	errReservedLabelType = errors.New("dnsmsg: reserved label type")
 )
 
 // Name is a fully-qualified domain name held as a sequence of labels.
@@ -160,23 +162,21 @@ func (n Name) TLD() string {
 	return strings.ToLower(n.labels[len(n.labels)-1])
 }
 
-// appendName encodes n at the end of buf. When cmp is non-nil, it is a map
-// from canonical suffix to offset used for RFC 1035 §4.1.4 compression; new
-// suffixes at representable offsets are registered as a side effect.
-func appendName(buf []byte, n Name, cmp map[string]int) ([]byte, error) {
+// appendName encodes n at the end of buf. When cmp is non-nil it carries
+// the RFC 1035 §4.1.4 compression state: suffixes already on the wire are
+// replaced by pointers, and newly-written suffix offsets are registered as
+// a side effect. The compressor matches against wire bytes directly, so
+// this path performs no allocation.
+func appendName(buf []byte, n Name, cmp *compressor) ([]byte, error) {
 	if err := n.validate(); err != nil {
 		return buf, err
 	}
 	for i := range n.labels {
-		suffix := Name{labels: n.labels[i:]}
-		key := suffix.CanonicalKey()
 		if cmp != nil {
-			if off, ok := cmp[key]; ok {
+			if off, ok := cmp.lookup(buf, n.labels[i:]); ok {
 				return append(buf, 0xC0|byte(off>>8), byte(off)), nil
 			}
-			if off := len(buf); off < 0x3FFF {
-				cmp[key] = off
-			}
+			cmp.add(len(buf))
 		}
 		l := n.labels[i]
 		buf = append(buf, byte(len(l)))

@@ -121,7 +121,7 @@ func TestNameRoundTripWire(t *testing.T) {
 }
 
 func TestNameCompressionPointer(t *testing.T) {
-	cmp := make(map[string]int)
+	cmp := new(compressor)
 	buf, err := appendName(nil, MustParseName("mail.example.com"), cmp)
 	if err != nil {
 		t.Fatal(err)
@@ -210,7 +210,7 @@ func TestPropertyCompressedRoundTrip(t *testing.T) {
 		for i := range names {
 			names[i] = quickName(r)
 		}
-		cmp := make(map[string]int)
+		cmp := new(compressor)
 		var buf []byte
 		offsets := make([]int, len(names))
 		var err error

@@ -13,9 +13,9 @@ type RData interface {
 	// Type returns the RR type this payload encodes.
 	Type() Type
 	// appendTo appends the wire-format RDATA (without the length prefix).
-	// cmp carries the message compression map; only record types whose
+	// cmp carries the message compression state; only record types whose
 	// RDATA names are compressible per RFC 3597 §4 may use it.
-	appendTo(buf []byte, cmp map[string]int) ([]byte, error)
+	appendTo(buf []byte, cmp *compressor) ([]byte, error)
 	// String renders the payload in presentation format.
 	String() string
 }
@@ -39,7 +39,7 @@ type A struct{ Addr netip.Addr }
 // Type implements RData.
 func (A) Type() Type { return TypeA }
 
-func (a A) appendTo(buf []byte, _ map[string]int) ([]byte, error) {
+func (a A) appendTo(buf []byte, _ *compressor) ([]byte, error) {
 	if !a.Addr.Is4() {
 		return buf, fmt.Errorf("dnsmsg: A record with non-IPv4 address %s", a.Addr)
 	}
@@ -56,7 +56,7 @@ type AAAA struct{ Addr netip.Addr }
 // Type implements RData.
 func (AAAA) Type() Type { return TypeAAAA }
 
-func (a AAAA) appendTo(buf []byte, _ map[string]int) ([]byte, error) {
+func (a AAAA) appendTo(buf []byte, _ *compressor) ([]byte, error) {
 	if !a.Addr.Is6() || a.Addr.Is4In6() {
 		return buf, fmt.Errorf("dnsmsg: AAAA record with non-IPv6 address %s", a.Addr)
 	}
@@ -76,7 +76,7 @@ type MX struct {
 // Type implements RData.
 func (MX) Type() Type { return TypeMX }
 
-func (m MX) appendTo(buf []byte, cmp map[string]int) ([]byte, error) {
+func (m MX) appendTo(buf []byte, cmp *compressor) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint16(buf, m.Preference)
 	return appendName(buf, m.Host, cmp)
 }
@@ -90,7 +90,7 @@ type TXT struct{ Strings []string }
 // Type implements RData.
 func (TXT) Type() Type { return TypeTXT }
 
-func (t TXT) appendTo(buf []byte, _ map[string]int) ([]byte, error) {
+func (t TXT) appendTo(buf []byte, _ *compressor) ([]byte, error) {
 	if len(t.Strings) == 0 {
 		return buf, errors.New("dnsmsg: TXT record with no strings")
 	}
@@ -134,7 +134,7 @@ type NS struct{ Host Name }
 // Type implements RData.
 func (NS) Type() Type { return TypeNS }
 
-func (n NS) appendTo(buf []byte, cmp map[string]int) ([]byte, error) {
+func (n NS) appendTo(buf []byte, cmp *compressor) ([]byte, error) {
 	return appendName(buf, n.Host, cmp)
 }
 
@@ -147,7 +147,7 @@ type CNAME struct{ Target Name }
 // Type implements RData.
 func (CNAME) Type() Type { return TypeCNAME }
 
-func (c CNAME) appendTo(buf []byte, cmp map[string]int) ([]byte, error) {
+func (c CNAME) appendTo(buf []byte, cmp *compressor) ([]byte, error) {
 	return appendName(buf, c.Target, cmp)
 }
 
@@ -160,7 +160,7 @@ type PTR struct{ Target Name }
 // Type implements RData.
 func (PTR) Type() Type { return TypePTR }
 
-func (p PTR) appendTo(buf []byte, cmp map[string]int) ([]byte, error) {
+func (p PTR) appendTo(buf []byte, cmp *compressor) ([]byte, error) {
 	return appendName(buf, p.Target, cmp)
 }
 
@@ -181,7 +181,7 @@ type SOA struct {
 // Type implements RData.
 func (SOA) Type() Type { return TypeSOA }
 
-func (s SOA) appendTo(buf []byte, cmp map[string]int) ([]byte, error) {
+func (s SOA) appendTo(buf []byte, cmp *compressor) ([]byte, error) {
 	var err error
 	if buf, err = appendName(buf, s.MName, cmp); err != nil {
 		return buf, err
@@ -212,7 +212,7 @@ type Unknown struct {
 // Type implements RData.
 func (u Unknown) Type() Type { return u.T }
 
-func (u Unknown) appendTo(buf []byte, _ map[string]int) ([]byte, error) {
+func (u Unknown) appendTo(buf []byte, _ *compressor) ([]byte, error) {
 	return append(buf, u.Data...), nil
 }
 

@@ -1,0 +1,188 @@
+package dnsserver
+
+import (
+	"net"
+
+	"spfail/internal/dnsmsg"
+)
+
+// maxTemplates bounds the per-ZoneSet template cache. Static zones in the
+// probing stack hold at most a few hundred entries; when the cap is hit new
+// (name, qtype) pairs simply take the slow path.
+const maxTemplates = 4096
+
+// WireHandler is implemented by handlers that can answer straight from
+// precompiled wire templates, skipping decode and encode entirely. ServeWire
+// appends the complete response packet to dst and reports whether it could
+// answer; ok == false means the caller must fall back to ServeDNS.
+type WireHandler interface {
+	ServeWire(dst []byte, pkt []byte, wq dnsmsg.WireQuery) ([]byte, bool)
+}
+
+// ServeQuery is the server's template fast path: if pkt is a plain query
+// and the handler can answer from a precompiled template, the response
+// packet is appended to dst with only the ID, RD bit, and qname case echo
+// patched in. ok == false means the caller must take the full
+// decode/dispatch/encode path. The from parameter mirrors Handler.ServeDNS
+// and is reserved for wire handlers that attribute queries.
+func (s *Server) ServeQuery(dst []byte, pkt []byte, from net.Addr) ([]byte, bool) {
+	wq, ok := dnsmsg.ParseWireQuery(pkt)
+	if !ok {
+		return dst, false
+	}
+	wh, ok := s.Handler.(WireHandler)
+	if !ok {
+		return dst, false
+	}
+	out, ok := wh.ServeWire(dst, pkt, wq)
+	if !ok {
+		return dst, false
+	}
+	_ = from
+	s.Metrics.Counter("dns.server.queries").Inc()
+	s.Metrics.Counter(qtypeCounterName(wq.Type)).Inc()
+	s.Metrics.Counter("dns.server.template_hits").Inc()
+	return out, true
+}
+
+// qtypeCounterName returns the per-qtype counter name without allocating
+// for the types the probing stack actually queries.
+func qtypeCounterName(t dnsmsg.Type) string {
+	switch t {
+	case dnsmsg.TypeA:
+		return "dns.server.qtype.A"
+	case dnsmsg.TypeAAAA:
+		return "dns.server.qtype.AAAA"
+	case dnsmsg.TypeMX:
+		return "dns.server.qtype.MX"
+	case dnsmsg.TypeTXT:
+		return "dns.server.qtype.TXT"
+	case dnsmsg.TypeNS:
+		return "dns.server.qtype.NS"
+	case dnsmsg.TypeSOA:
+		return "dns.server.qtype.SOA"
+	case dnsmsg.TypePTR:
+		return "dns.server.qtype.PTR"
+	case dnsmsg.TypeCNAME:
+		return "dns.server.qtype.CNAME"
+	case dnsmsg.TypeANY:
+		return "dns.server.qtype.ANY"
+	default:
+		return "dns.server.qtype." + t.String()
+	}
+}
+
+// ServeWire implements WireHandler by patching a precompiled answer
+// template: the template is keyed by (case-folded qname wire, qtype), and
+// on a hit only the transaction ID, the RD flag, and the qname bytes (to
+// echo the client's case) are rewritten. Case-insensitively equal names
+// have identical wire lengths, so the patch never moves compression
+// pointers.
+func (z *ZoneSet) ServeWire(dst []byte, pkt []byte, wq dnsmsg.WireQuery) ([]byte, bool) {
+	if wq.Class != dnsmsg.ClassIN {
+		return dst, false
+	}
+	var kb [dnsmsg.MaxNameLen + 2]byte
+	key := templateKey(kb[:0], wq.NameWire, wq.Type)
+
+	z.mu.RLock()
+	tmpl, ok := z.templates[string(key)]
+	z.mu.RUnlock()
+	if !ok {
+		tmpl, ok = z.buildTemplate(key, wq)
+		if !ok {
+			return dst, false
+		}
+	}
+	if len(tmpl) == 0 {
+		return dst, false // sentinel: response not templatable (e.g. >512B)
+	}
+	out := append(dst, tmpl...)
+	out[0], out[1] = pkt[0], pkt[1] // transaction ID
+	out[2] = out[2]&^1 | pkt[2]&1   // echo RD (low bit of the first flag byte)
+	copy(out[12:], wq.NameWire)     // echo the client's qname case
+	return out, true
+}
+
+// templateKey appends the case-folded qname wire bytes and the qtype to
+// dst. Length bytes are at most 63 and therefore outside the ASCII
+// uppercase range, so folding every byte is safe.
+func templateKey(dst, nameWire []byte, typ dnsmsg.Type) []byte {
+	for _, b := range nameWire {
+		if 'A' <= b && b <= 'Z' {
+			b += 'a' - 'A'
+		}
+		dst = append(dst, b)
+	}
+	return append(dst, byte(typ>>8), byte(typ))
+}
+
+// buildTemplate compiles the response for (qname, qtype) through the
+// regular ServeDNS path and caches its packed form. Only names that exist
+// in the zone are cached, keeping the table bounded by zone size rather
+// than by the (unbounded) stream of NXDOMAIN probe names.
+func (z *ZoneSet) buildTemplate(key []byte, wq dnsmsg.WireQuery) ([]byte, bool) {
+	name, _, err := dnsmsg.ReadWireName(wq.NameWire)
+	if err != nil {
+		return nil, false
+	}
+	z.mu.RLock()
+	_, exists := z.records[name.CanonicalKey()]
+	full := len(z.templates) >= maxTemplates
+	gen := z.tmplGen
+	z.mu.RUnlock()
+	if !exists || full {
+		return nil, false
+	}
+
+	q := &dnsmsg.Message{
+		Header:    dnsmsg.Header{ID: wq.ID},
+		Questions: []dnsmsg.Question{{Name: name, Type: wq.Type, Class: dnsmsg.ClassIN}},
+	}
+	resp := z.ServeDNS(q, nil)
+	tmpl, err := resp.Pack()
+	if err != nil || len(tmpl) > MaxUDPPayload {
+		tmpl = nil // store the sentinel: always use the slow path
+	}
+	z.mu.Lock()
+	if z.tmplGen == gen {
+		if z.templates == nil {
+			z.templates = make(map[string][]byte)
+		}
+		if len(z.templates) < maxTemplates {
+			z.templates[string(key)] = tmpl
+		}
+	}
+	z.mu.Unlock()
+	return tmpl, true
+}
+
+// invalidateTemplates drops every compiled template; callers hold z.mu.
+func (z *ZoneSet) invalidateTemplates() {
+	z.templates = nil
+	z.tmplGen++
+}
+
+// ServeWire implements WireHandler by routing exactly like ServeDNS —
+// longest matching suffix wins — and delegating when the winning handler is
+// itself wire-capable. Handlers that must observe decoded queries (the
+// logging wrapper, the dynamic SPF test zone) do not implement WireHandler
+// and therefore keep the full slow path.
+func (m *Mux) ServeWire(dst []byte, pkt []byte, wq dnsmsg.WireQuery) ([]byte, bool) {
+	m.mu.RLock()
+	var best Handler
+	bestLen := -1
+	for _, r := range m.routes {
+		if dnsmsg.WireNameHasSuffix(wq.NameWire, r.suffix) && r.suffix.NumLabels() > bestLen {
+			best, bestLen = r.handler, r.suffix.NumLabels()
+		}
+	}
+	if best == nil {
+		best = m.fallback
+	}
+	m.mu.RUnlock()
+	if wh, ok := best.(WireHandler); ok {
+		return wh.ServeWire(dst, pkt, wq)
+	}
+	return dst, false
+}

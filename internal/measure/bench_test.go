@@ -1,0 +1,56 @@
+package measure
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"spfail/internal/clock"
+	"spfail/internal/core"
+	"spfail/internal/population"
+)
+
+// BenchmarkCampaignThroughput measures end-to-end probes/op through the
+// sharded batch pipeline on the real clock with millisecond politeness
+// waits: DNS resolution, SMTP dialogue, classification, and the
+// sequence-stamp merge all on the hot path. b.N counts addresses probed.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	w := population.Generate(tinySpec())
+	rig, err := NewRigFromOptions(context.Background(), RigOptions{World: w, Clock: clock.Real{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rig.Close()
+	c := &Campaign{
+		Rig:           rig,
+		Suite:         "b01",
+		Concurrency:   64,
+		BatchSize:     500,
+		GreylistWait:  time.Millisecond,
+		ReconnectWait: time.Millisecond,
+		IOTimeout:     2 * time.Second,
+	}
+
+	all := rig.World.AllAddrs()
+	rcpt := map[netip.Addr]string{}
+	for _, a := range all {
+		if ds := rig.World.DomainsOn(a); len(ds) > 0 {
+			rcpt[a] = ds[0].Name
+		}
+	}
+
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		addrs := all
+		if rem := b.N - done; rem < len(addrs) {
+			addrs = addrs[:rem]
+		}
+		err := c.MeasureAddrsFunc(context.Background(), addrs, rcpt, func(netip.Addr, core.Outcome) {})
+		if err != nil {
+			b.Fatal(err)
+		}
+		done += len(addrs)
+	}
+}

@@ -126,17 +126,17 @@ func (c *Campaign) newProber() *core.Prober {
 	}
 }
 
-// MeasureAddrsFunc probes each address once, streaming outcomes to fn as
-// they complete so callers can checkpoint incrementally instead of holding
-// the full result map. fn is invoked serially (no locking needed inside)
-// but in completion order, not input order. Every address passed in is
-// reported to fn exactly once — a probe that cannot complete yields a
-// StatusInconclusive outcome rather than disappearing — unless ctx is
-// cancelled or host setup fails, both of which surface in the returned
-// error.
+// MeasureAddrsFunc probes each address once, delivering outcomes to fn one
+// batch at a time so callers can checkpoint incrementally instead of
+// holding the full result map. fn is invoked serially (no locking needed
+// inside) and in input order: probes run concurrently across shards, but
+// each batch's outcomes are merged by sequence stamp before delivery.
+// Every address passed in is reported to fn exactly once — a probe that
+// cannot complete yields a StatusInconclusive outcome rather than
+// disappearing — unless ctx is cancelled or host setup fails, both of
+// which surface in the returned error.
 func (c *Campaign) MeasureAddrsFunc(ctx context.Context, addrs []netip.Addr, rcptDomain map[netip.Addr]string, fn func(netip.Addr, core.Outcome)) error {
 	reg := c.metrics()
-	var mu sync.Mutex
 	// All batches of a round share one effective time: the virtual instant a
 	// later batch starts depends on scheduler interleaving, and host
 	// behaviour must not (determinism).
@@ -151,9 +151,7 @@ func (c *Campaign) MeasureAddrsFunc(ctx context.Context, addrs []netip.Addr, rcp
 			return fmt.Errorf("measure: starting batch hosts [%d:%d]: %w", start, end, err)
 		}
 		c.probeBatch(ctx, batch, rcptDomain, func(a netip.Addr, o core.Outcome) {
-			mu.Lock()
 			fn(a, o)
-			mu.Unlock()
 			reg.Counter("campaign.probes_done").Inc()
 		})
 		c.Rig.Manager.Stop(batch)
@@ -183,33 +181,66 @@ func (c *Campaign) MeasureAddrs(ctx context.Context, addrs []netip.Addr, rcptDom
 	return results, err
 }
 
-// probeBatch fans probes over the batch with the concurrency cap. When the
-// rig runs on a simulated clock, the caller must be an accounted goroutine
-// (clock.Go); the internal waits yield to the virtual scheduler.
+// stampedOutcome is one probe result tagged with its batch sequence number
+// so per-shard slices can be merged back into input order.
+type stampedOutcome struct {
+	seq int
+	out core.Outcome
+}
+
+// probeBatch shards the batch over min(concurrency, len(batch)) worker
+// loops: shard s probes sequence numbers s, s+shards, s+2·shards, …
+// strictly in order, appending into its own outcome slice — no semaphore,
+// no shared mutable state between workers. After every shard drains, the
+// per-shard slices are merged by sequence stamp and record is called
+// serially in input order, which is what keeps same-seed campaigns
+// byte-deterministic regardless of how the shards interleave.
+//
+// When the rig runs on a simulated clock, the caller must be an accounted
+// goroutine (clock.Go); the shard workers are accounted and the final wait
+// yields to the virtual scheduler.
 func (c *Campaign) probeBatch(ctx context.Context, batch []netip.Addr, rcptDomain map[netip.Addr]string, record func(netip.Addr, core.Outcome)) {
+	if len(batch) == 0 {
+		return
+	}
 	clk := c.Rig.Clock
 	inflight := c.metrics().Gauge("campaign.inflight")
-	sem := make(chan struct{}, c.concurrency())
+	shards := c.concurrency()
+	if shards > len(batch) {
+		shards = len(batch)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	results := make([][]stampedOutcome, shards)
 	var wg sync.WaitGroup
-	for _, a := range batch {
-		a := a
-		clock.Yield(clk, func() { sem <- struct{}{} })
+	for s := 0; s < shards; s++ {
+		s := s
+		results[s] = make([]stampedOutcome, 0, (len(batch)-s+shards-1)/shards)
 		wg.Add(1)
 		clock.Go(clk, func() {
 			defer wg.Done()
-			defer func() { <-sem }()
 			inflight.Add(1)
 			defer inflight.Add(-1)
-			dom := rcptDomain[a]
-			if dom == "" {
-				dom = "example.com"
+			for seq := s; seq < len(batch); seq += shards {
+				a := batch[seq]
+				dom := rcptDomain[a]
+				if dom == "" {
+					dom = "example.com"
+				}
+				p := c.newProber()
+				out := p.TestIP(ctx, probeAddr(a), dom)
+				results[s] = append(results[s], stampedOutcome{seq: seq, out: out})
 			}
-			p := c.newProber()
-			out := p.TestIP(ctx, probeAddr(a), dom)
-			record(a, out)
 		})
 	}
 	clock.Yield(clk, wg.Wait)
+	// Merge by sequence stamp: shard seq%shards holds seq at index
+	// seq/shards, so this walks every shard slice in lockstep.
+	for seq := 0; seq < len(batch); seq++ {
+		st := results[seq%shards][seq/shards]
+		record(batch[st.seq], st.out)
+	}
 }
 
 // probeAddr renders "ip:25" for both families.

@@ -10,7 +10,8 @@ import (
 
 // Config is the single validated configuration surface for measurement
 // campaigns. It replaces the zero-value-defaulted field sprawl that used to
-// live across Campaign, core.Prober, and NewRig's positional parameters:
+// live across Campaign, core.Prober, and the rig constructor's positional
+// parameters:
 // every knob — concurrency, politeness waits, retry policy, circuit
 // breaker, metrics — flows through here, and Normalize is the one place
 // defaults are filled and invariants checked.

@@ -21,7 +21,7 @@ func tinySpec() population.Spec {
 func newTestRig(t *testing.T, clk clock.Clock) *Rig {
 	t.Helper()
 	w := population.Generate(tinySpec())
-	rig, err := NewRig(context.Background(), w, clk, nil)
+	rig, err := NewRigFromOptions(context.Background(), RigOptions{World: w, Clock: clk})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -37,7 +37,8 @@ type Rig struct {
 	Classifier *core.Classifier
 	Manager    *population.HostManager
 	// Metrics aggregates telemetry from every measurement-side layer
-	// (DNS server, prober, campaigns). Always non-nil after NewRig.
+	// (DNS server, prober, campaigns). Always non-nil after
+	// NewRigFromOptions.
 	Metrics *telemetry.Registry
 
 	// DNSAddr is the single authoritative/resolver address every
@@ -148,16 +149,6 @@ func NewRigFromOptions(ctx context.Context, opts RigOptions) (*Rig, error) {
 	return r, nil
 }
 
-// NewRig builds and starts the measurement infrastructure for a world.
-// metrics may be nil, in which case the rig creates its own registry.
-//
-// Deprecated: use NewRigFromOptions, which admits the fault plan and
-// future knobs without further signature breaks. This wrapper will be
-// removed after one release.
-func NewRig(ctx context.Context, w *population.World, clk clock.Clock, metrics *telemetry.Registry) (*Rig, error) {
-	return NewRigFromOptions(ctx, RigOptions{World: w, Clock: clk, Metrics: metrics})
-}
-
 // Close stops the DNS server and all running hosts.
 func (r *Rig) Close() {
 	r.Manager.StopAll()
@@ -168,11 +159,14 @@ func (r *Rig) Close() {
 // rig's DNS retry policy. Callers on a simulated clock must drive it from
 // an accounted goroutine (the policy's backoff sleeps on the rig clock).
 func (r *Rig) Resolver() *dnsclient.Resolver {
-	res := dnsclient.NewResolver(r.Fabric.Host(r.ProbeIP), r.DNSAddr)
-	res.Client.Timeout = time.Second
-	res.Client.Clk = r.Clock
-	res.Client.Retry = r.dnsRetry
-	return res
+	return dnsclient.NewResolver(&dnsclient.Client{
+		Net:     r.Fabric.Host(r.ProbeIP),
+		Server:  r.DNSAddr,
+		Timeout: time.Second,
+		Clk:     r.Clock,
+		Retry:   r.dnsRetry,
+		Metrics: r.Metrics,
+	})
 }
 
 // Target is one (domain, addresses) measurement unit discovered via DNS.

@@ -141,11 +141,18 @@ func New(cfg Config) *Host {
 	if cfg.FlakyRate > 0 {
 		h.flaky = rand.New(rand.NewSource(cfg.FlakySeed))
 	}
-	base := dnsclient.NewResolver(cfg.Net, cfg.DNSServer)
-	base.Client.Timeout = cfg.DNSTimeout
-	base.Client.Clk = cfg.Clock
-	cached, _ := dnsclient.WrapResolver(base, cfg.Clock)
-	h.res = ResolverAdapter{R: cached}
+	// Client → SingleFlight → CachingClient → Resolver: the wire client
+	// under in-flight dedup under the MTA's local TTL cache, composed via
+	// the shared Querier interface.
+	wire := &dnsclient.Client{
+		Net:     cfg.Net,
+		Server:  cfg.DNSServer,
+		Timeout: cfg.DNSTimeout,
+		Clk:     cfg.Clock,
+	}
+	flight := &dnsclient.SingleFlight{Upstream: wire}
+	cached := dnsclient.NewCachingClient(flight, cfg.Clock)
+	h.res = ResolverAdapter{R: dnsclient.NewResolver(cached)}
 	listen := cfg.ListenAddr
 	if listen == "" {
 		listen = ":25"

@@ -1,0 +1,33 @@
+package spf
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+)
+
+// BenchmarkCheckHost evaluates a realistic multi-mechanism policy — the
+// shape SPFail's vulnerable-domain population carries (a, mx, ip4, include,
+// -all) — against a map-backed resolver, so the number measures the
+// evaluator itself rather than DNS transport.
+func BenchmarkCheckHost(b *testing.B) {
+	f := newFakeResolver()
+	f.txt["example.com"] = []string{"v=spf1 a mx ip4:203.0.113.0/24 include:_spf.example.net -all"}
+	f.txt["_spf.example.net"] = []string{"v=spf1 ip4:198.51.100.0/24 ip6:2001:db8::/32 -all"}
+	f.a["example.com"] = []netip.Addr{netip.MustParseAddr("192.0.2.10")}
+	f.mx["example.com"] = []MX{{Host: "mail.example.com", Preference: 10}}
+	f.a["mail.example.com"] = []netip.Addr{netip.MustParseAddr("192.0.2.25")}
+
+	c := &Checker{Resolver: f}
+	ip := netip.MustParseAddr("198.51.100.77") // matches inside the include
+	ctx := context.Background()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := c.CheckHost(ctx, ip, "example.com", "user@example.com", "mail.example.com")
+		if res.Result != ResultPass {
+			b.Fatalf("result = %s, want pass", res.Result)
+		}
+	}
+}

@@ -41,9 +41,9 @@ type Config struct {
 	// a deterministic fault-injection plan. A zero Plan.Seed is filled
 	// from Spec.Seed.
 	Faults *faults.Plan
-	// Observe, if non-nil, receives every probe outcome as it completes
-	// (in completion order) — the incremental checkpoint hook for long
-	// campaigns. It is called serially.
+	// Observe, if non-nil, receives every probe outcome batch by batch,
+	// in input order within each batch — the incremental checkpoint hook
+	// for long campaigns. It is called serially.
 	Observe func(suite string, addr netip.Addr, out core.Outcome)
 	// Progress, if non-nil, receives coarse stage updates.
 	Progress func(stage string)

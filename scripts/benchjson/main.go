@@ -3,6 +3,12 @@
 // perf trajectory of the repository is measurable across PRs.
 //
 //	go test -run='^$' -bench=. -benchtime=1x -benchmem | benchjson -o BENCH_ci.json
+//
+// With -baseline and -gate it additionally compares selected metrics against
+// a committed baseline report and exits nonzero on regression:
+//
+//	... | benchjson -o BENCH_pr4.json -baseline BENCH_pr4.json \
+//	        -gate 'BenchmarkDecode:allocs/op,BenchmarkEncode:allocs/op'
 package main
 
 import (
@@ -34,6 +40,8 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "baseline report to gate against (JSON from a previous run)")
+	gate := flag.String("gate", "", "comma-separated Benchmark:metric pairs that must not regress above the baseline")
 	flag.Parse()
 
 	report := Report{
@@ -58,6 +66,25 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Load the baseline before writing: -o and -baseline may name the same
+	// file (regenerate the committed artifact while gating against it).
+	var base Report
+	if *gate != "" {
+		if *baseline == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -gate requires -baseline")
+			os.Exit(1)
+		}
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: reading baseline: %v\n", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing baseline: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -74,6 +101,58 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+
+	if *gate != "" {
+		failures := checkGates(report, base, *gate)
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "benchjson: GATE FAILED: %s\n", f)
+		}
+		if len(failures) > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+// checkGates compares each "Benchmark:metric" pair in spec between the
+// current and baseline reports. A gate fails when the current value exceeds
+// the baseline, when the benchmark or metric is missing from the current
+// report, or when the pair is malformed; a pair absent from the baseline is
+// skipped (first run establishes it).
+func checkGates(cur, base Report, spec string) []string {
+	index := func(r Report) map[string]map[string]float64 {
+		m := make(map[string]map[string]float64, len(r.Results))
+		for _, res := range r.Results {
+			m[res.Name] = res.Metrics
+		}
+		return m
+	}
+	curIdx, baseIdx := index(cur), index(base)
+	var failures []string
+	for _, pair := range strings.Split(spec, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, metric, ok := strings.Cut(pair, ":")
+		if !ok {
+			failures = append(failures, fmt.Sprintf("malformed gate %q (want Benchmark:metric)", pair))
+			continue
+		}
+		curVal, ok := curIdx[name][metric]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: %s missing from current run", name, metric))
+			continue
+		}
+		baseVal, ok := baseIdx[name][metric]
+		if !ok {
+			continue // no baseline yet for this pair
+		}
+		if curVal > baseVal {
+			failures = append(failures, fmt.Sprintf("%s: %s regressed %g → %g (baseline max %g)",
+				name, metric, baseVal, curVal, baseVal))
+		}
+	}
+	return failures
 }
 
 // parseLine handles the `go test -bench` result format:

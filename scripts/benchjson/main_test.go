@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	r, ok := parseLine("BenchmarkSPFCheckHost-8   \t   1234\t    56789 ns/op\t  432 B/op\t  7 allocs/op")
@@ -22,6 +25,57 @@ func TestParseLineCustomMetric(t *testing.T) {
 	}
 	if r.Metrics["refused-frac"] != 0.47 {
 		t.Fatalf("metrics = %v", r.Metrics)
+	}
+}
+
+func report(results ...Result) Report { return Report{Results: results} }
+
+func res(name string, metrics map[string]float64) Result {
+	return Result{Name: name, Iterations: 1, Metrics: metrics}
+}
+
+func TestCheckGatesPassAndFail(t *testing.T) {
+	base := report(
+		res("BenchmarkDecode", map[string]float64{"allocs/op": 0, "ns/op": 120}),
+		res("BenchmarkEncode", map[string]float64{"allocs/op": 0}),
+	)
+	cur := report(
+		res("BenchmarkDecode", map[string]float64{"allocs/op": 0, "ns/op": 500}),
+		res("BenchmarkEncode", map[string]float64{"allocs/op": 2}),
+	)
+	spec := "BenchmarkDecode:allocs/op,BenchmarkEncode:allocs/op"
+	failures := checkGates(cur, base, spec)
+	if len(failures) != 1 {
+		t.Fatalf("failures = %v, want exactly the encode regression", failures)
+	}
+	if got := failures[0]; !strings.Contains(got, "BenchmarkEncode") {
+		t.Fatalf("failure = %q", got)
+	}
+	// ns/op is ungated: its 4× slowdown must not trip anything.
+	if f := checkGates(cur, base, "BenchmarkDecode:allocs/op"); len(f) != 0 {
+		t.Fatalf("ungated metric caused failures: %v", f)
+	}
+}
+
+func TestCheckGatesMissingCurrentFails(t *testing.T) {
+	base := report(res("BenchmarkDecode", map[string]float64{"allocs/op": 0}))
+	cur := report(res("BenchmarkOther", map[string]float64{"allocs/op": 0}))
+	if f := checkGates(cur, base, "BenchmarkDecode:allocs/op"); len(f) != 1 {
+		t.Fatalf("missing benchmark should fail the gate, got %v", f)
+	}
+}
+
+func TestCheckGatesMissingBaselineSkips(t *testing.T) {
+	cur := report(res("BenchmarkNew", map[string]float64{"allocs/op": 9}))
+	if f := checkGates(cur, report(), "BenchmarkNew:allocs/op"); len(f) != 0 {
+		t.Fatalf("pair absent from baseline should be skipped, got %v", f)
+	}
+}
+
+func TestCheckGatesMalformedSpec(t *testing.T) {
+	cur := report(res("BenchmarkX", map[string]float64{"allocs/op": 0}))
+	if f := checkGates(cur, cur, "BenchmarkX"); len(f) != 1 {
+		t.Fatalf("malformed pair should fail, got %v", f)
 	}
 }
 
