@@ -12,12 +12,16 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"net/netip"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"spfail/internal/clock"
@@ -28,6 +32,7 @@ import (
 	"spfail/internal/netsim"
 	"spfail/internal/retry"
 	"spfail/internal/telemetry"
+	"spfail/internal/trace"
 )
 
 func main() {
@@ -49,6 +54,9 @@ func main() {
 		retryBase  = flag.Duration("retry-base", 2*time.Second, "backoff before the first probe retry")
 		metrics    = flag.Bool("metrics", false, "dump a JSON telemetry snapshot to stdout at exit")
 		seed       = flag.Int64("seed", 0, "label-allocator seed for replayable scans (0: derive from the clock)")
+		traceOut   = flag.String("trace", "", "write per-probe causal spans to this JSONL file (read with spfail-trace)")
+		traceSmpl  = flag.Float64("trace-sample", 1, "fraction of probes traced, decided deterministically per target index")
+		listen     = flag.String("listen", "", "serve live /metrics (Prometheus text), /healthz, and /debug/pprof on this address, e.g. :8089")
 	)
 	flag.Parse()
 	targets := flag.Args()
@@ -71,10 +79,28 @@ func main() {
 		fmt.Printf("spfail-scan: -seed %d (pass it back to replay label allocation)\n", *seed)
 	}
 	reg := telemetry.New()
+	var tracer *trace.Tracer
+	// flushTrace is called explicitly before the final os.Exit — deferred
+	// flushes would never run and leave the buffered JSONL on the floor.
+	flushTrace := func() error { return nil }
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal("%v", err)
+		}
+		tw := bufio.NewWriter(f)
+		flushTrace = func() error {
+			if err := tw.Flush(); err != nil {
+				return err
+			}
+			return f.Close()
+		}
+		tracer = trace.New(tw, trace.Options{Seed: *seed, Sample: *traceSmpl})
+	}
 	zone := &dnsserver.SPFTestZone{Base: baseName, Addr4: a4}
 	collector := core.NewCollector(zone)
 	handler := &dnsserver.LoggingHandler{Inner: zone, Sink: collector, Now: clk.Now}
-	srv := &dnsserver.Server{Net: netsim.Real{}, Addr: *dnsListen, Handler: handler, Metrics: reg}
+	srv := &dnsserver.Server{Net: netsim.Real{}, Addr: *dnsListen, Handler: handler, Metrics: reg, Trace: tracer}
 	if err := srv.Start(context.Background()); err != nil {
 		fatal("starting DNS zone: %v", err)
 	}
@@ -105,23 +131,46 @@ func main() {
 		}
 	}
 
+	var healthMu sync.Mutex
+	health := telemetry.Health{OK: true, Stage: "scanning", Total: len(targets)}
+	if *listen != "" {
+		hsrv := &http.Server{Addr: *listen, Handler: telemetry.HTTPHandler(reg, func() telemetry.Health {
+			healthMu.Lock()
+			defer healthMu.Unlock()
+			return health
+		})}
+		go func() {
+			if err := hsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "spfail-scan: -listen: %v\n", err)
+			}
+		}()
+		defer hsrv.Close()
+		fmt.Fprintf(os.Stderr, "observability endpoint on %s (/metrics, /healthz, /debug/pprof)\n", *listen)
+	}
+
 	exitCode := 0
 	outcomeTotals := make(map[core.Status]int)
-	for _, target := range targets {
+	for i, target := range targets {
 		rd := *rcptDomain
 		if rd == "" {
 			rd = strings.Split(target, ":")[0]
 		}
 		fmt.Printf("\n== %s (rcpt domain %s)\n", target, rd)
-		out := prober.TestIP(context.Background(), target, rd)
-		// Give slow validators a moment for trailing lookups, then
-		// reclassify with the full evidence.
-		_ = clk.Sleep(context.Background(), *settle)
+		out := scanOne(tracer, prober, clk, *suite, uint64(i), target, rd, *settle)
 		printOutcome(out)
 		outcomeTotals[out.Status]++
 		if out.Vulnerable() {
 			exitCode = 1
 		}
+		healthMu.Lock()
+		health.Probed = i + 1
+		healthMu.Unlock()
+	}
+	if err := tracer.Err(); err != nil {
+		fatal("writing trace: %v", err)
+	}
+	if err := flushTrace(); err != nil {
+		fatal("writing trace: %v", err)
 	}
 	if *metrics {
 		fmt.Printf("\n-- metrics (probe.outcome.* must equal the scan's outcome totals: %v)\n", outcomeTotals)
@@ -133,6 +182,51 @@ func main() {
 	os.Exit(exitCode)
 }
 
+// scanOne probes one target inside its trace buffer (when tracing), then
+// waits for trailing DNS queries before classifying. The root span adopts
+// the target's host so DNS-zone queries arriving from the target itself
+// attribute to this probe.
+func scanOne(tracer *trace.Tracer, prober *core.Prober, clk clock.Clock, suite string, index uint64, target, rcptDomain string, settle time.Duration) core.Outcome {
+	ctx := context.Background()
+	buf := tracer.ProbeBuffer(clk, suite, index)
+	if buf == nil {
+		out := prober.TestIP(ctx, target, rcptDomain)
+		_ = clk.Sleep(ctx, settle)
+		return out
+	}
+	root := buf.Root("probe",
+		trace.String("suite", suite),
+		trace.Int64("index", int64(index)),
+		trace.String("addr", target),
+		trace.String("rcpt_domain", rcptDomain),
+	)
+	host := target
+	if h, _, err := net.SplitHostPort(target); err == nil {
+		host = h
+	}
+	release := root.Adopt(host)
+	out := prober.TestIP(trace.ContextWithSpan(ctx, root), target, rcptDomain)
+	// Give slow validators a moment for trailing lookups, then reclassify
+	// with the full evidence; late zone queries still land on the root span.
+	_ = clk.Sleep(ctx, settle)
+	release()
+	root.SetAttrs(
+		trace.String("status", string(out.Status)),
+		trace.String("method", string(out.Method)),
+		trace.Int("attempts", out.Attempts),
+		trace.Bool("vulnerable", out.Vulnerable()),
+	)
+	if out.FailReason != "" {
+		root.SetAttrs(trace.String("fail_reason", out.FailReason))
+	}
+	if out.Err != nil {
+		root.SetAttrs(trace.String("error", out.Err.Error()))
+	}
+	root.End()
+	tracer.FlushBuffer(buf)
+	return out
+}
+
 func printOutcome(out core.Outcome) {
 	fmt.Printf("  status:   %s\n", out.Status)
 	if out.Method != "" {
@@ -140,6 +234,12 @@ func printOutcome(out core.Outcome) {
 	}
 	if out.Err != nil {
 		fmt.Printf("  error:    %v (stage %s)\n", out.Err, out.FailStage)
+	}
+	if out.Attempts > 1 {
+		fmt.Printf("  attempts: %d\n", out.Attempts)
+	}
+	if out.FailReason != "" {
+		fmt.Printf("  reason:   %s\n", out.FailReason)
 	}
 	o := out.Observation
 	fmt.Printf("  policy fetched: %v, liveness term resolved: %v\n", o.PolicyFetched, o.LivenessSeen)

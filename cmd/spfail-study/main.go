@@ -14,9 +14,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"net/netip"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"spfail/internal/clock"
@@ -28,6 +30,7 @@ import (
 	"spfail/internal/retry"
 	"spfail/internal/study"
 	"spfail/internal/telemetry"
+	"spfail/internal/trace"
 )
 
 func main() {
@@ -48,6 +51,9 @@ func main() {
 		verbose     = flag.Bool("v", true, "print progress to stderr")
 		metrics     = flag.Bool("metrics", false, "periodic telemetry progress lines and a JSON snapshot at exit (stderr)")
 		metricsOut  = flag.String("metrics-out", "", "write the JSON telemetry snapshot to this file (implies -metrics)")
+		traceOut    = flag.String("trace", "", "write per-probe causal spans to this JSONL file (read with spfail-trace; see docs/tracing.md)")
+		traceSample = flag.Float64("trace-sample", 1, "fraction of probes traced, decided deterministically per probe index")
+		listen      = flag.String("listen", "", "serve live /metrics (Prometheus text), /healthz, and /debug/pprof on this address, e.g. :8089")
 	)
 	flag.Parse()
 	if *metricsOut != "" {
@@ -95,10 +101,33 @@ func main() {
 		defer f.Close()
 		cw := bufio.NewWriter(f)
 		defer cw.Flush()
-		fmt.Fprintln(cw, "suite,addr,status,attempts,fail_reason")
+		ow := report.NewOutcomeWriter(cw)
+		defer ow.Flush()
 		cfg.Observe = func(suite string, addr netip.Addr, out core.Outcome) {
-			fmt.Fprintf(cw, "%s,%s,%s,%d,%q\n", suite, addr, out.Status, out.Attempts, out.FailReason)
+			if err := ow.Write(suite, addr, out); err != nil {
+				fmt.Fprintf(os.Stderr, "spfail-study: checkpoint: %v\n", err)
+				os.Exit(1)
+			}
 		}
+	}
+	// flushTrace runs explicitly before the trace-error check rather than
+	// as a defer, so the buffered JSONL reaches disk (and surfaces write
+	// errors) even though later failure paths leave through os.Exit.
+	flushTrace := func() error { return nil }
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spfail-study: %v\n", err)
+			os.Exit(2)
+		}
+		tw := bufio.NewWriter(f)
+		flushTrace = func() error {
+			if err := tw.Flush(); err != nil {
+				return err
+			}
+			return f.Close()
+		}
+		cfg.Trace = trace.New(tw, trace.Options{Seed: *seed, Sample: *traceSample})
 	}
 	if *verbose {
 		clk := clock.Real{}
@@ -112,6 +141,13 @@ func main() {
 	if *metrics {
 		cfg.Metrics = telemetry.New()
 		stopProgress = progressLoop(cfg.Metrics, 5*time.Second)
+	}
+	if *listen != "" {
+		if cfg.Metrics == nil {
+			cfg.Metrics = telemetry.New()
+		}
+		stop := serveObservability(*listen, &cfg)
+		defer stop()
 	}
 
 	res, err := study.Run(context.Background(), cfg)
@@ -127,6 +163,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "spfail-study: writing metrics: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if err := cfg.Trace.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "spfail-study: writing trace: %v\n", err)
+		os.Exit(1)
+	}
+	if err := flushTrace(); err != nil {
+		fmt.Fprintf(os.Stderr, "spfail-study: writing trace: %v\n", err)
+		os.Exit(1)
 	}
 
 	w := bufio.NewWriter(os.Stdout)
@@ -148,6 +192,51 @@ func main() {
 	}
 }
 
+// serveObservability starts the live endpoint (-listen): Prometheus-text
+// /metrics from the study's registry, /healthz with campaign stage and
+// progress, and net/http/pprof. It hooks cfg.Progress and the campaign
+// batch events to keep the health view current, and returns a stop
+// function for shutdown.
+func serveObservability(addr string, cfg *study.Config) (stop func()) {
+	var mu sync.Mutex
+	h := telemetry.Health{OK: true, Stage: "starting"}
+	cfg.Metrics.OnEvent(func(ev telemetry.Event) {
+		if ev.Name != "campaign.batch" {
+			return
+		}
+		done, _ := ev.Fields["done"].(int)
+		total, _ := ev.Fields["total"].(int)
+		mu.Lock()
+		h.Probed, h.Total = done, total
+		if done == total && total > 0 {
+			// One full pass over the target set = one campaign round.
+			h.Round++
+		}
+		mu.Unlock()
+	})
+	prev := cfg.Progress
+	cfg.Progress = func(stage string) {
+		mu.Lock()
+		h.Stage = stage
+		mu.Unlock()
+		if prev != nil {
+			prev(stage)
+		}
+	}
+	srv := &http.Server{Addr: addr, Handler: telemetry.HTTPHandler(cfg.Metrics, func() telemetry.Health {
+		mu.Lock()
+		defer mu.Unlock()
+		return h
+	})}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "spfail-study: -listen: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "observability endpoint on %s (/metrics, /healthz, /debug/pprof)\n", addr)
+	return func() { srv.Close() }
+}
+
 // progressLoop prints one telemetry line per tick (wall time; the study
 // itself runs on a virtual clock) until the returned stop function runs.
 func progressLoop(reg *telemetry.Registry, every time.Duration) (stop func()) {
@@ -160,15 +249,17 @@ func progressLoop(reg *telemetry.Registry, every time.Duration) (stop func()) {
 				return
 			case <-clk.After(every):
 				s := reg.Snapshot()
+				lat := s.Histograms["probe.latency"]
 				fmt.Fprintf(os.Stderr,
-					"[metrics] probes=%d batches=%d inflight=%d (max %d) dns_queries=%d smtp_sessions=%d greylist_waits=%d\n",
+					"[metrics] probes=%d batches=%d inflight=%d (max %d) dns_queries=%d smtp_sessions=%d greylist_waits=%d probe_lat(p50/p95/p99)=%.3fs/%.3fs/%.3fs\n",
 					s.Counters["probe.total"],
 					s.Counters["campaign.batches_done"],
 					s.Gauges["campaign.inflight"].Value,
 					s.Gauges["campaign.inflight"].Max,
 					s.Counters["dns.server.queries"],
 					s.Counters["smtp.client.sessions"],
-					s.Counters["probe.greylist_waits"])
+					s.Counters["probe.greylist_waits"],
+					lat.P50Seconds, lat.P95Seconds, lat.P99Seconds)
 			}
 		}
 	}()

@@ -1,0 +1,203 @@
+// Command spfail-trace reads a JSONL trace file produced by
+// spfail-study -trace or spfail-scan -trace and renders human-readable
+// span trees: the full causal chain (SMTP verbs → SPF evaluation → DNS
+// transactions → fault and retry decisions) behind one probe's
+// classification.
+//
+//	spfail-trace -list out.jsonl
+//	spfail-trace -probe s01-000042 out.jsonl
+//	spfail-trace -addr 203.0.113.7 out.jsonl
+//	spfail-trace -domain mail.example.org out.jsonl
+//
+// Selectors match the probe root span's attributes; -probe matches by
+// trace-ID prefix so the hash suffix can be omitted. Without a selector
+// every trace in the file is rendered.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"spfail/internal/trace"
+)
+
+func main() {
+	var (
+		probe  = flag.String("probe", "", "render the trace whose ID has this prefix (e.g. s01-000042)")
+		addr   = flag.String("addr", "", "render traces whose probe targeted this address")
+		domain = flag.String("domain", "", "render traces whose probe used this RCPT domain")
+		list   = flag.Bool("list", false, "list one summary line per trace instead of rendering trees")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: spfail-trace [-list] [-probe ID|-addr IP|-domain D] trace.jsonl")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal("%v", err)
+	}
+	recs, err := trace.ReadAll(f)
+	f.Close()
+	if err != nil {
+		fatal("%v", err)
+	}
+	traces := group(recs)
+	if len(traces) == 0 {
+		fatal("no spans in %s", flag.Arg(0))
+	}
+
+	selected := traces[:0:0]
+	for _, tr := range traces {
+		if matches(tr, *probe, *addr, *domain) {
+			selected = append(selected, tr)
+		}
+	}
+	if len(selected) == 0 {
+		fatal("no trace matches the selection (%d traces in file; try -list)", len(traces))
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for i, tr := range selected {
+		if *list {
+			fmt.Fprintln(w, tr.summary())
+			continue
+		}
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		tr.render(w)
+	}
+}
+
+// spanTree is one trace's records indexed for rendering.
+type spanTree struct {
+	id       string
+	byID     map[uint32]trace.Record
+	children map[uint32][]uint32 // parent → span IDs, in record order
+	roots    []uint32
+}
+
+// group partitions records by trace ID, preserving first-seen order.
+func group(recs []trace.Record) []*spanTree {
+	var out []*spanTree
+	index := make(map[string]*spanTree)
+	for _, r := range recs {
+		tr := index[r.Trace]
+		if tr == nil {
+			tr = &spanTree{
+				id:       r.Trace,
+				byID:     make(map[uint32]trace.Record),
+				children: make(map[uint32][]uint32),
+			}
+			index[r.Trace] = tr
+			out = append(out, tr)
+		}
+		tr.byID[r.Span] = r
+		if r.Parent == 0 {
+			tr.roots = append(tr.roots, r.Span)
+		} else {
+			tr.children[r.Parent] = append(tr.children[r.Parent], r.Span)
+		}
+	}
+	return out
+}
+
+// root returns the trace's first root record (the probe span).
+func (t *spanTree) root() trace.Record {
+	if len(t.roots) == 0 {
+		return trace.Record{}
+	}
+	return t.byID[t.roots[0]]
+}
+
+func matches(t *spanTree, probe, addr, domain string) bool {
+	if probe == "" && addr == "" && domain == "" {
+		return true
+	}
+	r := t.root()
+	if probe != "" && strings.HasPrefix(t.id, probe) {
+		return true
+	}
+	if addr != "" && r.Attrs["addr"] == addr {
+		return true
+	}
+	if domain != "" && r.Attrs["rcpt_domain"] == domain {
+		return true
+	}
+	return false
+}
+
+// summary is the -list line: trace ID plus the probe root's telling attrs.
+func (t *spanTree) summary() string {
+	r := t.root()
+	var b strings.Builder
+	b.WriteString(t.id)
+	for _, k := range []string{"addr", "rcpt_domain", "status", "method", "vulnerable"} {
+		if v := r.Attrs[k]; v != "" {
+			fmt.Fprintf(&b, "  %s=%s", k, v)
+		}
+	}
+	return b.String()
+}
+
+func (t *spanTree) render(w *bufio.Writer) {
+	fmt.Fprintf(w, "trace %s\n", t.id)
+	base := t.root().Start
+	for i, id := range t.roots {
+		t.renderSpan(w, id, "", i == len(t.roots)-1, base)
+	}
+}
+
+// renderSpan prints one span line and recurses into its children with
+// box-drawing guides.
+func (t *spanTree) renderSpan(w *bufio.Writer, id uint32, prefix string, last bool, base time.Time) {
+	r := t.byID[id]
+	branch, childPrefix := "├─ ", prefix+"│  "
+	if last {
+		branch, childPrefix = "└─ ", prefix+"   "
+	}
+	fmt.Fprintf(w, "%s%s%s%s%s\n", prefix, branch, r.Name, timing(r, base), attrString(r.Attrs))
+	kids := t.children[id]
+	for i, kid := range kids {
+		t.renderSpan(w, kid, childPrefix, i == len(kids)-1, base)
+	}
+}
+
+// timing renders "+offset" from the trace root plus the span duration;
+// instantaneous events (start == end) show only the offset.
+func timing(r trace.Record, base time.Time) string {
+	off := r.Start.Sub(base)
+	if r.End.Equal(r.Start) {
+		return fmt.Sprintf("  [+%s]", off)
+	}
+	return fmt.Sprintf("  [+%s %s]", off, r.End.Sub(r.Start))
+}
+
+// attrString renders attributes as sorted key=value pairs.
+func attrString(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%q", k, attrs[k])
+	}
+	return "  {" + strings.TrimSpace(b.String()) + "}"
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "spfail-trace: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sync"
 
@@ -105,3 +106,67 @@ func (a *LabelAllocator) Next() string {
 
 // NewSuiteLabel derives a short suite label from a test-suite counter.
 func NewSuiteLabel(n int) string { return fmt.Sprintf("s%02d", n) }
+
+// DeterministicLabels returns a per-probe label stream: the n-th call
+// yields the label for (seed, probe index, n), derived through a seeded
+// 40-bit Feistel permutation so labels are globally unique within a
+// campaign by construction yet look random. Unlike LabelAllocator.Next,
+// the stream does not depend on how probe shards interleave their draws
+// from a shared source — the property traced campaigns need for
+// byte-identical same-seed output. fallback serves the (practically
+// unreachable) case of a probe running more than 256 transactions.
+func DeterministicLabels(seed int64, index uint64, fallback *LabelAllocator) func() string {
+	var ord uint64
+	return func() string {
+		if ord >= 256 || index >= 1<<32 {
+			return fallback.Next()
+		}
+		n := index<<8 | ord
+		ord++
+		return deterministicLabel(seed, n)
+	}
+}
+
+// deterministicLabel encodes the permuted 40-bit value as a fixed-width
+// 8-character label: one alphabetic lead character plus seven base-36
+// digits. Both the permutation and the encoding are injective, so distinct
+// (index, ord) pairs can never collide.
+func deterministicLabel(seed int64, n uint64) string {
+	v := feistel40(seed, n)
+	var b [8]byte
+	b[0] = labelAlphabet[v%26]
+	v /= 26
+	for i := 7; i >= 1; i-- {
+		b[i] = labelAlphabet[v%36]
+		v /= 36
+	}
+	return string(b[:])
+}
+
+// feistel40 is a 4-round Feistel permutation of the 40-bit input, keyed by
+// seed. Bijective for any seed, which is what makes the labels unique.
+func feistel40(seed int64, n uint64) uint64 {
+	const mask = 0xFFFFF // 20-bit halves
+	l, r := (n>>20)&mask, n&mask
+	for round := 0; round < 4; round++ {
+		f := labelRound(seed, round, r)
+		l, r = r, (l^f)&mask
+	}
+	return l<<20 | r
+}
+
+// labelRound mixes (seed, round, half) with FNV-1a into a 20-bit value.
+func labelRound(seed int64, round int, half uint64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(seed) >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte{byte(round)})
+	for i := 0; i < 8; i++ {
+		b[i] = byte(half >> (8 * i))
+	}
+	h.Write(b[:])
+	return h.Sum64() & 0xFFFFF
+}

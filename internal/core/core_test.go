@@ -255,6 +255,34 @@ func TestClassifierTaxonomy(t *testing.T) {
 	}
 }
 
+// TestDeterministicLabelsUniqueAndStable checks the campaign label stream:
+// labels must be unique across (index, ordinal) pairs by construction,
+// identical across two streams with the same inputs, and different under a
+// different seed.
+func TestDeterministicLabelsUniqueAndStable(t *testing.T) {
+	seen := make(map[string]bool)
+	for index := uint64(0); index < 500; index++ {
+		next := DeterministicLabels(7, index, nil)
+		again := DeterministicLabels(7, index, nil)
+		for ord := 0; ord < 8; ord++ {
+			l := next()
+			if l != again() {
+				t.Fatalf("stream for index %d diverged at ordinal %d", index, ord)
+			}
+			if seen[l] {
+				t.Fatalf("duplicate label %q at index %d ordinal %d", l, index, ord)
+			}
+			seen[l] = true
+			if len(l) != 8 || l[0] < 'a' || l[0] > 'z' {
+				t.Fatalf("label %q is not 8 chars with an alphabetic lead", l)
+			}
+		}
+	}
+	if a, b := DeterministicLabels(1, 42, nil)(), DeterministicLabels(2, 42, nil)(); a == b {
+		t.Fatalf("seeds 1 and 2 produced the same label %q", a)
+	}
+}
+
 func TestLabelAllocatorUnique(t *testing.T) {
 	a := NewLabelAllocator(7)
 	seen := make(map[string]bool)

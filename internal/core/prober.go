@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"net"
 	"strings"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"spfail/internal/retry"
 	"spfail/internal/smtp"
 	"spfail/internal/telemetry"
+	"spfail/internal/trace"
 )
 
 // ProbeMethod is one of the two probe transaction shapes (paper §5.1).
@@ -158,6 +160,19 @@ type Prober struct {
 	// the probe latency histogram (see docs/telemetry.md). Latency is
 	// measured on Clock, so virtual campaigns report virtual durations.
 	Metrics *telemetry.Registry
+	// NextLabel, when non-nil, supplies transaction labels instead of
+	// Labels. Campaigns install a per-probe DeterministicLabels stream so
+	// label assignment is independent of shard scheduling — drawing from
+	// the shared allocator would make same-seed traced runs diverge.
+	NextLabel func() string
+}
+
+// nextLabel returns the next transaction label for this prober.
+func (p *Prober) nextLabel() string {
+	if p.NextLabel != nil {
+		return p.NextLabel()
+	}
+	return p.Labels.Next()
 }
 
 func (p *Prober) usernames() []string {
@@ -216,6 +231,9 @@ func (p *Prober) testIPRetrying(ctx context.Context, addr, rcptDomain string) Ou
 	for attempt := 1; attempt <= max; attempt++ {
 		if !p.Breakers.Allow(addr, p.Clock.Now()) {
 			p.Metrics.Counter("probe.breaker_skips").Inc()
+			if sp := trace.SpanFromContext(ctx); sp != nil {
+				sp.Event("probe.breaker_open", trace.Int("attempt", attempt))
+			}
 			return Outcome{
 				Addr:       addr,
 				Status:     StatusInconclusive,
@@ -223,8 +241,16 @@ func (p *Prober) testIPRetrying(ctx context.Context, addr, rcptDomain string) Ou
 				Attempts:   attempt - 1,
 			}
 		}
-		out = p.testIP(ctx, addr, rcptDomain)
+		attemptCtx, asp := trace.StartSpan(ctx, "probe.attempt")
+		if asp != nil {
+			asp.SetAttrs(trace.Int("attempt", attempt))
+		}
+		out = p.testIP(attemptCtx, addr, rcptDomain)
 		out.Attempts = attempt
+		if asp != nil {
+			asp.SetAttrs(trace.String("status", string(out.Status)))
+			asp.End()
+		}
 		if !transientStatus(out.Status) {
 			p.Breakers.Success(addr)
 			return out
@@ -354,25 +380,47 @@ type transactionResult struct {
 // runTransaction performs one probe transaction (with a single greylist
 // retry) and classifies the DNS evidence it produced.
 func (p *Prober) runTransaction(ctx context.Context, addr, rcptDomain string, method ProbeMethod) *transactionResult {
-	tr := &transactionResult{}
+	res := &transactionResult{}
 	for attempt := 0; attempt < 2; attempt++ {
-		id := p.Labels.Next()
-		tr.ids = append(tr.ids, id)
+		id := p.nextLabel()
+		res.ids = append(res.ids, id)
 		p.Metrics.Counter("probe.transactions").Inc()
-		greylisted := p.attempt(ctx, tr, id, addr, rcptDomain, method)
+		txCtx, tsp := trace.StartSpan(ctx, "smtp.transaction")
+		if tsp != nil {
+			tsp.SetAttrs(trace.String("method", string(method)), trace.String("id", id))
+			// Adopt the target host for the transaction so MTA-side work
+			// (SPF evaluation, its DNS lookups, injected faults) nests
+			// under this span instead of the probe root.
+			if host, _, err := net.SplitHostPort(addr); err == nil {
+				release := tsp.Adopt(host)
+				defer release()
+			}
+		}
+		greylisted := p.attempt(txCtx, res, id, addr, rcptDomain, method)
 		// Classify whatever evidence this attempt produced.
 		obs := p.Classifier.Classify(id, p.Suite, p.Collector.QueriesFor(id))
 		p.Collector.Forget(id)
-		mergeObs(&tr.obs, obs)
-		if tr.obs.Conclusive() || !greylisted {
-			return tr
+		mergeObs(&res.obs, obs)
+		if tsp != nil {
+			tsp.SetAttrs(
+				trace.Bool("greylisted", greylisted),
+				trace.Bool("conclusive", obs.Conclusive()),
+				trace.Int("patterns", len(obs.Patterns)),
+			)
+			tsp.End()
+		}
+		if res.obs.Conclusive() || !greylisted {
+			return res
 		}
 		p.Metrics.Counter("probe.greylist_waits").Inc()
+		if sp := trace.SpanFromContext(ctx); sp != nil {
+			sp.Event("probe.greylist_wait", trace.Duration("wait", p.greylistWait()))
+		}
 		if err := p.Clock.Sleep(ctx, p.greylistWait()); err != nil {
-			return tr
+			return res
 		}
 	}
-	return tr
+	return res
 }
 
 func mergeObs(dst *Observation, src Observation) {

@@ -8,6 +8,7 @@ import (
 	"spfail/internal/clock"
 	"spfail/internal/dnsmsg"
 	"spfail/internal/telemetry"
+	"spfail/internal/trace"
 )
 
 // CachingClient wraps a Querier with a TTL-respecting message cache, the
@@ -87,10 +88,16 @@ func (cc *CachingClient) Query(ctx context.Context, name dnsmsg.Name, typ dnsmsg
 	if e, ok := cc.entries[key]; ok && now.Before(e.expires) {
 		cc.mu.Unlock()
 		cc.Metrics.Counter("dns.cache.hits").Inc()
+		if sp := trace.SpanFromContext(ctx); sp != nil {
+			sp.Event("dns.cache.hit", trace.String("name", name.String()), trace.String("type", typ.String()))
+		}
 		return e.msg, nil
 	}
 	cc.mu.Unlock()
 	cc.Metrics.Counter("dns.cache.misses").Inc()
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		sp.Event("dns.cache.miss", trace.String("name", name.String()), trace.String("type", typ.String()))
+	}
 
 	msg, err := cc.Upstream.Query(ctx, name, typ)
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"spfail/internal/netsim"
 	"spfail/internal/retry"
 	"spfail/internal/telemetry"
+	"spfail/internal/trace"
 )
 
 // Error taxonomy mapped from response codes and transport failures.
@@ -87,6 +88,10 @@ func (c *Client) id() uint16 {
 func (c *Client) Query(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type) (*dnsmsg.Message, error) {
 	c.Metrics.Counter("dns.client.lookups").Inc()
 	start := c.clock().Now()
+	ctx, qsp := trace.StartSpan(ctx, "dns.query")
+	if qsp != nil {
+		qsp.SetAttrs(trace.String("name", name.String()), trace.String("type", typ.String()))
+	}
 	q := dnsmsg.NewQuery(c.id(), name, typ)
 	attempts := 1 + c.Retries
 	if c.Retries == 0 {
@@ -99,6 +104,9 @@ func (c *Client) Query(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type) (
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
 			c.Metrics.Counter("dns.client.retries").Inc()
+			if qsp != nil {
+				qsp.Event("dns.client.retry", trace.Int("attempt", i))
+			}
 			if c.Retry.Enabled() {
 				if err := c.Retry.Wait(ctx, c.clock(), c.Server, i); err != nil {
 					if lastErr == nil {
@@ -115,6 +123,9 @@ func (c *Client) Query(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type) (
 		}
 		if resp.Header.Truncated {
 			c.Metrics.Counter("dns.client.tcp_fallbacks").Inc()
+			if qsp != nil {
+				qsp.Event("dns.client.tcp_fallback")
+			}
 			resp, err = c.exchangeTCP(ctx, q)
 			if err != nil {
 				lastErr = err
@@ -122,9 +133,22 @@ func (c *Client) Query(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type) (
 			}
 		}
 		c.Metrics.Histogram("dns.client.latency").Record(c.clock().Now().Sub(start))
+		if qsp != nil {
+			qsp.SetAttrs(
+				trace.String("rcode", resp.Header.RCode.String()),
+				trace.Int("answers", len(resp.Answers)),
+			)
+			qsp.End()
+		}
 		return resp, nil
 	}
 	c.Metrics.Counter("dns.client.failures").Inc()
+	if qsp != nil {
+		if lastErr != nil {
+			qsp.SetAttrs(trace.String("error", lastErr.Error()))
+		}
+		qsp.End()
+	}
 	return nil, fmt.Errorf("%w: %v", ErrTemporary, lastErr)
 }
 

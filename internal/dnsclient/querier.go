@@ -6,6 +6,7 @@ import (
 
 	"spfail/internal/dnsmsg"
 	"spfail/internal/telemetry"
+	"spfail/internal/trace"
 )
 
 // Querier is the unified query path: one transaction, validated response.
@@ -57,6 +58,9 @@ func (sf *SingleFlight) Query(ctx context.Context, name dnsmsg.Name, typ dnsmsg.
 	if c, ok := sf.inflight[key]; ok {
 		sf.mu.Unlock()
 		sf.Metrics.Counter("dns.flight.coalesced").Inc()
+		if sp := trace.SpanFromContext(ctx); sp != nil {
+			sp.Event("dns.flight.coalesced", trace.String("name", name.String()), trace.String("type", typ.String()))
+		}
 		select {
 		case <-c.done:
 			return c.msg, c.err
@@ -72,6 +76,9 @@ func (sf *SingleFlight) Query(ctx context.Context, name dnsmsg.Name, typ dnsmsg.
 	sf.mu.Unlock()
 
 	sf.Metrics.Counter("dns.flight.leaders").Inc()
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		sp.Event("dns.flight.leader", trace.String("name", name.String()), trace.String("type", typ.String()))
+	}
 	c.msg, c.err = sf.Upstream.Query(ctx, name, typ)
 
 	// Deregister before publishing so a caller arriving after completion

@@ -17,6 +17,7 @@ import (
 	"spfail/internal/dnsmsg"
 	"spfail/internal/netsim"
 	"spfail/internal/telemetry"
+	"spfail/internal/trace"
 )
 
 // MaxUDPPayload is the classic 512-byte UDP response limit (RFC 1035
@@ -48,6 +49,10 @@ type Server struct {
 	// Metrics, when non-nil, receives query/error/qtype counters
 	// (see docs/telemetry.md). Set before Start.
 	Metrics *telemetry.Registry
+	// Trace, when non-nil, records per-query events on the span of the
+	// probe that owns the querying host (host-routed; see internal/trace).
+	// Set before Start.
+	Trace *trace.Tracer
 
 	mu  sync.Mutex
 	pc  net.PacketConn
@@ -191,7 +196,26 @@ func (s *Server) respond(pkt []byte, from net.Addr) *dnsmsg.Message {
 	if resp.Header.RCode == dnsmsg.RCodeServFail {
 		s.Metrics.Counter("dns.server.servfail").Inc()
 	}
+	if s.Trace != nil {
+		if sp := s.Trace.HostSpan(clientHost(from)); sp != nil {
+			sp.Event("dns.server.query",
+				trace.String("name", q.Questions[0].Name.String()),
+				trace.String("type", q.Questions[0].Type.String()),
+				trace.String("rcode", resp.Header.RCode.String()),
+			)
+		}
+	}
 	return resp
+}
+
+// clientHost strips the port from a client address for host-routed trace
+// attribution. Only called when tracing is enabled.
+func clientHost(from net.Addr) string {
+	host, _, err := net.SplitHostPort(from.String())
+	if err != nil {
+		return from.String()
+	}
+	return host
 }
 
 // ReadTCPMessage reads one length-prefixed DNS message (RFC 1035 §4.2.2).

@@ -4,6 +4,7 @@ import (
 	"net"
 
 	"spfail/internal/dnsmsg"
+	"spfail/internal/trace"
 )
 
 // maxTemplates bounds the per-ZoneSet template cache. Static zones in the
@@ -38,10 +39,26 @@ func (s *Server) ServeQuery(dst []byte, pkt []byte, from net.Addr) ([]byte, bool
 	if !ok {
 		return dst, false
 	}
-	_ = from
 	s.Metrics.Counter("dns.server.queries").Inc()
 	s.Metrics.Counter(qtypeCounterName(wq.Type)).Inc()
 	s.Metrics.Counter("dns.server.template_hits").Inc()
+	// Tracing is the only consumer of the client address here; the qname
+	// is decoded from the wire only on traced queries so the untraced fast
+	// path stays allocation-free.
+	if s.Trace != nil {
+		if sp := s.Trace.HostSpan(clientHost(from)); sp != nil {
+			name, _, err := dnsmsg.ReadWireName(wq.NameWire)
+			qname := ""
+			if err == nil {
+				qname = name.String()
+			}
+			sp.Event("dns.server.query",
+				trace.String("name", qname),
+				trace.String("type", wq.Type.String()),
+				trace.Bool("template_hit", true),
+			)
+		}
+	}
 	return out, true
 }
 

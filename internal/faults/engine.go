@@ -8,6 +8,7 @@ import (
 	"spfail/internal/dnsmsg"
 	"spfail/internal/netsim"
 	"spfail/internal/telemetry"
+	"spfail/internal/trace"
 )
 
 // Engine applies a Plan to fabric traffic. It implements
@@ -19,6 +20,7 @@ type Engine struct {
 	plan     Plan
 	classify func(host string) string
 	metrics  *telemetry.Registry
+	tracer   *trace.Tracer
 
 	mu  sync.Mutex
 	seq map[string]uint64
@@ -43,11 +45,20 @@ func (e *Engine) SetClassifier(fn func(host string) string) { e.classify = fn }
 // into reg; nil disables counting.
 func (e *Engine) SetMetrics(reg *telemetry.Registry) { e.metrics = reg }
 
+// SetTracer routes injection decisions as host-keyed trace events onto the
+// span of whichever probe currently owns the subject host; nil disables.
+func (e *Engine) SetTracer(t *trace.Tracer) { e.tracer = t }
+
 // Plan returns the normalized plan the engine runs.
 func (e *Engine) Plan() Plan { return e.plan }
 
-func (e *Engine) count(k Kind) {
+// inject records one fired fault against the subject host: the per-kind
+// counter plus (when tracing) a fault.injected event on the host's span.
+func (e *Engine) inject(subject string, rule int, k Kind) {
 	e.metrics.Counter("faults.injected." + string(k)).Inc()
+	if sp := e.tracer.HostSpan(subject); sp != nil {
+		sp.Event("fault.injected", trace.String("kind", string(k)), trace.Int("rule", rule))
+	}
 }
 
 // matches applies a rule's static Host/Class selectors to the subject.
@@ -99,7 +110,7 @@ func (e *Engine) DialTCP(src, dst netsim.Addr) netsim.DialFault {
 		if !smtpKind(r.Kind) || !e.matches(r, dst.Host) || !e.decide(i, r, dst.Host) {
 			continue
 		}
-		e.count(r.Kind)
+		e.inject(dst.Host, i, r.Kind)
 		switch r.Kind {
 		case KindConnRefuse:
 			f.Refuse = true
@@ -136,13 +147,13 @@ func (e *Engine) Datagram(from, to netsim.Addr, payload []byte) ([]byte, netsim.
 			if !e.matches(r, subject) || !e.decide(i, r, subject) {
 				continue
 			}
-			e.count(r.Kind)
+			e.inject(subject, i, r.Kind)
 			return nil, netsim.VerdictDrop
 		case KindDNSTimeout:
 			if !query || !e.matches(r, subject) || !e.decide(i, r, subject) {
 				continue
 			}
-			e.count(r.Kind)
+			e.inject(subject, i, r.Kind)
 			return nil, netsim.VerdictDrop
 		case KindDNSServfail:
 			if !query || !e.matches(r, subject) || !e.decide(i, r, subject) {
@@ -152,7 +163,7 @@ func (e *Engine) Datagram(from, to netsim.Addr, payload []byte) ([]byte, netsim.
 			if forged == nil {
 				continue // unparseable; leave the datagram alone
 			}
-			e.count(r.Kind)
+			e.inject(subject, i, r.Kind)
 			return forged, netsim.VerdictReflect
 		case KindDNSTruncate:
 			if !response || !e.matches(r, subject) || !e.decide(i, r, subject) {
@@ -162,7 +173,7 @@ func (e *Engine) Datagram(from, to netsim.Addr, payload []byte) ([]byte, netsim.
 			if truncated == nil {
 				continue
 			}
-			e.count(r.Kind)
+			e.inject(subject, i, r.Kind)
 			return truncated, netsim.VerdictPass
 		}
 	}

@@ -2,6 +2,7 @@ package measure
 
 import (
 	"context"
+	"io"
 	"net/netip"
 	"testing"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"spfail/internal/clock"
 	"spfail/internal/core"
 	"spfail/internal/population"
+	"spfail/internal/trace"
 )
 
 // BenchmarkCampaignThroughput measures end-to-end probes/op through the
@@ -18,6 +20,54 @@ import (
 func BenchmarkCampaignThroughput(b *testing.B) {
 	w := population.Generate(tinySpec())
 	rig, err := NewRigFromOptions(context.Background(), RigOptions{World: w, Clock: clock.Real{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rig.Close()
+	c := &Campaign{
+		Rig:           rig,
+		Suite:         "b01",
+		Concurrency:   64,
+		BatchSize:     500,
+		GreylistWait:  time.Millisecond,
+		ReconnectWait: time.Millisecond,
+		IOTimeout:     2 * time.Second,
+	}
+
+	all := rig.World.AllAddrs()
+	rcpt := map[netip.Addr]string{}
+	for _, a := range all {
+		if ds := rig.World.DomainsOn(a); len(ds) > 0 {
+			rcpt[a] = ds[0].Name
+		}
+	}
+
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		addrs := all
+		if rem := b.N - done; rem < len(addrs) {
+			addrs = addrs[:rem]
+		}
+		err := c.MeasureAddrsFunc(context.Background(), addrs, rcpt, func(netip.Addr, core.Outcome) {})
+		if err != nil {
+			b.Fatal(err)
+		}
+		done += len(addrs)
+	}
+}
+
+// BenchmarkTracedCampaignThroughput is BenchmarkCampaignThroughput with a
+// full-sample tracer attached (spans discarded at the sink), so the cost
+// of span capture — buffer allocation, attribute recording, per-shard
+// serialization — shows up as the delta against the untraced baseline.
+func BenchmarkTracedCampaignThroughput(b *testing.B) {
+	w := population.Generate(tinySpec())
+	rig, err := NewRigFromOptions(context.Background(), RigOptions{
+		World: w,
+		Clock: clock.Real{},
+		Trace: trace.New(io.Discard, trace.Options{Seed: 1}),
+	})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 	"spfail/internal/core"
 	"spfail/internal/retry"
 	"spfail/internal/telemetry"
+	"spfail/internal/trace"
 )
 
 // Campaign probes sets of addresses under the paper's operational
@@ -44,6 +45,12 @@ type Campaign struct {
 
 	labelsOnce sync.Once
 	labels     *core.LabelAllocator
+
+	// probeSeq is the campaign-lifetime probe counter feeding deterministic
+	// trace IDs and sampling decisions. Campaign measurement entry points
+	// are not called concurrently (MeasureAddrsFunc delivers outcomes
+	// serially), so a plain field suffices.
+	probeSeq uint64
 }
 
 // NewCampaign builds a campaign for rig from a validated config.
@@ -93,11 +100,28 @@ func (c *Campaign) metrics() *telemetry.Registry {
 	return c.Rig.Metrics
 }
 
+func (c *Campaign) tracer() *trace.Tracer {
+	if t := c.effective().Trace; t != nil {
+		return t
+	}
+	return c.Rig.Trace
+}
+
 func (c *Campaign) suite() string { return c.effective().Suite }
 
 func (c *Campaign) concurrency() int { return c.effective().Concurrency }
 
 func (c *Campaign) batchSize() int { return c.effective().BatchSize }
+
+// labelSeed derives the label-stream seed, mixing the suite in so the
+// study's s01 and s02 campaigns draw from disjoint-looking streams.
+func (c *Campaign) labelSeed() int64 {
+	seed := c.Rig.World.Spec.Seed ^ 0x5bf
+	for _, ch := range []byte(c.suite()) {
+		seed = seed*131 + int64(ch)
+	}
+	return seed
+}
 
 func (c *Campaign) allocator() *core.LabelAllocator {
 	c.labelsOnce.Do(func() {
@@ -182,10 +206,13 @@ func (c *Campaign) MeasureAddrs(ctx context.Context, addrs []netip.Addr, rcptDom
 }
 
 // stampedOutcome is one probe result tagged with its batch sequence number
-// so per-shard slices can be merged back into input order.
+// so per-shard slices can be merged back into input order. buf carries the
+// probe's trace buffer (nil when untraced) so spans flush in the same
+// merged order the outcomes are delivered in.
 type stampedOutcome struct {
 	seq int
 	out core.Outcome
+	buf *trace.Buffer
 }
 
 // probeBatch shards the batch over min(concurrency, len(batch)) worker
@@ -205,6 +232,12 @@ func (c *Campaign) probeBatch(ctx context.Context, batch []netip.Addr, rcptDomai
 	}
 	clk := c.Rig.Clock
 	inflight := c.metrics().Gauge("campaign.inflight")
+	tr := c.tracer()
+	suite := c.suite()
+	// Probe indices within the campaign are assigned before the workers
+	// start so trace IDs depend only on input order, never on scheduling.
+	probeBase := c.probeSeq
+	c.probeSeq += uint64(len(batch))
 	shards := c.concurrency()
 	if shards > len(batch) {
 		shards = len(batch)
@@ -229,18 +262,64 @@ func (c *Campaign) probeBatch(ctx context.Context, batch []netip.Addr, rcptDomai
 					dom = "example.com"
 				}
 				p := c.newProber()
-				out := p.TestIP(ctx, probeAddr(a), dom)
-				results[s] = append(results[s], stampedOutcome{seq: seq, out: out})
+				index := probeBase + uint64(seq)
+				// Per-probe deterministic labels: assignment depends only
+				// on (seed, suite, probe index), never on how the shards
+				// interleave their draws — required for byte-identical
+				// traced runs (labels appear in traced DNS query names).
+				p.NextLabel = core.DeterministicLabels(c.labelSeed(), index, c.allocator())
+				out, buf := c.probeOne(ctx, tr, p, suite, index, a, dom)
+				results[s] = append(results[s], stampedOutcome{seq: seq, out: out, buf: buf})
 			}
 		})
 	}
 	clock.Yield(clk, wg.Wait)
 	// Merge by sequence stamp: shard seq%shards holds seq at index
-	// seq/shards, so this walks every shard slice in lockstep.
+	// seq/shards, so this walks every shard slice in lockstep. Trace
+	// buffers flush here, in the same serial order, so traced runs stay
+	// byte-deterministic.
 	for seq := 0; seq < len(batch); seq++ {
 		st := results[seq%shards][seq/shards]
 		record(batch[st.seq], st.out)
+		tr.FlushBuffer(st.buf)
 	}
+}
+
+// probeOne runs a single probe, wrapped in its trace buffer when tracing
+// is enabled. The probe's root span adopts the target host for the
+// duration, so MTA-side layers (SPF evaluation, the DNS server, the fault
+// engine) can attribute their work to this probe by host address.
+func (c *Campaign) probeOne(ctx context.Context, tr *trace.Tracer, p *core.Prober, suite string, index uint64, a netip.Addr, dom string) (core.Outcome, *trace.Buffer) {
+	buf := tr.ProbeBuffer(c.Rig.Clock, suite, index)
+	if buf == nil {
+		return p.TestIP(ctx, probeAddr(a), dom), nil
+	}
+	root := buf.Root("probe",
+		trace.String("suite", suite),
+		trace.Int64("index", int64(index)),
+		trace.String("addr", a.String()),
+		trace.String("rcpt_domain", dom),
+	)
+	release := root.Adopt(a.String())
+	out := p.TestIP(trace.ContextWithSpan(ctx, root), probeAddr(a), dom)
+	release()
+	root.SetAttrs(
+		trace.String("status", string(out.Status)),
+		trace.String("method", string(out.Method)),
+		trace.Int("attempts", out.Attempts),
+		trace.Bool("vulnerable", out.Vulnerable()),
+	)
+	if out.FailReason != "" {
+		root.SetAttrs(trace.String("fail_reason", out.FailReason))
+	}
+	if out.FailStage != "" {
+		root.SetAttrs(trace.String("fail_stage", out.FailStage))
+	}
+	if out.Err != nil {
+		root.SetAttrs(trace.String("error", out.Err.Error()))
+	}
+	root.End()
+	return out, buf
 }
 
 // probeAddr renders "ip:25" for both families.

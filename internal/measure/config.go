@@ -6,6 +6,7 @@ import (
 
 	"spfail/internal/retry"
 	"spfail/internal/telemetry"
+	"spfail/internal/trace"
 )
 
 // Config is the single validated configuration surface for measurement
@@ -44,6 +45,9 @@ type Config struct {
 	// Metrics overrides the rig's registry for campaign telemetry; nil
 	// uses the rig's.
 	Metrics *telemetry.Registry
+	// Trace overrides the rig's tracer for per-probe span capture; nil
+	// uses the rig's (which may itself be nil = tracing disabled).
+	Trace *trace.Tracer
 }
 
 // DefaultConfig returns the paper's operational parameters, already

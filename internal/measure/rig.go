@@ -23,6 +23,7 @@ import (
 	"spfail/internal/population"
 	"spfail/internal/retry"
 	"spfail/internal/telemetry"
+	"spfail/internal/trace"
 )
 
 // Rig wires together the measurement-side infrastructure on a fabric: the
@@ -40,6 +41,10 @@ type Rig struct {
 	// (DNS server, prober, campaigns). Always non-nil after
 	// NewRigFromOptions.
 	Metrics *telemetry.Registry
+	// Trace, when non-nil, captures per-probe causal spans across the
+	// whole rig (prober, MTA-side SPF evaluation, DNS server, fault
+	// engine). Nil disables tracing at zero cost.
+	Trace *trace.Tracer
 
 	// DNSAddr is the single authoritative/resolver address every
 	// simulated party uses.
@@ -76,6 +81,9 @@ type RigOptions struct {
 	// by Rig.Resolver (target resolution). Zero value: the dnsclient's
 	// legacy immediate retransmits.
 	DNSRetry retry.Policy
+	// Trace, when non-nil, is threaded through every rig layer for
+	// per-probe span capture (see internal/trace).
+	Trace *trace.Tracer
 	// DNSIP and ProbeIP override the rig's well-known addresses.
 	DNSIP   string
 	ProbeIP string
@@ -112,6 +120,7 @@ func NewRigFromOptions(ctx context.Context, opts RigOptions) (*Rig, error) {
 		}
 		engine.SetClassifier(w.FaultClassifier())
 		engine.SetMetrics(metrics)
+		engine.SetTracer(opts.Trace)
 		fabric.Faults = engine
 	}
 	r := &Rig{
@@ -119,6 +128,7 @@ func NewRigFromOptions(ctx context.Context, opts RigOptions) (*Rig, error) {
 		Clock:    clk,
 		World:    w,
 		Metrics:  metrics,
+		Trace:    opts.Trace,
 		DNSAddr:  dnsIP + ":53",
 		ProbeIP:  probeIP,
 		dnsRetry: opts.DNSRetry,
@@ -135,7 +145,7 @@ func NewRigFromOptions(ctx context.Context, opts RigOptions) (*Rig, error) {
 	mux.Handle(r.Zone.Base, r.Zone)
 	handler := &dnsserver.LoggingHandler{Inner: mux, Sink: r.Collector, Now: clk.Now}
 
-	r.dns = &dnsserver.Server{Net: r.Fabric.Host(dnsIP), Addr: ":53", Handler: handler, Metrics: metrics}
+	r.dns = &dnsserver.Server{Net: r.Fabric.Host(dnsIP), Addr: ":53", Handler: handler, Metrics: metrics, Trace: opts.Trace}
 	if err := r.dns.Start(ctx); err != nil {
 		return nil, fmt.Errorf("measure: starting DNS: %w", err)
 	}
@@ -145,6 +155,7 @@ func NewRigFromOptions(ctx context.Context, opts RigOptions) (*Rig, error) {
 		Clock:      clk,
 		DNSServer:  r.DNSAddr,
 		DNSTimeout: time.Second,
+		Trace:      opts.Trace,
 	}
 	return r, nil
 }

@@ -24,6 +24,7 @@ import (
 	"spfail/internal/smtp"
 	"spfail/internal/spf"
 	"spfail/internal/spfimpl"
+	"spfail/internal/trace"
 )
 
 // ValidationPoint says when a host triggers SPF validation.
@@ -94,6 +95,11 @@ type Config struct {
 
 	// DNSTimeout bounds resolver transactions (keep small in simulation).
 	DNSTimeout time.Duration
+
+	// Trace, when non-nil, attributes the host's SPF evaluations (and the
+	// DNS traffic underneath them) to whichever probe span currently owns
+	// this host's IP (see trace.Span.Adopt).
+	Trace *trace.Tracer
 }
 
 // Validation records one SPF validation performed by the host.
@@ -247,6 +253,20 @@ func (h *Host) validate(sender, helo string, remote net.Addr) spf.Result {
 	clientIP := remoteIP(remote)
 	res := h.resolver()
 
+	// Attribute the evaluation (and the DNS lookups under it) to the probe
+	// span that currently owns this host, when a campaign is tracing.
+	ctx := context.Background()
+	var vsp *trace.Span
+	if h.cfg.Trace != nil {
+		if sp := h.cfg.Trace.HostSpan(h.cfg.IP.String()); sp != nil {
+			vsp = sp.Child("mta.validate",
+				trace.String("sender", sender),
+				trace.String("helo", helo),
+			)
+			ctx = trace.ContextWithSpan(ctx, vsp)
+		}
+	}
+
 	first := spf.ResultNone
 	for i, b := range h.Behaviors() {
 		checker := &spf.Checker{Resolver: res, Receiver: h.cfg.Hostname}
@@ -262,7 +282,7 @@ func (h *Host) validate(sender, helo string, remote net.Addr) spf.Result {
 		default:
 			checker.Expander = spfimpl.ExpanderFor(b)
 		}
-		out := checker.CheckHost(context.Background(), clientIP, domain, sender, helo)
+		out := checker.CheckHost(ctx, clientIP, domain, sender, helo)
 		h.mu.Lock()
 		h.validations = append(h.validations, Validation{
 			Time:     h.cfg.Clock.Now(),
@@ -273,9 +293,19 @@ func (h *Host) validate(sender, helo string, remote net.Addr) spf.Result {
 			Result:   out.Result,
 		})
 		h.mu.Unlock()
+		if vsp != nil {
+			vsp.Event("mta.behavior",
+				trace.String("behavior", string(b)),
+				trace.String("result", string(out.Result)),
+			)
+		}
 		if i == 0 {
 			first = out.Result
 		}
+	}
+	if vsp != nil {
+		vsp.SetAttrs(trace.String("result", string(first)))
+		vsp.End()
 	}
 	return first
 }

@@ -15,6 +15,7 @@ import (
 	"spfail/internal/mta"
 	"spfail/internal/netsim"
 	"spfail/internal/spfimpl"
+	"spfail/internal/trace"
 )
 
 // Set is a bitmask of domain-set membership.
@@ -314,6 +315,9 @@ type HostManager struct {
 	DNSServer string
 	// DNSTimeout for host resolvers (keep small in simulation).
 	DNSTimeout time.Duration
+	// Trace, when non-nil, is handed to every started host so MTA-side SPF
+	// evaluation attributes its spans to the owning probe.
+	Trace *trace.Tracer
 
 	mu      sync.Mutex
 	running map[netip.Addr]*mta.Host
@@ -359,6 +363,7 @@ func (m *HostManager) EnsureAt(ctx context.Context, addrs []netip.Addr, now time
 			Clock:                m.Clock,
 			DNSServer:            m.DNSServer,
 			DNSTimeout:           m.DNSTimeout,
+			Trace:                m.Trace,
 			Behaviors:            behaviors,
 			ValidateAt:           validateAt,
 			RejectOnFail:         spec.RejectOnFail,

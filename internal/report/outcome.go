@@ -1,0 +1,52 @@
+package report
+
+import (
+	"encoding/csv"
+	"io"
+	"net/netip"
+	"strconv"
+
+	"spfail/internal/core"
+)
+
+// outcomeHeader is the per-probe checkpoint CSV schema. Attempts rides
+// along with FailReason so inconclusive probes (retry budget exhausted,
+// breaker open) are auditable from the checkpoint alone.
+var outcomeHeader = []string{"suite", "addr", "status", "method", "attempts", "fail_reason"}
+
+// OutcomeWriter streams per-probe outcomes as CSV — the incremental
+// checkpoint format of spfail-study -checkpoint. The header is written
+// lazily on the first record, so an empty campaign leaves an empty file.
+type OutcomeWriter struct {
+	cw     *csv.Writer
+	headed bool
+}
+
+// NewOutcomeWriter wraps w. Call Flush when the campaign ends.
+func NewOutcomeWriter(w io.Writer) *OutcomeWriter {
+	return &OutcomeWriter{cw: csv.NewWriter(w)}
+}
+
+// Write appends one probe outcome row.
+func (ow *OutcomeWriter) Write(suite string, addr netip.Addr, out core.Outcome) error {
+	if !ow.headed {
+		if err := ow.cw.Write(outcomeHeader); err != nil {
+			return err
+		}
+		ow.headed = true
+	}
+	return ow.cw.Write([]string{
+		suite,
+		addr.String(),
+		string(out.Status),
+		string(out.Method),
+		strconv.Itoa(out.Attempts),
+		out.FailReason,
+	})
+}
+
+// Flush drains buffered rows and reports the first underlying error.
+func (ow *OutcomeWriter) Flush() error {
+	ow.cw.Flush()
+	return ow.cw.Error()
+}

@@ -1,0 +1,59 @@
+package report
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"spfail/internal/core"
+)
+
+// TestOutcomeWriterColumns pins the checkpoint CSV schema: both Attempts
+// and FailReason must survive into the output for inconclusive probes.
+func TestOutcomeWriterColumns(t *testing.T) {
+	var buf bytes.Buffer
+	ow := NewOutcomeWriter(&buf)
+	if err := ow.Write("s01", netip.MustParseAddr("203.0.113.7"), core.Outcome{
+		Status:   core.StatusSPFMeasured,
+		Method:   core.MethodNoMsg,
+		Attempts: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ow.Write("s01", netip.MustParseAddr("203.0.113.8"), core.Outcome{
+		Status:     core.StatusInconclusive,
+		Attempts:   3,
+		FailReason: "retry budget exhausted",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ow.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "suite,addr,status,method,attempts,fail_reason" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "s01,203.0.113.7,spf-measured,NoMsg,1," {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "s01,203.0.113.8,inconclusive,,3,retry budget exhausted" {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+// TestOutcomeWriterEmpty leaves an empty file when nothing was probed.
+func TestOutcomeWriterEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	ow := NewOutcomeWriter(&buf)
+	if err := ow.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty writer produced %q", buf.String())
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"spfail/internal/clock"
+	"spfail/internal/trace"
 )
 
 // Policy is a bounded exponential-backoff schedule. The zero value means
@@ -121,6 +122,13 @@ func (p Policy) Wait(ctx context.Context, clk clock.Clock, key string, attempt i
 	}
 	if clk == nil {
 		clk = clock.Real{}
+	}
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		sp.Event("retry.wait",
+			trace.String("key", key),
+			trace.Int("attempt", attempt),
+			trace.Duration("delay", d),
+		)
 	}
 	return clk.Sleep(ctx, d)
 }

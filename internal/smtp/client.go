@@ -12,6 +12,7 @@ import (
 	"spfail/internal/clock"
 	"spfail/internal/netsim"
 	"spfail/internal/telemetry"
+	"spfail/internal/trace"
 )
 
 // Client dials SMTP servers and drives probe transactions.
@@ -55,19 +56,44 @@ type Conn struct {
 	bw      *bufio.Writer
 	Greet   Reply // the 220/421 banner
 	didEHLO bool
+	sp      *trace.Span // the dialing context's span; nil when untraced
+}
+
+// event records one command/reply exchange on the session's span.
+func (co *Conn) event(verb string, r *Reply, err error) {
+	if co.sp == nil {
+		return
+	}
+	attrs := make([]trace.Attr, 0, 3)
+	attrs = append(attrs, trace.String("verb", verb))
+	if r != nil {
+		attrs = append(attrs, trace.Int("code", r.Code))
+	}
+	if err != nil {
+		attrs = append(attrs, trace.String("error", err.Error()))
+	}
+	co.sp.Event("smtp.cmd", attrs...)
 }
 
 // Dial connects and consumes the banner. A non-positive banner is returned
 // as *ReplyError alongside the connection (which is closed).
 func (c *Client) Dial(ctx context.Context, addr string) (*Conn, error) {
 	c.Metrics.Counter("smtp.client.sessions").Inc()
+	sp := trace.SpanFromContext(ctx)
 	nc, err := c.Net.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		c.Metrics.Counter("smtp.client.dial_failures").Inc()
+		if sp != nil {
+			sp.Event("smtp.dial", trace.String("addr", addr), trace.String("error", err.Error()))
+		}
 		return nil, err
 	}
-	conn := &Conn{c: c, conn: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+	if sp != nil {
+		sp.Event("smtp.dial", trace.String("addr", addr))
+	}
+	conn := &Conn{c: c, conn: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc), sp: sp}
 	r, err := conn.readReply()
+	conn.event("banner", r, err)
 	if err != nil {
 		_ = nc.Close()
 		c.fail("banner")
@@ -182,6 +208,7 @@ func (co *Conn) SendMessage(msg []byte) (*Reply, error) {
 		return nil, err
 	}
 	r, err := co.readReply()
+	co.event("message", r, err)
 	if err != nil || !r.Positive() {
 		co.c.fail("message")
 	}
@@ -211,7 +238,15 @@ func (co *Conn) cmd(format string, args ...interface{}) (*Reply, error) {
 	if err := co.bw.Flush(); err != nil {
 		return nil, err
 	}
-	return co.readReply()
+	r, err := co.readReply()
+	if co.sp != nil {
+		verb := format
+		if i := strings.IndexAny(verb, " %"); i >= 0 {
+			verb = strings.TrimRight(verb[:i], " ")
+		}
+		co.event(verb, r, err)
+	}
+	return r, err
 }
 
 // readReply parses a (possibly multi-line) SMTP reply.

@@ -7,6 +7,8 @@ import (
 	"net/netip"
 	"strings"
 	"time"
+
+	"spfail/internal/trace"
 )
 
 // Evaluation limits from RFC 7208 §4.6.4.
@@ -132,6 +134,7 @@ type session struct {
 	maxVoid    int
 	maxMX      int
 	maxPTR     int
+	depth      int // include/redirect recursion depth, for tracing
 	env        MacroEnv
 }
 
@@ -155,7 +158,35 @@ func (s *session) countVoid() error {
 	return nil
 }
 
+// check wraps checkInner with the per-evaluation trace span. Include and
+// redirect recursion re-enters here, so nested policies produce nested
+// spf.check_host spans with increasing depth; s.ctx is swapped for the
+// span-carrying context for the duration so DNS-layer events nest underneath.
 func (s *session) check(domain string) CheckResult {
+	prevCtx := s.ctx
+	ctx, sp := trace.StartSpan(s.ctx, "spf.check_host")
+	if sp != nil {
+		sp.SetAttrs(trace.String("domain", domain), trace.Int("depth", s.depth))
+		s.ctx = ctx
+	}
+	s.depth++
+	out := s.checkInner(domain)
+	s.depth--
+	if sp != nil {
+		sp.SetAttrs(trace.String("result", string(out.Result)))
+		if out.Mechanism != "" {
+			sp.SetAttrs(trace.String("mechanism", out.Mechanism))
+		}
+		if out.Err != nil {
+			sp.SetAttrs(trace.String("error", out.Err.Error()))
+		}
+		sp.End()
+		s.ctx = prevCtx
+	}
+	return out
+}
+
+func (s *session) checkInner(domain string) CheckResult {
 	rec, res := s.fetchRecord(domain)
 	if rec == nil {
 		return res
@@ -164,7 +195,21 @@ func (s *session) check(domain string) CheckResult {
 
 	for i := range rec.Mechanisms {
 		m := &rec.Mechanisms[i]
+		prevCtx := s.ctx
+		mctx, msp := trace.StartSpan(s.ctx, "spf.mechanism")
+		if msp != nil {
+			msp.SetAttrs(trace.String("term", m.String()))
+			s.ctx = mctx
+		}
 		matched, err := s.matches(m, domain)
+		if msp != nil {
+			msp.SetAttrs(trace.Bool("matched", matched))
+			if err != nil {
+				msp.SetAttrs(trace.String("error", err.Error()))
+			}
+			msp.End()
+			s.ctx = prevCtx
+		}
 		if err != nil {
 			return s.errorResult(err)
 		}
@@ -250,6 +295,11 @@ func (s *session) expandDomain(spec, current string) (string, error) {
 			break
 		}
 		out = out[dot+1:]
+	}
+	if strings.Contains(spec, "%") {
+		if sp := trace.SpanFromContext(s.ctx); sp != nil {
+			sp.Event("spf.macro_expand", trace.String("spec", spec), trace.String("expanded", out))
+		}
 	}
 	return out, nil
 }

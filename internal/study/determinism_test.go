@@ -10,6 +10,7 @@ import (
 	"spfail/internal/population"
 	"spfail/internal/report"
 	"spfail/internal/study"
+	"spfail/internal/trace"
 )
 
 // TestSameSeedProducesIdenticalReports is the determinism regression test:
@@ -18,28 +19,40 @@ import (
 // bounce/open sampling, virtual-clock timeouts — is seeded or clocked, so
 // any diff here means a wall-clock read or an unseeded random source crept
 // back in.
+// The trace JSONL is held to the same standard: a traced run must emit a
+// byte-identical span stream, since buffers flush in merged input order and
+// every timestamp comes from the virtual clock.
 func TestSameSeedProducesIdenticalReports(t *testing.T) {
-	render := func() []byte {
+	render := func() ([]byte, []byte) {
 		t.Helper()
 		spec := population.DefaultSpec()
 		spec.Scale = 0.003
 		spec.Seed = 7
+		var traceBuf bytes.Buffer
 		res, err := study.Run(context.Background(), study.Config{
 			Spec:        spec,
 			Concurrency: 64,
 			BatchSize:   400,
 			Interval:    4 * 24 * time.Hour,
+			Trace:       trace.New(&traceBuf, trace.Options{Seed: spec.Seed}),
 		})
 		if err != nil {
 			t.Fatalf("study run: %v", err)
 		}
 		var buf bytes.Buffer
 		report.All(&buf, res)
-		return buf.Bytes()
+		return buf.Bytes(), traceBuf.Bytes()
 	}
 
-	first := render()
-	second := render()
+	first, firstTrace := render()
+	second, secondTrace := render()
+	if len(firstTrace) == 0 {
+		t.Fatal("traced study produced no spans")
+	}
+	if !bytes.Equal(firstTrace, secondTrace) {
+		t.Errorf("same-seed runs emitted different trace JSONL:\n--- first ---\n%s\n--- second ---\n%s",
+			firstDiffContext(firstTrace, secondTrace), firstDiffContext(secondTrace, firstTrace))
+	}
 	if !bytes.Equal(first, second) {
 		a, _ := os.CreateTemp("", "spfail-report-a-*.txt")
 		b, _ := os.CreateTemp("", "spfail-report-b-*.txt")

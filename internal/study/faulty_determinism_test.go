@@ -11,6 +11,7 @@ import (
 	"spfail/internal/report"
 	"spfail/internal/retry"
 	"spfail/internal/study"
+	"spfail/internal/trace"
 )
 
 // TestFaultySameSeedProducesIdenticalReports extends the determinism
@@ -36,11 +37,12 @@ func TestFaultySameSeedProducesIdenticalReports(t *testing.T) {
 			{Kind: faults.KindSMTPTarpit, Rate: 0.25, Delay: 20 * time.Second},
 		},
 	}
-	render := func() []byte {
+	render := func() ([]byte, []byte) {
 		t.Helper()
 		spec := population.DefaultSpec()
 		spec.Scale = 0.002
 		spec.Seed = 9
+		var traceBuf bytes.Buffer
 		res, err := study.Run(context.Background(), study.Config{
 			Spec:        spec,
 			Concurrency: 64,
@@ -51,17 +53,28 @@ func TestFaultySameSeedProducesIdenticalReports(t *testing.T) {
 			DNSRetry:    retry.Policy{MaxAttempts: 3, BaseDelay: 5 * time.Second, Jitter: 0.2},
 			Breaker:     retry.BreakerConfig{Threshold: 4},
 			Faults:      &plan,
+			Trace:       trace.New(&traceBuf, trace.Options{Seed: spec.Seed}),
 		})
 		if err != nil {
 			t.Fatalf("faulty study run: %v", err)
 		}
 		var buf bytes.Buffer
 		report.All(&buf, res)
-		return buf.Bytes()
+		return buf.Bytes(), traceBuf.Bytes()
 	}
 
-	first := render()
-	second := render()
+	first, firstTrace := render()
+	second, secondTrace := render()
+	if !bytes.Contains(firstTrace, []byte(`"fault.injected"`)) {
+		t.Error("faulty traced study recorded no fault.injected events")
+	}
+	if !bytes.Contains(firstTrace, []byte(`"retry.wait"`)) {
+		t.Error("faulty traced study recorded no retry.wait events")
+	}
+	if !bytes.Equal(firstTrace, secondTrace) {
+		t.Errorf("same-seed faulty runs emitted different trace JSONL:\n--- first ---\n%s\n--- second ---\n%s",
+			firstDiffContext(firstTrace, secondTrace), firstDiffContext(secondTrace, firstTrace))
+	}
 	if !bytes.Equal(first, second) {
 		t.Errorf("same-seed faulty runs rendered different reports:\n--- first ---\n%s\n--- second ---\n%s",
 			firstDiffContext(first, second), firstDiffContext(second, first))

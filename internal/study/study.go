@@ -14,6 +14,7 @@ import (
 	"spfail/internal/population"
 	"spfail/internal/retry"
 	"spfail/internal/telemetry"
+	"spfail/internal/trace"
 )
 
 // Config parameterizes a full study run.
@@ -51,6 +52,11 @@ type Config struct {
 	// run (callers can watch it live); nil creates a private registry,
 	// exposed afterwards as Results.Metrics.
 	Metrics *telemetry.Registry
+	// Trace, if non-nil, captures per-probe causal spans from every layer
+	// of the run (see internal/trace and docs/tracing.md). Build it with
+	// trace.Options{Seed: Spec.Seed} so same-seed runs emit byte-identical
+	// JSONL.
+	Trace *trace.Tracer
 }
 
 func (c *Config) interval() time.Duration {
@@ -157,6 +163,7 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 		Metrics:  cfg.Metrics,
 		Faults:   cfg.faultsSeeded(),
 		DNSRetry: cfg.DNSRetry,
+		Trace:    cfg.Trace,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Health is the point-in-time campaign state served by /healthz. Producers
+// (the study driver, the scan loop) update a copy and install it via a
+// HealthFunc; zero values render as absent-but-valid JSON, so a binary that
+// has not started its campaign yet still answers.
+type Health struct {
+	// OK is false only when the process considers itself failed.
+	OK bool `json:"ok"`
+	// Stage names the current phase ("resolve", "round 3/7", "report").
+	Stage string `json:"stage,omitempty"`
+	// Round and Rounds report longitudinal progress (0/0 outside a study).
+	Round  int `json:"round,omitempty"`
+	Rounds int `json:"rounds,omitempty"`
+	// Probed and Total count probe units completed vs planned in the
+	// current stage, when known.
+	Probed int `json:"probed,omitempty"`
+	Total  int `json:"total,omitempty"`
+}
+
+// HealthFunc supplies the current Health; it must be safe for concurrent
+// use. A nil HealthFunc serves {"ok":true}.
+type HealthFunc func() Health
+
+// HTTPHandler serves the live observability surface for a running
+// campaign binary:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/healthz       JSON Health from the installed HealthFunc
+//	/debug/pprof/  the standard net/http/pprof handlers
+//
+// Wire it to an http.Server on the -listen address; the registry may be
+// shared with a concurrently running campaign (all metric reads are
+// atomic snapshots).
+func HTTPHandler(reg *Registry, health HealthFunc) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := Health{OK: true}
+		if health != nil {
+			h = health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !h.OK {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

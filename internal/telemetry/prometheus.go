@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// promName converts a dotted registry name to a Prometheus metric name:
+// the "spfail_" namespace prefix, with every character outside
+// [a-zA-Z0-9_:] mapped to '_' (dots, dashes, and the uppercase qtype
+// segments such as "dns.server.qtype.TXT" all survive as underscores or
+// verbatim letters).
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + len("spfail_"))
+	b.WriteString("spfail_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus text exposition expects.
+func promFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples (gauges
+// additionally export a <name>_max companion carrying the high-water
+// mark), histograms as summaries with p50/p95/p99 quantile samples plus
+// _sum and _count. Output is sorted by metric name within each family
+// kind, so two snapshots of the same registry state render byte-identically.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		g := s.Gauges[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n# TYPE %s_max gauge\n%s_max %d\n",
+			pn, pn, g.Value, pn, pn, g.Max); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		h := s.Histograms[n]
+		if _, err := fmt.Fprintf(w,
+			"# TYPE %s summary\n%s{quantile=\"0.5\"} %s\n%s{quantile=\"0.95\"} %s\n%s{quantile=\"0.99\"} %s\n%s_sum %s\n%s_count %d\n",
+			pn,
+			pn, promFloat(h.P50Seconds),
+			pn, promFloat(h.P95Seconds),
+			pn, promFloat(h.P99Seconds),
+			pn, promFloat(h.SumSeconds),
+			pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

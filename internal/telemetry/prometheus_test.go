@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("dns.server.queries").Add(5)
+	r.Counter("dns.server.qtype.TXT").Add(3)
+	r.Gauge("campaign.inflight").Set(7)
+	r.Gauge("campaign.inflight").Set(2)
+	for i := 0; i < 100; i++ {
+		r.Histogram("probe.latency").Record(time.Duration(i+1) * time.Millisecond)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE spfail_dns_server_queries counter\nspfail_dns_server_queries 5\n",
+		"spfail_dns_server_qtype_TXT 3\n",
+		"# TYPE spfail_campaign_inflight gauge\nspfail_campaign_inflight 2\n",
+		"spfail_campaign_inflight_max 7\n",
+		"# TYPE spfail_probe_latency summary\n",
+		`spfail_probe_latency{quantile="0.5"} `,
+		`spfail_probe_latency{quantile="0.95"} `,
+		`spfail_probe_latency{quantile="0.99"} `,
+		"spfail_probe_latency_count 100\n",
+		"spfail_probe_latency_sum ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Rendering the same snapshot twice must be byte-identical (sorted).
+	var again bytes.Buffer
+	if err := WritePrometheus(&again, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two renders of the same registry state differ")
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := New()
+	r.Counter("probe.total").Add(9)
+	h := HTTPHandler(r, func() Health {
+		return Health{OK: true, Stage: "round 3/7", Round: 3, Rounds: 7, Probed: 120, Total: 400}
+	})
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "spfail_probe_total 9") {
+		t.Errorf("/metrics body missing counter:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/healthz status = %d", rec.Code)
+	}
+	var got Health
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.OK || got.Stage != "round 3/7" || got.Probed != 120 {
+		t.Errorf("/healthz = %+v", got)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if rec.Code != 200 {
+		t.Errorf("/debug/pprof/cmdline status = %d", rec.Code)
+	}
+}
+
+// TestHTTPHandlerUnhealthy pins the 503 contract for failed processes.
+func TestHTTPHandlerUnhealthy(t *testing.T) {
+	h := HTTPHandler(New(), func() Health { return Health{OK: false, Stage: "failed"} })
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Errorf("/healthz status = %d, want 503", rec.Code)
+	}
+}
