@@ -172,9 +172,8 @@ func (c *Classifier) Classify(id, suite string, events []dnsserver.QueryEvent) O
 	if err != nil {
 		return Observation{}
 	}
-	expect := c.expectations(id, suite)
 	var obs Observation
-	seen := map[string]bool{}
+	var seen map[string]bool
 	for _, ev := range events {
 		prefix, ok := expansionPrefix(ev.Name, md)
 		if !ok {
@@ -193,13 +192,22 @@ func (c *Classifier) Classify(id, suite string, events []dnsserver.QueryEvent) O
 			if ev.Type != dnsmsg.TypeA && ev.Type != dnsmsg.TypeAAAA {
 				continue
 			}
+			if seen == nil {
+				seen = make(map[string]bool, 4)
+			}
 			if !seen[prefix] {
 				seen[prefix] = true
 				obs.Patterns = append(obs.Patterns, prefix)
 			}
 		}
 	}
+	if len(obs.Patterns) == 0 {
+		return obs
+	}
 	sort.Strings(obs.Patterns)
+	// The expectation table (six modeled expansions) is only needed once a
+	// pattern was actually observed; most transactions observe none.
+	expect := c.expectations(id, suite)
 	for _, p := range obs.Patterns {
 		cls, ok := expect[p]
 		if !ok {

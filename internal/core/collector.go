@@ -18,7 +18,14 @@ type Collector struct {
 	mu    sync.Mutex
 	byID  map[string][]dnsserver.QueryEvent
 	total int
+	// free recycles the per-id event slices released by Forget, bounding
+	// steady-state allocation to the campaign's peak in-flight probe count.
+	free [][]dnsserver.QueryEvent
 }
+
+// maxFreeEventSlices bounds the Forget freelist; beyond it, slices are left
+// to the garbage collector.
+const maxFreeEventSlices = 512
 
 // NewCollector builds a collector for the given zone.
 func NewCollector(zone *dnsserver.SPFTestZone) *Collector {
@@ -32,16 +39,28 @@ func (c *Collector) Observe(ev dnsserver.QueryEvent) {
 		return
 	}
 	c.mu.Lock()
-	c.byID[id] = append(c.byID[id], ev)
+	evs, ok := c.byID[id]
+	if !ok && len(c.free) > 0 {
+		evs = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+	}
+	c.byID[id] = append(evs, ev)
 	c.total++
 	c.mu.Unlock()
 }
 
 // QueriesFor returns a copy of the events recorded for a probe id.
 func (c *Collector) QueriesFor(id string) []dnsserver.QueryEvent {
+	return c.AppendQueriesFor(nil, id)
+}
+
+// AppendQueriesFor appends the events recorded for a probe id to dst and
+// returns the extended slice, letting hot callers reuse one scratch buffer
+// across probes instead of allocating a copy per transaction.
+func (c *Collector) AppendQueriesFor(dst []dnsserver.QueryEvent, id string) []dnsserver.QueryEvent {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return append([]dnsserver.QueryEvent(nil), c.byID[id]...)
+	return append(dst, c.byID[id]...)
 }
 
 // Total returns the number of in-zone queries observed.
@@ -56,7 +75,14 @@ func (c *Collector) Total() int {
 // thousands of probes).
 func (c *Collector) Forget(id string) {
 	c.mu.Lock()
-	delete(c.byID, id)
+	if evs, ok := c.byID[id]; ok {
+		delete(c.byID, id)
+		// Recycle the backing array. Safe because QueriesFor and
+		// AppendQueriesFor hand out copies, never the stored slice.
+		if cap(evs) > 0 && len(c.free) < maxFreeEventSlices {
+			c.free = append(c.free, evs[:0])
+		}
+	}
 	c.mu.Unlock()
 }
 
@@ -116,15 +142,39 @@ func NewSuiteLabel(n int) string { return fmt.Sprintf("s%02d", n) }
 // byte-identical same-seed output. fallback serves the (practically
 // unreachable) case of a probe running more than 256 transactions.
 func DeterministicLabels(seed int64, index uint64, fallback *LabelAllocator) func() string {
-	var ord uint64
-	return func() string {
-		if ord >= 256 || index >= 1<<32 {
-			return fallback.Next()
-		}
-		n := index<<8 | ord
-		ord++
-		return deterministicLabel(seed, n)
+	s := NewLabelStream(seed, fallback)
+	s.Reset(index)
+	return s.Next
+}
+
+// LabelStream is the reusable form of DeterministicLabels: one stream per
+// worker, Reset to a probe index before each probe. Streams are not safe
+// for concurrent use; campaigns keep one per shard.
+type LabelStream struct {
+	seed     int64
+	index    uint64
+	ord      uint64
+	fallback *LabelAllocator
+}
+
+// NewLabelStream builds a stream positioned at probe index 0.
+func NewLabelStream(seed int64, fallback *LabelAllocator) *LabelStream {
+	return &LabelStream{seed: seed, fallback: fallback}
+}
+
+// Reset repositions the stream at the start of a probe's label sequence.
+func (s *LabelStream) Reset(index uint64) {
+	s.index, s.ord = index, 0
+}
+
+// Next returns the stream's next label.
+func (s *LabelStream) Next() string {
+	if s.ord >= 256 || s.index >= 1<<32 {
+		return s.fallback.Next()
 	}
+	n := s.index<<8 | s.ord
+	s.ord++
+	return deterministicLabel(s.seed, n)
 }
 
 // deterministicLabel encodes the permuted 40-bit value as a fixed-width

@@ -165,6 +165,12 @@ type Prober struct {
 	// label assignment is independent of shard scheduling — drawing from
 	// the shared allocator would make same-seed traced runs diverge.
 	NextLabel func() string
+
+	// Scratch state reused across probes. A Prober runs one probe at a
+	// time (campaigns keep one prober per shard), so plain fields suffice.
+	cli       *smtp.Client
+	txScratch transactionResult
+	evScratch []dnsserver.QueryEvent
 }
 
 // nextLabel returns the next transaction label for this prober.
@@ -377,10 +383,36 @@ type transactionResult struct {
 	username string
 }
 
+// reset clears the result for reuse, keeping slice capacity.
+func (res *transactionResult) reset() {
+	res.ids = res.ids[:0]
+	res.obs.PolicyFetched = false
+	res.obs.LivenessSeen = false
+	res.obs.Patterns = res.obs.Patterns[:0]
+	res.obs.Classes = res.obs.Classes[:0]
+	res.err = nil
+	res.stage = ""
+	res.refused = false
+	res.username = ""
+}
+
+// client returns the prober's cached SMTP client, built once from the
+// prober's configuration.
+func (p *Prober) client() *smtp.Client {
+	if p.cli == nil {
+		p.cli = &smtp.Client{Net: p.Net, HELO: p.HELO, IOTimeout: p.IOTimeout, Metrics: p.Metrics, Clk: p.Clock}
+	}
+	return p.cli
+}
+
 // runTransaction performs one probe transaction (with a single greylist
-// retry) and classifies the DNS evidence it produced.
+// retry) and classifies the DNS evidence it produced. The returned result
+// is the prober's reusable scratch: it is valid only until the next
+// runTransaction call on this prober, so callers must copy out whatever
+// they keep before starting another transaction (testIP does).
 func (p *Prober) runTransaction(ctx context.Context, addr, rcptDomain string, method ProbeMethod) *transactionResult {
-	res := &transactionResult{}
+	res := &p.txScratch
+	res.reset()
 	for attempt := 0; attempt < 2; attempt++ {
 		id := p.nextLabel()
 		res.ids = append(res.ids, id)
@@ -397,8 +429,10 @@ func (p *Prober) runTransaction(ctx context.Context, addr, rcptDomain string, me
 			}
 		}
 		greylisted := p.attempt(txCtx, res, id, addr, rcptDomain, method)
-		// Classify whatever evidence this attempt produced.
-		obs := p.Classifier.Classify(id, p.Suite, p.Collector.QueriesFor(id))
+		// Classify whatever evidence this attempt produced. The event copy
+		// lands in a per-prober scratch buffer; Classify does not retain it.
+		p.evScratch = p.Collector.AppendQueriesFor(p.evScratch[:0], id)
+		obs := p.Classifier.Classify(id, p.Suite, p.evScratch)
 		p.Collector.Forget(id)
 		mergeObs(&res.obs, obs)
 		if tsp != nil {
@@ -451,8 +485,7 @@ func (p *Prober) attempt(ctx context.Context, tr *transactionResult, id, addr, r
 	}
 	from := p.usernames()[0] + "@" + strings.TrimSuffix(mailDomain.String(), ".")
 
-	cli := &smtp.Client{Net: p.Net, HELO: p.HELO, IOTimeout: p.IOTimeout, Metrics: p.Metrics, Clk: p.Clock}
-	conn, err := cli.Dial(ctx, addr)
+	conn, err := p.client().Dial(ctx, addr)
 	if err != nil {
 		if code := smtp.ReplyCode(err); code != 0 {
 			tr.err, tr.stage = err, StageBanner

@@ -83,9 +83,51 @@ func (c *Client) id() uint16 {
 	return c.nextID
 }
 
+// udpBufPool recycles the 64 KiB datagram read buffers: allocating (and
+// zeroing) one per exchange dominated the old hot path's allocation profile.
+var udpBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 64<<10)
+	return &b
+}}
+
 // Query sends one query and returns the validated response, implementing
 // Querier over the wire (UDP with TCP fallback on truncation).
 func (c *Client) Query(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type) (*dnsmsg.Message, error) {
+	return c.query(ctx, nil, name, typ)
+}
+
+// QueryBatch implements BatchQuerier: the questions share one UDP socket,
+// exchanged strictly in order (see BatchQuerier for why serialized order is
+// load-bearing), so a multi-question batch costs one dial instead of one
+// per question. Per-question contexts keep trace attribution; per-question
+// failures fall back to the usual retry/TCP machinery independently.
+func (c *Client) QueryBatch(ctx context.Context, qs []BatchQuestion) []BatchResult {
+	out := make([]BatchResult, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	var conn net.Conn
+	if len(qs) > 1 {
+		if cn, err := c.Net.DialContext(ctx, "udp", c.Server); err == nil {
+			conn = cn
+			defer cn.Close()
+		}
+		c.Metrics.Counter("dns.client.batches").Inc()
+		c.Metrics.Counter("dns.client.batch_questions").Add(int64(len(qs)))
+	}
+	for i, bq := range qs {
+		qctx := ctx
+		if bq.Ctx != nil {
+			qctx = bq.Ctx
+		}
+		out[i].Msg, out[i].Err = c.query(qctx, conn, bq.Name, bq.Type)
+	}
+	return out
+}
+
+// query is the shared transaction body. conn, when non-nil, is a caller-
+// owned UDP socket reused across a batch; nil dials per attempt.
+func (c *Client) query(ctx context.Context, conn net.Conn, name dnsmsg.Name, typ dnsmsg.Type) (*dnsmsg.Message, error) {
 	c.Metrics.Counter("dns.client.lookups").Inc()
 	start := c.clock().Now()
 	ctx, qsp := trace.StartSpan(ctx, "dns.query")
@@ -116,7 +158,7 @@ func (c *Client) Query(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type) (
 				}
 			}
 		}
-		resp, err := c.exchangeUDP(ctx, q)
+		resp, err := c.exchangeUDP(ctx, conn, q)
 		if err != nil {
 			lastErr = err
 			continue
@@ -152,12 +194,15 @@ func (c *Client) Query(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type) (
 	return nil, fmt.Errorf("%w: %v", ErrTemporary, lastErr)
 }
 
-func (c *Client) exchangeUDP(ctx context.Context, q *dnsmsg.Message) (*dnsmsg.Message, error) {
-	conn, err := c.Net.DialContext(ctx, "udp", c.Server)
-	if err != nil {
-		return nil, err
+func (c *Client) exchangeUDP(ctx context.Context, conn net.Conn, q *dnsmsg.Message) (*dnsmsg.Message, error) {
+	if conn == nil {
+		cn, err := c.Net.DialContext(ctx, "udp", c.Server)
+		if err != nil {
+			return nil, err
+		}
+		defer cn.Close()
+		conn = cn
 	}
-	defer conn.Close()
 	pkt, err := q.Pack()
 	if err != nil {
 		return nil, err
@@ -172,7 +217,9 @@ func (c *Client) exchangeUDP(ctx context.Context, q *dnsmsg.Message) (*dnsmsg.Me
 	if _, err := conn.Write(pkt); err != nil {
 		return nil, err
 	}
-	buf := make([]byte, 64<<10)
+	bufp := udpBufPool.Get().(*[]byte)
+	defer udpBufPool.Put(bufp)
+	buf := *bufp
 	for {
 		n, err := conn.Read(buf)
 		if err != nil {
@@ -286,33 +333,35 @@ func (r *Resolver) LookupIP(ctx context.Context, network, name string) ([]netip.
 	if err != nil {
 		return nil, err
 	}
-	var types []dnsmsg.Type
+	var results []BatchResult
 	switch network {
 	case "ip4":
-		types = []dnsmsg.Type{dnsmsg.TypeA}
+		results = r.lookupTypes(ctx, n, dnsmsg.TypeA)
 	case "ip6":
-		types = []dnsmsg.Type{dnsmsg.TypeAAAA}
+		results = r.lookupTypes(ctx, n, dnsmsg.TypeAAAA)
 	default:
-		types = []dnsmsg.Type{dnsmsg.TypeA, dnsmsg.TypeAAAA}
+		// Dual-family lookups travel as one batch — a single virtual
+		// round-trip through any batching layer in the stack — instead of
+		// an A transaction followed by a AAAA transaction.
+		results = r.lookupTypes(ctx, n, dnsmsg.TypeA, dnsmsg.TypeAAAA)
 	}
 	var out []netip.Addr
 	var firstErr error
-	for _, typ := range types {
-		resp, err := r.do(ctx, n, typ)
-		if err != nil {
+	for _, res := range results {
+		if res.Err != nil {
 			if firstErr == nil {
-				firstErr = err
+				firstErr = res.Err
 			}
 			continue
 		}
-		if err := rcodeErr(resp); err != nil {
+		if err := rcodeErr(res.Msg); err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
 			continue
 		}
 		firstErr = nil
-		for _, rr := range resp.Answers {
+		for _, rr := range res.Msg.Answers {
 			switch d := rr.Data.(type) {
 			case dnsmsg.A:
 				out = append(out, d.Addr)
@@ -325,6 +374,20 @@ func (r *Resolver) LookupIP(ctx context.Context, network, name string) ([]netip.
 		return nil, firstErr
 	}
 	return out, nil
+}
+
+// lookupTypes queries name for each type, batching when more than one type
+// is requested. Results are in types order regardless of transport.
+func (r *Resolver) lookupTypes(ctx context.Context, name dnsmsg.Name, types ...dnsmsg.Type) []BatchResult {
+	if len(types) == 1 {
+		msg, err := r.do(ctx, name, types[0])
+		return []BatchResult{{Msg: msg, Err: err}}
+	}
+	qs := make([]BatchQuestion, len(types))
+	for i, typ := range types {
+		qs[i] = BatchQuestion{Name: name, Type: typ, Ctx: ctx}
+	}
+	return queryAll(ctx, r.Querier, qs)
 }
 
 // MXRecord is one mail exchanger.

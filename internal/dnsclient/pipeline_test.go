@@ -1,0 +1,136 @@
+package dnsclient
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"spfail/internal/dnsmsg"
+	"spfail/internal/telemetry"
+)
+
+// countingBatcher answers every question with a TXT record echoing its own
+// name, recording how the questions arrived.
+type countingBatcher struct {
+	mu        sync.Mutex
+	batches   int
+	questions int
+	maxBatch  int
+}
+
+func (c *countingBatcher) Query(ctx context.Context, name dnsmsg.Name, typ dnsmsg.Type) (*dnsmsg.Message, error) {
+	res := c.QueryBatch(ctx, []BatchQuestion{{Name: name, Type: typ, Ctx: ctx}})
+	return res[0].Msg, res[0].Err
+}
+
+func (c *countingBatcher) QueryBatch(ctx context.Context, qs []BatchQuestion) []BatchResult {
+	c.mu.Lock()
+	c.batches++
+	c.questions += len(qs)
+	if len(qs) > c.maxBatch {
+		c.maxBatch = len(qs)
+	}
+	c.mu.Unlock()
+	out := make([]BatchResult, len(qs))
+	for i, q := range qs {
+		r := dnsmsg.NewQuery(1, q.Name, q.Type).Reply()
+		r.Answers = append(r.Answers, dnsmsg.Record{
+			Name: q.Name, Class: dnsmsg.ClassIN, TTL: 60,
+			Data: dnsmsg.TXT{Strings: []string{q.Name.String()}},
+		})
+		out[i] = BatchResult{Msg: r}
+	}
+	return out
+}
+
+// Concurrent callers hammering one Pipeline: every caller must get exactly
+// its own answer back (no cross-wiring between coalesced questions), every
+// question must reach the upstream exactly once, and no batch may exceed
+// MaxBatch. Run with -race (CI does) to verify the queue handoff.
+func TestPipelineConcurrentQueries(t *testing.T) {
+	up := &countingBatcher{}
+	reg := telemetry.New()
+	p := &Pipeline{Upstream: up, MaxBatch: 4, Metrics: reg}
+
+	const workers, perWorker = 16, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				n := name(fmt.Sprintf("w%d-q%d.example.com", w, i))
+				msg, err := p.Query(context.Background(), n, dnsmsg.TypeTXT)
+				if err != nil {
+					errs <- fmt.Errorf("%s: %w", n, err)
+					continue
+				}
+				if len(msg.Answers) != 1 {
+					errs <- fmt.Errorf("%s: %d answers", n, len(msg.Answers))
+					continue
+				}
+				txt, ok := msg.Answers[0].Data.(dnsmsg.TXT)
+				if !ok || len(txt.Strings) != 1 || txt.Strings[0] != n.String() {
+					errs <- fmt.Errorf("%s: got answer %v — cross-wired batch result", n, msg.Answers[0].Data)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if up.questions != workers*perWorker {
+		t.Fatalf("upstream saw %d questions, want %d", up.questions, workers*perWorker)
+	}
+	if up.maxBatch > 4 {
+		t.Fatalf("upstream saw a batch of %d, MaxBatch is 4", up.maxBatch)
+	}
+	if up.batches > up.questions {
+		t.Fatalf("batches (%d) exceed questions (%d)", up.batches, up.questions)
+	}
+	if got := reg.Counter("dns.pipeline.questions").Value(); got != int64(workers*perWorker) {
+		t.Fatalf("dns.pipeline.questions = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// A lone query must dispatch immediately as a batch of one — natural
+// batching adds no artificial latency.
+func TestPipelineLoneQueryDispatchesAlone(t *testing.T) {
+	up := &countingBatcher{}
+	p := &Pipeline{Upstream: up}
+	if _, err := p.Query(context.Background(), name("solo.example.com"), dnsmsg.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	if up.batches != 1 || up.questions != 1 {
+		t.Fatalf("batches=%d questions=%d, want 1/1", up.batches, up.questions)
+	}
+}
+
+// Explicit batches pass through untouched and preserve index order.
+func TestPipelineQueryBatchPreservesOrder(t *testing.T) {
+	up := &countingBatcher{}
+	p := &Pipeline{Upstream: up}
+	qs := []BatchQuestion{
+		{Name: name("a.example.com"), Type: dnsmsg.TypeA},
+		{Name: name("b.example.com"), Type: dnsmsg.TypeAAAA},
+		{Name: name("c.example.com"), Type: dnsmsg.TypeTXT},
+	}
+	res := p.QueryBatch(context.Background(), qs)
+	if len(res) != len(qs) {
+		t.Fatalf("results = %d, want %d", len(res), len(qs))
+	}
+	for i, r := range res {
+		txt := r.Msg.Answers[0].Data.(dnsmsg.TXT)
+		if txt.Strings[0] != qs[i].Name.String() {
+			t.Fatalf("index %d: answer %q, want %q", i, txt.Strings[0], qs[i].Name)
+		}
+	}
+	if up.batches != 1 || up.questions != 3 {
+		t.Fatalf("batches=%d questions=%d, want 1/3", up.batches, up.questions)
+	}
+}

@@ -51,6 +51,10 @@ type Campaign struct {
 	// are not called concurrently (MeasureAddrsFunc delivers outcomes
 	// serially), so a plain field suffices.
 	probeSeq uint64
+
+	// shardScratch holds probeBatch's per-shard outcome slices, reused
+	// across batches (entry points are serial, like probeSeq).
+	shardScratch [][]stampedOutcome
 }
 
 // NewCampaign builds a campaign for rig from a validated config.
@@ -245,29 +249,40 @@ func (c *Campaign) probeBatch(ctx context.Context, batch []netip.Addr, rcptDomai
 	if shards < 1 {
 		shards = 1
 	}
-	results := make([][]stampedOutcome, shards)
+	if len(c.shardScratch) < shards {
+		old := c.shardScratch
+		c.shardScratch = make([][]stampedOutcome, shards)
+		copy(c.shardScratch, old)
+	}
+	results := c.shardScratch[:shards]
+	labelSeed := c.labelSeed()
 	var wg sync.WaitGroup
 	for s := 0; s < shards; s++ {
 		s := s
-		results[s] = make([]stampedOutcome, 0, (len(batch)-s+shards-1)/shards)
+		results[s] = results[s][:0]
 		wg.Add(1)
 		clock.Go(clk, func() {
 			defer wg.Done()
 			inflight.Add(1)
 			defer inflight.Add(-1)
+			// One prober and one label stream serve the whole shard: probe
+			// scratch (SMTP client, transaction buffers) is reused across
+			// the shard's probes instead of reallocated per probe.
+			p := c.newProber()
+			stream := core.NewLabelStream(labelSeed, c.allocator())
+			p.NextLabel = stream.Next
 			for seq := s; seq < len(batch); seq += shards {
 				a := batch[seq]
 				dom := rcptDomain[a]
 				if dom == "" {
 					dom = "example.com"
 				}
-				p := c.newProber()
 				index := probeBase + uint64(seq)
 				// Per-probe deterministic labels: assignment depends only
 				// on (seed, suite, probe index), never on how the shards
 				// interleave their draws — required for byte-identical
 				// traced runs (labels appear in traced DNS query names).
-				p.NextLabel = core.DeterministicLabels(c.labelSeed(), index, c.allocator())
+				stream.Reset(index)
 				out, buf := c.probeOne(ctx, tr, p, suite, index, a, dom)
 				results[s] = append(results[s], stampedOutcome{seq: seq, out: out, buf: buf})
 			}
@@ -282,6 +297,13 @@ func (c *Campaign) probeBatch(ctx context.Context, batch []netip.Addr, rcptDomai
 		st := results[seq%shards][seq/shards]
 		record(batch[st.seq], st.out)
 		tr.FlushBuffer(st.buf)
+	}
+	// Drop buffer/outcome references so the reused scratch does not pin
+	// flushed trace buffers across batches.
+	for s := range results {
+		for i := range results[s] {
+			results[s][i] = stampedOutcome{}
+		}
 	}
 }
 

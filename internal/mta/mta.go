@@ -119,6 +119,7 @@ type Host struct {
 
 	mu          sync.Mutex
 	behaviors   []spfimpl.Behavior
+	checkers    []*spf.Checker // parallel to behaviors; built lazily, reset on change
 	greySeen    map[string]bool
 	validations []Validation
 	overflows   []spfimpl.OverflowEvent
@@ -147,16 +148,19 @@ func New(cfg Config) *Host {
 	if cfg.FlakyRate > 0 {
 		h.flaky = rand.New(rand.NewSource(cfg.FlakySeed))
 	}
-	// Client → SingleFlight → CachingClient → Resolver: the wire client
-	// under in-flight dedup under the MTA's local TTL cache, composed via
-	// the shared Querier interface.
+	// Client → Pipeline → SingleFlight → CachingClient → Resolver: the wire
+	// client under query pipelining, in-flight dedup, and the MTA's local
+	// TTL cache, composed via the shared Querier interface. The pipeline
+	// lets a validation's dual-family (A+AAAA) lookups ride one socket as a
+	// single virtual round-trip.
 	wire := &dnsclient.Client{
 		Net:     cfg.Net,
 		Server:  cfg.DNSServer,
 		Timeout: cfg.DNSTimeout,
 		Clk:     cfg.Clock,
 	}
-	flight := &dnsclient.SingleFlight{Upstream: wire}
+	pipe := &dnsclient.Pipeline{Upstream: wire}
+	flight := &dnsclient.SingleFlight{Upstream: pipe}
 	cached := dnsclient.NewCachingClient(flight, cfg.Clock)
 	h.res = ResolverAdapter{R: dnsclient.NewResolver(cached)}
 	listen := cfg.ListenAddr
@@ -180,15 +184,20 @@ func (h *Host) Start(ctx context.Context) error { return h.server.Start(ctx) }
 func (h *Host) Stop() { h.server.Stop() }
 
 // Patch replaces every vulnerable or erroneous behavior with the patched
-// libSPF2, modeling a package upgrade.
+// libSPF2, modeling a package upgrade. The stack is replaced wholesale (not
+// mutated in place) so snapshots handed to in-flight validations stay
+// immutable.
 func (h *Host) Patch() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	for i, b := range h.behaviors {
+	bs := append([]spfimpl.Behavior(nil), h.behaviors...)
+	for i, b := range bs {
 		if b == spfimpl.BehaviorVulnLibSPF2 {
-			h.behaviors[i] = spfimpl.BehaviorPatchedLibSPF2
+			bs[i] = spfimpl.BehaviorPatchedLibSPF2
 		}
 	}
+	h.behaviors = bs
+	h.checkers = nil
 }
 
 // SetBehaviors replaces the validation stack (used by patch plans that
@@ -197,6 +206,7 @@ func (h *Host) SetBehaviors(bs []spfimpl.Behavior) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.behaviors = append([]spfimpl.Behavior(nil), bs...)
+	h.checkers = nil
 }
 
 // Behaviors returns the current validation stack.
@@ -244,6 +254,43 @@ func (h *Host) Inbox() [][]byte {
 // resolver returns the host's cached SPF-facing resolver.
 func (h *Host) resolver() spf.Resolver { return h.res }
 
+// newChecker builds the long-lived checker for one behavior.
+func (h *Host) newChecker(b spfimpl.Behavior) *spf.Checker {
+	checker := &spf.Checker{Resolver: h.res, Receiver: h.cfg.Hostname}
+	switch b {
+	case spfimpl.BehaviorVulnLibSPF2:
+		checker.Expander = &spfimpl.LibSPF2Expander{OnOverflow: func(ev spfimpl.OverflowEvent) {
+			h.mu.Lock()
+			h.overflows = append(h.overflows, ev)
+			h.mu.Unlock()
+		}}
+	case spfimpl.BehaviorSkipMacros:
+		checker.SkipMacroMechanisms = true
+	default:
+		checker.Expander = spfimpl.ExpanderFor(b)
+	}
+	return checker
+}
+
+// behaviorCheckers snapshots the behavior stack with a matching slice of
+// long-lived checkers, building checkers lazily after any behavior change.
+// Reusing checkers across validations lets the SPF engine's parsed-record
+// memo and pooled evaluation sessions amortize; a fresh checker per
+// validation would re-parse every policy and re-allocate every walk. Both
+// returned slices are immutable snapshots: Patch and SetBehaviors replace
+// the stack wholesale rather than mutating it.
+func (h *Host) behaviorCheckers() ([]spfimpl.Behavior, []*spf.Checker) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.checkers == nil {
+		h.checkers = make([]*spf.Checker, len(h.behaviors))
+		for i, b := range h.behaviors {
+			h.checkers[i] = h.newChecker(b)
+		}
+	}
+	return h.behaviors, h.checkers
+}
+
 // validate runs every configured behavior's validation for a transaction.
 func (h *Host) validate(sender, helo string, remote net.Addr) spf.Result {
 	domain := smtp.AddressDomain(sender)
@@ -251,7 +298,6 @@ func (h *Host) validate(sender, helo string, remote net.Addr) spf.Result {
 		return spf.ResultNone
 	}
 	clientIP := remoteIP(remote)
-	res := h.resolver()
 
 	// Attribute the evaluation (and the DNS lookups under it) to the probe
 	// span that currently owns this host, when a campaign is tracing.
@@ -268,21 +314,9 @@ func (h *Host) validate(sender, helo string, remote net.Addr) spf.Result {
 	}
 
 	first := spf.ResultNone
-	for i, b := range h.Behaviors() {
-		checker := &spf.Checker{Resolver: res, Receiver: h.cfg.Hostname}
-		switch b {
-		case spfimpl.BehaviorVulnLibSPF2:
-			checker.Expander = &spfimpl.LibSPF2Expander{OnOverflow: func(ev spfimpl.OverflowEvent) {
-				h.mu.Lock()
-				h.overflows = append(h.overflows, ev)
-				h.mu.Unlock()
-			}}
-		case spfimpl.BehaviorSkipMacros:
-			checker.SkipMacroMechanisms = true
-		default:
-			checker.Expander = spfimpl.ExpanderFor(b)
-		}
-		out := checker.CheckHost(ctx, clientIP, domain, sender, helo)
+	behaviors, checkers := h.behaviorCheckers()
+	for i, b := range behaviors {
+		out := checkers[i].CheckHost(ctx, clientIP, domain, sender, helo)
 		h.mu.Lock()
 		h.validations = append(h.validations, Validation{
 			Time:     h.cfg.Clock.Now(),

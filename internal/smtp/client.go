@@ -7,6 +7,7 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"spfail/internal/clock"
@@ -47,6 +48,16 @@ func (c *Client) ioTimeout() time.Duration {
 	}
 	return 30 * time.Second
 }
+
+// Session buffer pools: probe campaigns open and tear down one short SMTP
+// session per transaction, so the 4 KiB bufio buffers are recycled instead
+// of reallocated per dial. Buffers return to the pool on Close/Quit (or a
+// failed Dial); release resets them against nil first so a pooled buffer
+// can never reach a connection it no longer owns.
+var (
+	brPool = sync.Pool{New: func() any { return bufio.NewReader(nil) }}
+	bwPool = sync.Pool{New: func() any { return bufio.NewWriter(nil) }}
+)
 
 // Conn is an established SMTP session.
 type Conn struct {
@@ -91,26 +102,52 @@ func (c *Client) Dial(ctx context.Context, addr string) (*Conn, error) {
 	if sp != nil {
 		sp.Event("smtp.dial", trace.String("addr", addr))
 	}
-	conn := &Conn{c: c, conn: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc), sp: sp}
+	br := brPool.Get().(*bufio.Reader)
+	br.Reset(nc)
+	bw := bwPool.Get().(*bufio.Writer)
+	bw.Reset(nc)
+	conn := &Conn{c: c, conn: nc, br: br, bw: bw, sp: sp}
 	r, err := conn.readReply()
 	conn.event("banner", r, err)
 	if err != nil {
 		_ = nc.Close()
+		conn.release()
 		c.fail("banner")
 		return nil, err
 	}
 	conn.Greet = *r
 	if !r.Positive() {
 		_ = nc.Close()
+		conn.release()
 		c.fail("banner")
 		return nil, &ReplyError{Reply: *r}
 	}
 	return conn, nil
 }
 
+// release returns the session's buffers to their pools. Idempotent, so the
+// prober's defer Close after an explicit Close/Quit stays harmless. The
+// session is unusable afterwards.
+func (co *Conn) release() {
+	if co.br != nil {
+		co.br.Reset(nil)
+		brPool.Put(co.br)
+		co.br = nil
+	}
+	if co.bw != nil {
+		co.bw.Reset(nil)
+		bwPool.Put(co.bw)
+		co.bw = nil
+	}
+}
+
 // Close terminates the underlying connection without QUIT — the NoMsg
 // probe's deliberate mid-transaction termination.
-func (co *Conn) Close() error { return co.conn.Close() }
+func (co *Conn) Close() error {
+	err := co.conn.Close()
+	co.release()
+	return err
+}
 
 // Quit sends QUIT and closes. A close failure is reported only when the
 // QUIT exchange itself succeeded.
@@ -119,6 +156,7 @@ func (co *Conn) Quit() error {
 	if cerr := co.conn.Close(); err == nil {
 		err = cerr
 	}
+	co.release()
 	return err
 }
 

@@ -1,0 +1,54 @@
+package spf
+
+import "sync"
+
+// maxCachedRecords bounds a Checker's parsed-record memo. SPFail's own
+// measurement defeats caching by construction — every probe's policy embeds
+// a fresh label, so those texts never repeat — but stable real-world
+// policies (and every include/redirect target) hit the memo on all but the
+// first evaluation. When the memo fills with never-repeating texts it is
+// dropped wholesale: parsing is pure, so eviction can only cost time, never
+// correctness or determinism.
+const maxCachedRecords = 4096
+
+// cachedParse is one memoized Parse outcome. Failures are cached too, so a
+// world full of malformed policies does not reparse them every probe.
+type cachedParse struct {
+	rec *Record
+	err error
+}
+
+// recordCache memoizes Parse keyed by exact policy text. Records handed out
+// are shared across goroutines and must be treated as immutable, which
+// Parse guarantees: nothing in evaluation mutates a Record after parse.
+type recordCache struct {
+	mu sync.RWMutex
+	m  map[string]cachedParse
+}
+
+// parse returns the memoized parse of policy, parsing and inserting on miss.
+func (rc *recordCache) parse(policy string) (*Record, error) {
+	rc.mu.RLock()
+	e, ok := rc.m[policy]
+	rc.mu.RUnlock()
+	if ok {
+		return e.rec, e.err
+	}
+	rec, err := Parse(policy)
+	if rec != nil {
+		rec.precomputeTerms()
+	}
+	rc.mu.Lock()
+	if rc.m == nil || len(rc.m) >= maxCachedRecords {
+		rc.m = make(map[string]cachedParse)
+	}
+	// A concurrent parser of the same text may have inserted first; prefer
+	// the published record so all callers share one copy.
+	if e, ok := rc.m[policy]; ok {
+		rc.mu.Unlock()
+		return e.rec, e.err
+	}
+	rc.m[policy] = cachedParse{rec: rec, err: err}
+	rc.mu.Unlock()
+	return rec, err
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/netip"
 	"strings"
+	"sync"
 	"time"
 
 	"spfail/internal/trace"
@@ -45,6 +46,10 @@ type Resolver interface {
 
 // Checker evaluates SPF policies. The zero value is not usable; populate
 // Resolver. All other fields have working defaults.
+//
+// A Checker is safe for concurrent use and memoizes parsed policy records
+// (see cache.go), so callers on hot paths should reuse one Checker per
+// resolver/behavior pair instead of constructing one per evaluation.
 type Checker struct {
 	Resolver Resolver
 	// Expander performs macro expansion; nil means the RFC-compliant
@@ -67,6 +72,16 @@ type Checker struct {
 	// macro never match and consume no lookup — modeling the partial
 	// implementations §7.9 observed that resolve only macro-free terms.
 	SkipMacroMechanisms bool
+
+	// records memoizes Parse results keyed by policy text (bounded; see
+	// cache.go). Parsing is pure, so sharing cached records across
+	// concurrent evaluations is safe — records are immutable after parse.
+	records recordCache
+
+	// ptrOnce/ptrFn cache the Resolver.LookupPTR method value so building
+	// the per-evaluation MacroEnv does not allocate a closure per check.
+	ptrOnce sync.Once
+	ptrFn   func(ctx context.Context, addr netip.Addr) ([]string, error)
 }
 
 // CheckResult is the outcome of CheckHost.
@@ -95,36 +110,47 @@ func (c *Checker) limit(v, def int) int {
 	return def
 }
 
+// sessionPool recycles per-evaluation state across CheckHost calls: the
+// session struct itself plus the macro scratch hanging off it. Sessions are
+// reset on release (poison-proof; see pool_test.go), following the pooled
+// codec pattern in internal/dnsmsg.
+var sessionPool = sync.Pool{New: func() any { return new(session) }}
+
 // CheckHost implements check_host() (RFC 7208 §4): it evaluates the policy
 // of domain for a message from sender arriving from ip, with helo as the
 // SMTP HELO/EHLO identity.
 func (c *Checker) CheckHost(ctx context.Context, ip netip.Addr, domain, sender, helo string) CheckResult {
-	s := &session{
-		c:          c,
-		ctx:        ctx,
-		lookups:    0,
-		maxLookups: c.limit(c.MaxLookups, DefaultMaxLookups),
-		maxVoid:    c.limit(c.MaxVoidLookups, DefaultMaxVoidLookups),
-		maxMX:      c.limit(c.MaxMXAddrs, DefaultMaxMXAddrs),
-		maxPTR:     c.limit(c.MaxPTRNames, DefaultMaxPTRNames),
-		env: MacroEnv{
-			Sender:   sender,
-			IP:       ip,
-			HELO:     helo,
-			Receiver: c.Receiver,
-			Now:      c.Now,
-		},
-	}
-	if c.Resolver != nil {
-		s.env.LookupPTR = c.Resolver.LookupPTR
-	}
 	if !validDomain(domain) {
 		return CheckResult{Result: ResultNone, Err: fmt.Errorf("spf: invalid domain %q", domain)}
 	}
-	return s.check(domain)
+	c.ptrOnce.Do(func() {
+		if c.Resolver != nil {
+			c.ptrFn = c.Resolver.LookupPTR
+		}
+	})
+	s := sessionPool.Get().(*session)
+	s.c = c
+	s.ctx = ctx
+	s.maxLookups = c.limit(c.MaxLookups, DefaultMaxLookups)
+	s.maxVoid = c.limit(c.MaxVoidLookups, DefaultMaxVoidLookups)
+	s.maxMX = c.limit(c.MaxMXAddrs, DefaultMaxMXAddrs)
+	s.maxPTR = c.limit(c.MaxPTRNames, DefaultMaxPTRNames)
+	s.env = MacroEnv{
+		Sender:    sender,
+		IP:        ip,
+		HELO:      helo,
+		Receiver:  c.Receiver,
+		Now:       c.Now,
+		LookupPTR: c.ptrFn,
+	}
+	out := s.check(domain)
+	s.release()
+	return out
 }
 
 // session carries per-check state shared across include/redirect recursion.
+// Sessions are pooled; release zeroes every field so recycled sessions can
+// never leak a previous evaluation's sender, IP, or lookup budget.
 type session struct {
 	c          *Checker
 	ctx        context.Context
@@ -136,6 +162,12 @@ type session struct {
 	maxPTR     int
 	depth      int // include/redirect recursion depth, for tracing
 	env        MacroEnv
+}
+
+// release resets the session and returns it to the pool.
+func (s *session) release() {
+	*s = session{}
+	sessionPool.Put(s)
 }
 
 // errBudget marks lookup-limit exhaustion (maps to permerror).
@@ -241,7 +273,9 @@ func (s *session) checkInner(domain string) CheckResult {
 }
 
 // fetchRecord retrieves and parses the policy for domain. A nil record
-// means the returned CheckResult is final.
+// means the returned CheckResult is final. Parsed records are memoized on
+// the Checker keyed by policy text, so repeated evaluations of stable
+// policies (the common real-world shape) skip Parse entirely.
 func (s *session) fetchRecord(domain string) (*Record, CheckResult) {
 	txts, err := s.c.Resolver.LookupTXT(s.ctx, domain)
 	if err != nil {
@@ -250,21 +284,23 @@ func (s *session) fetchRecord(domain string) (*Record, CheckResult) {
 		}
 		return nil, CheckResult{Result: ResultTempError, Err: err}
 	}
-	var policies []string
+	policy, npolicies := "", 0
 	for _, t := range txts {
 		if IsSPFRecord(t) {
-			policies = append(policies, t)
+			if npolicies++; npolicies == 1 {
+				policy = t
+			}
 		}
 	}
-	switch len(policies) {
+	switch npolicies {
 	case 0:
 		return nil, CheckResult{Result: ResultNone}
 	case 1:
 	default:
 		return nil, CheckResult{Result: ResultPermError,
-			Err: fmt.Errorf("spf: %d SPF records for %q", len(policies), domain)}
+			Err: fmt.Errorf("spf: %d SPF records for %q", npolicies, domain)}
 	}
-	rec, err := Parse(policies[0])
+	rec, err := s.c.records.parse(policy)
 	if err != nil {
 		return nil, CheckResult{Result: ResultPermError, Err: err}
 	}
@@ -280,13 +316,23 @@ func (s *session) errorResult(err error) CheckResult {
 }
 
 // expandDomain expands a domain-spec macro-string against the current
-// domain and applies the RFC 7208 §7.3 length truncation.
+// domain and applies the RFC 7208 §7.3 length truncation. Macro-free specs
+// under the compliant expander short-circuit: the RFC expander is the
+// identity on strings without '%', so no tokenization or scratch is needed.
+// Swapped-in expanders (internal/spfimpl's buggy variants) always run, as
+// their divergence from the RFC is exactly what the study measures.
 func (s *session) expandDomain(spec, current string) (string, error) {
-	env := s.env
-	env.Domain = current
-	out, err := s.c.expander().Expand(s.ctx, spec, &env, false)
-	if err != nil {
-		return "", err
+	var out string
+	if s.c.Expander == nil && !strings.Contains(spec, "%") {
+		out = spec
+	} else {
+		env := s.env
+		env.Domain = current
+		expanded, err := s.c.expander().Expand(s.ctx, spec, &env, false)
+		if err != nil {
+			return "", err
+		}
+		out = expanded
 	}
 	out = strings.TrimSuffix(out, ".")
 	for len(out) > maxDomainLen {
@@ -603,20 +649,24 @@ func domainIsSuffix(child, parent string) bool {
 	return strings.HasSuffix(c, "."+p)
 }
 
-// validDomain applies the sanity checks of RFC 7208 §4.3.
+// validDomain applies the sanity checks of RFC 7208 §4.3. It scans labels
+// in place rather than splitting, so the per-evaluation entry check never
+// allocates.
 func validDomain(domain string) bool {
 	domain = strings.TrimSuffix(domain, ".")
 	if domain == "" || len(domain) > maxDomainLen {
 		return false
 	}
-	labels := strings.Split(domain, ".")
-	if len(labels) < 2 {
-		return false // must have at least two labels to be checkable
-	}
-	for _, l := range labels {
-		if l == "" || len(l) > 63 {
+	labels, start := 0, 0
+	for i := 0; i <= len(domain); i++ {
+		if i < len(domain) && domain[i] != '.' {
+			continue
+		}
+		if l := i - start; l == 0 || l > 63 {
 			return false
 		}
+		labels++
+		start = i + 1
 	}
-	return true
+	return labels >= 2 // must have at least two labels to be checkable
 }

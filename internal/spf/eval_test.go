@@ -54,18 +54,28 @@ func (f *fakeResolver) LookupIP(_ context.Context, network, name string) ([]neti
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
-	var out []netip.Addr
-	for _, a := range v {
+	match := func(a netip.Addr) bool {
 		switch network {
 		case "ip4":
-			if a.Is4() {
-				out = append(out, a)
-			}
+			return a.Is4()
 		case "ip6":
-			if a.Is6() && !a.Is4In6() {
-				out = append(out, a)
-			}
-		default:
+			return a.Is6() && !a.Is4In6()
+		}
+		return true
+	}
+	all := true
+	for _, a := range v {
+		if !match(a) {
+			all = false
+			break
+		}
+	}
+	if all {
+		return v, nil
+	}
+	var out []netip.Addr
+	for _, a := range v {
+		if match(a) {
 			out = append(out, a)
 		}
 	}

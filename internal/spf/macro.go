@@ -193,29 +193,22 @@ type MacroExpander interface {
 // Expander is the RFC 7208-compliant macro expander.
 type Expander struct{}
 
-// Expand implements MacroExpander.
+// Expand implements MacroExpander. Macro-free specs are returned as-is;
+// everything else expands through a pooled arena, so the only allocation on
+// the hot path is the result string itself.
 func (Expander) Expand(ctx context.Context, macroStr string, env *MacroEnv, forExp bool) (string, error) {
-	toks, err := TokenizeMacroString(macroStr)
-	if err != nil {
-		return "", err
+	if !strings.Contains(macroStr, "%") {
+		return macroStr, nil
 	}
-	var b strings.Builder
-	for _, t := range toks {
-		if !t.IsMacro {
-			b.WriteString(t.Literal)
-			continue
-		}
-		raw, err := MacroValue(ctx, t.Letter, env, forExp)
-		if err != nil {
-			return "", err
-		}
-		val := ApplyTransformers(raw, t)
-		if t.URLEscape {
-			val = URLEscape(val)
-		}
-		b.WriteString(val)
+	sc := macroScratchPool.Get().(*macroScratch)
+	b, err := appendMacroString(sc.buf[:0], sc, ctx, macroStr, env, forExp)
+	var out string
+	if err == nil {
+		out = string(b)
 	}
-	return b.String(), nil
+	sc.buf = b[:0]
+	macroScratchPool.Put(sc)
+	return out, err
 }
 
 // MacroValue returns the raw (untransformed) value of a macro letter.

@@ -38,12 +38,49 @@ func Parse(txt string) (*Record, error) {
 	}
 	rec := &Record{}
 	body := txt[6:]
-	for _, term := range strings.Fields(body) {
-		if err := parseTerm(rec, term); err != nil {
+	// Pre-size Mechanisms by counting space-separated terms, then walk the
+	// fields in place — no intermediate []string, no append regrowth.
+	if n := countFields(body); n > 0 {
+		rec.Mechanisms = make([]Mechanism, 0, n)
+	}
+	for i := 0; i < len(body); {
+		if isSpaceByte(body[i]) {
+			i++
+			continue
+		}
+		j := i
+		for j < len(body) && !isSpaceByte(body[j]) {
+			j++
+		}
+		if err := parseTerm(rec, body[i:j]); err != nil {
 			return nil, err
 		}
+		i = j
 	}
 	return rec, nil
+}
+
+// isSpaceByte matches the ASCII whitespace strings.Fields splits on.
+func isSpaceByte(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\v', '\f', '\r':
+		return true
+	}
+	return false
+}
+
+// countFields counts whitespace-separated fields, mirroring the loop in
+// Parse.
+func countFields(s string) int {
+	n, in := 0, false
+	for i := 0; i < len(s); i++ {
+		sep := isSpaceByte(s[i])
+		if !sep && !in {
+			n++
+		}
+		in = !sep
+	}
+	return n
 }
 
 func parseTerm(rec *Record, term string) error {

@@ -1,0 +1,84 @@
+package spf
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+)
+
+// Poison-then-reuse hygiene for the pooled evaluation session: release must
+// scrub every field, so a recycled session can never leak a previous
+// evaluation's sender, IP, lookup budget, or recursion depth into the next
+// CheckHost call.
+func TestSessionReleaseScrubsAllState(t *testing.T) {
+	s := sessionPool.Get().(*session)
+	s.c = &Checker{}
+	s.ctx = context.Background()
+	s.lookups = 9
+	s.voids = 2
+	s.maxLookups = 1 // poisoned budget: would permerror any real evaluation
+	s.depth = 7
+	s.env = MacroEnv{
+		Sender: "poison@evil.example",
+		IP:     netip.MustParseAddr("203.0.113.66"),
+		HELO:   "poison.helo",
+	}
+	s.release()
+
+	if s.c != nil || s.ctx != nil {
+		t.Fatalf("release kept checker/context: %+v", s)
+	}
+	if s.lookups != 0 || s.voids != 0 || s.maxLookups != 0 || s.depth != 0 {
+		t.Fatalf("release kept budget state: %+v", s)
+	}
+	if s.env.Sender != "" || s.env.HELO != "" || s.env.IP.IsValid() {
+		t.Fatalf("release kept macro environment: %+v", s.env)
+	}
+}
+
+// A poisoned-then-released session must not influence the next evaluation
+// drawn from the pool: back-to-back CheckHost calls with different
+// identities produce independent, correct results.
+func TestSessionPoolReuseAcrossEvaluations(t *testing.T) {
+	f := newFakeResolver()
+	f.txt["pass.example"] = []string{"v=spf1 ip4:192.0.2.0/24 -all"}
+	f.txt["fail.example"] = []string{"v=spf1 -all"}
+	c := &Checker{Resolver: f}
+
+	for i := 0; i < 8; i++ {
+		if r := c.CheckHost(context.Background(), ip1, "pass.example", "a@pass.example", "h1"); r.Result != ResultPass {
+			t.Fatalf("iteration %d: pass.example = %s (%v)", i, r.Result, r.Err)
+		}
+		if r := c.CheckHost(context.Background(), ip1, "fail.example", "b@fail.example", "h2"); r.Result != ResultFail {
+			t.Fatalf("iteration %d: fail.example = %s (%v)", i, r.Result, r.Err)
+		}
+	}
+}
+
+// Poison-then-reuse hygiene for the macro-expansion arena: garbage left in
+// a pooled scratch's buffer and parts slices must never reach an expansion
+// that reuses it.
+func TestMacroScratchPoisonedReuse(t *testing.T) {
+	sc := macroScratchPool.Get().(*macroScratch)
+	sc.buf = append(sc.buf[:0], "POISONPOISONPOISON"...)
+	sc.parts = append(sc.parts[:0], "poison.a", "poison.b", "poison.c")
+	macroScratchPool.Put(sc)
+
+	env := &MacroEnv{
+		Sender: "user@example.com",
+		Domain: "example.com",
+		IP:     netip.MustParseAddr("192.0.2.1"),
+		HELO:   "mail.example.com",
+	}
+	// Repeat enough times that the poisoned scratch is drawn with high
+	// probability on this P's private pool slot.
+	for i := 0; i < 4; i++ {
+		got, err := (Expander{}).Expand(context.Background(), "%{ir}.%{l1r-}._spf.%{d2}", env, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := "1.2.0.192.user._spf.example.com"; got != want {
+			t.Fatalf("expansion %d = %q, want %q", i, got, want)
+		}
+	}
+}

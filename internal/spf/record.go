@@ -44,10 +44,22 @@ type Mechanism struct {
 	IP      netip.Addr
 	Prefix4 int // -1 when unspecified
 	Prefix6 int // -1 when unspecified
+
+	// str is the pre-rendered record syntax, filled for records that pass
+	// through the Checker's parse memo so the hot path's matched-mechanism
+	// String() call costs nothing. Empty on hand-built mechanisms.
+	str string
 }
 
 // String renders the mechanism in record syntax.
 func (m Mechanism) String() string {
+	if m.str != "" {
+		return m.str
+	}
+	return m.render()
+}
+
+func (m Mechanism) render() string {
 	var b strings.Builder
 	if m.Qualifier != QPass {
 		b.WriteByte(byte(m.Qualifier))
@@ -116,6 +128,16 @@ func (r *Record) String() string {
 		parts = append(parts, u.String())
 	}
 	return strings.Join(parts, " ")
+}
+
+// precomputeTerms renders every mechanism's record syntax once, so shared
+// cached records serve String() without allocating and without any lazy
+// write that could race between concurrent evaluations.
+func (r *Record) precomputeTerms() {
+	for i := range r.Mechanisms {
+		m := &r.Mechanisms[i]
+		m.str = m.render()
+	}
 }
 
 // LookupTerms counts the DNS-consuming terms in this record alone

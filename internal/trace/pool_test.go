@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Poison-then-reuse hygiene for recycled span buffers: spans handed out in
+// a buffer's previous life must be inert after the flush — no event, no
+// attribute, no child may reach the buffer's next occupant, even when the
+// pool hands the very same Buffer to the next probe.
+func TestRecycledBufferRejectsLateWriters(t *testing.T) {
+	var out bytes.Buffer
+	tr := New(&out, Options{Seed: 7})
+	clk := fixedClock{time.Unix(100, 0).UTC()}
+
+	b1 := tr.NewBuffer(clk, "s01", 1)
+	root1 := b1.Root("probe", String("k", "POISON-root"))
+	child1 := root1.Child("spf.eval", String("k", "POISON-child"))
+	child1.End()
+	root1.End()
+	tr.FlushBuffer(b1)
+	if first := out.String(); !strings.Contains(first, "POISON-child") {
+		t.Fatalf("sanity: first flush missing its own span: %q", first)
+	}
+
+	// Second probe. The pool may or may not return the same Buffer object;
+	// the generation guard must neutralize probe 1's spans either way.
+	out.Reset()
+	b2 := tr.NewBuffer(clk, "s01", 2)
+	child1.Event("late.event", String("k", "LEAK"))
+	child1.SetAttrs(String("late", "LEAK"))
+	if sp := child1.Child("late.child"); sp != nil {
+		t.Fatal("stale parent span produced a live child")
+	}
+	child1.End()
+	root1.Event("late.root.event", String("k", "LEAK"))
+
+	root2 := b2.Root("probe", String("k", "fresh"))
+	root2.End()
+	tr.FlushBuffer(b2)
+
+	second := out.String()
+	for _, poison := range []string{"LEAK", "late.", "POISON"} {
+		if strings.Contains(second, poison) {
+			t.Fatalf("recycled buffer leaked %q across probes: %s", poison, second)
+		}
+	}
+	if got := strings.Count(second, "\n"); got != 1 {
+		t.Fatalf("second flush has %d span records, want exactly 1: %s", got, second)
+	}
+	if !strings.Contains(second, "fresh") {
+		t.Fatalf("second flush lost its own span: %s", second)
+	}
+}
+
+// Attribute slab isolation: growing one span's attributes past its arena
+// reservation must never clobber a sibling span's attributes.
+func TestAttrSlabNeighborsStayIsolated(t *testing.T) {
+	var out bytes.Buffer
+	tr := New(&out, Options{Seed: 1})
+	b := tr.NewBuffer(fixedClock{time.Unix(100, 0).UTC()}, "s01", 0)
+	root := b.Root("probe")
+
+	a := root.Child("a", String("a0", "va0"))
+	bsp := root.Child("b", String("b0", "vb0"))
+	// Push a past its reservation (creation + 2 spare): the append must
+	// reallocate rather than overwrite b's slab region.
+	for i := 0; i < 8; i++ {
+		a.SetAttrs(String("ax", "overflow"))
+	}
+	a.End()
+	bsp.End()
+	root.End()
+	tr.FlushBuffer(b)
+
+	rec := out.String()
+	if !strings.Contains(rec, `"b0":"vb0"`) {
+		t.Fatalf("sibling attribute clobbered by overflowing neighbor: %s", rec)
+	}
+	if strings.Count(rec, "overflow") != 8 {
+		t.Fatalf("overflowing span lost attributes: %s", rec)
+	}
+}
+
+// A late writer racing the flush/recycle/reissue cycle must never corrupt
+// buffers or deadlock. Run with -race (CI does) to verify the generation
+// handshake is properly synchronized.
+func TestBufferRecycleRacesLateWriters(t *testing.T) {
+	tr := New(&bytes.Buffer{}, Options{Seed: 3})
+	clk := fixedClock{time.Unix(100, 0).UTC()}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		b := tr.NewBuffer(clk, "race", uint64(i))
+		root := b.Root("probe")
+		sp := root.Child("work")
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				sp.Event("late", Int("j", j))
+				sp.SetAttrs(Int("j", j))
+				sp.Child("late.child").End()
+			}
+		}()
+		root.End()
+		tr.FlushBuffer(b) // races the writer above
+	}
+	wg.Wait()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -121,8 +121,15 @@ func (t *Tracer) ProbeBuffer(clk clock.Clock, scope string, index uint64) *Buffe
 	return t.NewBuffer(clk, scope, index)
 }
 
+// bufferPool recycles Buffers across probes. A recycled Buffer bumps its
+// generation counter, so spans handed out in a previous life fail the
+// generation check and degrade to no-ops — the same contract a closed
+// buffer gives late writers today.
+var bufferPool = sync.Pool{New: func() any { return new(Buffer) }}
+
 // NewBuffer creates an unsampled (always-on) span buffer, used for
-// campaign- and batch-level spans.
+// campaign- and batch-level spans. Buffers are pooled: FlushBuffer recycles
+// them, so a flushed buffer must not be flushed again.
 func (t *Tracer) NewBuffer(clk clock.Clock, scope string, index uint64) *Buffer {
 	if t == nil {
 		return nil
@@ -130,24 +137,38 @@ func (t *Tracer) NewBuffer(clk clock.Clock, scope string, index uint64) *Buffer 
 	if clk == nil {
 		clk = clock.Real{}
 	}
-	return &Buffer{
-		t:   t,
-		clk: clk,
-		id:  fmt.Sprintf("%s-%06d-%016x", scope, index, traceHash(t.opts.Seed, scope, index)),
-	}
+	b := bufferPool.Get().(*Buffer)
+	// Late writers from the buffer's previous life may still be calling
+	// span methods, so reinitialization happens under the buffer lock.
+	b.mu.Lock()
+	b.gen++
+	b.t = t
+	b.clk = clk
+	b.id = fmt.Sprintf("%s-%06d-%016x", scope, index, traceHash(t.opts.Seed, scope, index))
+	b.next = 0
+	b.closed = false
+	b.mu.Unlock()
+	return b
 }
 
-// FlushBuffer serializes every span of b as JSONL and closes the buffer;
-// later operations on its spans become no-ops. Campaigns call this in
-// merged input order, which is what makes traced runs byte-deterministic.
+// FlushBuffer serializes every span of b as JSONL, closes the buffer, and
+// recycles it; later operations on its spans become no-ops, and the buffer
+// itself must not be used again. Campaigns call this in merged input
+// order, which is what makes traced runs byte-deterministic.
 func (t *Tracer) FlushBuffer(b *Buffer) {
 	if t == nil || b == nil {
 		return
 	}
 	b.mu.Lock()
+	if b.closed {
+		// Double flush: the buffer may already live a new life; touching
+		// it again would corrupt the pool.
+		b.mu.Unlock()
+		return
+	}
 	b.closed = true
+	id := b.id
 	spans := b.spans
-	b.spans = nil
 	for _, sp := range spans {
 		if !sp.ended {
 			// Defensive: an instrumentation site failed to End; pin the
@@ -158,17 +179,30 @@ func (t *Tracer) FlushBuffer(b *Buffer) {
 	b.mu.Unlock()
 
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.err != nil {
-		return
-	}
-	for _, sp := range spans {
-		t.scratch = appendRecord(t.scratch[:0], b.id, sp)
-		if _, err := t.w.Write(t.scratch); err != nil {
-			t.err = err
-			return
+	if t.err == nil {
+		for _, sp := range spans {
+			t.scratch = appendRecord(t.scratch[:0], id, sp)
+			if _, err := t.w.Write(t.scratch); err != nil {
+				t.err = err
+				break
+			}
 		}
 	}
+	t.mu.Unlock()
+
+	// Recycle. The span pointer slice is reused; span structs and their
+	// attrs are NOT (late writers may still hold them — the generation
+	// bump is what neutralizes those), so the slabs are dropped whole.
+	b.mu.Lock()
+	for i := range b.spans {
+		b.spans[i] = nil
+	}
+	b.spans = b.spans[:0]
+	b.slab = nil
+	b.attrSlab = nil
+	b.gen++
+	b.mu.Unlock()
+	bufferPool.Put(b)
 }
 
 // HostSpan returns the span currently adopted for host, or nil. The host
@@ -217,9 +251,17 @@ type Buffer struct {
 	id  string
 
 	mu     sync.Mutex
+	gen    uint64
 	next   uint32
 	spans  []*Span
 	closed bool
+	// slab and attrSlab are the buffer's per-generation arenas: spans and
+	// their initial attributes are carved out of chunked arrays, so a probe
+	// with N spans costs a handful of chunk allocations instead of ~2N.
+	// Handed-out memory is never reclaimed for the next generation (late
+	// writers may still hold it); the chunks are simply dropped at flush.
+	slab     []Span
+	attrSlab []Attr
 }
 
 // TraceID returns the buffer's deterministic trace identifier.
@@ -227,28 +269,71 @@ func (b *Buffer) TraceID() string {
 	if b == nil {
 		return ""
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	return b.id
+}
+
+// allocSpan carves one span out of the buffer's current slab chunk,
+// starting a fresh chunk when it is full. Must hold b.mu.
+func (b *Buffer) allocSpan() *Span {
+	if len(b.slab) == cap(b.slab) {
+		n := 2 * cap(b.slab)
+		if n < 16 {
+			n = 16
+		}
+		if n > 256 {
+			n = 256
+		}
+		b.slab = make([]Span, 0, n)
+	}
+	b.slab = b.slab[:len(b.slab)+1]
+	return &b.slab[len(b.slab)-1]
+}
+
+// allocAttrs carves an empty attribute slice with capacity n out of the
+// attr slab. The full slice expression caps it at its region, so growing
+// past n reallocates instead of clobbering a neighbour. Must hold b.mu.
+func (b *Buffer) allocAttrs(n int) []Attr {
+	if len(b.attrSlab)+n > cap(b.attrSlab) {
+		sz := 64
+		if n > sz {
+			sz = n
+		}
+		b.attrSlab = make([]Attr, 0, sz)
+	}
+	off := len(b.attrSlab)
+	b.attrSlab = b.attrSlab[:off+n]
+	return b.attrSlab[off : off : off+n]
 }
 
 // Root starts the buffer's root span (parent 0).
 func (b *Buffer) Root(name string, attrs ...Attr) *Span {
-	return b.start(0, name, false, attrs)
+	return b.start(nil, name, false, attrs)
 }
 
-func (b *Buffer) start(parent uint32, name string, instant bool, attrs []Attr) *Span {
+func (b *Buffer) start(parent *Span, name string, instant bool, attrs []Attr) *Span {
 	if b == nil {
 		return nil
 	}
-	now := b.clk.Now()
 	b.mu.Lock()
-	if b.closed {
+	if b.closed || (parent != nil && parent.gen != b.gen) {
 		b.mu.Unlock()
 		return nil
 	}
+	// b.clk is rewritten on every recycle, so it may only be read under
+	// the lock, after the generation check.
+	now := b.clk.Now()
 	b.next++
-	sp := &Span{b: b, id: b.next, parent: parent, name: name, start: now}
+	sp := b.allocSpan()
+	*sp = Span{b: b, gen: b.gen, id: b.next, name: name, start: now}
+	if parent != nil {
+		sp.parent = parent.id
+	}
 	if len(attrs) > 0 {
-		sp.attrs = append(sp.attrs, attrs...)
+		// Two spare slots cover the common post-hoc SetAttrs without
+		// leaving slab space behind when none arrive.
+		sp.attrs = append(b.allocAttrs(len(attrs)+2), attrs...)
 	}
 	if instant {
 		sp.end, sp.ended = now, true
@@ -259,9 +344,12 @@ func (b *Buffer) start(parent uint32, name string, instant bool, attrs []Attr) *
 }
 
 // Span is one timed operation in a trace. All methods are safe on nil
-// receivers and after the owning buffer has been flushed.
+// receivers and after the owning buffer has been flushed or recycled: a
+// span carries the buffer generation it was created under, and every
+// operation re-checks it under the buffer lock.
 type Span struct {
 	b      *Buffer
+	gen    uint64
 	id     uint32
 	parent uint32
 	name   string
@@ -276,7 +364,7 @@ func (sp *Span) Child(name string, attrs ...Attr) *Span {
 	if sp == nil {
 		return nil
 	}
-	return sp.b.start(sp.id, name, false, attrs)
+	return sp.b.start(sp, name, false, attrs)
 }
 
 // Event records an instantaneous child span (start == end).
@@ -284,7 +372,7 @@ func (sp *Span) Event(name string, attrs ...Attr) {
 	if sp == nil {
 		return
 	}
-	sp.b.start(sp.id, name, true, attrs)
+	sp.b.start(sp, name, true, attrs)
 }
 
 // SetAttrs appends attributes to the span.
@@ -293,7 +381,7 @@ func (sp *Span) SetAttrs(attrs ...Attr) {
 		return
 	}
 	sp.b.mu.Lock()
-	if !sp.b.closed {
+	if !sp.b.closed && sp.gen == sp.b.gen {
 		sp.attrs = append(sp.attrs, attrs...)
 	}
 	sp.b.mu.Unlock()
@@ -304,10 +392,9 @@ func (sp *Span) End() {
 	if sp == nil {
 		return
 	}
-	now := sp.b.clk.Now()
 	sp.b.mu.Lock()
-	if !sp.b.closed && !sp.ended {
-		sp.end, sp.ended = now, true
+	if !sp.b.closed && sp.gen == sp.b.gen && !sp.ended {
+		sp.end, sp.ended = sp.b.clk.Now(), true
 	}
 	sp.b.mu.Unlock()
 }

@@ -117,7 +117,10 @@ func main() {
 // current and baseline reports. A gate fails when the current value exceeds
 // the baseline, when the benchmark or metric is missing from the current
 // report, or when the pair is malformed; a pair absent from the baseline is
-// skipped (first run establishes it).
+// skipped (first run establishes it). Additionally, every benchmark present
+// in the baseline must appear in the current run — a renamed or deleted
+// benchmark silently dropping out of the suite would otherwise retire its
+// gate along with it.
 func checkGates(cur, base Report, spec string) []string {
 	index := func(r Report) map[string]map[string]float64 {
 		m := make(map[string]map[string]float64, len(r.Results))
@@ -150,6 +153,13 @@ func checkGates(cur, base Report, spec string) []string {
 		if curVal > baseVal {
 			failures = append(failures, fmt.Sprintf("%s: %s regressed %g → %g (baseline max %g)",
 				name, metric, baseVal, curVal, baseVal))
+		}
+	}
+	// Coverage check: the current run must include every baseline
+	// benchmark, gated or not, so the suite cannot silently shrink.
+	for _, res := range base.Results {
+		if _, ok := curIdx[res.Name]; !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from current run", res.Name))
 		}
 	}
 	return failures

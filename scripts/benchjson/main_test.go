@@ -60,8 +60,29 @@ func TestCheckGatesPassAndFail(t *testing.T) {
 func TestCheckGatesMissingCurrentFails(t *testing.T) {
 	base := report(res("BenchmarkDecode", map[string]float64{"allocs/op": 0}))
 	cur := report(res("BenchmarkOther", map[string]float64{"allocs/op": 0}))
-	if f := checkGates(cur, base, "BenchmarkDecode:allocs/op"); len(f) != 1 {
+	// Two failures: the gated pair is missing, and the baseline benchmark
+	// is absent from the current run entirely.
+	if f := checkGates(cur, base, "BenchmarkDecode:allocs/op"); len(f) != 2 {
 		t.Fatalf("missing benchmark should fail the gate, got %v", f)
+	}
+}
+
+func TestCheckGatesBaselineCoverage(t *testing.T) {
+	// A baseline benchmark missing from the current run fails the gate even
+	// when no gate pair names it: deleting or renaming a benchmark must not
+	// silently retire its gate.
+	base := report(
+		res("BenchmarkDecode", map[string]float64{"allocs/op": 0}),
+		res("BenchmarkRetired", map[string]float64{"allocs/op": 3}),
+	)
+	cur := report(res("BenchmarkDecode", map[string]float64{"allocs/op": 0}))
+	f := checkGates(cur, base, "BenchmarkDecode:allocs/op")
+	if len(f) != 1 || !strings.Contains(f[0], "BenchmarkRetired") {
+		t.Fatalf("ungated baseline benchmark missing from current should fail, got %v", f)
+	}
+	// A current run that covers the full baseline passes.
+	if f := checkGates(base, base, "BenchmarkDecode:allocs/op"); len(f) != 0 {
+		t.Fatalf("full coverage should pass, got %v", f)
 	}
 }
 
