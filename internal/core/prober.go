@@ -209,6 +209,8 @@ func (p *Prober) reconnectWait() time.Duration {
 // failed probes are rerun with backoff; an exhausted budget degrades to
 // StatusInconclusive rather than reporting the last transient failure as
 // the host's behaviour.
+//
+//spfail:hotpath
 func (p *Prober) TestIP(ctx context.Context, addr, rcptDomain string) Outcome {
 	start := p.Clock.Now()
 	out := p.testIPRetrying(ctx, addr, rcptDomain)
@@ -227,6 +229,8 @@ func (p *Prober) TestIP(ctx context.Context, addr, rcptDomain string) Outcome {
 // testIPRetrying runs the probe ladder under the retry policy and circuit
 // breaker. Without a policy (MaxAttempts ≤ 1) it is exactly one testIP
 // call, preserving the pre-retry behaviour bit for bit.
+//
+//spfail:hotpath
 func (p *Prober) testIPRetrying(ctx context.Context, addr, rcptDomain string) Outcome {
 	max := p.Retry.MaxAttempts
 	if max < 1 {
@@ -298,6 +302,8 @@ func exhaustReason(out Outcome) string {
 }
 
 // testIP is TestIP's uninstrumented body.
+//
+//spfail:hotpath
 func (p *Prober) testIP(ctx context.Context, addr, rcptDomain string) Outcome {
 	out := Outcome{Addr: addr}
 
@@ -410,6 +416,8 @@ func (p *Prober) client() *smtp.Client {
 // is the prober's reusable scratch: it is valid only until the next
 // runTransaction call on this prober, so callers must copy out whatever
 // they keep before starting another transaction (testIP does).
+//
+//spfail:hotpath
 func (p *Prober) runTransaction(ctx context.Context, addr, rcptDomain string, method ProbeMethod) *transactionResult {
 	res := &p.txScratch
 	res.reset()
@@ -477,6 +485,8 @@ func mergeObs(dst *Observation, src Observation) {
 
 // attempt runs a single SMTP dialogue. It returns true when the server
 // greylisted us (450) and a retry is worthwhile.
+//
+//spfail:hotpath
 func (p *Prober) attempt(ctx context.Context, tr *transactionResult, id, addr, rcptDomain string, method ProbeMethod) bool {
 	mailDomain, err := p.Zone.MailDomain(id, p.Suite)
 	if err != nil {

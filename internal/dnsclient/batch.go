@@ -78,8 +78,8 @@ type Pipeline struct {
 	Metrics *telemetry.Registry
 
 	mu    sync.Mutex
-	queue []*pipelineCall
-	busy  bool
+	queue []*pipelineCall // guarded by mu
+	busy  bool            // guarded by mu
 }
 
 type pipelineCall struct {

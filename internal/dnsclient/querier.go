@@ -38,7 +38,7 @@ type SingleFlight struct {
 	Metrics *telemetry.Registry
 
 	mu       sync.Mutex
-	inflight map[cacheKey]*flightCall
+	inflight map[cacheKey]*flightCall // guarded by mu
 }
 
 type flightCall struct {

@@ -26,11 +26,16 @@ const (
 //
 // A Decoder is not safe for concurrent use.
 type Decoder struct {
-	msg    Message
+	//spfail:allow poolhygiene message slots and label arrays are the warm cache; recycling them is the point
+	msg Message
+	//spfail:allow poolhygiene interning table deliberately survives recycling; bounded by maxInternedLabels
 	labels map[string]string // interned name labels
-	a4     map[string]RData  // cached A boxes keyed by raw RDATA
-	a6     map[string]RData  // cached AAAA boxes keyed by raw RDATA
-	txt    map[string]RData  // cached TXT boxes keyed by raw RDATA
+	//spfail:allow poolhygiene RData box cache deliberately survives recycling; bounded by maxCachedRData
+	a4 map[string]RData // cached A boxes keyed by raw RDATA
+	//spfail:allow poolhygiene RData box cache deliberately survives recycling; bounded by maxCachedRData
+	a6 map[string]RData // cached AAAA boxes keyed by raw RDATA
+	//spfail:allow poolhygiene RData box cache deliberately survives recycling; bounded by maxCachedRData
+	txt map[string]RData // cached TXT boxes keyed by raw RDATA
 
 	// retained disables slot reuse, interning, and RData caching so the
 	// returned Message owns all its memory (the Unpack contract).
@@ -44,18 +49,32 @@ var decoderPool = sync.Pool{New: func() any { return new(Decoder) }}
 func NewDecoder() *Decoder { return new(Decoder) }
 
 // GetDecoder fetches a pooled Decoder.
-func GetDecoder() *Decoder { return decoderPool.Get().(*Decoder) }
+func GetDecoder() *Decoder {
+	//spfail:allow poolhygiene Decode truncates every reused slot before filling it; the warm caches are the product
+	return decoderPool.Get().(*Decoder)
+}
 
 // PutDecoder returns d to the pool. Any *Message previously returned by
 // d.Decode must no longer be referenced.
 func PutDecoder(d *Decoder) {
 	if d != nil && !d.retained {
+		d.scrub()
 		decoderPool.Put(d)
 	}
 }
 
+// scrub prepares d for recycling. Unlike most pooled types the Decoder
+// keeps its caches on purpose — the interning table and RData boxes are
+// what make repeat decodes allocation-free, and Decode bounds and
+// truncates them itself — so scrub only clears per-checkout state.
+func (d *Decoder) scrub() {
+	d.retained = false
+}
+
 // Decode decodes a complete DNS message. The returned Message is valid
 // until the next Decode or PutDecoder call on this Decoder.
+//
+//spfail:hotpath
 func (d *Decoder) Decode(msg []byte) (*Message, error) {
 	if len(d.labels) > maxInternedLabels {
 		d.labels = nil
@@ -165,6 +184,8 @@ func (d *Decoder) readRecordsInto(dst *[]Record, msg []byte, off, count int) (in
 // readNameInto is readName with the Decoder's label interner and a reusable
 // destination slice: labels is truncated and refilled, so a warmed slot
 // decodes a name of any previously-seen labels without allocating.
+//
+//spfail:hotpath
 func (d *Decoder) readNameInto(msg []byte, off int, labels []string) ([]string, int, error) {
 	labels = labels[:0]
 	ptrBudget := len(msg) // any chain longer than the message loops
@@ -216,8 +237,11 @@ func (d *Decoder) readNameInto(msg []byte, off int, labels []string) ([]string, 
 
 // intern returns a string equal to b, reusing a previously-interned copy
 // when available so repeated labels cost no allocation.
+//
+//spfail:hotpath
 func (d *Decoder) intern(b []byte) string {
 	if d.retained {
+		//spfail:allow hotpathalloc retained path copies by contract (Unpack); pooled decoders never take it
 		return string(b)
 	}
 	if s, ok := d.labels[string(b)]; ok {
@@ -226,6 +250,7 @@ func (d *Decoder) intern(b []byte) string {
 	if d.labels == nil {
 		d.labels = make(map[string]string, 64)
 	}
+	//spfail:allow hotpathalloc first sight of a label must materialize it; amortized to zero by the interner
 	s := string(b)
 	d.labels[s] = s
 	return s
@@ -254,6 +279,7 @@ func (d *Decoder) decodeRDataCached(msg []byte, off, length int, typ Type) (RDat
 	}
 }
 
+//spfail:hotpath
 func (d *Decoder) cachedRData(m *map[string]RData, msg []byte, off, length int, typ Type) (RData, error) {
 	body := msg[off : off+length]
 	if rd, ok := (*m)[string(body)]; ok {
@@ -266,6 +292,7 @@ func (d *Decoder) cachedRData(m *map[string]RData, msg []byte, off, length int, 
 	if *m == nil {
 		*m = make(map[string]RData, 16)
 	}
+	//spfail:allow hotpathalloc first sight of an RDATA payload keys the box cache; amortized to zero
 	(*m)[string(body)] = rd
 	return rd, nil
 }

@@ -72,6 +72,8 @@ func (m *Message) Reply() *Message {
 
 // Append encodes the message onto buf and returns the extended slice.
 // Name compression is applied across the whole message.
+//
+//spfail:hotpath
 func (m *Message) Append(buf []byte) ([]byte, error) {
 	base := len(buf)
 	var flags uint16

@@ -26,6 +26,8 @@ type WireHandler interface {
 // patched in. ok == false means the caller must take the full
 // decode/dispatch/encode path. The from parameter mirrors Handler.ServeDNS
 // and is reserved for wire handlers that attribute queries.
+//
+//spfail:hotpath
 func (s *Server) ServeQuery(dst []byte, pkt []byte, from net.Addr) ([]byte, bool) {
 	wq, ok := dnsmsg.ParseWireQuery(pkt)
 	if !ok {
@@ -40,6 +42,7 @@ func (s *Server) ServeQuery(dst []byte, pkt []byte, from net.Addr) ([]byte, bool
 		return dst, false
 	}
 	s.Metrics.Counter("dns.server.queries").Inc()
+	//spfail:allow metricnames qtypeCounterName mints only constants from the documented dns.server.qtype.<TYPE> family
 	s.Metrics.Counter(qtypeCounterName(wq.Type)).Inc()
 	s.Metrics.Counter("dns.server.template_hits").Inc()
 	// Tracing is the only consumer of the client address here; the qname

@@ -119,10 +119,14 @@ var sessionPool = sync.Pool{New: func() any { return new(session) }}
 // CheckHost implements check_host() (RFC 7208 §4): it evaluates the policy
 // of domain for a message from sender arriving from ip, with helo as the
 // SMTP HELO/EHLO identity.
+//
+//spfail:hotpath
 func (c *Checker) CheckHost(ctx context.Context, ip netip.Addr, domain, sender, helo string) CheckResult {
 	if !validDomain(domain) {
+		//spfail:allow hotpathalloc terminal validation failure; the evaluation never starts
 		return CheckResult{Result: ResultNone, Err: fmt.Errorf("spf: invalid domain %q", domain)}
 	}
+	//spfail:allow hotpathalloc sync.Once initialization closure runs once per Checker lifetime
 	c.ptrOnce.Do(func() {
 		if c.Resolver != nil {
 			c.ptrFn = c.Resolver.LookupPTR

@@ -201,12 +201,14 @@ func (Expander) Expand(ctx context.Context, macroStr string, env *MacroEnv, forE
 		return macroStr, nil
 	}
 	sc := macroScratchPool.Get().(*macroScratch)
+	//spfail:allow poolhygiene arena is scrubbed on Put, so the checked-out buf is already truncated; this reuses its capacity
 	b, err := appendMacroString(sc.buf[:0], sc, ctx, macroStr, env, forExp)
 	var out string
 	if err == nil {
 		out = string(b)
 	}
-	sc.buf = b[:0]
+	sc.buf = b // recapture the possibly-grown backing array before scrubbing
+	sc.scrub()
 	macroScratchPool.Put(sc)
 	return out, err
 }

@@ -20,6 +20,17 @@ type macroScratch struct {
 
 var macroScratchPool = sync.Pool{New: func() any { return new(macroScratch) }}
 
+// scrub readies the arena for recycling: the grown backing arrays are the
+// asset, so they are truncated rather than dropped. parts aliases
+// substrings of caller-owned macro values, so its dead capacity is
+// cleared to avoid pinning those strings for the lifetime of the pool
+// entry.
+func (sc *macroScratch) scrub() {
+	sc.buf = sc.buf[:0]
+	clear(sc.parts[:cap(sc.parts)])
+	sc.parts = sc.parts[:0]
+}
+
 // appendMacroString expands s into dst. It is the allocation-free core of
 // Expander.Expand, semantically identical to tokenizing with
 // TokenizeMacroString and expanding token by token: a first pass reports

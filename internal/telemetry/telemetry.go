@@ -251,12 +251,12 @@ type Event struct {
 // e.g. "dns.server.qtype.TXT".
 type Registry struct {
 	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	counters map[string]*Counter   // guarded by mu
+	gauges   map[string]*Gauge     // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
 
 	hookMu sync.RWMutex
-	hooks  []func(Event)
+	hooks  []func(Event) // guarded by hookMu
 }
 
 // New returns an empty registry.

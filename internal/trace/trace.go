@@ -73,12 +73,12 @@ type Tracer struct {
 	opts Options
 
 	mu      sync.Mutex
-	w       io.Writer
-	scratch []byte
-	err     error
+	w       io.Writer // guarded by mu
+	scratch []byte    // guarded by mu
+	err     error     // guarded by mu
 
 	routeMu sync.RWMutex
-	routes  map[string]*Span
+	routes  map[string]*Span // guarded by routeMu
 }
 
 // New builds a tracer writing JSONL records to w. Callers buffering w are
@@ -190,18 +190,7 @@ func (t *Tracer) FlushBuffer(b *Buffer) {
 	}
 	t.mu.Unlock()
 
-	// Recycle. The span pointer slice is reused; span structs and their
-	// attrs are NOT (late writers may still hold them — the generation
-	// bump is what neutralizes those), so the slabs are dropped whole.
-	b.mu.Lock()
-	for i := range b.spans {
-		b.spans[i] = nil
-	}
-	b.spans = b.spans[:0]
-	b.slab = nil
-	b.attrSlab = nil
-	b.gen++
-	b.mu.Unlock()
+	b.scrub()
 	bufferPool.Put(b)
 }
 
@@ -246,22 +235,41 @@ func traceHash(seed int64, scope string, index uint64) uint64 {
 // are naturally sequential: the prober blocks on the SMTP reply while the
 // MTA validates, so MTA-side spans interleave deterministically.
 type Buffer struct {
-	t   *Tracer
-	clk clock.Clock
-	id  string
+	t   *Tracer     // guarded by mu (rewritten on every recycle)
+	clk clock.Clock // guarded by mu (rewritten on every recycle)
+	id  string      // guarded by mu (rewritten on every recycle)
 
 	mu     sync.Mutex
-	gen    uint64
-	next   uint32
-	spans  []*Span
-	closed bool
+	gen    uint64  // guarded by mu
+	next   uint32  // guarded by mu
+	spans  []*Span // guarded by mu
+	closed bool    // guarded by mu
 	// slab and attrSlab are the buffer's per-generation arenas: spans and
 	// their initial attributes are carved out of chunked arrays, so a probe
 	// with N spans costs a handful of chunk allocations instead of ~2N.
 	// Handed-out memory is never reclaimed for the next generation (late
 	// writers may still hold it); the chunks are simply dropped at flush.
-	slab     []Span
-	attrSlab []Attr
+	slab     []Span // guarded by mu
+	attrSlab []Attr // guarded by mu
+}
+
+// scrub readies the buffer for recycling. The span pointer slice is
+// reused; span structs and their attrs are NOT (late writers may still
+// hold them — the generation bump is what neutralizes those), so the
+// slabs are dropped whole. The tracer and clock are dropped too: a span
+// that outlived its buffer must not be able to reach a stale tracer.
+func (b *Buffer) scrub() {
+	b.mu.Lock()
+	for i := range b.spans {
+		b.spans[i] = nil
+	}
+	b.spans = b.spans[:0]
+	b.slab = nil
+	b.attrSlab = nil
+	b.t = nil
+	b.clk = nil
+	b.gen++
+	b.mu.Unlock()
 }
 
 // TraceID returns the buffer's deterministic trace identifier.
@@ -276,6 +284,8 @@ func (b *Buffer) TraceID() string {
 
 // allocSpan carves one span out of the buffer's current slab chunk,
 // starting a fresh chunk when it is full. Must hold b.mu.
+//
+//spfail:locked b.mu
 func (b *Buffer) allocSpan() *Span {
 	if len(b.slab) == cap(b.slab) {
 		n := 2 * cap(b.slab)
@@ -294,6 +304,8 @@ func (b *Buffer) allocSpan() *Span {
 // allocAttrs carves an empty attribute slice with capacity n out of the
 // attr slab. The full slice expression caps it at its region, so growing
 // past n reallocates instead of clobbering a neighbour. Must hold b.mu.
+//
+//spfail:locked b.mu
 func (b *Buffer) allocAttrs(n int) []Attr {
 	if len(b.attrSlab)+n > cap(b.attrSlab) {
 		sz := 64
@@ -354,9 +366,9 @@ type Span struct {
 	parent uint32
 	name   string
 	start  time.Time
-	end    time.Time
-	ended  bool
-	attrs  []Attr
+	end    time.Time // guarded by b.mu
+	ended  bool      // guarded by b.mu
+	attrs  []Attr    // guarded by b.mu
 }
 
 // Child starts a sub-span.
@@ -404,10 +416,20 @@ func (sp *Span) End() {
 // previous route on release, so a transaction span can temporarily shadow
 // the probe root.
 func (sp *Span) Adopt(host string) (release func()) {
-	if sp == nil || sp.b == nil || sp.b.t == nil {
+	if sp == nil || sp.b == nil {
 		return func() {}
 	}
+	// Snapshot the tracer under the buffer lock: recycling rewrites b.t,
+	// so the previous unlocked read here raced NewBuffer on a recycled
+	// buffer (found by the lockguard pass). A span that outlived its
+	// buffer sees nil and degrades to a no-op, matching the generation
+	// contract everywhere else.
+	sp.b.mu.Lock()
 	t := sp.b.t
+	sp.b.mu.Unlock()
+	if t == nil {
+		return func() {}
+	}
 	t.routeMu.Lock()
 	prev := t.routes[host]
 	t.routes[host] = sp

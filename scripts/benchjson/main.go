@@ -9,6 +9,14 @@
 //
 //	... | benchjson -o BENCH_pr4.json -baseline BENCH_pr4.json \
 //	        -gate 'BenchmarkDecode:allocs/op,BenchmarkEncode:allocs/op'
+//
+// -ns-tolerance adds an opt-in time gate on top of the alloc gate: every
+// benchmark present in both reports must keep its ns/op within the given
+// percentage of the baseline (e.g. -ns-tolerance 25 allows +25%). Wall
+// time is only comparable between like machines, so the flag is meant for
+// a pinned-runner CI lane or local before/after runs, and the tolerance
+// should absorb normal scheduler noise; allocs/op stays the exact,
+// machine-independent gate.
 package main
 
 import (
@@ -42,7 +50,13 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	baseline := flag.String("baseline", "", "baseline report to gate against (JSON from a previous run)")
 	gate := flag.String("gate", "", "comma-separated Benchmark:metric pairs that must not regress above the baseline")
+	nsTol := flag.Float64("ns-tolerance", 0, "percentage by which ns/op may exceed the baseline before failing (0 disables the time gate)")
 	flag.Parse()
+
+	if *nsTol < 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: -ns-tolerance must be >= 0")
+		os.Exit(1)
+	}
 
 	report := Report{
 		GoVersion: runtime.Version(),
@@ -69,9 +83,9 @@ func main() {
 	// Load the baseline before writing: -o and -baseline may name the same
 	// file (regenerate the committed artifact while gating against it).
 	var base Report
-	if *gate != "" {
+	if *gate != "" || *nsTol > 0 {
 		if *baseline == "" {
-			fmt.Fprintln(os.Stderr, "benchjson: -gate requires -baseline")
+			fmt.Fprintln(os.Stderr, "benchjson: -gate and -ns-tolerance require -baseline")
 			os.Exit(1)
 		}
 		raw, err := os.ReadFile(*baseline)
@@ -102,14 +116,18 @@ func main() {
 		os.Exit(1)
 	}
 
+	var failures []string
 	if *gate != "" {
-		failures := checkGates(report, base, *gate)
-		for _, f := range failures {
-			fmt.Fprintf(os.Stderr, "benchjson: GATE FAILED: %s\n", f)
-		}
-		if len(failures) > 0 {
-			os.Exit(1)
-		}
+		failures = append(failures, checkGates(report, base, *gate)...)
+	}
+	if *nsTol > 0 {
+		failures = append(failures, checkNsTolerance(report, base, *nsTol)...)
+	}
+	for _, f := range failures {
+		fmt.Fprintf(os.Stderr, "benchjson: GATE FAILED: %s\n", f)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
 	}
 }
 
@@ -160,6 +178,38 @@ func checkGates(cur, base Report, spec string) []string {
 	for _, res := range base.Results {
 		if _, ok := curIdx[res.Name]; !ok {
 			failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from current run", res.Name))
+		}
+	}
+	return failures
+}
+
+// checkNsTolerance compares ns/op for every benchmark present in both
+// reports and fails those whose current time exceeds the baseline by more
+// than pct percent. Benchmarks absent from either side are skipped — the
+// -gate coverage check is what polices suite shrinkage — as are baseline
+// entries without an ns/op metric (a zero baseline would make any
+// nonzero time a failure, which is noise, not signal).
+func checkNsTolerance(cur, base Report, pct float64) []string {
+	curNs := make(map[string]float64, len(cur.Results))
+	for _, res := range cur.Results {
+		if v, ok := res.Metrics["ns/op"]; ok {
+			curNs[res.Name] = v
+		}
+	}
+	var failures []string
+	for _, res := range base.Results {
+		baseVal, ok := res.Metrics["ns/op"]
+		if !ok || baseVal <= 0 {
+			continue
+		}
+		curVal, ok := curNs[res.Name]
+		if !ok {
+			continue
+		}
+		limit := baseVal * (1 + pct/100)
+		if curVal > limit {
+			failures = append(failures, fmt.Sprintf("%s: ns/op %g exceeds baseline %g by more than %g%% (limit %g)",
+				res.Name, curVal, baseVal, pct, limit))
 		}
 	}
 	return failures

@@ -100,6 +100,69 @@ func TestCheckGatesMalformedSpec(t *testing.T) {
 	}
 }
 
+func TestCheckNsToleranceWithinBudget(t *testing.T) {
+	base := report(res("BenchmarkDecode", map[string]float64{"ns/op": 100}))
+	cur := report(res("BenchmarkDecode", map[string]float64{"ns/op": 120}))
+	if f := checkNsTolerance(cur, base, 25); len(f) != 0 {
+		t.Fatalf("+20%% within a 25%% tolerance should pass, got %v", f)
+	}
+	// Exactly at the limit passes: the gate is `>`, not `>=`.
+	cur = report(res("BenchmarkDecode", map[string]float64{"ns/op": 125}))
+	if f := checkNsTolerance(cur, base, 25); len(f) != 0 {
+		t.Fatalf("exactly at the limit should pass, got %v", f)
+	}
+}
+
+func TestCheckNsToleranceExceeded(t *testing.T) {
+	base := report(
+		res("BenchmarkDecode", map[string]float64{"ns/op": 100}),
+		res("BenchmarkEncode", map[string]float64{"ns/op": 200}),
+	)
+	cur := report(
+		res("BenchmarkDecode", map[string]float64{"ns/op": 140}),
+		res("BenchmarkEncode", map[string]float64{"ns/op": 210}),
+	)
+	f := checkNsTolerance(cur, base, 25)
+	if len(f) != 1 || !strings.Contains(f[0], "BenchmarkDecode") {
+		t.Fatalf("only the +40%% benchmark should fail a 25%% tolerance, got %v", f)
+	}
+	if !strings.Contains(f[0], "ns/op 140 exceeds baseline 100") {
+		t.Fatalf("failure message should carry both values, got %q", f[0])
+	}
+}
+
+func TestCheckNsToleranceSkipsUnmatched(t *testing.T) {
+	// New benchmarks (no baseline), retired benchmarks (no current), and
+	// entries without an ns/op metric are all skipped — coverage policing
+	// belongs to checkGates.
+	base := report(
+		res("BenchmarkRetired", map[string]float64{"ns/op": 10}),
+		res("BenchmarkAllocOnly", map[string]float64{"allocs/op": 0}),
+		res("BenchmarkZeroBase", map[string]float64{"ns/op": 0}),
+	)
+	cur := report(
+		res("BenchmarkNew", map[string]float64{"ns/op": 9999}),
+		res("BenchmarkAllocOnly", map[string]float64{"allocs/op": 0, "ns/op": 50}),
+		res("BenchmarkZeroBase", map[string]float64{"ns/op": 1}),
+	)
+	if f := checkNsTolerance(cur, base, 5); len(f) != 0 {
+		t.Fatalf("unmatched benchmarks should be skipped, got %v", f)
+	}
+}
+
+func TestCheckNsToleranceZeroTolerance(t *testing.T) {
+	// pct 0 still means "no regression at all" when the caller invokes the
+	// check directly; main() treats flag value 0 as disabled before calling.
+	base := report(res("BenchmarkDecode", map[string]float64{"ns/op": 100}))
+	cur := report(res("BenchmarkDecode", map[string]float64{"ns/op": 101}))
+	if f := checkNsTolerance(cur, base, 0); len(f) != 1 {
+		t.Fatalf("any slowdown should fail a 0%% tolerance, got %v", f)
+	}
+	if f := checkNsTolerance(base, base, 0); len(f) != 0 {
+		t.Fatalf("identical reports should pass a 0%% tolerance, got %v", f)
+	}
+}
+
 func TestParseLineRejectsNoise(t *testing.T) {
 	for _, line := range []string{
 		"",

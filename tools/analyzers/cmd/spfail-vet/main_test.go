@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSeededViolationModule builds and runs the real binary against the
+// testdata/badmodule fixture, which seeds one violation per new pass. This
+// is the end-to-end proof that the multichecker wiring — load, run,
+// suppression filtering, exit status — catches what the unit fixtures
+// catch: if a pass falls out of passes.All() its seeded diagnostic
+// disappears and this test fails.
+func TestSeededViolationModule(t *testing.T) {
+	fixture, err := filepath.Abs(filepath.Join("..", "..", "testdata", "badmodule"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command("go", "run", ".", "-C", fixture, "./...")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err = cmd.Run()
+
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) {
+		t.Fatalf("want exit error, got err=%v\nstdout:\n%s\nstderr:\n%s", err, &stdout, &stderr)
+	}
+	if code := exit.ExitCode(); code != 1 {
+		t.Fatalf("exit code = %d, want 1 (2 means load error)\nstdout:\n%s\nstderr:\n%s",
+			code, &stdout, &stderr)
+	}
+
+	out := stdout.String()
+	for _, pass := range []string{"poolhygiene", "lockguard", "hotpathalloc", "metricnames"} {
+		if !strings.Contains(out, pass+":") {
+			t.Errorf("output missing a %s diagnostic:\n%s", pass, out)
+		}
+	}
+	// The control sites (lock.Good, the cold functions) must stay clean:
+	// every diagnostic line must point into the fixture's seeded files.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.Contains(line, "badmodule") {
+			t.Errorf("diagnostic outside the fixture module: %q", line)
+		}
+	}
+}
+
+// TestListFlag keeps the -list inventory in sync with the suite: a pass
+// added to passes.All() must show up here, since CI operators use -list to
+// see what the lint job enforces.
+func TestListFlag(t *testing.T) {
+	cmd := exec.Command("go", "run", ".", "-list")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("spfail-vet -list: %v\n%s", err, out)
+	}
+	for _, pass := range []string{
+		"wallclock", "seededrand", "nilsafe", "decodepanic", "deadlinecheck",
+		"poolhygiene", "lockguard", "hotpathalloc", "metricnames",
+	} {
+		if !strings.Contains(string(out), pass) {
+			t.Errorf("-list missing pass %q:\n%s", pass, out)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package hotpathalloc keeps functions on the measurement fast path free
+// of incidental heap allocation. The probe pipeline is zero-alloc by
+// construction (PRs 4-6): pooled sessions, arena-backed trace spans,
+// preallocated DNS codecs. That regime is easy to break with one
+// innocent-looking line — a fmt.Errorf on a path that turns out to be
+// warm, a closure that captures a loop variable, a string([]byte) round
+// trip — and the regression only shows up later as benchmark drift.
+//
+// A function whose doc comment carries the `//spfail:hotpath` directive
+// is checked for the construct classes that reliably heap-allocate:
+//
+//   - function literals that capture enclosing variables (captured
+//     variables move to the heap; capture-free literals compile to
+//     static funcs and are fine);
+//   - string <-> []byte conversions, except the `m[string(b)]` map-read
+//     form the compiler optimizes to a no-alloc lookup;
+//   - map and slice composite literals;
+//   - any call into package fmt (all fmt entry points take ...any and
+//     box their operands).
+//
+// The directive is deliberately per-function, not per-package: cold
+// error paths inside a hot function take a site-level //spfail:allow
+// with a justification, which doubles as documentation of where the
+// slow path starts.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"spfail/tools/analyzers/analysis"
+)
+
+// Analyzer is the hotpathalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc: "functions marked //spfail:hotpath may not contain heap-escaping constructs: " +
+		"capturing closures, string/[]byte conversions, map/slice literals, fmt calls",
+	Run: run,
+}
+
+// directive marks a function as hot-path.
+const directive = "//spfail:hotpath"
+
+func run(p *analysis.Pass) error {
+	for _, f := range p.Files {
+		if analysis.IsTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHot(fd) {
+				continue
+			}
+			checkBody(p, fd)
+		}
+	}
+	return nil
+}
+
+func isHot(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, directive) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkBody(p *analysis.Pass, fd *ast.FuncDecl) {
+	exemptConv := mapReadKeys(p, fd.Body)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if name := capturedVar(p, fd, n); name != "" {
+				p.Reportf(n.Pos(), "hot path closure captures %s; captured variables escape to the heap", name)
+			}
+			return true
+		case *ast.CallExpr:
+			if exemptConv[n] {
+				return true
+			}
+			if kind := stringByteConv(p, n); kind != "" {
+				p.Reportf(n.Pos(), "hot path %s conversion allocates", kind)
+				return true
+			}
+			if name, ok := fmtCall(p, n); ok {
+				p.Reportf(n.Pos(), "hot path calls fmt.%s; fmt boxes its operands", name)
+			}
+			return true
+		case *ast.CompositeLit:
+			t := p.TypesInfo.Types[n].Type
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				p.Reportf(n.Pos(), "hot path map literal allocates")
+			case *types.Slice:
+				p.Reportf(n.Pos(), "hot path slice literal allocates")
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// mapReadKeys collects string(b) conversions used as map-read keys,
+// which the compiler compiles without allocating the string.
+func mapReadKeys(p *analysis.Pass, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	assignLHS := map[ast.Expr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				assignLHS[ast.Unparen(lhs)] = true
+			}
+		}
+		return true
+	})
+	out := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok || assignLHS[ix] {
+			return true
+		}
+		t := p.TypesInfo.Types[ix.X].Type
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if call, ok := ast.Unparen(ix.Index).(*ast.CallExpr); ok && stringByteConv(p, call) == "string([]byte)" {
+			out[call] = true
+		}
+		return true
+	})
+	return out
+}
+
+// stringByteConv reports whether call is a string<->[]byte conversion,
+// returning "string([]byte)", "[]byte(string)", or "".
+func stringByteConv(p *analysis.Pass, call *ast.CallExpr) string {
+	if len(call.Args) != 1 {
+		return ""
+	}
+	tv, ok := p.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return ""
+	}
+	argT := p.TypesInfo.Types[call.Args[0]].Type
+	if argT == nil {
+		return ""
+	}
+	if isString(tv.Type) && isByteSlice(argT) {
+		return "string([]byte)"
+	}
+	if isByteSlice(tv.Type) && isString(argT) {
+		return "[]byte(string)"
+	}
+	return ""
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.String
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// fmtCall reports whether call invokes a function from package fmt.
+func fmtCall(p *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := p.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "fmt" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// capturedVar returns the name of a variable the literal captures from
+// its enclosing function, or "" if it is capture-free.
+func capturedVar(p *analysis.Pass, fd *ast.FuncDecl, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.TypesInfo.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured iff declared inside the enclosing function but
+		// outside this literal. Package-level vars are not captures.
+		if v.Pos() >= fd.Pos() && v.Pos() < fd.End() &&
+			(v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
+			name = v.Name()
+		}
+		return true
+	})
+	return name
+}

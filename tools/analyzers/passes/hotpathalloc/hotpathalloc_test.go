@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"spfail/tools/analyzers/analysistest"
+	"spfail/tools/analyzers/passes/hotpathalloc"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata/src/c", "c", hotpathalloc.Analyzer)
+}

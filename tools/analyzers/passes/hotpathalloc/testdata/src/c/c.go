@@ -1,0 +1,73 @@
+// Package c exercises the hotpathalloc pass.
+package c
+
+import "fmt"
+
+var table = map[string]int{"a": 1}
+
+// coldPath is unmarked: every construct below is fine here.
+func coldPath(b []byte) string {
+	f := func() []int { return []int{1} }
+	_ = f()
+	_ = fmt.Sprintf("%x", b)
+	return string(b)
+}
+
+// hotClean stays within the rules.
+//
+//spfail:hotpath
+func hotClean(b []byte, dst []byte) int {
+	n := copy(dst, b)
+	if v, ok := table[string(b)]; ok { // map-read key: compiler no-alloc form
+		n += v
+	}
+	return n
+}
+
+//spfail:hotpath
+func hotConv(b []byte) string {
+	return string(b) // want `hot path string\(\[\]byte\) conversion allocates`
+}
+
+//spfail:hotpath
+func hotConvBack(s string) []byte {
+	return []byte(s) // want `hot path \[\]byte\(string\) conversion allocates`
+}
+
+//spfail:hotpath
+func hotMapWrite(m map[string]int, b []byte) {
+	m[string(b)] = 1 // want `hot path string\(\[\]byte\) conversion allocates`
+}
+
+//spfail:hotpath
+func hotLits() int {
+	m := map[string]int{} // want `hot path map literal allocates`
+	s := []int{1, 2}      // want `hot path slice literal allocates`
+	return len(m) + len(s)
+}
+
+//spfail:hotpath
+func hotFmt(err error) error {
+	return fmt.Errorf("wrap: %w", err) // want `hot path calls fmt\.Errorf; fmt boxes its operands`
+}
+
+//spfail:hotpath
+func hotClosure(n int) func() int {
+	return func() int { return n } // want `hot path closure captures n; captured variables escape to the heap`
+}
+
+// hotStaticClosure's literal captures nothing: compiles to a static func.
+//
+//spfail:hotpath
+func hotStaticClosure() func() int {
+	return func() int { return 42 }
+}
+
+//spfail:hotpath
+func hotAllowed(err error) error {
+	if err != nil {
+		//spfail:allow hotpathalloc cold error path, probe already failed
+		return fmt.Errorf("probe: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,479 @@
+// Package lockguard checks `// guarded by <mu>` field annotations: a
+// struct field so annotated may only be read while its mutex is held
+// (RLock or Lock) and only be written under the exclusive Lock. PR 6
+// shipped exactly the bug this pass exists for — a pooled trace buffer's
+// clock was read outside the buffer lock, racing the recycler that
+// rewrites it — and the data-race window was small enough that only a
+// purpose-built stress test caught it.
+//
+// The check is positional and intra-procedural: within the enclosing
+// function, the last Lock/RLock/Unlock/RUnlock on the guarding mutex
+// before the access decides the held state. Unlocks inside defer
+// statements run at return and are ignored. Two spellings of "holding the
+// mutex" are recognized:
+//
+//   - exact: the access base plus the guard path (`b.spans` guarded by
+//     `mu` needs `b.mu.Lock()`; `sp.attrs` guarded by `b.mu` needs
+//     `sp.b.mu.Lock()`);
+//   - alias: when the guard path starts with a sibling pointer field
+//     (`b.mu` on a Span field), a lock through a plain variable of that
+//     field's type (`b.mu.Lock()` where b is the owning *Buffer) counts —
+//     the common pattern when the owner carves values out of its own
+//     arenas.
+//
+// A function whose doc comment carries `//spfail:locked <expr>` asserts
+// the caller holds that mutex on entry (the "Must hold b.mu" helper
+// convention). Protocol-based exclusion that no lock expresses — a closed
+// flag checked under the lock before a lock-free read elsewhere — takes a
+// site-level //spfail:allow with justification.
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"spfail/tools/analyzers/analysis"
+)
+
+// Analyzer is the lockguard pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "fields annotated `// guarded by <mu>` may only be read holding that mutex " +
+		"(RLock suffices) and written holding the exclusive Lock",
+	Run: run,
+}
+
+// lockedDirective marks a function whose caller guarantees a mutex.
+const lockedDirective = "//spfail:locked"
+
+// guardSpec is one annotated field.
+type guardSpec struct {
+	structType *types.Named
+	field      string
+	guard      string // dotted path relative to the struct value, e.g. "mu" or "b.mu"
+}
+
+func run(p *analysis.Pass) error {
+	guards := collectGuards(p)
+	if len(guards) == 0 {
+		return nil
+	}
+	index := make(map[types.Object]*guardSpec) // field object -> spec
+	byType := make(map[*types.Named][]*guardSpec)
+	for i := range guards {
+		g := &guards[i]
+		byType[g.structType] = append(byType[g.structType], g)
+		st := g.structType.Underlying().(*types.Struct)
+		for j := 0; j < st.NumFields(); j++ {
+			if st.Field(j).Name() == g.field {
+				index[st.Field(j)] = g
+			}
+		}
+	}
+
+	for _, f := range p.Files {
+		if analysis.IsTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(p, fd, index, byType)
+		}
+	}
+	return nil
+}
+
+// collectGuards parses `guarded by <path>` comments on struct fields.
+func collectGuards(p *analysis.Pass) []guardSpec {
+	var out []guardSpec
+	for _, f := range p.Files {
+		if analysis.IsTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			obj := p.TypesInfo.Defs[ts.Name]
+			if obj == nil {
+				return true
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				return true
+			}
+			for _, fl := range st.Fields.List {
+				guard := guardFromComments(fl.Doc, fl.Comment)
+				if guard == "" {
+					continue
+				}
+				for _, name := range fl.Names {
+					out = append(out, guardSpec{structType: named, field: name.Name, guard: guard})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardFromComments extracts the mutex path from a field's doc or line
+// comment containing "guarded by <path>".
+func guardFromComments(groups ...*ast.CommentGroup) string {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := c.Text
+			i := strings.Index(text, "guarded by ")
+			if i < 0 {
+				continue
+			}
+			rest := strings.TrimSpace(text[i+len("guarded by "):])
+			if j := strings.IndexAny(rest, " \t.;,()"); j >= 0 {
+				// Allow a trailing sentence; the path itself may contain
+				// dots, so only cut at a dot followed by space or at
+				// whitespace.
+				if rest[j] != '.' {
+					rest = rest[:j]
+				} else {
+					// Cut "mu." at end of sentence but keep "b.mu".
+					for k := 0; k < len(rest); k++ {
+						if rest[k] == ' ' || rest[k] == '\t' {
+							rest = rest[:k]
+							break
+						}
+					}
+					rest = strings.TrimRight(rest, ".,;")
+				}
+			}
+			if rest != "" {
+				return rest
+			}
+		}
+	}
+	return ""
+}
+
+// lockEvent is one Lock/RLock/Unlock/RUnlock call on a rendered mutex
+// expression.
+type lockEvent struct {
+	pos      token.Pos
+	expr     ast.Expr // the mutex expression (receiver of the call)
+	op       string   // Lock, RLock, Unlock, RUnlock
+	deferred bool
+	// scopeEnd, when nonzero, marks the end of an enclosing block that
+	// terminates (return/branch/panic): every path through this event
+	// leaves the block, so the event does not flow to positions past it.
+	// This is what keeps the ubiquitous `if closed { mu.Unlock(); return }`
+	// early-out from poisoning the straight-line locked path below it.
+	scopeEnd token.Pos
+}
+
+// access is one read or write of a guarded field.
+type access struct {
+	pos   token.Pos
+	base  ast.Expr // expression the field is selected from
+	spec  *guardSpec
+	write bool
+}
+
+func checkFunc(p *analysis.Pass, fd *ast.FuncDecl, index map[types.Object]*guardSpec, byType map[*types.Named][]*guardSpec) {
+	held := directiveLocks(fd)
+	var events []lockEvent
+	var accesses []access
+
+	// Scope: one positional scan over the whole body including nested
+	// literals. Lock state flows into closures, which matches the
+	// dominant "closure runs synchronously under the lock" use;
+	// asynchronous closures that need their own discipline re-lock
+	// inside and are therefore still checked sensibly.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if ev, ok := lockCall(n.Call); ok {
+				ev.deferred = true
+				events = append(events, ev)
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			if ev, ok := lockCall(n); ok {
+				events = append(events, ev)
+			}
+			return true
+		case *ast.SelectorExpr:
+			obj := fieldObj(p, n)
+			if spec, ok := index[obj]; ok {
+				accesses = append(accesses, access{pos: n.Pos(), base: n.X, spec: spec, write: isWrite(fd, n)})
+			}
+			return true
+		case *ast.AssignStmt:
+			// Whole-struct writes through a pointer: *sp = Span{...}
+			for _, lhs := range n.Lhs {
+				se, ok := ast.Unparen(lhs).(*ast.StarExpr)
+				if !ok {
+					continue
+				}
+				t := p.TypesInfo.Types[se.X].Type
+				ptr, ok := t.(*types.Pointer)
+				if !ok {
+					continue
+				}
+				if named, ok := ptr.Elem().(*types.Named); ok {
+					// A wholesale write clobbers every guarded field;
+					// one diagnostic (for the first spec) is enough.
+					if specs := byType[named]; len(specs) > 0 {
+						accesses = append(accesses, access{pos: se.Pos(), base: se.X, spec: specs[0], write: true})
+					}
+				}
+			}
+			return true
+		}
+		return true
+	})
+
+	for i := range events {
+		if events[i].op == "Unlock" || events[i].op == "RUnlock" {
+			events[i].scopeEnd = terminatingBlockEnd(fd.Body, events[i].pos)
+		}
+	}
+
+	for _, a := range accesses {
+		state := heldState(p, a, events, held)
+		switch {
+		case state == "" && a.write:
+			p.Reportf(a.pos, "write to %s.%s (guarded by %s) without holding %s",
+				types.ExprString(a.base), a.spec.field, a.spec.guard, requiredMutex(a))
+		case state == "":
+			p.Reportf(a.pos, "read of %s.%s (guarded by %s) without holding %s",
+				types.ExprString(a.base), a.spec.field, a.spec.guard, requiredMutex(a))
+		case state == "RLock" && a.write:
+			p.Reportf(a.pos, "write to %s.%s (guarded by %s) under RLock; writes need the exclusive Lock",
+				types.ExprString(a.base), a.spec.field, a.spec.guard)
+		}
+	}
+}
+
+// requiredMutex renders the mutex an access needs, for diagnostics.
+func requiredMutex(a access) string {
+	return types.ExprString(a.base) + "." + a.spec.guard
+}
+
+// directiveLocks parses //spfail:locked directives from the function doc.
+func directiveLocks(fd *ast.FuncDecl) []string {
+	if fd.Doc == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, lockedDirective) {
+			for _, f := range strings.Fields(strings.TrimPrefix(c.Text, lockedDirective)) {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// lockCall classifies a call as a mutex operation.
+func lockCall(call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return lockEvent{pos: call.Pos(), expr: sel.X, op: sel.Sel.Name}, true
+	}
+	return lockEvent{}, false
+}
+
+// fieldObj resolves a selector to the struct field object it denotes.
+func fieldObj(p *analysis.Pass, sel *ast.SelectorExpr) types.Object {
+	if s, ok := p.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj()
+	}
+	return nil
+}
+
+// isWrite reports whether the selector at pos is an assignment target or
+// inc/dec operand.
+func isWrite(fd *ast.FuncDecl, sel *ast.SelectorExpr) bool {
+	write := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				lhs = ast.Unparen(lhs)
+				if lhs == ast.Expr(sel) {
+					write = true
+				}
+				// m[k] = v and *p = v mutate the guarded container.
+				switch l := lhs.(type) {
+				case *ast.IndexExpr:
+					if ast.Unparen(l.X) == ast.Expr(sel) {
+						write = true
+					}
+				case *ast.StarExpr:
+					if ast.Unparen(l.X) == ast.Expr(sel) {
+						write = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if ast.Unparen(n.X) == ast.Expr(sel) {
+				write = true
+			}
+		case *ast.UnaryExpr:
+			// &x.f may be written through; treat as a write.
+			if n.Op == token.AND && ast.Unparen(n.X) == ast.Expr(sel) {
+				write = true
+			}
+		}
+		return true
+	})
+	return write
+}
+
+// heldState computes the lock state at the access: "", "RLock", or "Lock".
+func heldState(p *analysis.Pass, a access, events []lockEvent, directives []string) string {
+	exact := types.ExprString(ast.Unparen(a.base)) + "." + a.spec.guard
+	for _, d := range directives {
+		if d == exact || d == a.spec.guard {
+			return "Lock" // caller-holds directives assert exclusive hold
+		}
+	}
+	state := ""
+	for _, ev := range events {
+		if ev.pos >= a.pos || ev.deferred {
+			continue
+		}
+		if ev.scopeEnd != 0 && a.pos >= ev.scopeEnd {
+			continue // every path through ev exits its block before a
+		}
+		if !mutexMatches(p, ev.expr, exact, a) {
+			continue
+		}
+		switch ev.op {
+		case "Lock":
+			state = "Lock"
+		case "RLock":
+			state = "RLock"
+		case "Unlock", "RUnlock":
+			state = ""
+		}
+	}
+	return state
+}
+
+// mutexMatches reports whether the locked expression is the access's
+// guarding mutex: exact textual match, or the alias form where the guard
+// path routes through a pointer field and the lock goes through a variable
+// of that field's type.
+func mutexMatches(p *analysis.Pass, lockExpr ast.Expr, exact string, a access) bool {
+	rendered := types.ExprString(ast.Unparen(lockExpr))
+	if rendered == exact {
+		return true
+	}
+	head, _, hasDot := strings.Cut(a.spec.guard, ".")
+	if !hasDot || rendered != a.spec.guard {
+		return false
+	}
+	// guard "b.mu": accept `b.mu.Lock()` when b's type matches the
+	// struct's field b.
+	st := a.spec.structType.Underlying().(*types.Struct)
+	var fieldType types.Type
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == head {
+			fieldType = st.Field(i).Type()
+		}
+	}
+	if fieldType == nil {
+		return false
+	}
+	rootIdent := rootOf(lockExpr)
+	if rootIdent == nil {
+		return false
+	}
+	obj := p.TypesInfo.Uses[rootIdent]
+	return obj != nil && types.Identical(obj.Type(), fieldType)
+}
+
+// terminatingBlockEnd returns the End of the innermost block enclosing
+// pos when that block's last statement unconditionally leaves it
+// (return, break/continue/goto, or panic), and 0 otherwise. The
+// function's own body does not count: leaving it is just falling off
+// the end.
+func terminatingBlockEnd(body *ast.BlockStmt, pos token.Pos) token.Pos {
+	var innermost *ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil || pos < n.Pos() || pos >= n.End() {
+			return false
+		}
+		if b, ok := n.(*ast.BlockStmt); ok {
+			innermost = b
+		}
+		return true
+	})
+	if innermost == nil || innermost == body || len(innermost.List) == 0 {
+		return 0
+	}
+	if terminates(innermost.List[len(innermost.List)-1]) {
+		return innermost.End()
+	}
+	return 0
+}
+
+// terminates reports whether executing s always leaves the enclosing
+// block (a conservative subset of the spec's terminating statements).
+func terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return len(s.List) > 0 && terminates(s.List[len(s.List)-1])
+	case *ast.IfStmt:
+		return s.Else != nil && terminates(s.Body) && terminates(s.Else)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if len(cc.Body) == 0 || !terminates(cc.Body[len(cc.Body)-1]) {
+				return false
+			}
+		}
+		return len(s.Body.List) > 0
+	}
+	return false
+}
+
+// rootOf returns the leftmost identifier of a selector chain.
+func rootOf(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

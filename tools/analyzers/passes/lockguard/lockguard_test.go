@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"spfail/tools/analyzers/analysistest"
+	"spfail/tools/analyzers/passes/lockguard"
+)
+
+func TestLockGuard(t *testing.T) {
+	analysistest.Run(t, "testdata/src/b", "b", lockguard.Analyzer)
+}

@@ -1,0 +1,133 @@
+// Package b exercises the lockguard pass.
+package b
+
+import "sync"
+
+// counter is the plain-mutex shape.
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) goodInc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) goodDeferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) badRead() int {
+	return c.n // want `read of c\.n \(guarded by mu\) without holding c\.mu`
+}
+
+func (c *counter) badAfterUnlock() {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	c.n = 2 // want `write to c\.n \(guarded by mu\) without holding c\.mu`
+}
+
+func (c *counter) goodEarlyReturn(cond bool) int {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock() // exits via return: must not poison the path below
+		return 0
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+func (c *counter) goodSelectEarly(ch chan int) int {
+	c.mu.Lock()
+	if c.n == 0 {
+		c.mu.Unlock()
+		select { // every case returns, so this unlock exits the function
+		case v := <-ch:
+			return v
+		default:
+			return 0
+		}
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+//spfail:locked c.mu
+func (c *counter) callerHolds() {
+	c.n++
+}
+
+func (c *counter) allowedRead() int {
+	//spfail:allow lockguard snapshot read is racy by design, used for logging only
+	return c.n
+}
+
+// store is the RWMutex shape: reads need RLock, writes need Lock.
+type store struct {
+	mu   sync.RWMutex
+	data map[string]int // guarded by mu
+}
+
+func (s *store) goodGet(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data[k]
+}
+
+func (s *store) badWriteUnderRLock(k string) {
+	s.mu.RLock()
+	s.data[k] = 1 // want `write to s\.data \(guarded by mu\) under RLock; writes need the exclusive Lock`
+	s.mu.RUnlock()
+}
+
+// owner/span is the alias shape from internal/trace: span fields are
+// guarded by the owning buffer's mutex, and methods on the owner lock
+// their own mu before touching spans carved from the arena.
+type owner struct {
+	mu    sync.Mutex
+	spans []span // guarded by mu
+}
+
+type span struct {
+	b    *owner
+	end  int64 // guarded by b.mu
+	done bool  // guarded by b.mu
+}
+
+func (sp *span) goodEnd(v int64) {
+	sp.b.mu.Lock()
+	sp.end = v
+	sp.b.mu.Unlock()
+}
+
+func (sp *span) badEnd(v int64) {
+	sp.end = v // want `write to sp\.end \(guarded by b\.mu\) without holding sp\.b\.mu`
+}
+
+func (b *owner) aliasWrite() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	sp := &b.spans[0]
+	*sp = span{b: b} // whole-struct write: covered by the alias lock
+	sp.end = 1       // alias: b.mu held, b's type matches span.b
+	sp.done = true
+}
+
+//spfail:locked b.mu
+func (b *owner) allocSpan() *span {
+	b.spans = append(b.spans, span{b: b})
+	sp := &b.spans[len(b.spans)-1]
+	sp.done = false
+	return sp
+}
+
+func (b *owner) badWholesale(sp *span) {
+	*sp = span{} // want `write to sp\.end \(guarded by b\.mu\) without holding sp\.b\.mu`
+}

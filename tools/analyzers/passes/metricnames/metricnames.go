@@ -1,0 +1,266 @@
+// Package metricnames keeps the telemetry namespace coherent and the
+// metric inventory in docs/telemetry.md honest. Metrics are registered
+// ad hoc at call sites (`s.Metrics.Counter("dns.server.queries")`), so
+// nothing structural stops two packages from claiming the same name for
+// different kinds, a typo from minting `dns.clientqueries`, or a new
+// counter from shipping without a docs row — the doc table silently rots
+// (PR 6 added five pipeline metrics and documented none of them).
+//
+// For every Counter/Gauge/Histogram registration on a telemetry.Registry
+// the pass checks:
+//
+//   - the name is a string literal, or a concatenation whose literal
+//     prefix ends in "." (the `"probe.outcome." + status` dynamic-suffix
+//     form); anything else defeats static checking and takes an allow;
+//   - literal names match the layer.subsystem.name convention: two to
+//     four lowercase dot-separated segments of [a-z0-9_];
+//   - a name is registered with one kind only (a counter in one file and
+//     a gauge in another is a bug, not a naming choice);
+//   - distinct names must stay distinct after prometheus mangling
+//     (dots -> underscores), since the /metrics exporter flattens them;
+//   - every name (or dynamic prefix) has a row in docs/telemetry.md,
+//     located by walking up from the source file. Wildcard rows like
+//     `dns.server.qtype.<TYPE>` document whole families.
+//
+// Deleting a docs row for a live metric therefore fails the lint job —
+// the doc-drift gate runs in CI, not in review.
+package metricnames
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"spfail/tools/analyzers/analysis"
+)
+
+// Analyzer is the metricnames pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricnames",
+	Doc: "telemetry registration names must be literal, unique per kind, follow " +
+		"layer.subsystem.name, and appear in docs/telemetry.md",
+	Run: run,
+}
+
+// nameRE is the layer.subsystem.name convention: 2-4 lowercase segments.
+var nameRE = regexp.MustCompile(`^[a-z0-9_]+(\.[a-z0-9_]+){1,3}$`)
+
+// docFile is the metric inventory the pass reconciles against.
+const docFile = "telemetry.md"
+
+func run(p *analysis.Pass) error {
+	kinds := map[string]regSite{}  // name -> first registration
+	mangle := map[string]regSite{} // prometheus-mangled -> first registration
+	docs := newDocIndex()
+
+	for _, f := range p.Files {
+		if analysis.IsTestFile(p.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := registration(p, call)
+			if !ok {
+				return true
+			}
+			name, prefix, lit := metricNameArg(p, call.Args[0])
+			switch {
+			case lit:
+				checkLiteral(p, call.Pos(), name, kind, kinds, mangle, docs)
+			case prefix != "":
+				if !strings.HasSuffix(prefix, ".") {
+					p.Reportf(call.Pos(), "dynamic metric name prefix %q must end in \".\" so the family is greppable", prefix)
+					return true
+				}
+				if doc, ok := docs.lookup(p, call.Pos()); ok && !doc.hasPrefix(prefix) {
+					p.Reportf(call.Pos(), "no %s row documents the metric family %q", doc.rel, prefix+"*")
+				}
+			default:
+				p.Reportf(call.Pos(), "metric name is not a string literal or literal-prefixed concatenation; static checks cannot see it")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type regSite struct {
+	name string
+	kind string
+	pos  token.Pos
+}
+
+func checkLiteral(p *analysis.Pass, pos token.Pos, name, kind string, kinds, mangle map[string]regSite, docs *docIndex) {
+	if !nameRE.MatchString(name) {
+		p.Reportf(pos, "metric name %q does not match layer.subsystem.name (2-4 lowercase dot-separated segments)", name)
+		return
+	}
+	if prev, ok := kinds[name]; ok && prev.kind != kind {
+		p.Reportf(pos, "metric %q registered as %s here but as %s elsewhere", name, kind, prev.kind)
+	} else if !ok {
+		kinds[name] = regSite{name: name, kind: kind, pos: pos}
+	}
+	m := strings.ReplaceAll(name, ".", "_")
+	if prev, ok := mangle[m]; ok && prev.name != name {
+		p.Reportf(pos, "metric names %q and %q collide after prometheus mangling (both export as %q)", name, prev.name, m)
+	} else if !ok {
+		mangle[m] = regSite{name: name, kind: kind, pos: pos}
+	}
+	if doc, ok := docs.lookup(p, pos); ok && !doc.hasName(name) {
+		p.Reportf(pos, "metric %q has no row in %s", name, doc.rel)
+	}
+}
+
+// registration classifies a call as a metric registration and returns its
+// kind. It matches methods Counter/Gauge/Histogram whose receiver is the
+// telemetry Registry type.
+func registration(p *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) < 1 {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Counter", "Gauge", "Histogram":
+	default:
+		return "", false
+	}
+	t := p.TypesInfo.Types[sel.X].Type
+	if t == nil {
+		return "", false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" {
+		return "", false
+	}
+	path := named.Obj().Pkg().Path()
+	return sel.Sel.Name, path == "telemetry" || strings.HasSuffix(path, "/telemetry")
+}
+
+// metricNameArg evaluates the name argument: a full literal value, or the
+// leading literal prefix of a "+" concatenation, or neither.
+func metricNameArg(p *analysis.Pass, e ast.Expr) (name, prefix string, lit bool) {
+	e = ast.Unparen(e)
+	if v := litString(p, e); v != "" {
+		return v, "", true
+	}
+	if bin, ok := e.(*ast.BinaryExpr); ok && bin.Op == token.ADD {
+		// Leftmost operand of the concat chain.
+		left := ast.Unparen(bin.X)
+		for {
+			b, ok := left.(*ast.BinaryExpr)
+			if !ok || b.Op != token.ADD {
+				break
+			}
+			left = ast.Unparen(b.X)
+		}
+		if v := litString(p, left); v != "" {
+			return "", v, false
+		}
+	}
+	return "", "", false
+}
+
+// litString returns the constant string value of e, or "".
+func litString(p *analysis.Pass, e ast.Expr) string {
+	if bl, ok := e.(*ast.BasicLit); ok && bl.Kind == token.STRING {
+		if v, err := strconv.Unquote(bl.Value); err == nil {
+			return v
+		}
+	}
+	// Named string constants count as literals too.
+	if tv, ok := p.TypesInfo.Types[e]; ok && tv.Value != nil {
+		if s, err := strconv.Unquote(tv.Value.ExactString()); err == nil {
+			return s
+		}
+	}
+	return ""
+}
+
+// docIndex lazily loads the nearest docs/telemetry.md for the package.
+type docIndex struct {
+	loaded bool
+	doc    *docContent
+}
+
+type docContent struct {
+	rel  string // how diagnostics refer to the file, e.g. docs/telemetry.md
+	text string
+}
+
+func newDocIndex() *docIndex { return &docIndex{} }
+
+// lookup finds docs/telemetry.md by walking up from the file containing
+// pos. Missing doc file disables doc checks (the format and collision
+// checks still run) — fixtures without an inventory stay usable.
+func (d *docIndex) lookup(p *analysis.Pass, pos token.Pos) (*docContent, bool) {
+	if d.loaded {
+		return d.doc, d.doc != nil
+	}
+	d.loaded = true
+	dir := filepath.Dir(p.Fset.Position(pos).Filename)
+	for {
+		cand := filepath.Join(dir, "docs", docFile)
+		if b, err := os.ReadFile(cand); err == nil {
+			d.doc = &docContent{rel: "docs/" + docFile, text: string(b)}
+			return d.doc, true
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return nil, false
+		}
+		dir = parent
+	}
+}
+
+// hasName reports whether the doc documents the exact name, either as a
+// backticked literal or via a wildcard row (`prefix.<VAR>`).
+func (c *docContent) hasName(name string) bool {
+	if strings.Contains(c.text, "`"+name+"`") {
+		return true
+	}
+	// Wildcard rows: `dns.server.qtype.<TYPE>` covers dns.server.qtype.a.
+	for _, row := range wildcardPrefixes(c.text) {
+		if strings.HasPrefix(name, row) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasPrefix reports whether the doc has any row for the dynamic family.
+func (c *docContent) hasPrefix(prefix string) bool {
+	return strings.Contains(c.text, "`"+prefix)
+}
+
+// wildcardPrefixes extracts the literal prefixes of backticked wildcard
+// rows like `dns.server.qtype.<TYPE>`.
+func wildcardPrefixes(text string) []string {
+	var out []string
+	for {
+		i := strings.Index(text, "`")
+		if i < 0 {
+			return out
+		}
+		text = text[i+1:]
+		j := strings.Index(text, "`")
+		if j < 0 {
+			return out
+		}
+		row := text[:j]
+		text = text[j+1:]
+		if k := strings.Index(row, "<"); k > 0 {
+			out = append(out, row[:k])
+		}
+	}
+}

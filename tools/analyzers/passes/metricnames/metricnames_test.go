@@ -1,0 +1,12 @@
+package metricnames_test
+
+import (
+	"testing"
+
+	"spfail/tools/analyzers/analysistest"
+	"spfail/tools/analyzers/passes/metricnames"
+)
+
+func TestMetricNames(t *testing.T) {
+	analysistest.Run(t, "testdata/src/d", "d/telemetry", metricnames.Analyzer)
+}

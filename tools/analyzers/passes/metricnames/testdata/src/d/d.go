@@ -1,0 +1,41 @@
+// Package telemetry exercises the metricnames pass. The fixture plays
+// both roles: it defines the Registry shape the pass keys on and makes
+// the registration calls under test. The reconciled inventory lives in
+// docs/telemetry.md next to this file.
+package telemetry
+
+// Registry mimics the real telemetry registry's registration surface.
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *int   { return nil }
+func (r *Registry) Gauge(name string) *int     { return nil }
+func (r *Registry) Histogram(name string) *int { return nil }
+
+// other has the same method names but is not a Registry: ignored.
+type other struct{}
+
+func (o *other) Counter(name string) *int { return nil }
+
+func dynName(s string) string { return "dyn." + s }
+
+func register(r *Registry, o *other, status, dyn string) {
+	r.Counter("probe.total")
+	r.Counter("dns.client.queries")
+	r.Counter("dns.client.queries") // same name, same kind: dedup is the registry's job
+	r.Histogram("probe.latency_ms")
+	o.Counter("whatever!") // not a Registry
+
+	r.Gauge("dns.client.queries")      // want `metric "dns\.client\.queries" registered as Gauge here but as Counter elsewhere`
+	r.Counter("dns.client_queries")    // want `metric names "dns\.client_queries" and "dns\.client\.queries" collide after prometheus mangling`
+	r.Counter("BadName")               // want `metric name "BadName" does not match layer\.subsystem\.name`
+	r.Counter("too.many.dots.in.here") // want `metric name "too\.many\.dots\.in\.here" does not match layer\.subsystem\.name`
+	r.Counter("campaign.undocumented") // want `metric "campaign\.undocumented" has no row in docs/telemetry\.md`
+
+	r.Counter("probe.outcome." + status) // wildcard row documents the family
+	r.Counter("dyn." + dyn)              // want `no docs/telemetry\.md row documents the metric family "dyn\.\*"`
+	r.Counter("probe" + status)          // want `dynamic metric name prefix "probe" must end in "\."`
+	r.Counter(dyn)                       // want `metric name is not a string literal or literal-prefixed concatenation`
+
+	//spfail:allow metricnames qtype helper mints names from a documented wildcard family
+	r.Counter(dynName(dyn))
+}

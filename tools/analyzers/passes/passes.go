@@ -5,7 +5,11 @@ import (
 	"spfail/tools/analyzers/analysis"
 	"spfail/tools/analyzers/passes/deadlinecheck"
 	"spfail/tools/analyzers/passes/decodepanic"
+	"spfail/tools/analyzers/passes/hotpathalloc"
+	"spfail/tools/analyzers/passes/lockguard"
+	"spfail/tools/analyzers/passes/metricnames"
 	"spfail/tools/analyzers/passes/nilsafe"
+	"spfail/tools/analyzers/passes/poolhygiene"
 	"spfail/tools/analyzers/passes/seededrand"
 	"spfail/tools/analyzers/passes/wallclock"
 )
@@ -18,5 +22,9 @@ func All() []*analysis.Analyzer {
 		nilsafe.Analyzer,
 		decodepanic.Analyzer,
 		deadlinecheck.Analyzer,
+		poolhygiene.Analyzer,
+		lockguard.Analyzer,
+		hotpathalloc.Analyzer,
+		metricnames.Analyzer,
 	}
 }

@@ -1,0 +1,12 @@
+package poolhygiene_test
+
+import (
+	"testing"
+
+	"spfail/tools/analyzers/analysistest"
+	"spfail/tools/analyzers/passes/poolhygiene"
+)
+
+func TestPoolHygiene(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", "a", poolhygiene.Analyzer)
+}

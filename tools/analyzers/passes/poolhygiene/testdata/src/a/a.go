@@ -1,0 +1,111 @@
+// Package a exercises the poolhygiene pass.
+package a
+
+import "sync"
+
+// session has a proper scrub method and clean call sites.
+type session struct {
+	buf   []byte
+	next  *session
+	count int
+}
+
+func (s *session) reset() {
+	s.buf = s.buf[:0]
+	s.next = nil
+	s.count = 0
+}
+
+var sessionPool = sync.Pool{New: func() any { return new(session) }}
+
+func goodRoundTrip() {
+	s := sessionPool.Get().(*session)
+	s.count = 1 // first use is a write: fine
+	s.reset()
+	sessionPool.Put(s)
+}
+
+func goodReleaseStyle(s *session) {
+	s.reset()
+	sessionPool.Put(s)
+}
+
+// dirty has no scrub method at all.
+type dirty struct {
+	p *int
+}
+
+var dirtyPool = sync.Pool{New: func() any { return new(dirty) }} // want `pooled type \*dirty has no reset/scrub method`
+
+// leaky's scrub forgets its pointer-bearing fields.
+type leaky struct {
+	buf []byte
+	ptr *int // want `pointer-bearing field leaky\.ptr is not assigned by reset`
+	//spfail:allow poolhygiene interning cache deliberately survives recycling
+	kept map[string]int
+	n    int
+}
+
+func (l *leaky) reset() {
+	l.buf = nil
+	l.n = 0
+}
+
+var leakyPool = sync.Pool{New: func() any { return new(leaky) }}
+
+func releaseLeaky(l *leaky) {
+	l.reset()
+	leakyPool.Put(l)
+}
+
+// wholesale resets by assigning the zero value; every field counts as
+// covered.
+type wholesale struct {
+	p  *int
+	fn func()
+}
+
+func (w *wholesale) release() {
+	*w = wholesale{}
+	wholesalePool.Put(w)
+}
+
+var wholesalePool = sync.Pool{New: func() any { return new(wholesale) }}
+
+func badPut(s *session) {
+	sessionPool.Put(s) // want `sessionPool\.Put\(s\) is not dominated by a reset call`
+}
+
+func allowedPut(s *session) {
+	//spfail:allow poolhygiene scrubbed by the caller before every handoff
+	sessionPool.Put(s)
+}
+
+func badGetEscapes() *session {
+	return sessionPool.Get().(*session) // want `result escapes before reset`
+}
+
+func badGetRead() int {
+	s := sessionPool.Get().(*session)
+	n := s.count // want `pooled s read before reset`
+	s.reset()
+	sessionPool.Put(s)
+	return n
+}
+
+func badGetRaw() {
+	v := sessionPool.Get() // want `result must be type-asserted immediately`
+	_ = v
+}
+
+// bufPool stores a plain *[]byte: no fields, no scrub obligations.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 1024)
+	return &b
+}}
+
+func rawBuffer() {
+	bp := bufPool.Get().(*[]byte)
+	defer bufPool.Put(bp)
+	(*bp)[0] = 1
+}

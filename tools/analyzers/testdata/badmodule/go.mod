@@ -1,0 +1,3 @@
+module badmodule
+
+go 1.22

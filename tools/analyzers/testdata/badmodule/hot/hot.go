@@ -1,0 +1,12 @@
+// Package hot seeds hotpathalloc violations: a function marked
+// //spfail:hotpath that converts bytes to string and calls fmt.
+package hot
+
+import "fmt"
+
+// Bad allocates on the marked hot path.
+//
+//spfail:hotpath
+func Bad(b []byte) string {
+	return fmt.Sprintf("%q", string(b))
+}

@@ -1,0 +1,21 @@
+// Package lock seeds a lockguard violation: a guarded field read without
+// holding its annotated mutex.
+package lock
+
+import "sync"
+
+// S pairs a mutex with the field it protects.
+type S struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Bad reads s.n lock-free.
+func (s *S) Bad() int { return s.n }
+
+// Good is the control: same access, correctly locked.
+func (s *S) Good() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}

@@ -1,0 +1,18 @@
+// Package pool seeds a poolhygiene violation: a pointer-bearing pooled
+// type with no scrub method and a Put that recycles it dirty.
+package pool
+
+import "sync"
+
+type buf struct {
+	data []byte
+	next *buf
+}
+
+var p = sync.Pool{New: func() any { return new(buf) }}
+
+// Get checks a buffer out of the pool.
+func Get() *buf { return p.Get().(*buf) }
+
+// Put recycles b without clearing data or next.
+func Put(b *buf) { p.Put(b) }

@@ -1,0 +1,14 @@
+// Package telemetry seeds a metricnames violation: a registration whose
+// literal does not follow the layer.subsystem.name convention.
+package telemetry
+
+// Registry mimics the real registry's registration surface.
+type Registry struct{}
+
+// Counter registers a counter.
+func (r *Registry) Counter(name string) *int { return nil }
+
+// Register mints a metric with a malformed name.
+func Register(r *Registry) {
+	r.Counter("BadName")
+}
