@@ -26,11 +26,14 @@ import (
 
 	"spfail/internal/clock"
 	"spfail/internal/core"
+	"spfail/internal/dnsclient"
 	"spfail/internal/dnsmsg"
 	"spfail/internal/dnsserver"
 	"spfail/internal/measure"
+	"spfail/internal/mta"
 	"spfail/internal/netsim"
 	"spfail/internal/retry"
+	"spfail/internal/spf"
 	"spfail/internal/telemetry"
 	"spfail/internal/trace"
 )
@@ -57,11 +60,18 @@ func main() {
 		traceOut   = flag.String("trace", "", "write per-probe causal spans to this JSONL file (read with spfail-trace)")
 		traceSmpl  = flag.Float64("trace-sample", 1, "fraction of probes traced, decided deterministically per target index")
 		listen     = flag.String("listen", "", "serve live /metrics (Prometheus text), /healthz, and /debug/pprof on this address, e.g. :8089")
+		spoofFrom  = flag.String("spoof-from", "", "comma-separated From domains to judge for spoofability (SPF check_host + DMARC) instead of probing")
+		spoofDNS   = flag.String("spoof-dns", "", "resolver address for -spoof-from lookups, e.g. 127.0.0.1:5353")
+		spoofIP    = flag.String("spoof-ip", "203.0.113.66", "forged source address for -spoof-from verdicts")
 	)
 	flag.Parse()
 	targets := flag.Args()
+	if *spoofFrom != "" {
+		os.Exit(spoofVerdicts(*spoofFrom, *spoofDNS, *spoofIP, *helo, *timeout))
+	}
 	if len(targets) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: spfail-scan [flags] host:port ...")
+		fmt.Fprintln(os.Stderr, "       spfail-scan -spoof-from victim.example -spoof-dns 127.0.0.1:5353")
 		os.Exit(2)
 	}
 
@@ -225,6 +235,61 @@ func scanOne(tracer *trace.Tracer, prober *core.Prober, clk clock.Clock, suite s
 	root.End()
 	tracer.FlushBuffer(buf)
 	return out
+}
+
+// spoofVerdicts judges each -spoof-from domain through the real
+// resolution path: SPF check_host for a forged envelope from spoofIP,
+// then DMARC discovery and alignment over the same resolver. Exit code 1
+// when any domain's forged message would be delivered.
+func spoofVerdicts(fromList, dnsAddr, spoofIP, helo string, timeout time.Duration) int {
+	if dnsAddr == "" {
+		fatal("-spoof-from requires -spoof-dns (resolver address)")
+	}
+	ip, err := netip.ParseAddr(spoofIP)
+	if err != nil {
+		fatal("bad -spoof-ip: %v", err)
+	}
+	res := dnsclient.NewResolver(&dnsclient.Client{
+		Net:     netsim.Real{},
+		Server:  dnsAddr,
+		Timeout: timeout,
+	})
+	eval := &core.VerdictEvaluator{
+		Checker: &spf.Checker{Resolver: mta.ResolverAdapter{R: res}},
+		HELO:    helo,
+	}
+	code := 0
+	ctx := context.Background()
+	for _, dom := range strings.Split(fromList, ",") {
+		dom = strings.TrimSpace(dom)
+		if dom == "" {
+			continue
+		}
+		v := eval.Evaluate(ctx, ip, dom, dom, "")
+		fmt.Printf("\n== spoof %s from %s\n", dom, ip)
+		fmt.Printf("  spf:      %s", v.SPF)
+		if v.SPFMechanism != "" {
+			fmt.Printf(" (matched %s)", v.SPFMechanism)
+		}
+		if v.SPFErr != "" {
+			fmt.Printf(" — %s", v.SPFErr)
+		}
+		fmt.Println()
+		switch {
+		case v.DMARCErr != "":
+			fmt.Printf("  dmarc:    discovery error — %s\n", v.DMARCErr)
+		case !v.DMARC.Found:
+			fmt.Printf("  dmarc:    no record\n")
+		default:
+			fmt.Printf("  dmarc:    p=%s at %s, aligned pass: %v\n",
+				v.DMARC.Disposition, v.DMARC.Domain, v.DMARC.Pass)
+		}
+		fmt.Printf("  VERDICT:  %s\n", v.Outcome())
+		if v.Delivered() {
+			code = 1
+		}
+	}
+	return code
 }
 
 func printOutcome(out core.Outcome) {

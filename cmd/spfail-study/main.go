@@ -53,6 +53,7 @@ func main() {
 		metricsOut  = flag.String("metrics-out", "", "write the JSON telemetry snapshot to this file (implies -metrics)")
 		traceOut    = flag.String("trace", "", "write per-probe causal spans to this JSONL file (read with spfail-trace; see docs/tracing.md)")
 		traceSample = flag.Float64("trace-sample", 1, "fraction of probes traced, decided deterministically per probe index")
+		scenarios   = flag.String("scenarios", "", "misconfiguration scenario mix, e.g. plus-all:0.1,dangling-include:0.05 (packs: "+strings.Join(population.PackNames(), "|")+")")
 		listen      = flag.String("listen", "", "serve live /metrics (Prometheus text), /healthz, and /debug/pprof on this address, e.g. :8089")
 	)
 	flag.Parse()
@@ -63,6 +64,14 @@ func main() {
 	spec := population.DefaultSpec()
 	spec.Scale = *scale
 	spec.Seed = *seed
+	if *scenarios != "" {
+		refs, err := population.ParseScenarioRefs(*scenarios)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spfail-study: -scenarios: %v\n", err)
+			os.Exit(2)
+		}
+		spec.Scenarios = refs
+	}
 
 	plan, err := faults.Preset(*faultsName)
 	if err != nil {
@@ -304,6 +313,13 @@ func writeCSVs(dir string, res *study.Results) error {
 		set := set
 		if err := write(name, func(f *os.File) error {
 			return report.SeriesCSV(f, study.SetSeries(res, set))
+		}); err != nil {
+			return err
+		}
+	}
+	if len(res.ScenarioStats) > 0 {
+		if err := write("scenarios.csv", func(f *os.File) error {
+			return report.ScenarioCSV(f, res.ScenarioStats)
 		}); err != nil {
 			return err
 		}

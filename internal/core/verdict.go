@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"net/netip"
+
+	"spfail/internal/dmarc"
+	"spfail/internal/spf"
+)
+
+// Spoof outcomes: what a policy-honoring receiver does with a forged
+// message, judged from SPF and the discovered DMARC policy alone.
+const (
+	// OutcomeRejectedSPF: the apex policy failed the forged source and
+	// an SPF-enforcing receiver refuses the transaction.
+	OutcomeRejectedSPF = "rejected-spf"
+	// OutcomeRejectedDMARC: a discovered reject/quarantine policy fired
+	// on the unaligned (or failing) identifier.
+	OutcomeRejectedDMARC = "rejected-dmarc"
+	// OutcomeDelivered: nothing authenticated the From identity strongly
+	// enough to stop the message — +all passes, permerror limbo, p=none
+	// monitoring, a missing DMARC record, or an attacker-achieved
+	// aligned pass.
+	OutcomeDelivered = "delivered"
+)
+
+// SpoofVerdict is the receiver-perspective judgment of one domain's
+// spoofability: the attacker forges a message whose RFC5322.From is
+// Domain while sending from an address no policy authorizes, choosing
+// MailFromDomain as the RFC5321.MailFrom identity (the apex, unless an
+// alignment-gap subdomain offers a better move).
+type SpoofVerdict struct {
+	// Domain is the spoofed RFC5322.From domain.
+	Domain string
+	// MailFromDomain is the RFC5321.MailFrom domain the attacker chose.
+	MailFromDomain string
+	// Scenario is the domain's ScenarioPack name ("" baseline).
+	Scenario string
+	// SPF is the check_host result for the forged envelope.
+	SPF spf.Result
+	// SPFMechanism is the matched mechanism, when any.
+	SPFMechanism string
+	// SPFErr explains temperror/permerror results.
+	SPFErr string
+	// DMARC is the policy evaluation for the From identity.
+	DMARC dmarc.Result
+	// DMARCErr is a non-empty discovery error (DNS trouble), in which
+	// case DMARC is the zero Result.
+	DMARCErr string
+}
+
+// PermError reports whether SPF evaluation died in policy limbo.
+func (v SpoofVerdict) PermError() bool { return v.SPF == spf.ResultPermError }
+
+// DMARCBlocked reports whether the discovered DMARC policy stops the
+// forged message: a failing evaluation with a reject or quarantine
+// disposition.
+func (v SpoofVerdict) DMARCBlocked() bool {
+	return v.DMARC.Found && !v.DMARC.Pass &&
+		(v.DMARC.Disposition == dmarc.PolicyReject || v.DMARC.Disposition == dmarc.PolicyQuarantine)
+}
+
+// Delivered reports whether the forged message gets through a receiver
+// that honors both protocols: DMARC did not block it and SPF did not
+// hard-fail it.
+func (v SpoofVerdict) Delivered() bool {
+	if v.DMARCBlocked() {
+		return false
+	}
+	return v.SPF != spf.ResultFail
+}
+
+// Outcome collapses the verdict to one of the Outcome* labels.
+func (v SpoofVerdict) Outcome() string {
+	switch {
+	case v.DMARCBlocked():
+		return OutcomeRejectedDMARC
+	case v.SPF == spf.ResultFail:
+		return OutcomeRejectedSPF
+	default:
+		return OutcomeDelivered
+	}
+}
+
+// VerdictEvaluator computes SpoofVerdicts through the real resolution
+// path: check_host consumes its lookup and void budgets against live
+// DNS, then DMARC discovery runs over the same resolver.
+type VerdictEvaluator struct {
+	// Checker evaluates SPF; its Resolver also serves DMARC discovery.
+	Checker *spf.Checker
+	// HELO is the attacker's HELO identity.
+	HELO string
+}
+
+// Evaluate judges a forged message from ip with the given identities.
+// fromDomain is the spoofed RFC5322.From domain; mailFromDomain is the
+// attacker-chosen RFC5321.MailFrom domain (usually the same).
+func (e *VerdictEvaluator) Evaluate(ctx context.Context, ip netip.Addr, fromDomain, mailFromDomain, scenario string) SpoofVerdict {
+	v := SpoofVerdict{
+		Domain:         fromDomain,
+		MailFromDomain: mailFromDomain,
+		Scenario:       scenario,
+	}
+	res := e.Checker.CheckHost(ctx, ip, mailFromDomain, "forged@"+mailFromDomain, e.HELO)
+	v.SPF = res.Result
+	v.SPFMechanism = res.Mechanism
+	if res.Err != nil {
+		v.SPFErr = res.Err.Error()
+	}
+	dres, err := dmarc.Evaluate(ctx, e.Checker.Resolver, fromDomain, res.Result, mailFromDomain)
+	if err != nil {
+		v.DMARCErr = err.Error()
+		return v
+	}
+	v.DMARC = dres
+	return v
+}

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"spfail/internal/spf"
+	"spfail/internal/trace"
 )
 
 // Policy is a requested message disposition.
@@ -156,23 +157,31 @@ func parseAlignment(v string) (Alignment, error) {
 	return 0, fmt.Errorf("dmarc: unknown alignment %q", v)
 }
 
+// twoLabel holds the two-label public suffixes the study's TLD profiles
+// can generate (see population's ccSecondLevel) plus common real-world
+// ones; every suffix the generator registers under must appear here or
+// relaxed-alignment verdicts for those worlds come out wrong. (A full
+// PSL is out of scope.)
+var twoLabel = map[string]bool{
+	"co.uk": true, "ac.uk": true, "org.uk": true, "gov.uk": true,
+	"com.au": true, "net.au": true, "org.au": true,
+	"co.jp": true, "ne.jp": true, "or.jp": true,
+	"com.br": true, "net.br": true, "org.br": true,
+	"co.za": true, "org.za": true, "web.za": true,
+	"co.il": true, "org.il": true,
+	"com.cn": true, "com.tr": true, "com.tw": true,
+	"com.mx": true, "com.ar": true,
+	"co.in": true, "co.kr": true,
+}
+
 // OrganizationalDomain approximates the org domain: the registrable
 // two-label suffix, with a small table of common multi-label public
-// suffixes. (A full PSL is out of scope; the study's domains use ordinary
-// TLDs.)
+// suffixes.
 func OrganizationalDomain(domain string) string {
 	domain = strings.ToLower(strings.TrimSuffix(domain, "."))
 	labels := strings.Split(domain, ".")
 	if len(labels) <= 2 {
 		return domain
-	}
-	// Common two-label public suffixes seen in the study's sets.
-	twoLabel := map[string]bool{
-		"co.uk": true, "ac.uk": true, "org.uk": true, "gov.uk": true,
-		"com.au": true, "net.au": true, "org.au": true,
-		"co.jp": true, "ne.jp": true, "or.jp": true,
-		"com.br": true, "com.cn": true, "com.tr": true, "com.tw": true,
-		"co.za": true, "org.za": true, "co.in": true, "co.kr": true,
 	}
 	suffix2 := strings.Join(labels[len(labels)-2:], ".")
 	if twoLabel[suffix2] && len(labels) >= 3 {
@@ -213,8 +222,31 @@ type Result struct {
 }
 
 // Evaluate discovers the policy for fromDomain and applies the SPF-only
-// DMARC check: pass when SPF passed and the SPF domain aligns.
+// DMARC check: pass when SPF passed and the SPF domain aligns. When the
+// context carries a trace, the evaluation is recorded as a
+// "dmarc.evaluate" span with the discovery and disposition outcome.
 func Evaluate(ctx context.Context, resolver spf.Resolver, fromDomain string, spfResult spf.Result, spfDomain string) (Result, error) {
+	ctx, sp := trace.StartSpan(ctx, "dmarc.evaluate")
+	if sp != nil {
+		sp.SetAttrs(trace.String("from_domain", fromDomain),
+			trace.String("spf_result", string(spfResult)))
+	}
+	out, err := evaluate(ctx, resolver, fromDomain, spfResult, spfDomain)
+	if sp != nil {
+		sp.SetAttrs(trace.Bool("found", out.Found))
+		if err != nil {
+			sp.SetAttrs(trace.String("error", err.Error()))
+		} else if out.Found {
+			sp.SetAttrs(trace.String("policy_domain", out.Domain),
+				trace.String("disposition", string(out.Disposition)),
+				trace.Bool("pass", out.Pass))
+		}
+		sp.End()
+	}
+	return out, err
+}
+
+func evaluate(ctx context.Context, resolver spf.Resolver, fromDomain string, spfResult spf.Result, spfDomain string) (Result, error) {
 	rec, where, err := Discover(ctx, resolver, fromDomain)
 	if err != nil {
 		return Result{}, err

@@ -85,6 +85,17 @@ func TestOrganizationalDomain(t *testing.T) {
 		"com":                  "com",
 		"Sub.EXAMPLE.ORG.":     "example.org",
 		"deep.mail.corp.co.za": "corp.co.za",
+		// Multi-label public suffixes the population generator emits.
+		"mail.loja.com.br":   "loja.com.br",
+		"mx.assoc.org.br":    "assoc.org.br",
+		"smtp.isp.net.br":    "isp.net.br",
+		"www.shop.web.za":    "shop.web.za",
+		"mail.firm.co.il":    "firm.co.il",
+		"mx.ngo.org.il":      "ngo.org.il",
+		"smtp.tienda.com.mx": "tienda.com.mx",
+		"mail.pyme.com.ar":   "pyme.com.ar",
+		"co.za":              "co.za",
+		"x.co.za":            "x.co.za",
 	}
 	for in, want := range cases {
 		if got := OrganizationalDomain(in); got != want {

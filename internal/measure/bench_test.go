@@ -24,14 +24,16 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer rig.Close()
-	c := &Campaign{
-		Rig:           rig,
+	c, err := NewCampaign(rig, Config{
 		Suite:         "b01",
 		Concurrency:   64,
 		BatchSize:     500,
 		GreylistWait:  time.Millisecond,
 		ReconnectWait: time.Millisecond,
 		IOTimeout:     2 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
 	}
 
 	all := rig.World.AllAddrs()
@@ -72,14 +74,16 @@ func BenchmarkTracedCampaignThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer rig.Close()
-	c := &Campaign{
-		Rig:           rig,
+	c, err := NewCampaign(rig, Config{
 		Suite:         "b01",
 		Concurrency:   64,
 		BatchSize:     500,
 		GreylistWait:  time.Millisecond,
 		ReconnectWait: time.Millisecond,
 		IOTimeout:     2 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
 	}
 
 	all := rig.World.AllAddrs()

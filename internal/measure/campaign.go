@@ -19,27 +19,12 @@ import (
 // of 250 concurrent outgoing SMTP connections, 90-second gaps between
 // connections to the same server, and 8-minute greylist backoffs.
 //
-// Construct campaigns with NewCampaign and a Config. The exported legacy
-// fields remain usable (they are folded into a Config on first use) but
-// new knobs — retry policy, circuit breaker — are only reachable through
-// Config.
+// Construct campaigns with NewCampaign: Config.Normalize is the single
+// validation and defaulting path, and every knob — retry policy, circuit
+// breaker, tracing — lives on Config.
 type Campaign struct {
 	Rig *Rig
-	// Config, when non-nil, supplies every campaign parameter; it is
-	// normalized on first use. When nil, the legacy fields below are
-	// folded into one.
-	Config *Config
 
-	// Legacy configuration fields, superseded by Config.
-	Suite         string
-	Concurrency   int
-	BatchSize     int
-	GreylistWait  time.Duration
-	ReconnectWait time.Duration
-	IOTimeout     time.Duration
-	Metrics       *telemetry.Registry
-
-	cfgOnce  sync.Once
 	cfg      Config
 	breakers *retry.Breakers
 
@@ -63,59 +48,32 @@ func NewCampaign(rig *Rig, cfg Config) (*Campaign, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Campaign{Rig: rig, Config: &norm}, nil
-}
-
-// effective folds Config (or the legacy fields) into the normalized
-// configuration all campaign behaviour derives from.
-func (c *Campaign) effective() Config {
-	c.cfgOnce.Do(func() {
-		base := Config{
-			Suite:         c.Suite,
-			Concurrency:   c.Concurrency,
-			BatchSize:     c.BatchSize,
-			GreylistWait:  c.GreylistWait,
-			ReconnectWait: c.ReconnectWait,
-			IOTimeout:     c.IOTimeout,
-			Metrics:       c.Metrics,
-		}
-		if c.Config != nil {
-			base = *c.Config
-		}
-		norm, err := base.Normalize()
-		if err != nil {
-			// Legacy field sets are unvalidated; a nonsensical one falls
-			// back to the paper defaults rather than probing with it.
-			norm = DefaultConfig()
-			norm.Suite = base.Suite
-		}
-		c.cfg = norm
-		if norm.Breaker.Enabled() {
-			c.breakers = retry.NewBreakers(norm.Breaker)
-		}
-	})
-	return c.cfg
+	c := &Campaign{Rig: rig, cfg: norm}
+	if norm.Breaker.Enabled() {
+		c.breakers = retry.NewBreakers(norm.Breaker)
+	}
+	return c, nil
 }
 
 func (c *Campaign) metrics() *telemetry.Registry {
-	if m := c.effective().Metrics; m != nil {
+	if m := c.cfg.Metrics; m != nil {
 		return m
 	}
 	return c.Rig.Metrics
 }
 
 func (c *Campaign) tracer() *trace.Tracer {
-	if t := c.effective().Trace; t != nil {
+	if t := c.cfg.Trace; t != nil {
 		return t
 	}
 	return c.Rig.Trace
 }
 
-func (c *Campaign) suite() string { return c.effective().Suite }
+func (c *Campaign) suite() string { return c.cfg.Suite }
 
-func (c *Campaign) concurrency() int { return c.effective().Concurrency }
+func (c *Campaign) concurrency() int { return c.cfg.Concurrency }
 
-func (c *Campaign) batchSize() int { return c.effective().BatchSize }
+func (c *Campaign) batchSize() int { return c.cfg.BatchSize }
 
 // labelSeed derives the label-stream seed, mixing the suite in so the
 // study's s01 and s02 campaigns draw from disjoint-looking streams.
@@ -135,7 +93,7 @@ func (c *Campaign) allocator() *core.LabelAllocator {
 }
 
 func (c *Campaign) newProber() *core.Prober {
-	cfg := c.effective()
+	cfg := c.cfg
 	return &core.Prober{
 		Net:           c.Rig.Fabric.Host(c.Rig.ProbeIP),
 		HELO:          "probe.dns-lab.org",
@@ -322,6 +280,9 @@ func (c *Campaign) probeOne(ctx context.Context, tr *trace.Tracer, p *core.Probe
 		trace.String("addr", a.String()),
 		trace.String("rcpt_domain", dom),
 	)
+	if d := c.Rig.World.ByName[dom]; d != nil && d.Scenario != "" {
+		root.SetAttrs(trace.String("scenario", d.Scenario))
+	}
 	release := root.Adopt(a.String())
 	out := p.TestIP(trace.ContextWithSpan(ctx, root), probeAddr(a), dom)
 	release()

@@ -14,8 +14,7 @@ import (
 // in waves, never exceeding the batch size.
 func TestCampaignBatchWaves(t *testing.T) {
 	rig := newTestRig(t, clock.Real{})
-	c := fastCampaign(rig)
-	c.BatchSize = 7
+	c := fastCampaignWith(rig, func(cfg *Config) { cfg.BatchSize = 7 })
 
 	addrs := rig.World.AllAddrs()
 	if len(addrs) > 30 {
@@ -43,9 +42,10 @@ func TestCampaignBatchWaves(t *testing.T) {
 // TestCampaignContextCancellation stops mid-campaign without hanging.
 func TestCampaignContextCancellation(t *testing.T) {
 	rig := newTestRig(t, clock.Real{})
-	c := fastCampaign(rig)
-	c.BatchSize = 5
-	c.Concurrency = 2
+	c := fastCampaignWith(rig, func(cfg *Config) {
+		cfg.BatchSize = 5
+		cfg.Concurrency = 2
+	})
 	ctx, cancel := context.WithCancel(context.Background())
 
 	addrs := rig.World.AllAddrs()

@@ -15,9 +15,12 @@ import (
 // returned Outcome map — the invariant the --metrics report relies on.
 func TestCampaignMetricsMatchOutcomes(t *testing.T) {
 	rig := newTestRig(t, clock.Real{})
-	c := fastCampaign(rig)
-	c.Metrics = telemetry.New()
-	c.BatchSize = 11
+	reg := telemetry.New()
+	const batchSize, concurrency = 11, 64
+	c := fastCampaignWith(rig, func(cfg *Config) {
+		cfg.Metrics = reg
+		cfg.BatchSize = batchSize
+	})
 
 	addrs := rig.World.AllAddrs()
 	if len(addrs) > 40 {
@@ -46,7 +49,7 @@ func TestCampaignMetricsMatchOutcomes(t *testing.T) {
 		}
 	}
 
-	s := c.Metrics.Snapshot()
+	s := reg.Snapshot()
 	for status, want := range wantByStatus {
 		if got := s.Counters["probe.outcome."+string(status)]; got != want {
 			t.Errorf("probe.outcome.%s = %d, want %d", status, got, want)
@@ -69,7 +72,7 @@ func TestCampaignMetricsMatchOutcomes(t *testing.T) {
 	if got := s.Counters["campaign.probes_done"]; got != int64(len(addrs)) {
 		t.Errorf("campaign.probes_done = %d, want %d", got, len(addrs))
 	}
-	wantBatches := int64((len(addrs) + c.BatchSize - 1) / c.BatchSize)
+	wantBatches := int64((len(addrs) + batchSize - 1) / batchSize)
 	if got := s.Counters["campaign.batches_done"]; got != wantBatches {
 		t.Errorf("campaign.batches_done = %d, want %d", got, wantBatches)
 	}
@@ -80,8 +83,8 @@ func TestCampaignMetricsMatchOutcomes(t *testing.T) {
 	if in.Value != 0 {
 		t.Errorf("campaign.inflight = %d after campaign, want 0", in.Value)
 	}
-	if in.Max < 1 || in.Max > int64(c.Concurrency) {
-		t.Errorf("campaign.inflight max = %d, want within [1,%d]", in.Max, c.Concurrency)
+	if in.Max < 1 || in.Max > int64(concurrency) {
+		t.Errorf("campaign.inflight max = %d, want within [1,%d]", in.Max, concurrency)
 	}
 
 	// The probe latency histogram must have one sample per probe.
@@ -90,11 +93,13 @@ func TestCampaignMetricsMatchOutcomes(t *testing.T) {
 	}
 
 	// Batch events fire once per wave.
-	c2 := fastCampaign(rig)
-	c2.Metrics = telemetry.New()
-	c2.BatchSize = 11
+	reg2 := telemetry.New()
+	c2 := fastCampaignWith(rig, func(cfg *Config) {
+		cfg.Metrics = reg2
+		cfg.BatchSize = batchSize
+	})
 	var events int
-	c2.Metrics.OnEvent(func(ev telemetry.Event) {
+	reg2.OnEvent(func(ev telemetry.Event) {
 		if ev.Name == "campaign.batch" {
 			events++
 		}

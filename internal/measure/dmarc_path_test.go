@@ -1,0 +1,98 @@
+package measure
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"spfail/internal/dmarc"
+	"spfail/internal/mta"
+	"spfail/internal/spf"
+)
+
+// TestDMARCDiscoveryThroughSimResolver drives dmarc.Evaluate over the
+// rig's real resolution path: the subdomain _dmarc lookup gets a genuine
+// negative answer from the sim DNS server, discovery falls back to the
+// organizational domain, and relaxed alignment accepts an org-matching
+// SPF identifier.
+func TestDMARCDiscoveryThroughSimResolver(t *testing.T) {
+	rig := scenarioRig(t)
+	res := mta.ResolverAdapter{R: rig.Resolver()}
+	ctx := context.Background()
+
+	var apex *struct{ name string }
+	var multiSuffix string
+	for _, d := range rig.World.Domains {
+		if d.Scenario != "dmarc-none-relaxed" {
+			continue
+		}
+		if apex == nil {
+			apex = &struct{ name string }{d.Name}
+		}
+		// A name whose registrable part spans a multi-label public suffix
+		// (loja.com.br style), exercising the PSL table end to end.
+		if dmarc.OrganizationalDomain("x."+d.Name) == d.Name && strings.Count(d.Name, ".") == 2 {
+			multiSuffix = d.Name
+		}
+	}
+	if apex == nil {
+		t.Fatal("no dmarc-none-relaxed domains in world")
+	}
+
+	// Org-domain fallback: From a deep subdomain with no _dmarc record of
+	// its own; the record published at the apex must be found there.
+	from := "newsletter.mail." + apex.name
+	r, err := dmarc.Evaluate(ctx, res, from, spf.ResultPass, apex.name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Found || r.Domain != apex.name {
+		t.Fatalf("fallback discovery = %+v, want record at %s", r, apex.name)
+	}
+	if !r.Pass {
+		t.Fatalf("relaxed alignment rejected org-matching SPF domain: %+v", r)
+	}
+	// sp=none applies to the subdomain From.
+	if r.Disposition != dmarc.PolicyNone {
+		t.Fatalf("disposition = %s, want none", r.Disposition)
+	}
+
+	if multiSuffix == "" {
+		t.Log("no multi-label-suffix dmarc domain at this scale; suffix fallback covered at apex only")
+	} else {
+		r, err := dmarc.Evaluate(ctx, res, "sub."+multiSuffix, spf.ResultPass, multiSuffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Found || r.Domain != multiSuffix || !r.Pass {
+			t.Fatalf("multi-suffix fallback for sub.%s = %+v", multiSuffix, r)
+		}
+	}
+
+	// Strict alignment over the same wire: alignment-strict publishes
+	// aspf=s, so an SPF pass on the outbound subdomain must not align
+	// with the apex From.
+	for _, d := range rig.World.Domains {
+		if d.Scenario != "alignment-strict" {
+			continue
+		}
+		r, err := dmarc.Evaluate(ctx, res, d.Name, spf.ResultPass, "outbound."+d.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Found || r.Pass || r.Disposition != dmarc.PolicyReject {
+			t.Fatalf("strict alignment for %s = %+v, want unaligned reject", d.Name, r)
+		}
+		relaxedFrom, err := dmarc.Evaluate(ctx, res, "outbound."+d.Name, spf.ResultPass, "outbound."+d.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exact-domain match aligns even under aspf=s; sp=reject governs
+		// the subdomain disposition.
+		if !relaxedFrom.Pass {
+			t.Fatalf("exact match should align under aspf=s: %+v", relaxedFrom)
+		}
+		return
+	}
+	t.Fatal("no alignment-strict domains in world")
+}

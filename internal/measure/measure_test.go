@@ -30,8 +30,13 @@ func newTestRig(t *testing.T, clk clock.Clock) *Rig {
 }
 
 func fastCampaign(rig *Rig) *Campaign {
-	return &Campaign{
-		Rig:           rig,
+	return fastCampaignWith(rig, nil)
+}
+
+// fastCampaignWith builds the standard fast test campaign, letting the
+// caller tweak the config before construction.
+func fastCampaignWith(rig *Rig, mutate func(*Config)) *Campaign {
+	cfg := Config{
 		Suite:         "t01",
 		Concurrency:   64,
 		BatchSize:     500,
@@ -39,6 +44,14 @@ func fastCampaign(rig *Rig) *Campaign {
 		ReconnectWait: time.Millisecond,
 		IOTimeout:     2 * time.Second,
 	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := NewCampaign(rig, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
 
 func TestResolveTargetsMatchesWorld(t *testing.T) {
@@ -102,9 +115,11 @@ func TestCampaignDetectsGroundTruth(t *testing.T) {
 		for _, a := range d.Hosts {
 			h := rig.World.Hosts[a]
 			switch {
-			case !vulnAddr.IsValid() && h.Listens && !h.RefuseSMTP && h.EverVulnerable() && !h.BlankMsgFails:
+			case !vulnAddr.IsValid() && h.Listens && !h.RefuseSMTP && h.EverVulnerable() && !h.BlankMsgFails &&
+				h.FlakyRate == 0 && h.BlacklistProbesAt.IsZero():
 				vulnAddr, vulnDom = a, d.Name
 			case !safeAddr.IsValid() && h.Listens && !h.RefuseSMTP && !h.BlankMsgFails &&
+				h.FlakyRate == 0 && h.BlacklistProbesAt.IsZero() &&
 				len(h.Behaviors) == 1 && h.Behaviors[0] == "compliant":
 				safeAddr, safeDom = a, d.Name
 			case !refusedAddr.IsValid() && !h.Listens:
@@ -141,8 +156,7 @@ func TestCampaignOnSimClock(t *testing.T) {
 	sim := clock.NewSim(population.TInitial)
 	defer sim.Close()
 	rig := newTestRig(t, sim)
-	c := &Campaign{
-		Rig:         rig,
+	c, err := NewCampaign(rig, Config{
 		Suite:       "t02",
 		Concurrency: 16,
 		BatchSize:   100,
@@ -150,6 +164,9 @@ func TestCampaignOnSimClock(t *testing.T) {
 		// Paper-faithful waits: virtual time makes them free.
 		GreylistWait:  8 * time.Minute,
 		ReconnectWait: 90 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 	addrs := rig.World.AllAddrs()
 	if len(addrs) > 60 {
@@ -295,10 +312,13 @@ func TestLongitudinalWindowsOnSimClock(t *testing.T) {
 	sim := clock.NewSim(population.TInitial)
 	defer sim.Close()
 	rig := newTestRig(t, sim)
-	c := &Campaign{
-		Rig: rig, Suite: "t03", Concurrency: 16, BatchSize: 100,
+	c, err := NewCampaign(rig, Config{
+		Suite: "t03", Concurrency: 16, BatchSize: 100,
 		GreylistWait: 8 * time.Minute, ReconnectWait: 90 * time.Second,
 		IOTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 	// Choose a few vulnerable hosts as longitudinal targets.
 	var targets []netip.Addr

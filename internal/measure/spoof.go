@@ -1,0 +1,145 @@
+package measure
+
+import (
+	"context"
+	"net/netip"
+	"sort"
+
+	"spfail/internal/core"
+	"spfail/internal/mta"
+	"spfail/internal/population"
+	"spfail/internal/spf"
+	"spfail/internal/trace"
+)
+
+// defaultAttackerIP is the forged message's source: a TEST-NET-3 address
+// no generated policy ever authorizes.
+var defaultAttackerIP = netip.MustParseAddr("203.0.113.66")
+
+// SpoofSurvey judges every world domain from the receiver's perspective:
+// can an attacker deliver a message forging the domain's From identity?
+// Evaluation runs through the rig's real resolution path — check_host
+// consumes its RFC 7208 lookup and void budgets against the sim DNS
+// server over the wire, then DMARC discovery runs on the same resolver —
+// so scenario effects (permerror via the lookup limit, alignment-gap
+// deliveries) are measured, not assumed.
+type SpoofSurvey struct {
+	Rig *Rig
+	// AttackerIP overrides the forged source address when valid.
+	AttackerIP netip.Addr
+}
+
+// Run evaluates all domains in generation order and returns one verdict
+// each. Domains are processed serially so the DNS query sequence — and
+// with it any traced run's output — is deterministic.
+func (s *SpoofSurvey) Run(ctx context.Context) []core.SpoofVerdict {
+	ev := &core.VerdictEvaluator{
+		Checker: &spf.Checker{Resolver: mta.ResolverAdapter{R: s.Rig.Resolver()}},
+		HELO:    "mx.attacker.example",
+	}
+	attacker := s.AttackerIP
+	if !attacker.IsValid() {
+		attacker = defaultAttackerIP
+	}
+	reg := s.Rig.Metrics
+	out := make([]core.SpoofVerdict, 0, len(s.Rig.World.Domains))
+	for i, d := range s.Rig.World.Domains {
+		mailFrom := d.Name
+		if pack, ok := population.PackByName(d.Scenario); ok && pack.SpoofMailFromLabel != "" {
+			mailFrom = pack.SpoofMailFromLabel + "." + d.Name
+		}
+		buf := s.Rig.Trace.ProbeBuffer(s.Rig.Clock, "spoof", uint64(i))
+		var v core.SpoofVerdict
+		if buf == nil {
+			v = ev.Evaluate(ctx, attacker, d.Name, mailFrom, d.Scenario)
+		} else {
+			root := buf.Root("spoof.verdict",
+				trace.String("domain", d.Name),
+				trace.String("scenario", scenarioLabel(d.Scenario)),
+				trace.Int("index", i))
+			v = ev.Evaluate(trace.ContextWithSpan(ctx, root), attacker, d.Name, mailFrom, d.Scenario)
+			root.SetAttrs(trace.String("spf", string(v.SPF)),
+				trace.Bool("dmarc_found", v.DMARC.Found),
+				trace.String("outcome", v.Outcome()))
+			root.End()
+			s.Rig.Trace.FlushBuffer(buf)
+		}
+		reg.Counter("scenario.spoof.checks").Inc()
+		if v.PermError() {
+			reg.Counter("scenario.spoof.permerror").Inc()
+		}
+		if v.Delivered() {
+			reg.Counter("scenario.spoof.delivered").Inc()
+		}
+		if v.DMARC.Found {
+			reg.Counter("dmarc.lookups.found").Inc()
+		}
+		if v.DMARCBlocked() {
+			reg.Counter("dmarc.lookups.blocked").Inc()
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// scenarioLabel names a domain's scenario for reports and traces.
+func scenarioLabel(s string) string {
+	if s == "" {
+		return "baseline"
+	}
+	return s
+}
+
+// ScenarioStat aggregates spoof verdicts for one scenario pack.
+type ScenarioStat struct {
+	// Scenario is the pack name; "baseline" collects unassigned domains.
+	Scenario string
+	// Domains is how many domains carry the scenario.
+	Domains int
+	// PermError counts domains whose forged-envelope SPF evaluation
+	// ended in permerror.
+	PermError int
+	// DMARCFail counts domains where DMARC did not block the forgery:
+	// no record, a p=none disposition, or an attacker-achieved aligned
+	// pass.
+	DMARCFail int
+	// Delivered counts domains where the forgery gets through a receiver
+	// honoring both protocols.
+	Delivered int
+}
+
+// ScenarioStats rolls verdicts up per scenario, baseline first, then by
+// pack name.
+func ScenarioStats(verdicts []core.SpoofVerdict) []ScenarioStat {
+	byName := make(map[string]*ScenarioStat)
+	for _, v := range verdicts {
+		label := scenarioLabel(v.Scenario)
+		st := byName[label]
+		if st == nil {
+			st = &ScenarioStat{Scenario: label}
+			byName[label] = st
+		}
+		st.Domains++
+		if v.PermError() {
+			st.PermError++
+		}
+		if !v.DMARCBlocked() {
+			st.DMARCFail++
+		}
+		if v.Delivered() {
+			st.Delivered++
+		}
+	}
+	out := make([]ScenarioStat, 0, len(byName))
+	for _, st := range byName {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		bi, bj := out[i].Scenario == "baseline", out[j].Scenario == "baseline"
+		if bi != bj {
+			return bi
+		}
+		return out[i].Scenario < out[j].Scenario
+	})
+	return out
+}

@@ -1,0 +1,203 @@
+package measure
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"spfail/internal/clock"
+	"spfail/internal/core"
+	"spfail/internal/dmarc"
+	"spfail/internal/mta"
+	"spfail/internal/population"
+	"spfail/internal/spf"
+)
+
+// scenarioRig builds a rig over a small world with every built-in pack in
+// the mix, so one survey pass exercises each pack's DNS effect through
+// the real lookup and void budgets.
+func scenarioRig(t *testing.T) *Rig {
+	t.Helper()
+	s := population.DefaultSpec()
+	s.Scale = 0.002
+	s.Seed = 23
+	for _, name := range population.PackNames() {
+		s.Scenarios = append(s.Scenarios, population.ScenarioPackRef{Name: name, Weight: 0.11})
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w := population.Generate(s)
+	rig, err := NewRigFromOptions(context.Background(), RigOptions{World: w, Clock: clock.Real{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rig.Close)
+	return rig
+}
+
+// TestSpoofSurveyPackEffects runs the spoof survey over a world carrying
+// all nine packs and checks, per pack, that the published DNS data drives
+// the SPF evaluator and DMARC discovery to the documented verdict. No
+// resolver stubbing: every permerror here is a budget genuinely consumed
+// against the sim DNS server.
+func TestSpoofSurveyPackEffects(t *testing.T) {
+	rig := scenarioRig(t)
+	survey := &SpoofSurvey{Rig: rig}
+	verdicts := survey.Run(context.Background())
+	if len(verdicts) != len(rig.World.Domains) {
+		t.Fatalf("verdicts = %d, want %d", len(verdicts), len(rig.World.Domains))
+	}
+
+	byScenario := map[string][]core.SpoofVerdict{}
+	for _, v := range verdicts {
+		byScenario[scenarioLabel(v.Scenario)] = append(byScenario[scenarioLabel(v.Scenario)], v)
+	}
+	get := func(pack string) []core.SpoofVerdict {
+		t.Helper()
+		vs := byScenario[pack]
+		if len(vs) == 0 {
+			t.Fatalf("no domains assigned pack %s", pack)
+		}
+		return vs
+	}
+
+	for _, v := range get("plus-all") {
+		if v.SPF != spf.ResultPass || !v.Delivered() || v.Outcome() != core.OutcomeDelivered {
+			t.Fatalf("plus-all %s: spf=%s outcome=%s, want pass/delivered", v.Domain, v.SPF, v.Outcome())
+		}
+	}
+	for _, v := range get("dangling-include") {
+		if v.SPF != spf.ResultPermError {
+			t.Fatalf("dangling-include %s: spf=%s (%s), want permerror", v.Domain, v.SPF, v.SPFErr)
+		}
+	}
+	for _, v := range get("nested-include") {
+		// The chain resolves; the attacker just is not in it.
+		if v.SPF != spf.ResultFail || v.Outcome() != core.OutcomeRejectedSPF {
+			t.Fatalf("nested-include %s: spf=%s err=%q, want fail", v.Domain, v.SPF, v.SPFErr)
+		}
+	}
+	for _, v := range get("lookup-limit-buster") {
+		if v.SPF != spf.ResultPermError || !strings.Contains(v.SPFErr, "lookup limit") {
+			t.Fatalf("lookup-limit-buster %s: spf=%s err=%q, want lookup-limit permerror", v.Domain, v.SPF, v.SPFErr)
+		}
+	}
+	for _, v := range get("void-lookup-heavy") {
+		if v.SPF != spf.ResultPermError || !strings.Contains(v.SPFErr, "void lookup") {
+			t.Fatalf("void-lookup-heavy %s: spf=%s err=%q, want void-limit permerror", v.Domain, v.SPF, v.SPFErr)
+		}
+	}
+	for _, v := range get("no-dmarc") {
+		if v.SPF != spf.ResultFail || v.DMARC.Found || v.Outcome() != core.OutcomeRejectedSPF {
+			t.Fatalf("no-dmarc %s: spf=%s dmarc found=%v", v.Domain, v.SPF, v.DMARC.Found)
+		}
+	}
+	for _, v := range get("dmarc-none-relaxed") {
+		if !v.DMARC.Found || v.DMARC.Disposition != dmarc.PolicyNone || v.DMARCBlocked() {
+			t.Fatalf("dmarc-none-relaxed %s: dmarc=%+v, want found p=none unblocked", v.Domain, v.DMARC)
+		}
+	}
+	for _, v := range get("alignment-gap") {
+		// The attacker's MAIL FROM is the +all outbound subdomain; relaxed
+		// alignment accepts its pass for the apex From, defeating p=reject.
+		if !strings.HasPrefix(v.MailFromDomain, "outbound.") {
+			t.Fatalf("alignment-gap %s: mailfrom %s, want outbound subdomain", v.Domain, v.MailFromDomain)
+		}
+		if v.SPF != spf.ResultPass || !v.DMARC.Pass || v.Outcome() != core.OutcomeDelivered {
+			t.Fatalf("alignment-gap %s: spf=%s dmarc=%+v outcome=%s, want delivered despite p=reject",
+				v.Domain, v.SPF, v.DMARC, v.Outcome())
+		}
+	}
+	for _, v := range get("alignment-strict") {
+		// Same subdomain pass, but aspf=s refuses the unaligned identifier.
+		if v.SPF != spf.ResultPass || v.DMARC.Pass || !v.DMARCBlocked() || v.Outcome() != core.OutcomeRejectedDMARC {
+			t.Fatalf("alignment-strict %s: spf=%s dmarc=%+v outcome=%s, want rejected-dmarc",
+				v.Domain, v.SPF, v.DMARC, v.Outcome())
+		}
+	}
+
+	stats := ScenarioStats(verdicts)
+	if stats[0].Scenario != "baseline" {
+		t.Errorf("stats[0] = %s, want baseline first", stats[0].Scenario)
+	}
+	seen := map[string]ScenarioStat{}
+	total := 0
+	for _, st := range stats {
+		seen[st.Scenario] = st
+		total += st.Domains
+	}
+	if total != len(verdicts) {
+		t.Errorf("stats cover %d domains, want %d", total, len(verdicts))
+	}
+	if st := seen["lookup-limit-buster"]; st.PermError != st.Domains {
+		t.Errorf("lookup-limit-buster permerror = %d/%d, want all", st.PermError, st.Domains)
+	}
+	if st := seen["alignment-gap"]; st.Delivered != st.Domains || st.DMARCFail != st.Domains {
+		t.Errorf("alignment-gap delivered = %d dmarcfail = %d of %d, want all",
+			st.Delivered, st.DMARCFail, st.Domains)
+	}
+	if st := seen["alignment-strict"]; st.Delivered != 0 || st.DMARCFail != 0 {
+		t.Errorf("alignment-strict delivered = %d dmarcfail = %d, want 0/0", st.Delivered, st.DMARCFail)
+	}
+
+	// The survey's counters agree with the verdicts (nil-safe registry
+	// aside, the rig always carries one).
+	snap := rig.Metrics.Snapshot()
+	if got := snap.Counters["scenario.spoof.checks"]; got != int64(len(verdicts)) {
+		t.Errorf("scenario.spoof.checks = %d, want %d", got, len(verdicts))
+	}
+	var wantPerm, wantDeliv, wantFound, wantBlocked int64
+	for _, v := range verdicts {
+		if v.PermError() {
+			wantPerm++
+		}
+		if v.Delivered() {
+			wantDeliv++
+		}
+		if v.DMARC.Found {
+			wantFound++
+		}
+		if v.DMARCBlocked() {
+			wantBlocked++
+		}
+	}
+	for name, want := range map[string]int64{
+		"scenario.spoof.permerror": wantPerm,
+		"scenario.spoof.delivered": wantDeliv,
+		"dmarc.lookups.found":      wantFound,
+		"dmarc.lookups.blocked":    wantBlocked,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestNestedIncludeChainResolvesForLegitimateHosts proves the chain is
+// functional, not just attacker-rejecting: traffic from the domain's own
+// mail host walks every include hop and passes.
+func TestNestedIncludeChainResolvesForLegitimateHosts(t *testing.T) {
+	rig := scenarioRig(t)
+	ev := &core.VerdictEvaluator{
+		Checker: &spf.Checker{Resolver: mta.ResolverAdapter{R: rig.Resolver()}},
+		HELO:    "mx.self.example",
+	}
+	checked := 0
+	for _, d := range rig.World.Domains {
+		if d.Scenario != "nested-include" || len(d.Hosts) == 0 {
+			continue
+		}
+		v := ev.Evaluate(context.Background(), d.Hosts[0], d.Name, d.Name, d.Scenario)
+		if v.SPF != spf.ResultPass {
+			t.Fatalf("%s from own host %s: spf=%s err=%q, want pass through the chain",
+				d.Name, d.Hosts[0], v.SPF, v.SPFErr)
+		}
+		if checked++; checked >= 3 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no nested-include domains with hosts")
+	}
+}

@@ -13,10 +13,12 @@ import (
 	"spfail/internal/spfimpl"
 )
 
-// Generate builds a deterministic world from the spec.
+// Generate builds a deterministic world from the spec. It panics when
+// spec fails Validate; callers handling untrusted input should call
+// Spec.Validate first and surface the error.
 func Generate(spec Spec) *World {
-	if spec.Scale <= 0 {
-		spec.Scale = 1
+	if err := spec.Validate(); err != nil {
+		panic(err.Error())
 	}
 	g := &generator{
 		spec: spec,
@@ -34,6 +36,7 @@ func Generate(spec Spec) *World {
 	g.buildTopProviders()
 	g.buildTwoWeekMX()
 	g.assignPatchPlans()
+	g.applyScenarios()
 	return g.w
 }
 
@@ -67,8 +70,34 @@ var syllables = []string{
 	"wa", "we", "za", "zo",
 }
 
-// name invents a unique domain name under tld.
+// ccSecondLevel lists registry-conventional second-level public suffixes
+// per ccTLD: domains under these TLDs mostly register at the third level
+// (example.co.za). dmarc.OrganizationalDomain must know every suffix
+// generated here or relaxed-alignment verdicts come out wrong.
+var ccSecondLevel = map[string][]string{
+	"za": {"co.za", "org.za", "web.za"},
+	"br": {"com.br", "net.br", "org.br"},
+	"uk": {"co.uk", "org.uk", "ac.uk"},
+	"au": {"com.au", "net.au", "org.au"},
+	"jp": {"co.jp", "ne.jp"},
+	"il": {"co.il", "org.il"},
+	"tr": {"com.tr"},
+	"tw": {"com.tw"},
+	"in": {"co.in"},
+	"kr": {"co.kr"},
+	"cn": {"com.cn"},
+	"mx": {"com.mx"},
+	"ar": {"com.ar"},
+}
+
+// name invents a unique domain name under tld, registering under a
+// second-level public suffix when the ccTLD's registry conventions say
+// so (e.g. example.co.za rather than example.za).
 func (g *generator) name(tld string) string {
+	suffix := tld
+	if alts, ok := ccSecondLevel[tld]; ok && g.rng.Float64() < 0.8 {
+		suffix = alts[g.rng.Intn(len(alts))]
+	}
 	for {
 		n := 2 + g.rng.Intn(3)
 		s := ""
@@ -78,7 +107,7 @@ func (g *generator) name(tld string) string {
 		if g.rng.Intn(4) == 0 {
 			s += fmt.Sprintf("%d", g.rng.Intn(100))
 		}
-		full := s + "." + tld
+		full := s + "." + suffix
 		if !g.usedNames[full] {
 			g.usedNames[full] = true
 			return full

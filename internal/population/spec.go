@@ -12,7 +12,11 @@
 // generator internals — it probes the resulting hosts over the wire.
 package population
 
-import "time"
+import (
+	"fmt"
+	"strings"
+	"time"
+)
 
 // Study timeline (paper §5.3/§6.4). All midnight UTC.
 var (
@@ -85,9 +89,22 @@ type PatchProfile struct {
 
 // Spec parameterizes world generation. DefaultSpec returns values
 // calibrated to the paper; Scale shrinks all set sizes proportionally.
+// Call Validate before handing a hand-built Spec to Generate: Generate
+// panics on an invalid spec rather than silently fixing it up.
 type Spec struct {
-	Seed  int64
+	// Seed drives every random draw; same seed, same world.
+	Seed int64
+	// Scale multiplies all set sizes (1.0 = the paper's population).
+	// Must be positive; per-set minimum floors keep tiny worlds usable.
 	Scale float64
+
+	// Scenarios is the misconfiguration mix applied after base
+	// generation: each ref assigns its pack to a deterministic,
+	// weight-sized fraction of eligible domains (top providers are
+	// exempt). Empty means a pure baseline world. The base world is
+	// bit-identical with and without scenarios; packs only add policy
+	// records and zone content on top.
+	Scenarios []ScenarioPackRef
 
 	// Set sizes at Scale = 1.0 (Table 1 diagonal).
 	AlexaTopListSize int
@@ -287,6 +304,41 @@ func DefaultSpec() Spec {
 		FlakyRate:              0.35,
 		RejectOnFailShare:      0.30,
 	}
+}
+
+// Validate reports whether the spec can be generated. It replaces the
+// silent fixups Generate used to apply: callers constructing specs from
+// untrusted input (flags, config files) should call it and surface the
+// error; Generate itself panics on an invalid spec.
+func (s Spec) Validate() error {
+	if s.Scale <= 0 {
+		return fmt.Errorf("population: Spec.Scale must be positive, got %g", s.Scale)
+	}
+	total := 0.0
+	seen := make(map[string]bool, len(s.Scenarios))
+	for _, ref := range s.Scenarios {
+		if ref.Name == "" {
+			return fmt.Errorf("population: scenario ref with empty pack name")
+		}
+		p, ok := PackByName(ref.Name)
+		if !ok {
+			return fmt.Errorf("population: unknown scenario pack %q (registered: %s)",
+				ref.Name, strings.Join(PackNames(), ", "))
+		}
+		if seen[ref.Name] {
+			return fmt.Errorf("population: scenario pack %q listed twice", ref.Name)
+		}
+		seen[ref.Name] = true
+		w := ref.refWeight(p)
+		if w <= 0 || w > 1 {
+			return fmt.Errorf("population: scenario pack %q: weight %g outside (0,1]", ref.Name, w)
+		}
+		total += w
+	}
+	if total > 1 {
+		return fmt.Errorf("population: scenario weights sum to %g, must not exceed 1", total)
+	}
+	return nil
 }
 
 // scaled applies Scale to a base count, with a floor of min.

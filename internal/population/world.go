@@ -86,6 +86,27 @@ type Domain struct {
 	HasMX bool
 	// Provider is the shared-hosting provider id, "" when dedicated.
 	Provider string
+	// Scenario is the ScenarioPack applied to this domain ("" baseline).
+	Scenario string
+	// SPF holds the SPF policy TXT records published at the apex.
+	// Baseline domains publish none; scenario packs populate it.
+	SPF []string
+	// DMARC is the record published at _dmarc.<Name> ("" none).
+	DMARC string
+	// Extra holds additional scenario-generated records (include-chain
+	// targets, subdomain policies, …) served by the domain's zone.
+	Extra []ZoneRecord
+}
+
+// ZoneRecord is one extra DNS record a scenario pack publishes under a
+// domain: a TXT payload, an address record, or both on the same owner.
+type ZoneRecord struct {
+	// Owner is the fully-qualified owner name.
+	Owner string
+	// TXT, when non-empty, adds a TXT record with this payload.
+	TXT string
+	// Addr, when valid, adds an A/AAAA record.
+	Addr netip.Addr
 }
 
 // HostSpec is the ground-truth behaviour plan for one mail-server address.
@@ -272,8 +293,10 @@ func (w *World) DomainsOn(addr netip.Addr) []*Domain {
 
 // BuildZones constructs the authoritative DNS content for every domain:
 // MX records pointing at mail hosts (or bare A records for MX-less
-// domains), A records for the mail hosts themselves, and an SOA per
-// domain for clean negative answers.
+// domains), A records for the mail hosts themselves, an SOA per domain
+// for clean negative answers, and — for scenario domains — the apex SPF
+// TXT records, the _dmarc TXT record, and any extra pack-published
+// records.
 func (w *World) BuildZones() *dnsserver.ZoneSet {
 	z := dnsserver.NewZoneSet()
 	for _, d := range w.Domains {
@@ -299,6 +322,26 @@ func (w *World) BuildZones() *dnsserver.ZoneSet {
 		} else {
 			for _, a := range d.Hosts {
 				z.AddA(name, a)
+			}
+		}
+		for _, txt := range d.SPF {
+			z.AddTXT(name, txt)
+		}
+		if d.DMARC != "" {
+			if owner, err := dnsmsg.ParseName("_dmarc." + d.Name); err == nil {
+				z.AddTXT(owner, d.DMARC)
+			}
+		}
+		for _, rr := range d.Extra {
+			owner, err := dnsmsg.ParseName(rr.Owner)
+			if err != nil {
+				continue
+			}
+			if rr.TXT != "" {
+				z.AddTXT(owner, rr.TXT)
+			}
+			if rr.Addr.IsValid() {
+				z.AddA(owner, rr.Addr)
 			}
 		}
 	}

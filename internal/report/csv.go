@@ -35,6 +35,37 @@ func SeriesCSV(w io.Writer, points []measure.SeriesPoint) error {
 	return cw.Error()
 }
 
+// ScenarioCSV writes the misconfiguration-prevalence table as CSV.
+func ScenarioCSV(w io.Writer, stats []measure.ScenarioStat) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"scenario", "prevalence", "permerror_rate", "dmarc_fail_rate"}); err != nil {
+		return err
+	}
+	total := 0
+	for _, s := range stats {
+		total += s.Domains
+	}
+	rate := func(n, d int) string {
+		if d == 0 {
+			return "0.0000"
+		}
+		return fmt.Sprintf("%.4f", float64(n)/float64(d))
+	}
+	for _, s := range stats {
+		rec := []string{
+			s.Scenario,
+			rate(s.Domains, total),
+			rate(s.PermError, s.Domains),
+			rate(s.DMARCFail, s.Domains),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // ChoroplethCSV writes geographic bucket data (Figure 3) as CSV.
 func ChoroplethCSV(w io.Writer, buckets []geo.BucketStats) error {
 	cw := csv.NewWriter(w)

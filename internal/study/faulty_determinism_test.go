@@ -42,6 +42,9 @@ func TestFaultySameSeedProducesIdenticalReports(t *testing.T) {
 		spec := population.DefaultSpec()
 		spec.Scale = 0.002
 		spec.Seed = 9
+		// The scenario mix rides along: the spoof survey's serial DNS walk
+		// must replay exactly even when the fabric injects faults.
+		spec.Scenarios = scenarioMix()
 		var traceBuf bytes.Buffer
 		res, err := study.Run(context.Background(), study.Config{
 			Spec:        spec,

@@ -141,6 +141,14 @@ type Results struct {
 	// Notification is the §7.7 funnel.
 	Notification NotificationResult
 
+	// Spoof holds the receiver-perspective spoofing verdicts, one per
+	// world domain, when the spec enables scenario packs; ScenarioStats
+	// aggregates them per pack for the misconfiguration-prevalence
+	// table.
+	SpoofTime     time.Time
+	Spoof         []core.SpoofVerdict
+	ScenarioStats []measure.ScenarioStat
+
 	// Snapshot is the final re-resolved measurement of February 14.
 	SnapshotTime time.Time
 	Snapshot     map[netip.Addr]core.Outcome
@@ -152,6 +160,9 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	progress := cfg.Progress
 	if progress == nil {
 		progress = func(string) {}
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, fmt.Errorf("study: %w", err)
 	}
 	world := population.Generate(cfg.Spec)
 	sim := clock.NewSim(population.TInitial)
@@ -214,6 +225,18 @@ func run(ctx context.Context, cfg Config, res *Results, rig *measure.Rig, campai
 		for _, a := range t.Addrs {
 			res.AddrDomains[a] = append(res.AddrDomains[a], t.Domain)
 		}
+	}
+
+	// 1b. Receiver-perspective spoofing verdict survey, when the world
+	// carries scenario packs: judge every domain's SPF policy and DMARC
+	// posture against a forged envelope, through the real resolution
+	// path (the lookup/void budgets are consumed against the sim DNS).
+	if len(cfg.Spec.Scenarios) > 0 {
+		progress(fmt.Sprintf("spoofing verdict survey of %d domains", len(world.Domains)))
+		res.SpoofTime = clk.Now()
+		survey := &measure.SpoofSurvey{Rig: rig}
+		res.Spoof = survey.Run(ctx)
+		res.ScenarioStats = measure.ScenarioStats(res.Spoof)
 	}
 
 	// 2. Initial full measurement (October 11), streamed so callers can
