@@ -21,6 +21,7 @@ import (
 	"spfail/internal/core"
 	"spfail/internal/dnsmsg"
 	"spfail/internal/dnsserver"
+	"spfail/internal/measure"
 	"spfail/internal/mta"
 	"spfail/internal/netsim"
 	"spfail/internal/population"
@@ -49,9 +50,8 @@ func benchStudy(b *testing.B) *study.Results {
 		spec.Scale = benchScale
 		spec.Seed = 1
 		studyResults, studyErr = study.Run(context.Background(), study.Config{
-			Spec:        spec,
-			Concurrency: 128,
-			BatchSize:   1000,
+			Config: measure.Config{Concurrency: 128, BatchSize: 1000},
+			Spec:   spec,
 		})
 	})
 	if studyErr != nil {

@@ -1,0 +1,126 @@
+// Package cliflags registers the flag surface the spfail measurement
+// binaries share, so spfail-scan and spfail-study agree on names,
+// defaults, and semantics for seeds, retries, tracing, telemetry, and
+// the live observability endpoint. Binary-specific flags stay in each
+// main; anything registered here must mean the same thing everywhere.
+package cliflags
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"spfail/internal/retry"
+	"spfail/internal/telemetry"
+	"spfail/internal/trace"
+)
+
+// Common holds the parsed values of the shared flags.
+type Common struct {
+	Seed        int64
+	Retries     int
+	RetryBase   time.Duration
+	Metrics     bool
+	TraceOut    string
+	TraceSample float64
+	Listen      string
+}
+
+// Options customises per-binary defaults and help text where a flag's
+// meaning is shared but its phrasing differs.
+type Options struct {
+	// SeedDefault is the -seed default (spfail-scan derives from the
+	// clock at 0; spfail-study fixes 1 for reproducible worlds).
+	SeedDefault int64
+	// SeedUsage overrides the -seed help text.
+	SeedUsage string
+	// MetricsUsage overrides the -metrics help text.
+	MetricsUsage string
+	// TraceSampleUsage overrides the -trace-sample help text.
+	TraceSampleUsage string
+}
+
+// Register installs the shared flags on fs and returns the struct their
+// parsed values land in. Call it before fs.Parse.
+func Register(fs *flag.FlagSet, opt Options) *Common {
+	c := &Common{}
+	seedUsage := opt.SeedUsage
+	if seedUsage == "" {
+		seedUsage = "seed for deterministic replay"
+	}
+	metricsUsage := opt.MetricsUsage
+	if metricsUsage == "" {
+		metricsUsage = "dump a JSON telemetry snapshot at exit"
+	}
+	sampleUsage := opt.TraceSampleUsage
+	if sampleUsage == "" {
+		sampleUsage = "fraction of probes traced, decided deterministically per probe index"
+	}
+	fs.Int64Var(&c.Seed, "seed", opt.SeedDefault, seedUsage)
+	fs.IntVar(&c.Retries, "retries", 1, "attempts per transiently-failed probe (1 disables retries)")
+	fs.DurationVar(&c.RetryBase, "retry-base", 2*time.Second, "backoff before the first probe retry")
+	fs.BoolVar(&c.Metrics, "metrics", false, metricsUsage)
+	fs.StringVar(&c.TraceOut, "trace", "", "write per-probe causal spans to this JSONL file (read with spfail-trace; see docs/tracing.md)")
+	fs.Float64Var(&c.TraceSample, "trace-sample", 1, sampleUsage)
+	fs.StringVar(&c.Listen, "listen", "", "serve live /metrics (Prometheus text), /healthz, and /debug/pprof on this address, e.g. :8089")
+	return c
+}
+
+// RetryPolicy builds the probe retry policy from -retries/-retry-base,
+// seeded from -seed. The zero policy (MaxAttempts <= 1) disables
+// retries, matching how core.Prober and the campaign config treat it.
+func (c *Common) RetryPolicy() retry.Policy {
+	if c.Retries <= 1 {
+		return retry.Policy{}
+	}
+	return retry.Policy{
+		MaxAttempts: c.Retries,
+		BaseDelay:   c.RetryBase,
+		MaxDelay:    16 * c.RetryBase,
+		Jitter:      0.2,
+		Seed:        c.Seed,
+	}
+}
+
+// OpenTrace opens the -trace JSONL sink seeded from -seed. With no
+// -trace it returns a nil tracer (all tracer methods are nil-safe) and
+// a no-op flush. The caller must invoke flush explicitly before its
+// final os.Exit — a deferred flush would never run — after checking
+// tracer.Err().
+func (c *Common) OpenTrace() (tracer *trace.Tracer, flush func() error, err error) {
+	if c.TraceOut == "" {
+		return nil, func() error { return nil }, nil
+	}
+	f, err := os.Create(c.TraceOut)
+	if err != nil {
+		return nil, nil, err
+	}
+	tw := bufio.NewWriter(f)
+	flush = func() error {
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+	return trace.New(tw, trace.Options{Seed: c.Seed, Sample: c.TraceSample}), flush, nil
+}
+
+// Serve starts the -listen observability endpoint over reg and health,
+// returning a shutdown function. With no -listen both the server and
+// the returned stop are no-ops. name prefixes server errors on stderr.
+func (c *Common) Serve(name string, reg *telemetry.Registry, health telemetry.HealthFunc) (stop func()) {
+	if c.Listen == "" {
+		return func() {}
+	}
+	srv := &http.Server{Addr: c.Listen, Handler: telemetry.HTTPHandler(reg, health)}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "%s: -listen: %v\n", name, err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "observability endpoint on %s (/metrics, /healthz, /debug/pprof)\n", c.Listen)
+	return func() { srv.Close() }
+}

@@ -1,0 +1,84 @@
+package cliflags
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRegisterDefaultsAndParse(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := Register(fs, Options{SeedDefault: 7, SeedUsage: "world seed"})
+	if err := fs.Parse(nil); err != nil {
+		t.Fatalf("parse no args: %v", err)
+	}
+	if c.Seed != 7 || c.Retries != 1 || c.RetryBase != 2*time.Second ||
+		c.Metrics || c.TraceOut != "" || c.TraceSample != 1 || c.Listen != "" {
+		t.Errorf("unexpected defaults: %+v", c)
+	}
+	if f := fs.Lookup("seed"); f == nil || f.Usage != "world seed" {
+		t.Errorf("seed usage not overridden: %+v", f)
+	}
+
+	fs = flag.NewFlagSet("test", flag.ContinueOnError)
+	c = Register(fs, Options{})
+	args := []string{
+		"-seed", "42", "-retries", "3", "-retry-base", "4s", "-metrics",
+		"-trace", "out.jsonl", "-trace-sample", "0.5", "-listen", ":8089",
+	}
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if c.Seed != 42 || c.Retries != 3 || c.RetryBase != 4*time.Second ||
+		!c.Metrics || c.TraceOut != "out.jsonl" || c.TraceSample != 0.5 || c.Listen != ":8089" {
+		t.Errorf("unexpected parsed values: %+v", c)
+	}
+}
+
+func TestRetryPolicy(t *testing.T) {
+	c := &Common{Seed: 9, Retries: 1, RetryBase: 2 * time.Second}
+	if p := c.RetryPolicy(); p.MaxAttempts != 0 {
+		t.Errorf("retries=1 should disable the policy, got %+v", p)
+	}
+	c.Retries = 3
+	p := c.RetryPolicy()
+	if p.MaxAttempts != 3 || p.BaseDelay != 2*time.Second ||
+		p.MaxDelay != 32*time.Second || p.Jitter != 0.2 || p.Seed != 9 {
+		t.Errorf("unexpected policy: %+v", p)
+	}
+}
+
+func TestOpenTrace(t *testing.T) {
+	c := &Common{}
+	tr, flush, err := c.OpenTrace()
+	if err != nil || tr != nil {
+		t.Fatalf("no -trace should yield nil tracer, got %v, %v", tr, err)
+	}
+	if err := flush(); err != nil {
+		t.Fatalf("no-op flush: %v", err)
+	}
+
+	c.TraceOut = filepath.Join(t.TempDir(), "probe.jsonl")
+	c.Seed = 3
+	tr, flush, err = c.OpenTrace()
+	if err != nil {
+		t.Fatalf("open trace: %v", err)
+	}
+	if tr == nil {
+		t.Fatal("expected a tracer")
+	}
+	if err := flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if _, err := os.Stat(c.TraceOut); err != nil {
+		t.Errorf("trace file missing: %v", err)
+	}
+}
+
+func TestServeWithoutListenIsNoop(t *testing.T) {
+	c := &Common{}
+	stop := c.Serve("test", nil, nil)
+	stop() // must not panic
+}

@@ -12,18 +12,17 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"net/netip"
 	"os"
 	"strings"
 	"sync"
 	"time"
 
+	"spfail/cmd/internal/cliflags"
 	"spfail/internal/clock"
 	"spfail/internal/core"
 	"spfail/internal/dnsclient"
@@ -32,7 +31,6 @@ import (
 	"spfail/internal/measure"
 	"spfail/internal/mta"
 	"spfail/internal/netsim"
-	"spfail/internal/retry"
 	"spfail/internal/spf"
 	"spfail/internal/telemetry"
 	"spfail/internal/trace"
@@ -53,17 +51,16 @@ func main() {
 		timeout    = flag.Duration("timeout", def.IOTimeout, "SMTP I/O timeout")
 		reconnect  = flag.Duration("reconnect-wait", def.ReconnectWait, "politeness gap between connections to the same server")
 		greylist   = flag.Duration("greylist-wait", def.GreylistWait, "pause before retrying a 450 greylisting")
-		retries    = flag.Int("retries", 1, "attempts per transiently-failed probe (1 disables retries)")
-		retryBase  = flag.Duration("retry-base", 2*time.Second, "backoff before the first probe retry")
-		metrics    = flag.Bool("metrics", false, "dump a JSON telemetry snapshot to stdout at exit")
-		seed       = flag.Int64("seed", 0, "label-allocator seed for replayable scans (0: derive from the clock)")
-		traceOut   = flag.String("trace", "", "write per-probe causal spans to this JSONL file (read with spfail-trace)")
-		traceSmpl  = flag.Float64("trace-sample", 1, "fraction of probes traced, decided deterministically per target index")
-		listen     = flag.String("listen", "", "serve live /metrics (Prometheus text), /healthz, and /debug/pprof on this address, e.g. :8089")
 		spoofFrom  = flag.String("spoof-from", "", "comma-separated From domains to judge for spoofability (SPF check_host + DMARC) instead of probing")
 		spoofDNS   = flag.String("spoof-dns", "", "resolver address for -spoof-from lookups, e.g. 127.0.0.1:5353")
 		spoofIP    = flag.String("spoof-ip", "203.0.113.66", "forged source address for -spoof-from verdicts")
 	)
+	common := cliflags.Register(flag.CommandLine, cliflags.Options{
+		SeedDefault:      0,
+		SeedUsage:        "label-allocator seed for replayable scans (0: derive from the clock)",
+		MetricsUsage:     "dump a JSON telemetry snapshot to stdout at exit",
+		TraceSampleUsage: "fraction of probes traced, decided deterministically per target index",
+	})
 	flag.Parse()
 	targets := flag.Args()
 	if *spoofFrom != "" {
@@ -84,28 +81,16 @@ func main() {
 		fatal("bad -addr4: %v", err)
 	}
 	clk := clock.Real{}
-	if *seed == 0 {
-		*seed = clk.Now().UnixNano()
-		fmt.Printf("spfail-scan: -seed %d (pass it back to replay label allocation)\n", *seed)
+	if common.Seed == 0 {
+		common.Seed = clk.Now().UnixNano()
+		fmt.Printf("spfail-scan: -seed %d (pass it back to replay label allocation)\n", common.Seed)
 	}
 	reg := telemetry.New()
-	var tracer *trace.Tracer
 	// flushTrace is called explicitly before the final os.Exit — deferred
 	// flushes would never run and leave the buffered JSONL on the floor.
-	flushTrace := func() error { return nil }
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fatal("%v", err)
-		}
-		tw := bufio.NewWriter(f)
-		flushTrace = func() error {
-			if err := tw.Flush(); err != nil {
-				return err
-			}
-			return f.Close()
-		}
-		tracer = trace.New(tw, trace.Options{Seed: *seed, Sample: *traceSmpl})
+	tracer, flushTrace, err := common.OpenTrace()
+	if err != nil {
+		fatal("%v", err)
 	}
 	zone := &dnsserver.SPFTestZone{Base: baseName, Addr4: a4}
 	collector := core.NewCollector(zone)
@@ -122,7 +107,7 @@ func main() {
 		HELO:          *helo,
 		Clock:         clk,
 		Zone:          zone,
-		Labels:        core.NewLabelAllocator(*seed),
+		Labels:        core.NewLabelAllocator(common.Seed),
 		Collector:     collector,
 		Classifier:    core.NewClassifier(zone),
 		Suite:         *suite,
@@ -131,32 +116,16 @@ func main() {
 		ReconnectWait: *reconnect,
 		Metrics:       reg,
 	}
-	if *retries > 1 {
-		prober.Retry = retry.Policy{
-			MaxAttempts: *retries,
-			BaseDelay:   *retryBase,
-			MaxDelay:    16 * *retryBase,
-			Jitter:      0.2,
-			Seed:        *seed,
-		}
-	}
+	prober.Retry = common.RetryPolicy()
 
 	var healthMu sync.Mutex
 	health := telemetry.Health{OK: true, Stage: "scanning", Total: len(targets)}
-	if *listen != "" {
-		hsrv := &http.Server{Addr: *listen, Handler: telemetry.HTTPHandler(reg, func() telemetry.Health {
-			healthMu.Lock()
-			defer healthMu.Unlock()
-			return health
-		})}
-		go func() {
-			if err := hsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintf(os.Stderr, "spfail-scan: -listen: %v\n", err)
-			}
-		}()
-		defer hsrv.Close()
-		fmt.Fprintf(os.Stderr, "observability endpoint on %s (/metrics, /healthz, /debug/pprof)\n", *listen)
-	}
+	stopServe := common.Serve("spfail-scan", reg, func() telemetry.Health {
+		healthMu.Lock()
+		defer healthMu.Unlock()
+		return health
+	})
+	defer stopServe()
 
 	exitCode := 0
 	outcomeTotals := make(map[core.Status]int)
@@ -182,7 +151,7 @@ func main() {
 	if err := flushTrace(); err != nil {
 		fatal("writing trace: %v", err)
 	}
-	if *metrics {
+	if common.Metrics {
 		fmt.Printf("\n-- metrics (probe.outcome.* must equal the scan's outcome totals: %v)\n", outcomeTotals)
 		if err := reg.Snapshot().WriteJSON(os.Stdout); err != nil {
 			fatal("writing metrics: %v", err)

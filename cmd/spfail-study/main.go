@@ -7,6 +7,14 @@
 //
 // Scale 1.0 reproduces the paper's full population sizes (~420K domains);
 // the default keeps a laptop run in the minutes range.
+//
+// With -checkpoint the study commits a durable segment after every stage;
+// a run killed at any point — including SIGKILL — restarts with the same
+// flags plus -resume and produces output byte-identical to an
+// uninterrupted run (see docs/checkpoints.md):
+//
+//	spfail-study -scale 0.05 -checkpoint /tmp/ckpt
+//	spfail-study -scale 0.05 -checkpoint /tmp/ckpt -resume
 package main
 
 import (
@@ -14,15 +22,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"net/http"
-	"net/netip"
 	"os"
 	"strings"
 	"sync"
 	"time"
 
+	"spfail/cmd/internal/cliflags"
+	"spfail/internal/checkpoint"
 	"spfail/internal/clock"
-	"spfail/internal/core"
 	"spfail/internal/faults"
 	"spfail/internal/measure"
 	"spfail/internal/population"
@@ -30,40 +37,47 @@ import (
 	"spfail/internal/retry"
 	"spfail/internal/study"
 	"spfail/internal/telemetry"
-	"spfail/internal/trace"
 )
 
 func main() {
 	def := measure.DefaultConfig()
 	var (
 		scale       = flag.Float64("scale", 0.02, "population scale relative to the paper")
-		seed        = flag.Int64("seed", 1, "world generation seed")
 		concurrency = flag.Int("concurrency", def.Concurrency, "max concurrent SMTP probes")
 		batch       = flag.Int("batch", def.BatchSize, "simulated hosts brought up per wave")
 		interval    = flag.Duration("interval", 48*time.Hour, "longitudinal cadence (virtual)")
 		ioTimeout   = flag.Duration("io-timeout", 5*time.Second, "per-probe SMTP I/O timeout (spent in real time; shrink it under fault plans)")
 		faultsName  = flag.String("faults", "none", "fault-injection preset: "+strings.Join(faults.PresetNames, "|"))
-		retries     = flag.Int("retries", 1, "attempts per transiently-failed probe (1 disables retries)")
-		retryBase   = flag.Duration("retry-base", 2*time.Second, "backoff before the first probe retry (virtual time)")
 		breakerN    = flag.Int("breaker", 0, "consecutive failures that open a per-address circuit breaker (0 disables)")
-		checkpoint  = flag.String("checkpoint", "", "stream per-probe outcomes to this CSV file as they complete")
+		ckptDir     = flag.String("checkpoint", "", "durable checkpoint store directory: commit a segment after every stage (see docs/checkpoints.md)")
+		resume      = flag.Bool("resume", false, "resume an interrupted run from the -checkpoint store (same flags required)")
+		killAfter   = flag.String("kill-after", "", "testing: SIGKILL this process right after the named segment commits, e.g. round-002 (requires -checkpoint)")
 		csvDir      = flag.String("csv", "", "directory to write figure data as CSV (optional)")
 		verbose     = flag.Bool("v", true, "print progress to stderr")
-		metrics     = flag.Bool("metrics", false, "periodic telemetry progress lines and a JSON snapshot at exit (stderr)")
 		metricsOut  = flag.String("metrics-out", "", "write the JSON telemetry snapshot to this file (implies -metrics)")
-		traceOut    = flag.String("trace", "", "write per-probe causal spans to this JSONL file (read with spfail-trace; see docs/tracing.md)")
-		traceSample = flag.Float64("trace-sample", 1, "fraction of probes traced, decided deterministically per probe index")
 		scenarios   = flag.String("scenarios", "", "misconfiguration scenario mix, e.g. plus-all:0.1,dangling-include:0.05 (packs: "+strings.Join(population.PackNames(), "|")+")")
-		listen      = flag.String("listen", "", "serve live /metrics (Prometheus text), /healthz, and /debug/pprof on this address, e.g. :8089")
 	)
+	common := cliflags.Register(flag.CommandLine, cliflags.Options{
+		SeedDefault:  1,
+		SeedUsage:    "world generation seed",
+		MetricsUsage: "periodic telemetry progress lines and a JSON snapshot at exit (stderr)",
+	})
 	flag.Parse()
 	if *metricsOut != "" {
-		*metrics = true
+		common.Metrics = true
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "spfail-study: -resume requires -checkpoint")
+		os.Exit(2)
+	}
+	if *killAfter != "" && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "spfail-study: -kill-after requires -checkpoint")
+		os.Exit(2)
 	}
 
 	spec := population.DefaultSpec()
 	spec.Scale = *scale
-	spec.Seed = *seed
+	spec.Seed = common.Seed
 	if *scenarios != "" {
 		refs, err := population.ParseScenarioRefs(*scenarios)
 		if err != nil {
@@ -80,64 +94,50 @@ func main() {
 	}
 
 	cfg := study.Config{
-		Spec:        spec,
-		Concurrency: *concurrency,
-		BatchSize:   *batch,
-		Interval:    *interval,
-		IOTimeout:   *ioTimeout,
+		Config: measure.Config{
+			Concurrency: *concurrency,
+			BatchSize:   *batch,
+			IOTimeout:   *ioTimeout,
+		},
+		Spec:          spec,
+		Interval:      *interval,
+		CheckpointDir: *ckptDir,
+		Resume:        *resume,
 	}
 	if !plan.Empty() {
 		cfg.Faults = &plan
 	}
-	if *retries > 1 {
-		cfg.Retry = retry.Policy{
-			MaxAttempts: *retries,
-			BaseDelay:   *retryBase,
-			MaxDelay:    16 * *retryBase,
-			Jitter:      0.2,
-		}
-		cfg.DNSRetry = cfg.Retry
+	if p := common.RetryPolicy(); p.MaxAttempts > 1 {
+		cfg.Retry = p
+		cfg.DNSRetry = p
 	}
 	if *breakerN > 0 {
 		cfg.Breaker = retry.BreakerConfig{Threshold: *breakerN}
 	}
-	if *checkpoint != "" {
-		f, err := os.Create(*checkpoint)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "spfail-study: %v\n", err)
-			os.Exit(2)
-		}
-		defer f.Close()
-		cw := bufio.NewWriter(f)
-		defer cw.Flush()
-		ow := report.NewOutcomeWriter(cw)
-		defer ow.Flush()
-		cfg.Observe = func(suite string, addr netip.Addr, out core.Outcome) {
-			if err := ow.Write(suite, addr, out); err != nil {
-				fmt.Fprintf(os.Stderr, "spfail-study: checkpoint: %v\n", err)
-				os.Exit(1)
+	if *killAfter != "" {
+		point := "commit:" + *killAfter
+		cfg.Kill = func(p string) bool {
+			if p != point {
+				return false
 			}
+			fmt.Fprintf(os.Stderr, "spfail-study: -kill-after: %s committed, sending SIGKILL\n", *killAfter)
+			proc, err := os.FindProcess(os.Getpid())
+			if err == nil {
+				_ = proc.Kill()
+			}
+			// SIGKILL delivery is asynchronous; never resume the study.
+			select {}
 		}
 	}
 	// flushTrace runs explicitly before the trace-error check rather than
 	// as a defer, so the buffered JSONL reaches disk (and surfaces write
 	// errors) even though later failure paths leave through os.Exit.
-	flushTrace := func() error { return nil }
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "spfail-study: %v\n", err)
-			os.Exit(2)
-		}
-		tw := bufio.NewWriter(f)
-		flushTrace = func() error {
-			if err := tw.Flush(); err != nil {
-				return err
-			}
-			return f.Close()
-		}
-		cfg.Trace = trace.New(tw, trace.Options{Seed: *seed, Sample: *traceSample})
+	tracer, flushTrace, err := common.OpenTrace()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spfail-study: %v\n", err)
+		os.Exit(2)
 	}
+	cfg.Trace = tracer
 	if *verbose {
 		clk := clock.Real{}
 		start := clk.Now()
@@ -147,15 +147,15 @@ func main() {
 	}
 
 	var stopProgress func()
-	if *metrics {
+	if common.Metrics {
 		cfg.Metrics = telemetry.New()
 		stopProgress = progressLoop(cfg.Metrics, 5*time.Second)
 	}
-	if *listen != "" {
+	if common.Listen != "" {
 		if cfg.Metrics == nil {
 			cfg.Metrics = telemetry.New()
 		}
-		stop := serveObservability(*listen, &cfg)
+		stop := serveObservability(common, &cfg)
 		defer stop()
 	}
 
@@ -167,7 +167,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "spfail-study: %v\n", err)
 		os.Exit(1)
 	}
-	if *metrics {
+	if common.Metrics {
 		if err := writeMetrics(*metricsOut, res.Metrics); err != nil {
 			fmt.Fprintf(os.Stderr, "spfail-study: writing metrics: %v\n", err)
 			os.Exit(1)
@@ -184,7 +184,7 @@ func main() {
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
-	fmt.Fprintf(w, "SPFail reproduction — scale %.3f, seed %d\n", *scale, *seed)
+	fmt.Fprintf(w, "SPFail reproduction — scale %.3f, seed %d\n", *scale, common.Seed)
 	fmt.Fprintf(w, "domains: %s   addresses: %s   initially vulnerable: %s addrs / %s domains\n\n",
 		report.Count(len(res.World.Domains)),
 		report.Count(len(res.World.Hosts)),
@@ -202,11 +202,13 @@ func main() {
 }
 
 // serveObservability starts the live endpoint (-listen): Prometheus-text
-// /metrics from the study's registry, /healthz with campaign stage and
-// progress, and net/http/pprof. It hooks cfg.Progress and the campaign
-// batch events to keep the health view current, and returns a stop
-// function for shutdown.
-func serveObservability(addr string, cfg *study.Config) (stop func()) {
+// /metrics from the study's registry, /healthz with campaign stage,
+// progress, and durable checkpoint position, and net/http/pprof. It
+// hooks cfg.Progress and the campaign batch events to keep the health
+// view current; when a checkpoint store is configured, each /healthz
+// request opens a snapshot-isolated checkpoint.Reader so the reported
+// position reflects only durably committed segments.
+func serveObservability(common *cliflags.Common, cfg *study.Config) (stop func()) {
 	var mu sync.Mutex
 	h := telemetry.Health{OK: true, Stage: "starting"}
 	cfg.Metrics.OnEvent(func(ev telemetry.Event) {
@@ -232,18 +234,20 @@ func serveObservability(addr string, cfg *study.Config) (stop func()) {
 			prev(stage)
 		}
 	}
-	srv := &http.Server{Addr: addr, Handler: telemetry.HTTPHandler(cfg.Metrics, func() telemetry.Health {
+	reg, dir := cfg.Metrics, cfg.CheckpointDir
+	return common.Serve("spfail-study", reg, func() telemetry.Health {
 		mu.Lock()
-		defer mu.Unlock()
-		return h
-	})}
-	go func() {
-		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			fmt.Fprintf(os.Stderr, "spfail-study: -listen: %v\n", err)
+		cur := h
+		mu.Unlock()
+		if dir != "" {
+			if r, err := checkpoint.OpenReader(dir, reg); err == nil {
+				p := r.Progress()
+				cur.CheckpointSegments = p.Segments
+				cur.CheckpointRounds = p.Rounds
+			}
 		}
-	}()
-	fmt.Fprintf(os.Stderr, "observability endpoint on %s (/metrics, /healthz, /debug/pprof)\n", addr)
-	return func() { srv.Close() }
+		return cur
+	})
 }
 
 // progressLoop prints one telemetry line per tick (wall time; the study

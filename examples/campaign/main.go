@@ -6,6 +6,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"os"
 	"time"
 
 	"spfail/internal/clock"
@@ -19,7 +20,11 @@ func main() {
 	spec := population.DefaultSpec()
 	spec.Scale = 0.002
 	spec.Seed = 42
-	world := population.Generate(spec)
+	world, err := population.Generate(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	fmt.Printf("generated world: %s domains on %s mail-server addresses\n",
 		report.Count(len(world.Domains)), report.Count(len(world.Hosts)))
 

@@ -1,0 +1,72 @@
+package checkpoint
+
+import (
+	"strings"
+
+	"spfail/internal/telemetry"
+)
+
+// Reader is the concurrent-observer half of the store: it loads one
+// committed manifest and serves segments from that snapshot. Because a
+// Commit publishes the segment file before the manifest rename, every
+// segment a Reader's manifest lists is fully on disk — a reader opened
+// mid-commit simply does not see the in-flight segment yet. Open a new
+// Reader to observe later commits; an existing Reader's view never
+// changes.
+type Reader struct {
+	dir      string
+	manifest Manifest
+}
+
+// OpenReader snapshots dir's committed state. Unlike Open it does not
+// pre-verify segment payloads (readers poll while a writer is live;
+// verification happens on Read) and does not check the fingerprint
+// (observers do not need the run's config).
+func OpenReader(dir string, reg *telemetry.Registry) (*Reader, error) {
+	m, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	reg.Counter("checkpoint.reader.opens").Inc()
+	return &Reader{dir: dir, manifest: m}, nil
+}
+
+// Fingerprint returns the configuration fingerprint the store was
+// created under.
+func (r *Reader) Fingerprint() string { return r.manifest.Fingerprint }
+
+// Segments returns the snapshot's committed segment list in commit order.
+func (r *Reader) Segments() []SegmentMeta {
+	return append([]SegmentMeta(nil), r.manifest.Segments...)
+}
+
+// Read returns one segment's payload, verifying size and checksum
+// against the snapshot's manifest.
+func (r *Reader) Read(meta SegmentMeta) ([]byte, error) {
+	return readSegment(r.dir, meta)
+}
+
+// Progress summarizes durable progress for health endpoints.
+type Progress struct {
+	// Segments is the number of committed segments.
+	Segments int
+	// Rounds is the number of committed longitudinal rounds (segments
+	// named round-*).
+	Rounds int
+	// Probes is the total probe count across committed segments.
+	Probes int
+}
+
+// Progress computes the snapshot's durable-progress summary from
+// manifest metadata alone (no payload reads).
+func (r *Reader) Progress() Progress {
+	var p Progress
+	p.Segments = len(r.manifest.Segments)
+	for _, meta := range r.manifest.Segments {
+		p.Probes += meta.Probes
+		if strings.HasPrefix(meta.Name, "round-") {
+			p.Rounds++
+		}
+	}
+	return p
+}

@@ -1,0 +1,164 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"spfail/internal/core"
+	"spfail/internal/faults"
+	"spfail/internal/retry"
+)
+
+// Stage is one segment's payload: everything the study needs to fast-
+// forward past a completed stage and leave the campaign's mutable state
+// exactly where an uninterrupted run would have it. Aggregated results
+// (vulnerable sets, analysis, report tables) are deliberately absent —
+// the resumed run recomputes them from these rows, so aggregation bugs
+// cannot be frozen into checkpoints.
+type Stage struct {
+	// Clock is the virtual-clock position when the stage finished; resume
+	// sleeps the simulated clock forward to it.
+	Clock time.Time `json:"clock"`
+	// ProbeSeq is the campaign's probe-label counter after the stage
+	// (label generation consumes one slot per probed address).
+	ProbeSeq uint64 `json:"probe_seq,omitempty"`
+	// Breakers is the campaign's circuit-breaker state after the stage.
+	Breakers []retry.BreakerSnapshot `json:"breakers,omitempty"`
+	// Faults is the fault engine's per-(rule, host) event counters after
+	// the stage; later rounds hash these to draw injection decisions.
+	Faults []faults.SeqEntry `json:"faults,omitempty"`
+	// Targets is the stage's DNS resolution result, when it resolved.
+	Targets []TargetRow `json:"targets,omitempty"`
+	// Outcomes is the stage's probe results, when it probed.
+	Outcomes []OutcomeRow `json:"outcomes,omitempty"`
+	// Extra carries stage-specific results (spoof verdicts, the
+	// notification record) the generic fields cannot.
+	Extra json.RawMessage `json:"extra,omitempty"`
+	// Trace is the raw trace-stream bytes the stage emitted, replayed
+	// verbatim on resume so the trace file stays byte-identical.
+	Trace []byte `json:"trace,omitempty"`
+}
+
+// EncodeStage serializes a stage payload for Store.Commit.
+func EncodeStage(st *Stage) ([]byte, error) {
+	b, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encoding stage: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeStage parses a segment payload previously produced by
+// EncodeStage. Unknown fields are rejected: a payload this build cannot
+// fully interpret cannot seed a byte-identical resume.
+func DecodeStage(payload []byte) (*Stage, error) {
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	var st Stage
+	if err := dec.Decode(&st); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w: malformed stage payload: %v", ErrResumeImpossible, err)
+	}
+	return &st, nil
+}
+
+// TargetRow is the serialized form of one resolved measurement target.
+// It mirrors measure.Target without importing measure (which sits above
+// this package in the dependency order).
+type TargetRow struct {
+	Domain string   `json:"domain"`
+	Addrs  []string `json:"addrs,omitempty"`
+	HasMX  bool     `json:"has_mx,omitempty"`
+}
+
+// TargetAddrs parses a row's addresses back to netip form.
+func (t TargetRow) TargetAddrs() ([]netip.Addr, error) {
+	if len(t.Addrs) == 0 {
+		return nil, nil
+	}
+	out := make([]netip.Addr, 0, len(t.Addrs))
+	for _, s := range t.Addrs {
+		a, err := netip.ParseAddr(s)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: %w: target %s address %q: %v", ErrResumeImpossible, t.Domain, s, err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// OutcomeRow is the serialized form of one probe outcome. core.Outcome
+// carries an error value, which does not survive a JSON round trip, so
+// the row stores its message and restores a plain error; nothing
+// downstream of the campaign inspects the error beyond its text.
+type OutcomeRow struct {
+	Addr        string           `json:"addr"`
+	Status      core.Status      `json:"status"`
+	Method      core.ProbeMethod `json:"method,omitempty"`
+	NoMsgRan    bool             `json:"no_msg_ran,omitempty"`
+	BlankMsgRan bool             `json:"blank_msg_ran,omitempty"`
+	Observation core.Observation `json:"observation"`
+	FailStage   string           `json:"fail_stage,omitempty"`
+	Err         string           `json:"err,omitempty"`
+	IDs         []string         `json:"ids,omitempty"`
+	Username    string           `json:"username,omitempty"`
+	Attempts    int              `json:"attempts,omitempty"`
+	FailReason  string           `json:"fail_reason,omitempty"`
+}
+
+// OutcomeRows converts campaign outcomes to their serialized form.
+func OutcomeRows(outs []core.Outcome) []OutcomeRow {
+	if len(outs) == 0 {
+		return nil
+	}
+	rows := make([]OutcomeRow, len(outs))
+	for i, o := range outs {
+		rows[i] = OutcomeRow{
+			Addr:        o.Addr,
+			Status:      o.Status,
+			Method:      o.Method,
+			NoMsgRan:    o.NoMsgRan,
+			BlankMsgRan: o.BlankMsgRan,
+			Observation: o.Observation,
+			FailStage:   o.FailStage,
+			IDs:         o.IDs,
+			Username:    o.Username,
+			Attempts:    o.Attempts,
+			FailReason:  o.FailReason,
+		}
+		if o.Err != nil {
+			rows[i].Err = o.Err.Error()
+		}
+	}
+	return rows
+}
+
+// Restore converts serialized rows back to campaign outcomes.
+func RestoreOutcomes(rows []OutcomeRow) []core.Outcome {
+	if len(rows) == 0 {
+		return nil
+	}
+	outs := make([]core.Outcome, len(rows))
+	for i, r := range rows {
+		outs[i] = core.Outcome{
+			Addr:        r.Addr,
+			Status:      r.Status,
+			Method:      r.Method,
+			NoMsgRan:    r.NoMsgRan,
+			BlankMsgRan: r.BlankMsgRan,
+			Observation: r.Observation,
+			FailStage:   r.FailStage,
+			IDs:         r.IDs,
+			Username:    r.Username,
+			Attempts:    r.Attempts,
+			FailReason:  r.FailReason,
+		}
+		if r.Err != "" {
+			outs[i].Err = errors.New(r.Err)
+		}
+	}
+	return outs
+}

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"hash/fnv"
+	"sort"
 	"strconv"
 	"sync"
 
@@ -51,6 +52,46 @@ func (e *Engine) SetTracer(t *trace.Tracer) { e.tracer = t }
 
 // Plan returns the normalized plan the engine runs.
 func (e *Engine) Plan() Plan { return e.plan }
+
+// SeqEntry is one (rule, host) event counter, the engine's only mutable
+// state. Fault decisions hash the per-key sequence number, so a resumed
+// study must restore these counters for later rounds to draw the same
+// decisions an uninterrupted run would.
+type SeqEntry struct {
+	Key string `json:"key"`
+	Seq uint64 `json:"seq"`
+}
+
+// Snapshot returns the event counters sorted by key, for checkpointing.
+func (e *Engine) Snapshot() []SeqEntry {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.seq) == 0 {
+		return nil
+	}
+	out := make([]SeqEntry, 0, len(e.seq))
+	for k, s := range e.seq {
+		out = append(out, SeqEntry{Key: k, Seq: s})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Restore replaces the event counters with a snapshot taken by Snapshot.
+func (e *Engine) Restore(snap []SeqEntry) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.seq = make(map[string]uint64, len(snap))
+	for _, s := range snap {
+		e.seq[s.Key] = s.Seq
+	}
+}
 
 // inject records one fired fault against the subject host: the per-kind
 // counter plus (when tracing) a fault.injected event on the host's span.

@@ -18,7 +18,7 @@ import (
 // waits: DNS resolution, SMTP dialogue, classification, and the
 // sequence-stamp merge all on the hot path. b.N counts addresses probed.
 func BenchmarkCampaignThroughput(b *testing.B) {
-	w := population.Generate(tinySpec())
+	w := population.MustGenerate(tinySpec())
 	rig, err := NewRigFromOptions(context.Background(), RigOptions{World: w, Clock: clock.Real{}})
 	if err != nil {
 		b.Fatal(err)
@@ -64,7 +64,7 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 // of span capture — buffer allocation, attribute recording, per-shard
 // serialization — shows up as the delta against the untraced baseline.
 func BenchmarkTracedCampaignThroughput(b *testing.B) {
-	w := population.Generate(tinySpec())
+	w := population.MustGenerate(tinySpec())
 	rig, err := NewRigFromOptions(context.Background(), RigOptions{
 		World: w,
 		Clock: clock.Real{},

@@ -112,6 +112,28 @@ func (c *Campaign) newProber() *core.Prober {
 	}
 }
 
+// ProbeSeq returns the campaign-lifetime probe counter — the round
+// boundary hook the checkpoint layer records after each measurement
+// stage. Probe indices feed trace IDs, sampling decisions, and label
+// streams, so a resumed campaign must continue the sequence exactly
+// where the checkpointed one stopped.
+func (c *Campaign) ProbeSeq() uint64 { return c.probeSeq }
+
+// BreakerSnapshot captures the campaign's circuit-breaker state (nil
+// when breakers are disabled or untouched), sorted by key.
+func (c *Campaign) BreakerSnapshot() []retry.BreakerSnapshot {
+	return c.breakers.Snapshot()
+}
+
+// ResumeRound restores the round boundary state a checkpoint recorded:
+// the probe counter and the breaker positions. Call it between
+// measurement stages only — entry points are serial, and restoring
+// mid-batch would corrupt the probe index stream.
+func (c *Campaign) ResumeRound(probeSeq uint64, breakers []retry.BreakerSnapshot) {
+	c.probeSeq = probeSeq
+	c.breakers.Restore(breakers)
+}
+
 // MeasureAddrsFunc probes each address once, delivering outcomes to fn one
 // batch at a time so callers can checkpoint incrementally instead of
 // holding the full result map. fn is invoked serially (no locking needed

@@ -21,7 +21,7 @@ import (
 func TestFaultyCampaignNoLostProbes(t *testing.T) {
 	sim := clock.NewSim(population.TInitial)
 	defer sim.Close()
-	w := population.Generate(tinySpec())
+	w := population.MustGenerate(tinySpec())
 	plan, err := faults.Preset("aggressive")
 	if err != nil {
 		t.Fatal(err)

@@ -20,7 +20,7 @@ func tinySpec() population.Spec {
 
 func newTestRig(t *testing.T, clk clock.Clock) *Rig {
 	t.Helper()
-	w := population.Generate(tinySpec())
+	w := population.MustGenerate(tinySpec())
 	rig, err := NewRigFromOptions(context.Background(), RigOptions{World: w, Clock: clk})
 	if err != nil {
 		t.Fatal(err)

@@ -45,6 +45,10 @@ type Rig struct {
 	// whole rig (prober, MTA-side SPF evaluation, DNS server, fault
 	// engine). Nil disables tracing at zero cost.
 	Trace *trace.Tracer
+	// FaultEngine is the fabric's fault injector when RigOptions.Faults
+	// was installed, nil otherwise. Exposed so the study's checkpoint
+	// layer can snapshot and restore its event counters across resume.
+	FaultEngine *faults.Engine
 
 	// DNSAddr is the single authoritative/resolver address every
 	// simulated party uses.
@@ -113,8 +117,10 @@ func NewRigFromOptions(ctx context.Context, opts RigOptions) (*Rig, error) {
 	w, clk := opts.World, opts.Clock
 	fabric := netsim.NewFabric()
 	fabric.Clock = clk
+	var engine *faults.Engine
 	if opts.Faults != nil && !opts.Faults.Empty() {
-		engine, err := faults.NewEngine(*opts.Faults)
+		var err error
+		engine, err = faults.NewEngine(*opts.Faults)
 		if err != nil {
 			return nil, fmt.Errorf("measure: fault plan: %w", err)
 		}
@@ -124,14 +130,15 @@ func NewRigFromOptions(ctx context.Context, opts RigOptions) (*Rig, error) {
 		fabric.Faults = engine
 	}
 	r := &Rig{
-		Fabric:   fabric,
-		Clock:    clk,
-		World:    w,
-		Metrics:  metrics,
-		Trace:    opts.Trace,
-		DNSAddr:  dnsIP + ":53",
-		ProbeIP:  probeIP,
-		dnsRetry: opts.DNSRetry,
+		Fabric:      fabric,
+		Clock:       clk,
+		World:       w,
+		Metrics:     metrics,
+		Trace:       opts.Trace,
+		FaultEngine: engine,
+		DNSAddr:     dnsIP + ":53",
+		ProbeIP:     probeIP,
+		dnsRetry:    opts.DNSRetry,
 		Zone: &dnsserver.SPFTestZone{
 			Base:  dnsmsg.MustParseName(testZoneBase),
 			Addr4: netip.MustParseAddr("192.0.2.80"),

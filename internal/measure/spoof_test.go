@@ -27,7 +27,7 @@ func scenarioRig(t *testing.T) *Rig {
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	w := population.Generate(s)
+	w := population.MustGenerate(s)
 	rig, err := NewRigFromOptions(context.Background(), RigOptions{World: w, Clock: clock.Real{}})
 	if err != nil {
 		t.Fatal(err)

@@ -13,12 +13,12 @@ import (
 	"spfail/internal/spfimpl"
 )
 
-// Generate builds a deterministic world from the spec. It panics when
-// spec fails Validate; callers handling untrusted input should call
-// Spec.Validate first and surface the error.
-func Generate(spec Spec) *World {
+// Generate builds a deterministic world from the spec, or reports the
+// spec's validation error. Generation itself cannot fail: every knob a
+// caller can set wrong is caught by Spec.Validate up front.
+func Generate(spec Spec) (*World, error) {
 	if err := spec.Validate(); err != nil {
-		panic(err.Error())
+		return nil, fmt.Errorf("population: %w", err)
 	}
 	g := &generator{
 		spec: spec,
@@ -37,7 +37,17 @@ func Generate(spec Spec) *World {
 	g.buildTwoWeekMX()
 	g.assignPatchPlans()
 	g.applyScenarios()
-	return g.w
+	return g.w, nil
+}
+
+// MustGenerate is Generate for specs known valid at compile time (tests,
+// examples); it panics on a validation error.
+func MustGenerate(spec Spec) *World {
+	w, err := Generate(spec)
+	if err != nil {
+		panic(err.Error())
+	}
+	return w
 }
 
 type provider struct {

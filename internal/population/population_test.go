@@ -17,8 +17,8 @@ func testSpec() Spec {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
-	a := Generate(testSpec())
-	b := Generate(testSpec())
+	a := MustGenerate(testSpec())
+	b := MustGenerate(testSpec())
 	if len(a.Domains) != len(b.Domains) || len(a.Hosts) != len(b.Hosts) {
 		t.Fatalf("sizes differ: %d/%d vs %d/%d", len(a.Domains), len(a.Hosts), len(b.Domains), len(b.Hosts))
 	}
@@ -41,7 +41,7 @@ func TestGenerateDeterministic(t *testing.T) {
 
 func TestSetSizesScale(t *testing.T) {
 	spec := testSpec()
-	w := Generate(spec)
+	w := MustGenerate(spec)
 	alexa := len(w.DomainsIn(SetAlexaTopList))
 	wantAlexa := int(float64(spec.AlexaTopListSize)*spec.Scale + 0.5)
 	// Top providers may add a handful of Alexa members.
@@ -60,7 +60,7 @@ func TestSetSizesScale(t *testing.T) {
 
 func TestOverlapsMatchTable1Shape(t *testing.T) {
 	spec := testSpec()
-	w := Generate(spec)
+	w := MustGenerate(spec)
 	countBoth := func(a, b Set) int {
 		n := 0
 		for _, d := range w.Domains {
@@ -89,7 +89,7 @@ func TestOverlapsMatchTable1Shape(t *testing.T) {
 }
 
 func TestTLDDistributionComDominates(t *testing.T) {
-	w := Generate(testSpec())
+	w := MustGenerate(testSpec())
 	count := func(set Set) map[string]int {
 		m := map[string]int{}
 		for _, d := range w.DomainsIn(set) {
@@ -113,7 +113,7 @@ func TestTLDDistributionComDominates(t *testing.T) {
 }
 
 func TestEveryDomainHasHosts(t *testing.T) {
-	w := Generate(testSpec())
+	w := MustGenerate(testSpec())
 	for _, d := range w.Domains {
 		if len(d.Hosts) == 0 {
 			t.Fatalf("domain %s has no hosts", d.Name)
@@ -129,7 +129,7 @@ func TestEveryDomainHasHosts(t *testing.T) {
 func TestAddressConsolidation(t *testing.T) {
 	// Table 3: unique addresses ≈ 40–60% of domain count for the Alexa
 	// set (shared provider hosting).
-	w := Generate(testSpec())
+	w := MustGenerate(testSpec())
 	nd := len(w.DomainsIn(SetAlexaTopList))
 	na := len(w.AddrsIn(SetAlexaTopList))
 	ratio := float64(na) / float64(nd)
@@ -141,7 +141,7 @@ func TestAddressConsolidation(t *testing.T) {
 func TestFunnelRatesRoughlyCalibrated(t *testing.T) {
 	spec := testSpec()
 	spec.Scale = 0.05
-	w := Generate(spec)
+	w := MustGenerate(spec)
 	addrs := w.AddrsIn(SetAlexaTopList)
 	var refused, smtpFail, mailFrom, data, never, blankFail int
 	for _, a := range addrs {
@@ -177,7 +177,7 @@ func TestFunnelRatesRoughlyCalibrated(t *testing.T) {
 func TestVulnerabilityRateAndRankEffect(t *testing.T) {
 	spec := testSpec()
 	spec.Scale = 0.1
-	w := Generate(spec)
+	w := MustGenerate(spec)
 	domains := w.DomainsIn(SetAlexaTopList)
 	n := len(domains)
 	var topVuln, bottomVuln, topN, bottomN int
@@ -211,7 +211,7 @@ func TestVulnerabilityRateAndRankEffect(t *testing.T) {
 }
 
 func TestTopProvidersVulnerability(t *testing.T) {
-	w := Generate(testSpec())
+	w := MustGenerate(testSpec())
 	wantVuln := map[string]bool{
 		"naver.com": true, "mail.ru": true, "vk.com": true,
 		"wp.pl": true, "seznam.cz": true, "email.cz": true,
@@ -251,7 +251,7 @@ func TestTopProvidersVulnerability(t *testing.T) {
 func TestPatchPlansRespectTLDProfiles(t *testing.T) {
 	spec := testSpec()
 	spec.Scale = 0.2 // enough za/tw hosts for stable rates
-	w := Generate(spec)
+	w := MustGenerate(spec)
 	rates := map[string][2]int{} // tld → [patched, vulnerable]
 	for _, h := range w.Hosts {
 		if !h.EverVulnerable() {
@@ -287,7 +287,7 @@ func TestPatchPlansRespectTLDProfiles(t *testing.T) {
 }
 
 func TestZoneSetServesMXAndA(t *testing.T) {
-	w := Generate(testSpec())
+	w := MustGenerate(testSpec())
 	z := w.BuildZones()
 	var checked int
 	for _, d := range w.Domains {
@@ -333,7 +333,7 @@ func TestHostSpecPatchSemantics(t *testing.T) {
 }
 
 func TestGeoRegistered(t *testing.T) {
-	w := Generate(testSpec())
+	w := MustGenerate(testSpec())
 	if w.Geo.Len() != len(w.Hosts) {
 		t.Errorf("geo has %d entries for %d hosts", w.Geo.Len(), len(w.Hosts))
 	}

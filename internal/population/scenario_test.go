@@ -82,21 +82,24 @@ func TestSpecValidateScenarios(t *testing.T) {
 	}
 }
 
-func TestGeneratePanicsOnInvalidSpec(t *testing.T) {
+func TestGenerateRejectsInvalidSpec(t *testing.T) {
+	if _, err := Generate(scenarioSpec(ScenarioPackRef{Name: "not-a-pack"})); err == nil {
+		t.Fatal("Generate accepted an invalid spec")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("Generate accepted an invalid spec")
+			t.Fatal("MustGenerate accepted an invalid spec")
 		}
 	}()
-	Generate(scenarioSpec(ScenarioPackRef{Name: "not-a-pack"}))
+	MustGenerate(scenarioSpec(ScenarioPackRef{Name: "not-a-pack"}))
 }
 
 // TestScenarioBaseWorldUnchanged: enabling scenarios must leave the base
 // world bit-identical — same domains, sets, hosts, and patch plans — with
 // only policy fields added on assigned domains.
 func TestScenarioBaseWorldUnchanged(t *testing.T) {
-	base := Generate(testSpec())
-	scen := Generate(scenarioSpec(
+	base := MustGenerate(testSpec())
+	scen := MustGenerate(scenarioSpec(
 		ScenarioPackRef{Name: "plus-all", Weight: 0.2},
 		ScenarioPackRef{Name: "alignment-gap", Weight: 0.2},
 	))
@@ -126,8 +129,8 @@ func TestScenarioBaseWorldUnchanged(t *testing.T) {
 // domains the existing packs got (cumulative hash-slot walk).
 func TestScenarioAssignmentDeterministicAndStable(t *testing.T) {
 	mixA := scenarioSpec(ScenarioPackRef{Name: "plus-all", Weight: 0.15})
-	w1 := Generate(mixA)
-	w2 := Generate(mixA)
+	w1 := MustGenerate(mixA)
+	w2 := MustGenerate(mixA)
 	assigned := func(w *World, pack string) map[string]bool {
 		m := map[string]bool{}
 		for _, d := range w.Domains {
@@ -151,7 +154,7 @@ func TestScenarioAssignmentDeterministicAndStable(t *testing.T) {
 	}
 	// Growing the mix appends a slot; plus-all's slice of the hash space
 	// is untouched.
-	w3 := Generate(scenarioSpec(
+	w3 := MustGenerate(scenarioSpec(
 		ScenarioPackRef{Name: "plus-all", Weight: 0.15},
 		ScenarioPackRef{Name: "void-lookup-heavy", Weight: 0.15},
 	))
@@ -170,7 +173,7 @@ func TestScenarioAssignmentDeterministicAndStable(t *testing.T) {
 }
 
 func TestTopProvidersExemptFromScenarios(t *testing.T) {
-	w := Generate(scenarioSpec(ScenarioPackRef{Name: "plus-all", Weight: 1}))
+	w := MustGenerate(scenarioSpec(ScenarioPackRef{Name: "plus-all", Weight: 1}))
 	for _, d := range w.Domains {
 		if d.Sets.Has(SetTopProviders) {
 			if d.Scenario != "" {
@@ -188,7 +191,7 @@ func TestTopProvidersExemptFromScenarios(t *testing.T) {
 // zone data — apex SPF TXT, _dmarc TXT, and extra include-target records
 // all resolve through the authoritative ZoneSet.
 func TestBuildZonesServesScenarioRecords(t *testing.T) {
-	w := Generate(scenarioSpec(
+	w := MustGenerate(scenarioSpec(
 		ScenarioPackRef{Name: "lookup-limit-buster", Weight: 0.5},
 		ScenarioPackRef{Name: "alignment-gap", Weight: 0.5},
 	))

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"spfail/internal/measure"
 	"spfail/internal/population"
 	"spfail/internal/study"
 )
@@ -25,10 +26,9 @@ func microStudy(t *testing.T) *study.Results {
 		spec.Scale = 0.003
 		spec.Seed = 5
 		microRes, microErr = study.Run(context.Background(), study.Config{
-			Spec:        spec,
-			Concurrency: 64,
-			BatchSize:   400,
-			Interval:    5 * 24 * time.Hour,
+			Config:   measure.Config{Concurrency: 64, BatchSize: 400},
+			Spec:     spec,
+			Interval: 5 * 24 * time.Hour,
 		})
 	})
 	if microErr != nil {

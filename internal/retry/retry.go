@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 	"time"
 
@@ -280,6 +281,58 @@ func (b *Breakers) Failure(key string, now time.Time) bool {
 		return true
 	}
 	return false
+}
+
+// BreakerSnapshot is one breaker's serializable state, used by the
+// checkpoint store to carry breaker positions across a crash/resume
+// boundary (breaker state accumulates across longitudinal rounds, so a
+// resumed study must restore it to stay byte-identical).
+type BreakerSnapshot struct {
+	Key       string       `json:"key"`
+	State     BreakerState `json:"state"`
+	Failures  int          `json:"failures,omitempty"`
+	OpenUntil time.Time    `json:"open_until"`
+}
+
+// Snapshot returns every breaker's state, sorted by key so the encoding
+// is deterministic. A nil or disabled set snapshots to nil.
+func (b *Breakers) Snapshot() []BreakerSnapshot {
+	if b == nil || !b.cfg.Enabled() {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.m) == 0 {
+		return nil
+	}
+	out := make([]BreakerSnapshot, 0, len(b.m))
+	for key, st := range b.m {
+		out = append(out, BreakerSnapshot{Key: key, State: st.state, Failures: st.failures, OpenUntil: st.openUntil})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Restore replaces the set's state with a snapshot taken by Snapshot.
+// Unknown states are normalized to closed rather than rejected: a
+// checkpoint from a newer version must fail loudly at decode time, not
+// silently corrupt breaker positions here.
+func (b *Breakers) Restore(snap []BreakerSnapshot) {
+	if b == nil || !b.cfg.Enabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m = make(map[string]*breaker, len(snap))
+	for _, s := range snap {
+		state := s.State
+		switch state {
+		case BreakerClosed, BreakerOpen, BreakerHalfOpen:
+		default:
+			state = BreakerClosed
+		}
+		b.m[s.Key] = &breaker{state: state, failures: s.Failures, openUntil: s.OpenUntil}
+	}
 }
 
 // State returns the breaker state for key at time now (resolving an

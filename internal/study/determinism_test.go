@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"spfail/internal/measure"
 	"spfail/internal/population"
 	"spfail/internal/report"
 	"spfail/internal/study"
@@ -30,11 +31,13 @@ func TestSameSeedProducesIdenticalReports(t *testing.T) {
 		spec.Seed = 7
 		var traceBuf bytes.Buffer
 		res, err := study.Run(context.Background(), study.Config{
-			Spec:        spec,
-			Concurrency: 64,
-			BatchSize:   400,
-			Interval:    4 * 24 * time.Hour,
-			Trace:       trace.New(&traceBuf, trace.Options{Seed: spec.Seed}),
+			Config: measure.Config{
+				Concurrency: 64,
+				BatchSize:   400,
+				Trace:       trace.New(&traceBuf, trace.Options{Seed: spec.Seed}),
+			},
+			Spec:     spec,
+			Interval: 4 * 24 * time.Hour,
 		})
 		if err != nil {
 			t.Fatalf("study run: %v", err)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"spfail/internal/faults"
+	"spfail/internal/measure"
 	"spfail/internal/population"
 	"spfail/internal/report"
 	"spfail/internal/retry"
@@ -47,16 +48,18 @@ func TestFaultySameSeedProducesIdenticalReports(t *testing.T) {
 		spec.Scenarios = scenarioMix()
 		var traceBuf bytes.Buffer
 		res, err := study.Run(context.Background(), study.Config{
-			Spec:        spec,
-			Concurrency: 64,
-			BatchSize:   400,
-			Interval:    4 * 24 * time.Hour,
-			IOTimeout:   2 * time.Second,
-			Retry:       retry.Policy{MaxAttempts: 3, BaseDelay: 30 * time.Second, Jitter: 0.2},
-			DNSRetry:    retry.Policy{MaxAttempts: 3, BaseDelay: 5 * time.Second, Jitter: 0.2},
-			Breaker:     retry.BreakerConfig{Threshold: 4},
-			Faults:      &plan,
-			Trace:       trace.New(&traceBuf, trace.Options{Seed: spec.Seed}),
+			Config: measure.Config{
+				Concurrency: 64,
+				BatchSize:   400,
+				IOTimeout:   2 * time.Second,
+				Retry:       retry.Policy{MaxAttempts: 3, BaseDelay: 30 * time.Second, Jitter: 0.2},
+				Breaker:     retry.BreakerConfig{Threshold: 4},
+				Trace:       trace.New(&traceBuf, trace.Options{Seed: spec.Seed}),
+			},
+			Spec:     spec,
+			Interval: 4 * 24 * time.Hour,
+			DNSRetry: retry.Policy{MaxAttempts: 3, BaseDelay: 5 * time.Second, Jitter: 0.2},
+			Faults:   &plan,
 		})
 		if err != nil {
 			t.Fatalf("faulty study run: %v", err)

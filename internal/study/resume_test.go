@@ -1,0 +1,289 @@
+package study_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spfail/internal/checkpoint"
+	"spfail/internal/faults"
+	"spfail/internal/measure"
+	"spfail/internal/population"
+	"spfail/internal/report"
+	"spfail/internal/retry"
+	"spfail/internal/study"
+	"spfail/internal/trace"
+)
+
+// resumeVariant is one kill-anywhere crash-recovery scenario: a study
+// configuration factory (fresh trace sink per run, since a killed run's
+// buffer is abandoned) plus how many randomized kill points to exercise.
+type resumeVariant struct {
+	name  string
+	kills int
+	cfg   func(traceBuf *bytes.Buffer) study.Config
+}
+
+func resumeVariants() []resumeVariant {
+	return []resumeVariant{
+		{name: "plain", kills: 3, cfg: func(tb *bytes.Buffer) study.Config {
+			spec := population.DefaultSpec()
+			spec.Scale = 0.002
+			spec.Seed = 5
+			return study.Config{
+				Config: measure.Config{
+					Concurrency: 64,
+					BatchSize:   400,
+					Trace:       trace.New(tb, trace.Options{Seed: spec.Seed}),
+				},
+				Spec:     spec,
+				Interval: 4 * 24 * time.Hour,
+			}
+		}},
+		{name: "faulty", kills: 2, cfg: func(tb *bytes.Buffer) study.Config {
+			plan := faults.Plan{
+				Seed: 13,
+				Rules: []faults.Rule{
+					{Kind: faults.KindDNSServfail, Burst: 2},
+					{Kind: faults.KindDNSTruncate, Rate: 0.2},
+					{Kind: faults.KindConnRefuse, Rate: 0.15},
+					{Kind: faults.KindConnReset, Rate: 0.1, ResetAfter: 64},
+					{Kind: faults.KindSMTPTarpit, Rate: 0.25, Delay: 20 * time.Second},
+				},
+			}
+			spec := population.DefaultSpec()
+			spec.Scale = 0.002
+			spec.Seed = 9
+			return study.Config{
+				Config: measure.Config{
+					Concurrency: 64,
+					BatchSize:   400,
+					IOTimeout:   2 * time.Second,
+					Retry:       retry.Policy{MaxAttempts: 3, BaseDelay: 30 * time.Second, Jitter: 0.2},
+					Breaker:     retry.BreakerConfig{Threshold: 4},
+					Trace:       trace.New(tb, trace.Options{Seed: spec.Seed}),
+				},
+				Spec:     spec,
+				Interval: 4 * 24 * time.Hour,
+				DNSRetry: retry.Policy{MaxAttempts: 3, BaseDelay: 5 * time.Second, Jitter: 0.2},
+				Faults:   &plan,
+			}
+		}},
+		{name: "scenario", kills: 2, cfg: func(tb *bytes.Buffer) study.Config {
+			spec := population.DefaultSpec()
+			spec.Scale = 0.003
+			spec.Seed = 7
+			spec.Scenarios = scenarioMix()
+			return study.Config{
+				Config: measure.Config{
+					Concurrency: 64,
+					BatchSize:   400,
+					Trace:       trace.New(tb, trace.Options{Seed: spec.Seed}),
+				},
+				Spec:     spec,
+				Interval: 4 * 24 * time.Hour,
+			}
+		}},
+	}
+}
+
+// renderStudy runs cfg to completion and returns the rendered report and
+// the trace JSONL that accumulated in traceBuf.
+func renderStudy(t *testing.T, cfg study.Config, traceBuf *bytes.Buffer) ([]byte, []byte) {
+	t.Helper()
+	res, err := study.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("study run: %v", err)
+	}
+	var buf bytes.Buffer
+	report.All(&buf, res)
+	return buf.Bytes(), traceBuf.Bytes()
+}
+
+// TestKillAnywhereResumeByteIdentical is the tentpole regression: for
+// each variant it renders an uncheckpointed reference, proves an
+// uninterrupted checkpointed run matches it byte for byte, then crashes
+// runs at randomized kill points — both durable commit boundaries and
+// mid-stage probe callbacks — and asserts every resumed run reproduces
+// the reference report AND trace stream exactly.
+func TestKillAnywhereResumeByteIdentical(t *testing.T) {
+	for _, v := range resumeVariants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			var refTraceBuf bytes.Buffer
+			refReport, refTrace := renderStudy(t, v.cfg(&refTraceBuf), &refTraceBuf)
+
+			// An uninterrupted checkpointed run must not perturb output;
+			// its observed kill-point stream enumerates every crash site.
+			var (
+				mu     sync.Mutex
+				points []string
+			)
+			var fullTraceBuf bytes.Buffer
+			fullCfg := v.cfg(&fullTraceBuf)
+			fullDir := t.TempDir()
+			fullCfg.CheckpointDir = fullDir
+			fullCfg.Kill = func(p string) bool {
+				mu.Lock()
+				points = append(points, p)
+				mu.Unlock()
+				return false
+			}
+			fullReport, fullTrace := renderStudy(t, fullCfg, &fullTraceBuf)
+			if !bytes.Equal(refReport, fullReport) {
+				t.Fatalf("checkpointed run perturbed the report:\n%s", firstDiffContext(refReport, fullReport))
+			}
+			if !bytes.Equal(refTrace, fullTrace) {
+				t.Fatalf("checkpointed run perturbed the trace stream:\n%s", firstDiffContext(refTrace, fullTrace))
+			}
+
+			var commits, probes []string
+			for _, p := range points {
+				if strings.HasPrefix(p, "commit:") {
+					commits = append(commits, p)
+				} else {
+					probes = append(probes, p)
+				}
+			}
+			if len(commits) == 0 || len(probes) == 0 {
+				t.Fatalf("kill-point stream incomplete: %d commit points, %d probe points", len(commits), len(probes))
+			}
+
+			// At least one commit-boundary kill and one mid-stage probe
+			// kill per variant; extra picks draw from the full stream.
+			rng := rand.New(rand.NewSource(int64(len(points))))
+			picks := []string{
+				commits[rng.Intn(len(commits))],
+				probes[rng.Intn(len(probes))],
+			}
+			for len(picks) < v.kills {
+				picks = append(picks, points[rng.Intn(len(points))])
+			}
+			for _, point := range picks {
+				point := point
+				t.Run(point, func(t *testing.T) {
+					dir := t.TempDir()
+					var killedTraceBuf bytes.Buffer
+					killedCfg := v.cfg(&killedTraceBuf)
+					killedCfg.CheckpointDir = dir
+					killedCfg.Kill = func(p string) bool { return p == point }
+					if _, err := study.Run(context.Background(), killedCfg); !errors.Is(err, study.ErrKilled) {
+						t.Fatalf("killed run returned %v, want ErrKilled", err)
+					}
+
+					var resumeTraceBuf bytes.Buffer
+					resumeCfg := v.cfg(&resumeTraceBuf)
+					resumeCfg.CheckpointDir = dir
+					resumeCfg.Resume = true
+					gotReport, gotTrace := renderStudy(t, resumeCfg, &resumeTraceBuf)
+					if !bytes.Equal(refReport, gotReport) {
+						t.Errorf("resume after kill at %s: report differs from uninterrupted run:\n%s",
+							point, firstDiffContext(refReport, gotReport))
+					}
+					if !bytes.Equal(refTrace, gotTrace) {
+						t.Errorf("resume after kill at %s: trace stream differs from uninterrupted run:\n%s",
+							point, firstDiffContext(refTrace, gotTrace))
+					}
+				})
+			}
+
+			// Resuming a store that already holds the complete run replays
+			// every stage and still renders the identical report.
+			if v.name == "plain" {
+				var replayTraceBuf bytes.Buffer
+				replayCfg := v.cfg(&replayTraceBuf)
+				replayCfg.CheckpointDir = fullDir
+				replayCfg.Resume = true
+				gotReport, gotTrace := renderStudy(t, replayCfg, &replayTraceBuf)
+				if !bytes.Equal(refReport, gotReport) {
+					t.Errorf("full replay: report differs:\n%s", firstDiffContext(refReport, gotReport))
+				}
+				if !bytes.Equal(refTrace, gotTrace) {
+					t.Errorf("full replay: trace stream differs:\n%s", firstDiffContext(refTrace, gotTrace))
+				}
+			}
+		})
+	}
+}
+
+// killedPlainStore runs the plain variant with a kill right after the
+// named segment commits and returns the store directory.
+func killedPlainStore(t *testing.T, killAt string) (string, study.Config) {
+	t.Helper()
+	v := resumeVariants()[0]
+	dir := t.TempDir()
+	var tb bytes.Buffer
+	cfg := v.cfg(&tb)
+	cfg.CheckpointDir = dir
+	cfg.Kill = func(p string) bool { return p == "commit:"+killAt }
+	if _, err := study.Run(context.Background(), cfg); !errors.Is(err, study.ErrKilled) {
+		t.Fatalf("killed run returned %v, want ErrKilled", err)
+	}
+	var tb2 bytes.Buffer
+	resumeCfg := v.cfg(&tb2)
+	resumeCfg.CheckpointDir = dir
+	resumeCfg.Resume = true
+	return dir, resumeCfg
+}
+
+// TestResumeRejectsConfigDrift pins the fingerprint guard: resuming a
+// store with a different seed (hence a different world) must fail with
+// ErrResumeImpossible instead of splicing two incompatible runs.
+func TestResumeRejectsConfigDrift(t *testing.T) {
+	_, resumeCfg := killedPlainStore(t, "round-000")
+	resumeCfg.Spec.Seed = 6
+	_, err := study.Run(context.Background(), resumeCfg)
+	if !errors.Is(err, checkpoint.ErrResumeImpossible) {
+		t.Fatalf("drifted resume returned %v, want ErrResumeImpossible", err)
+	}
+	if !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("error should name the fingerprint mismatch: %v", err)
+	}
+}
+
+// TestResumeRejectsCorruptSegment pins store verification at the study
+// level: a truncated segment file fails resume with a clean
+// ErrResumeImpossible that names the damaged segment.
+func TestResumeRejectsCorruptSegment(t *testing.T) {
+	dir, resumeCfg := killedPlainStore(t, "round-000")
+	segs, err := filepath.Glob(filepath.Join(dir, "segments", "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in killed store: %v (%d)", err, len(segs))
+	}
+	last := segs[len(segs)-1]
+	b, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(last, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = study.Run(context.Background(), resumeCfg)
+	if !errors.Is(err, checkpoint.ErrResumeImpossible) {
+		t.Fatalf("corrupt resume returned %v, want ErrResumeImpossible", err)
+	}
+}
+
+// TestResumeWithoutStoreFails pins the flag contract: Resume without a
+// CheckpointDir is a configuration error, and Resume against a missing
+// directory cannot invent a store.
+func TestResumeWithoutStoreFails(t *testing.T) {
+	v := resumeVariants()[0]
+	var tb bytes.Buffer
+	cfg := v.cfg(&tb)
+	cfg.Resume = true
+	if _, err := study.Run(context.Background(), cfg); err == nil {
+		t.Error("Resume without CheckpointDir should fail")
+	}
+	cfg.CheckpointDir = filepath.Join(t.TempDir(), "absent")
+	if _, err := study.Run(context.Background(), cfg); !errors.Is(err, checkpoint.ErrResumeImpossible) {
+		t.Errorf("Resume against a missing store returned %v, want ErrResumeImpossible", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"spfail/internal/measure"
 	"spfail/internal/population"
 	"spfail/internal/report"
 	"spfail/internal/study"
@@ -39,11 +40,13 @@ func TestScenarioSameSeedProducesIdenticalReports(t *testing.T) {
 		spec.Scenarios = scenarioMix()
 		var traceBuf bytes.Buffer
 		res, err := study.Run(context.Background(), study.Config{
-			Spec:        spec,
-			Concurrency: 64,
-			BatchSize:   400,
-			Interval:    4 * 24 * time.Hour,
-			Trace:       trace.New(&traceBuf, trace.Options{Seed: spec.Seed}),
+			Config: measure.Config{
+				Concurrency: 64,
+				BatchSize:   400,
+				Trace:       trace.New(&traceBuf, trace.Options{Seed: spec.Seed}),
+			},
+			Spec:     spec,
+			Interval: 4 * 24 * time.Hour,
 		})
 		if err != nil {
 			t.Fatalf("study run: %v", err)
@@ -94,7 +97,7 @@ func TestScenarioSameSeedProducesIdenticalReports(t *testing.T) {
 	// The scenario-off world must be byte-identical to the base: the
 	// plain-run regression in determinism_test.go pins that; here we pin
 	// that the scenario run keeps the same domain population.
-	base := population.Generate(func() population.Spec {
+	base := population.MustGenerate(func() population.Spec {
 		s := population.DefaultSpec()
 		s.Scale = 0.003
 		s.Seed = 7

@@ -2,11 +2,16 @@ package study
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"net/netip"
 	"sort"
+	"strconv"
 	"time"
 
+	"spfail/internal/checkpoint"
 	"spfail/internal/clock"
 	"spfail/internal/core"
 	"spfail/internal/faults"
@@ -14,98 +19,125 @@ import (
 	"spfail/internal/population"
 	"spfail/internal/retry"
 	"spfail/internal/telemetry"
-	"spfail/internal/trace"
 )
 
-// Config parameterizes a full study run.
+// Config parameterizes a full study run. The campaign-level knobs —
+// concurrency, batch size, politeness waits, probe retry and breaker
+// policy, metrics, tracing — are the embedded measure.Config; the fields
+// declared here are the study-only surface: the world spec, the
+// longitudinal cadence, the fault plan, the checkpoint store, and the
+// observer hooks. Suite on the embedded config is ignored: the study
+// stamps its own suites (s01 for the main campaign, s02 for the final
+// snapshot).
 type Config struct {
+	measure.Config
+
 	Spec population.Spec
-	// Concurrency caps simultaneous probes (paper: 250).
-	Concurrency int
-	// BatchSize bounds simultaneously running simulated hosts.
-	BatchSize int
 	// Interval is the longitudinal cadence (paper: 48h).
 	Interval time.Duration
-	// IOTimeout bounds per-probe SMTP I/O (default 5s). It is spent in
-	// real time even on the virtual clock, so shrink it when the fault
-	// plan blackholes connections.
-	IOTimeout time.Duration
-	// Retry reruns transiently failed probes (see retry.Policy); zero
-	// keeps single attempts. A zero Seed is filled from Spec.Seed so
-	// same-seed studies share jitter schedules.
-	Retry retry.Policy
-	// DNSRetry is the probe-side resolver's retry policy.
+	// DNSRetry is the probe-side resolver's retry policy. A zero Seed is
+	// filled from Spec.Seed, like the embedded probe Retry.
 	DNSRetry retry.Policy
-	// Breaker configures the campaigns' per-address circuit breaker.
-	Breaker retry.BreakerConfig
 	// Faults, when non-nil and non-empty, is installed on the fabric as
 	// a deterministic fault-injection plan. A zero Plan.Seed is filled
 	// from Spec.Seed.
 	Faults *faults.Plan
 	// Observe, if non-nil, receives every probe outcome batch by batch,
-	// in input order within each batch — the incremental checkpoint hook
-	// for long campaigns. It is called serially.
+	// in input order within each batch. It is called serially, and only
+	// for probes actually executed: outcomes replayed from a checkpoint
+	// on resume are not re-observed.
 	Observe func(suite string, addr netip.Addr, out core.Outcome)
 	// Progress, if non-nil, receives coarse stage updates.
 	Progress func(stage string)
-	// Metrics, if non-nil, aggregates telemetry from every layer of the
-	// run (callers can watch it live); nil creates a private registry,
-	// exposed afterwards as Results.Metrics.
-	Metrics *telemetry.Registry
-	// Trace, if non-nil, captures per-probe causal spans from every layer
-	// of the run (see internal/trace and docs/tracing.md). Build it with
-	// trace.Options{Seed: Spec.Seed} so same-seed runs emit byte-identical
-	// JSONL.
-	Trace *trace.Tracer
+
+	// CheckpointDir, when non-empty, enables the durable incremental
+	// checkpoint store: every completed stage (resolution, spoof survey,
+	// initial measurement, notification, each longitudinal round, the
+	// final snapshot) commits a segment there (see internal/checkpoint
+	// and docs/checkpoints.md).
+	CheckpointDir string
+	// Resume restarts from CheckpointDir's committed segments instead of
+	// clearing them: completed stages replay from disk and execution
+	// picks up at the first missing one, producing results, trace, and
+	// report byte-identical to an uninterrupted run. The run must use
+	// the same Spec and knobs as the one that wrote the store — the
+	// store's fingerprint enforces that.
+	Resume bool
+	// Kill, if non-nil, is the crash-injection test hook: it is
+	// consulted with a point name after every segment commit
+	// ("commit:<segment>") and every delivered probe outcome
+	// ("<segment>:probe:<n>"), and the first true return aborts the run
+	// with ErrKilled, exactly as a kill -9 at that instant would
+	// (everything since the last commit is lost).
+	Kill func(point string) bool
 }
 
-func (c *Config) interval() time.Duration {
-	if c.Interval > 0 {
-		return c.Interval
+// ErrKilled is returned by Run when the injected Kill hook fired. The
+// checkpoint store is left exactly as a real crash at that point would
+// leave it, so a Resume run picks up from the last committed segment.
+var ErrKilled = errors.New("study: killed at injected crash point")
+
+// Normalize fills study defaults and delegates the campaign-level knobs
+// to the embedded measure.Config.Normalize (which it shadows). The study
+// overrides one campaign default: IOTimeout falls back to 5s rather than
+// the operational 30s, because simulated runs spend it in real time.
+func (c Config) Normalize() (Config, error) {
+	if c.Interval < 0 {
+		return c, fmt.Errorf("study: Interval %v is negative", c.Interval)
 	}
-	return 48 * time.Hour
+	if c.Interval == 0 {
+		c.Interval = 48 * time.Hour
+	}
+	if c.IOTimeout == 0 {
+		c.IOTimeout = 5 * time.Second
+	}
+	if c.Retry.Seed == 0 {
+		c.Retry.Seed = c.Spec.Seed
+	}
+	if c.DNSRetry.Seed == 0 {
+		c.DNSRetry.Seed = c.Spec.Seed
+	}
+	if c.Faults != nil && !c.Faults.Empty() {
+		p := *c.Faults
+		if p.Seed == 0 {
+			p.Seed = c.Spec.Seed
+		}
+		c.Faults = &p
+	} else {
+		c.Faults = nil
+	}
+	var err error
+	if c.Config, err = c.Config.Normalize(); err != nil {
+		return c, fmt.Errorf("study: %w", err)
+	}
+	if c.Resume && c.CheckpointDir == "" {
+		return c, fmt.Errorf("study: Resume requires CheckpointDir")
+	}
+	return c, nil
 }
 
-func (c *Config) ioTimeout() time.Duration {
-	if c.IOTimeout > 0 {
-		return c.IOTimeout
-	}
-	return 5 * time.Second
-}
-
-// retrySeeded returns the probe retry policy with its jitter seed pinned
-// to the world seed when unset, so same-seed runs share backoff schedules.
-func (c *Config) retrySeeded() retry.Policy {
-	r := c.Retry
-	if r.Seed == 0 {
-		r.Seed = c.Spec.Seed
-	}
-	return r
-}
-
-// faultsSeeded returns the fault plan with its seed pinned to the world
-// seed when unset.
-func (c *Config) faultsSeeded() *faults.Plan {
-	if c.Faults == nil || c.Faults.Empty() {
-		return nil
-	}
-	p := *c.Faults
-	if p.Seed == 0 {
-		p.Seed = c.Spec.Seed
-	}
-	return &p
-}
-
-// campaignConfig builds the measure.Config for one probe suite.
+// campaignConfig stamps the campaign config for one probe suite.
 func (c *Config) campaignConfig(suite string) measure.Config {
-	return measure.Config{
-		Suite:       suite,
-		Concurrency: c.Concurrency,
-		BatchSize:   c.BatchSize,
-		IOTimeout:   c.ioTimeout(),
-		Retry:       c.retrySeeded(),
-		Breaker:     c.Breaker,
+	mc := c.Config
+	mc.Suite = suite
+	return mc
+}
+
+// fingerprint hashes every output-affecting knob of a normalized config.
+// It is stamped into the checkpoint store at creation and checked on
+// resume: a run whose knobs differ would diverge from the committed
+// segments, so it must not consume them. Tracer options are not part of
+// the config surface and thus not covered — resume with the same trace
+// flags, as docs/checkpoints.md spells out.
+func (c *Config) fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "spec=%+v|interval=%v|concurrency=%d|batch=%d|greylist=%v|reconnect=%v|io=%v|",
+		c.Spec, c.Interval, c.Concurrency, c.BatchSize, c.GreylistWait, c.ReconnectWait, c.IOTimeout)
+	fmt.Fprintf(h, "retry=%+v|dnsretry=%+v|breaker=%+v|", c.Retry, c.DNSRetry, c.Breaker)
+	if c.Faults != nil {
+		fmt.Fprintf(h, "faults=%+v", *c.Faults)
 	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Results carries everything the experiments section consumes.
@@ -155,26 +187,49 @@ type Results struct {
 }
 
 // Run executes the complete study on a simulated clock starting at the
-// paper's initial measurement date.
+// paper's initial measurement date. With Config.CheckpointDir set, every
+// completed stage is durably committed, and with Config.Resume the run
+// restarts from those commitments instead of re-probing.
 func Run(ctx context.Context, cfg Config) (*Results, error) {
-	progress := cfg.Progress
+	norm, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	progress := norm.Progress
 	if progress == nil {
 		progress = func(string) {}
 	}
-	if err := cfg.Spec.Validate(); err != nil {
+	world, err := population.Generate(norm.Spec)
+	if err != nil {
 		return nil, fmt.Errorf("study: %w", err)
 	}
-	world := population.Generate(cfg.Spec)
+	if norm.Metrics == nil {
+		norm.Metrics = telemetry.New()
+	}
+
+	var store *checkpoint.Store
+	if norm.CheckpointDir != "" {
+		fp := norm.fingerprint()
+		if norm.Resume {
+			store, err = checkpoint.Open(norm.CheckpointDir, fp, norm.Metrics)
+		} else {
+			store, err = checkpoint.Create(norm.CheckpointDir, fp, norm.Metrics)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("study: %w", err)
+		}
+	}
+
 	sim := clock.NewSim(population.TInitial)
 	defer sim.Close()
 
 	rig, err := measure.NewRigFromOptions(ctx, measure.RigOptions{
 		World:    world,
 		Clock:    sim,
-		Metrics:  cfg.Metrics,
-		Faults:   cfg.faultsSeeded(),
-		DNSRetry: cfg.DNSRetry,
-		Trace:    cfg.Trace,
+		Metrics:  norm.Metrics,
+		Faults:   norm.Faults,
+		DNSRetry: norm.DNSRetry,
+		Trace:    norm.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -189,17 +244,43 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	defer tracker.Stop()
 
 	res := &Results{World: world, Metrics: rig.Metrics}
-	campaign, err := measure.NewCampaign(rig, cfg.campaignConfig("s01"))
+	campaign, err := measure.NewCampaign(rig, norm.campaignConfig("s01"))
 	if err != nil {
 		return nil, err
 	}
 
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	r := &runner{
+		cfg:       norm,
+		res:       res,
+		rig:       rig,
+		campaign:  campaign,
+		clk:       sim,
+		tracker:   tracker,
+		trackerIP: trackerIP,
+		progress:  progress,
+		cancel:    cancel,
+		store:     store,
+	}
+	if store != nil {
+		r.pending = store.Segments()
+		if norm.Trace != nil {
+			r.capture = &captureBuffer{}
+			norm.Trace.SetCapture(r.capture)
+			defer norm.Trace.SetCapture(nil)
+		}
+	}
+
 	done := make(chan error, 1)
 	clock.Go(sim, func() {
-		done <- run(ctx, cfg, res, rig, campaign, tracker, trackerIP, progress)
+		done <- r.run(runCtx)
 	})
 	select {
 	case err := <-done:
+		if r.killed {
+			return res, ErrKilled
+		}
 		return res, err
 	case <-ctx.Done():
 		return res, ctx.Err()
@@ -207,17 +288,35 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 }
 
 // run is the study driver; it executes on a clock-accounted goroutine.
-func run(ctx context.Context, cfg Config, res *Results, rig *measure.Rig, campaign *measure.Campaign, tracker *Tracker, trackerIP string, progress func(string)) error {
-	clk := rig.Clock
-	world := rig.World
+// Every probing phase goes through runner.stage, so the flow reads the
+// same whether stages execute live or replay from committed segments.
+func (r *runner) run(ctx context.Context) error {
+	clk := r.rig.Clock
+	world := r.rig.World
+	res := r.res
+	cfg := &r.cfg
 
 	// 1. Resolve every domain's mail hosts through the DNS.
-	progress("resolving targets")
+	r.progress("resolving targets")
 	var domainNames []string
 	for _, d := range world.Domains {
 		domainNames = append(domainNames, d.Name)
 	}
-	res.Targets = rig.ResolveTargets(ctx, domainNames)
+	if err := r.stage(ctx, "resolve",
+		func(st *checkpoint.Stage) error {
+			res.Targets = r.rig.ResolveTargets(ctx, domainNames)
+			if r.store != nil {
+				st.Targets = targetRows(res.Targets)
+			}
+			return nil
+		},
+		func(st *checkpoint.Stage) error {
+			var err error
+			res.Targets, err = restoreTargets(st.Targets)
+			return err
+		}); err != nil {
+		return err
+	}
 	addrs, rep := measure.UniqueAddrs(res.Targets)
 	res.RepDomain = rep
 	res.AddrDomains = make(map[netip.Addr][]string)
@@ -232,24 +331,32 @@ func run(ctx context.Context, cfg Config, res *Results, rig *measure.Rig, campai
 	// posture against a forged envelope, through the real resolution
 	// path (the lookup/void budgets are consumed against the sim DNS).
 	if len(cfg.Spec.Scenarios) > 0 {
-		progress(fmt.Sprintf("spoofing verdict survey of %d domains", len(world.Domains)))
+		r.progress(fmt.Sprintf("spoofing verdict survey of %d domains", len(world.Domains)))
 		res.SpoofTime = clk.Now()
-		survey := &measure.SpoofSurvey{Rig: rig}
-		res.Spoof = survey.Run(ctx)
+		if err := r.stage(ctx, "spoof",
+			func(st *checkpoint.Stage) error {
+				survey := &measure.SpoofSurvey{Rig: r.rig}
+				res.Spoof = survey.Run(ctx)
+				if r.store == nil {
+					return nil
+				}
+				var err error
+				st.Extra, err = json.Marshal(res.Spoof)
+				return err
+			},
+			func(st *checkpoint.Stage) error {
+				return decodeExtra(st.Extra, &res.Spoof)
+			}); err != nil {
+			return err
+		}
 		res.ScenarioStats = measure.ScenarioStats(res.Spoof)
 	}
 
-	// 2. Initial full measurement (October 11), streamed so callers can
-	// checkpoint incrementally.
-	progress(fmt.Sprintf("initial measurement of %d addresses", len(addrs)))
+	// 2. Initial full measurement (October 11).
+	r.progress(fmt.Sprintf("initial measurement of %d addresses", len(addrs)))
 	res.InitialTime = clk.Now()
 	res.Initial = make(map[netip.Addr]core.Outcome, len(addrs))
-	if err := campaign.MeasureAddrsFunc(ctx, addrs, rep, func(a netip.Addr, o core.Outcome) {
-		res.Initial[a] = o
-		if cfg.Observe != nil {
-			cfg.Observe("s01", a, o)
-		}
-	}); err != nil {
+	if err := r.measureStage(ctx, "initial", "s01", r.campaign, addrs, rep, res.Initial); err != nil {
 		return err
 	}
 
@@ -272,11 +379,11 @@ func run(ctx context.Context, cfg Config, res *Results, rig *measure.Rig, campai
 	sort.Slice(targets, func(i, j int) bool { return targets[i].Less(targets[j]) })
 
 	// 4. Longitudinal windows with the notification event in between.
-	progress(fmt.Sprintf("longitudinal measurement of %d addresses", len(targets)))
+	r.progress(fmt.Sprintf("longitudinal measurement of %d addresses", len(targets)))
 	notifier := &Notifier{
-		Rig:         rig,
-		Tracker:     tracker,
-		TrackerAddr: trackerIP + ":80",
+		Rig:         r.rig,
+		Tracker:     r.tracker,
+		TrackerAddr: r.trackerIP + ":80",
 		SenderIP:    "198.51.100.77",
 		Seed:        cfg.Spec.Seed ^ 0x707,
 	}
@@ -285,28 +392,38 @@ func run(ctx context.Context, cfg Config, res *Results, rig *measure.Rig, campai
 		// Rounds are pinned to an even grid (paper: "evenly-spaced
 		// measurements every 2 days") regardless of how long each round's
 		// probing takes.
-		for next := start; !next.After(end); next = next.Add(cfg.interval()) {
+		for next := start; !next.After(end); next = next.Add(cfg.Interval) {
 			if d := next.Sub(clk.Now()); d > 0 {
 				if err := clk.Sleep(ctx, d); err != nil {
 					return err
 				}
 			}
 			if !notified && !clk.Now().Before(population.TNotification) {
-				progress("sending private notifications")
-				if err := rig.Manager.Ensure(ctx, res.VulnAddrs); err != nil {
+				r.progress("sending private notifications")
+				if err := r.stage(ctx, "notify",
+					func(st *checkpoint.Stage) error {
+						if err := r.rig.Manager.Ensure(ctx, res.VulnAddrs); err != nil {
+							return err
+						}
+						res.Notification = notifier.Notify(ctx, res.VulnDomains)
+						r.rig.Manager.Stop(res.VulnAddrs)
+						if r.store == nil {
+							return nil
+						}
+						var err error
+						st.Extra, err = json.Marshal(&res.Notification)
+						return err
+					},
+					func(st *checkpoint.Stage) error {
+						return decodeExtra(st.Extra, &res.Notification)
+					}); err != nil {
 					return err
 				}
-				res.Notification = notifier.Notify(ctx, res.VulnDomains)
-				rig.Manager.Stop(res.VulnAddrs)
 				notified = true
 			}
 			results := make(map[netip.Addr]core.Outcome, len(targets))
-			if err := campaign.MeasureAddrsFunc(ctx, targets, res.RepDomain, func(a netip.Addr, o core.Outcome) {
-				results[a] = o
-				if cfg.Observe != nil {
-					cfg.Observe("s01", a, o)
-				}
-			}); err != nil {
+			name := fmt.Sprintf("round-%03d", len(res.Rounds))
+			if err := r.measureStage(ctx, name, "s01", r.campaign, targets, res.RepDomain, results); err != nil {
 				return err
 			}
 			res.Rounds = append(res.Rounds, measure.Round{Time: next, Results: results})
@@ -324,7 +441,7 @@ func run(ctx context.Context, cfg Config, res *Results, rig *measure.Rig, campai
 	}
 
 	// 5. Final snapshot with re-resolved addresses (February 14).
-	progress("final snapshot")
+	r.progress("final snapshot")
 	if d := population.TEnd.Sub(clk.Now()); d > 0 {
 		if err := clk.Sleep(ctx, d); err != nil {
 			return err
@@ -336,26 +453,69 @@ func run(ctx context.Context, cfg Config, res *Results, rig *measure.Rig, campai
 		vulnDomainNames = append(vulnDomainNames, d)
 	}
 	sort.Strings(vulnDomainNames)
-	snapTargets := rig.ResolveTargets(ctx, vulnDomainNames)
-	snapAddrs, snapRep := measure.UniqueAddrs(snapTargets)
-	snapCampaign, err := measure.NewCampaign(rig, cfg.campaignConfig("s02"))
-	if err != nil {
-		return err
-	}
-	res.Snapshot = make(map[netip.Addr]core.Outcome, len(snapAddrs))
-	if err := snapCampaign.MeasureAddrsFunc(ctx, snapAddrs, snapRep, func(a netip.Addr, o core.Outcome) {
-		res.Snapshot[a] = o
-		if cfg.Observe != nil {
-			cfg.Observe("s02", a, o)
-		}
-	}); err != nil {
+	res.Snapshot = make(map[netip.Addr]core.Outcome)
+	if err := r.stage(ctx, "snapshot",
+		func(st *checkpoint.Stage) error {
+			snapTargets := r.rig.ResolveTargets(ctx, vulnDomainNames)
+			snapAddrs, snapRep := measure.UniqueAddrs(snapTargets)
+			snapCampaign, err := measure.NewCampaign(r.rig, cfg.campaignConfig("s02"))
+			if err != nil {
+				return err
+			}
+			if r.store != nil {
+				st.Targets = targetRows(snapTargets)
+			}
+			return r.measureInto(ctx, "snapshot", "s02", snapCampaign, snapAddrs, snapRep, res.Snapshot, st)
+		},
+		func(st *checkpoint.Stage) error {
+			return restoreOutcomesInto(st.Outcomes, res.Snapshot)
+		}); err != nil {
 		return err
 	}
 
-	// 6. Aggregate.
-	progress("aggregating")
+	// 6. Aggregate. Recomputed on every path — resumes replay raw stage
+	// rows, never frozen aggregates.
+	r.progress("aggregating")
 	res.Analysis = measure.Analyze(res.Rounds, targets)
 	res.Notification.Finalize(res.DomainPatchedAt)
+	return nil
+}
+
+// measureStage runs one measurement pass over addrs as a checkpointable
+// stage, filling into keyed by address.
+func (r *runner) measureStage(ctx context.Context, name, suite string, c *measure.Campaign, addrs []netip.Addr, rep map[netip.Addr]string, into map[netip.Addr]core.Outcome) error {
+	return r.stage(ctx, name,
+		func(st *checkpoint.Stage) error {
+			return r.measureInto(ctx, name, suite, c, addrs, rep, into, st)
+		},
+		func(st *checkpoint.Stage) error {
+			return restoreOutcomesInto(st.Outcomes, into)
+		})
+}
+
+// measureInto executes probes live, streaming each outcome into the
+// result map, the Observe hook, the kill hook, and (when checkpointing)
+// the stage payload.
+func (r *runner) measureInto(ctx context.Context, name, suite string, c *measure.Campaign, addrs []netip.Addr, rep map[netip.Addr]string, into map[netip.Addr]core.Outcome, st *checkpoint.Stage) error {
+	var outs []core.Outcome
+	if r.store != nil {
+		outs = make([]core.Outcome, 0, len(addrs))
+	}
+	n := 0
+	if err := c.MeasureAddrsFunc(ctx, addrs, rep, func(a netip.Addr, o core.Outcome) {
+		into[a] = o
+		if r.store != nil {
+			outs = append(outs, o)
+		}
+		if r.cfg.Observe != nil {
+			r.cfg.Observe(suite, a, o)
+		}
+		r.kill(name + ":probe:" + strconv.Itoa(n))
+		n++
+	}); err != nil {
+		return err
+	}
+	st.Outcomes = checkpoint.OutcomeRows(outs)
 	return nil
 }
 

@@ -25,10 +25,9 @@ func tinyStudy(t *testing.T) *Results {
 	spec.Scale = 0.004
 	spec.Seed = 3
 	res, err := Run(context.Background(), Config{
-		Spec:        spec,
-		Concurrency: 64,
-		BatchSize:   400,
-		Interval:    4 * 24 * time.Hour, // coarser cadence keeps the test quick
+		Config:   measure.Config{Concurrency: 64, BatchSize: 400},
+		Spec:     spec,
+		Interval: 4 * 24 * time.Hour, // coarser cadence keeps the test quick
 	})
 	if err != nil {
 		t.Fatalf("study run: %v", err)

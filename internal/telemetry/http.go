@@ -22,6 +22,12 @@ type Health struct {
 	// current stage, when known.
 	Probed int `json:"probed,omitempty"`
 	Total  int `json:"total,omitempty"`
+	// CheckpointSegments and CheckpointRounds report the durable
+	// checkpoint store position — committed segments and completed
+	// measurement rounds — when the binary runs with a checkpoint
+	// store configured. They count only what would survive a crash.
+	CheckpointSegments int `json:"checkpoint_segments,omitempty"`
+	CheckpointRounds   int `json:"checkpoint_rounds,omitempty"`
 }
 
 // HealthFunc supplies the current Health; it must be safe for concurrent

@@ -74,6 +74,7 @@ type Tracer struct {
 
 	mu      sync.Mutex
 	w       io.Writer // guarded by mu
+	capture io.Writer // guarded by mu
 	scratch []byte    // guarded by mu
 	err     error     // guarded by mu
 
@@ -95,6 +96,37 @@ func (t *Tracer) Err() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.err
+}
+
+// SetCapture installs (nil: removes) a secondary writer that receives a
+// copy of every record FlushBuffer emits from now on. The checkpoint
+// layer uses it to tee each study stage's trace bytes into that stage's
+// segment. Capture writers are expected to be in-memory buffers; their
+// errors are ignored, and only primary-stream errors latch into Err.
+func (t *Tracer) SetCapture(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.capture = w
+	t.mu.Unlock()
+}
+
+// WriteRaw appends pre-encoded JSONL bytes to the primary output stream,
+// bypassing the capture tee. Resume replays the trace bytes stored in
+// committed segments through here, so a resumed run's trace file is the
+// byte-concatenation of the original stages' output plus the live tail.
+func (t *Tracer) WriteRaw(p []byte) {
+	if t == nil || len(p) == 0 {
+		return
+	}
+	t.mu.Lock()
+	if t.err == nil {
+		if _, err := t.w.Write(p); err != nil {
+			t.err = err
+		}
+	}
+	t.mu.Unlock()
 }
 
 // Sampled reports whether the probe at index within scope is traced. The
@@ -185,6 +217,9 @@ func (t *Tracer) FlushBuffer(b *Buffer) {
 			if _, err := t.w.Write(t.scratch); err != nil {
 				t.err = err
 				break
+			}
+			if t.capture != nil {
+				_, _ = t.capture.Write(t.scratch)
 			}
 		}
 	}
