@@ -31,6 +31,7 @@ import (
 	"spfail/internal/measure"
 	"spfail/internal/mta"
 	"spfail/internal/netsim"
+	"spfail/internal/obs"
 	"spfail/internal/spf"
 	"spfail/internal/telemetry"
 	"spfail/internal/trace"
@@ -86,6 +87,10 @@ func main() {
 		fmt.Printf("spfail-scan: -seed %d (pass it back to replay label allocation)\n", common.Seed)
 	}
 	reg := telemetry.New()
+	// Runtime resource telemetry: live runtime.* gauges for the -listen
+	// endpoint, and a final reading in the -metrics JSON snapshot.
+	runtimeColl := obs.NewCollector(reg, clk, 0)
+	runtimeColl.Start()
 	// flushTrace is called explicitly before the final os.Exit — deferred
 	// flushes would never run and leave the buffered JSONL on the floor.
 	tracer, flushTrace, err := common.OpenTrace()
@@ -151,6 +156,9 @@ func main() {
 	if err := flushTrace(); err != nil {
 		fatal("writing trace: %v", err)
 	}
+	// Stopped explicitly (not deferred): the takes-no-defers os.Exit below,
+	// and the Stop itself folds one last runtime.* reading into the snapshot.
+	runtimeColl.Stop()
 	if common.Metrics {
 		fmt.Printf("\n-- metrics (probe.outcome.* must equal the scan's outcome totals: %v)\n", outcomeTotals)
 		if err := reg.Snapshot().WriteJSON(os.Stdout); err != nil {

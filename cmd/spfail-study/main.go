@@ -32,6 +32,7 @@ import (
 	"spfail/internal/clock"
 	"spfail/internal/faults"
 	"spfail/internal/measure"
+	"spfail/internal/obs"
 	"spfail/internal/population"
 	"spfail/internal/report"
 	"spfail/internal/retry"
@@ -53,6 +54,8 @@ func main() {
 		resume      = flag.Bool("resume", false, "resume an interrupted run from the -checkpoint store (same flags required)")
 		killAfter   = flag.String("kill-after", "", "testing: SIGKILL this process right after the named segment commits, e.g. round-002 (requires -checkpoint)")
 		csvDir      = flag.String("csv", "", "directory to write figure data as CSV (optional)")
+		memBudget   = flag.String("mem-budget", "", "soft RSS budget, e.g. 512MiB: above it the run degrades (smaller batches, forced GC) and heap profiles land in the -checkpoint dir")
+		memHard     = flag.String("mem-budget-hard", "", "hard RSS limit, e.g. 2GiB: above it the run stops with an error instead of an OOM kill")
 		verbose     = flag.Bool("v", true, "print progress to stderr")
 		metricsOut  = flag.String("metrics-out", "", "write the JSON telemetry snapshot to this file (implies -metrics)")
 		scenarios   = flag.String("scenarios", "", "misconfiguration scenario mix, e.g. plus-all:0.1,dangling-include:0.05 (packs: "+strings.Join(population.PackNames(), "|")+")")
@@ -106,6 +109,24 @@ func main() {
 	}
 	if !plan.Empty() {
 		cfg.Faults = &plan
+	}
+	for _, b := range []struct {
+		flag string
+		val  string
+		dst  *int64
+	}{
+		{"-mem-budget", *memBudget, &cfg.Budget.SoftRSS},
+		{"-mem-budget-hard", *memHard, &cfg.Budget.HardRSS},
+	} {
+		if b.val == "" {
+			continue
+		}
+		n, err := obs.ParseBytes(b.val)
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "spfail-study: %s: bad size %q\n", b.flag, b.val)
+			os.Exit(2)
+		}
+		*b.dst = n
 	}
 	if p := common.RetryPolicy(); p.MaxAttempts > 1 {
 		cfg.Retry = p
@@ -199,6 +220,11 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "figure data written to %s\n", *csvDir)
 	}
+	if *verbose {
+		// Diagnostics only, and run-dependent — stderr, never the report.
+		fmt.Fprintln(os.Stderr)
+		report.ResourceTable(os.Stderr, res)
+	}
 }
 
 // serveObservability starts the live endpoint (-listen): Prometheus-text
@@ -264,7 +290,7 @@ func progressLoop(reg *telemetry.Registry, every time.Duration) (stop func()) {
 				s := reg.Snapshot()
 				lat := s.Histograms["probe.latency"]
 				fmt.Fprintf(os.Stderr,
-					"[metrics] probes=%d batches=%d inflight=%d (max %d) dns_queries=%d smtp_sessions=%d greylist_waits=%d probe_lat(p50/p95/p99)=%.3fs/%.3fs/%.3fs\n",
+					"[metrics] probes=%d batches=%d inflight=%d (max %d) dns_queries=%d smtp_sessions=%d greylist_waits=%d probe_lat(p50/p95/p99)=%.3fs/%.3fs/%.3fs heap=%s rss=%s gc=%d goroutines=%d\n",
 					s.Counters["probe.total"],
 					s.Counters["campaign.batches_done"],
 					s.Gauges["campaign.inflight"].Value,
@@ -272,7 +298,11 @@ func progressLoop(reg *telemetry.Registry, every time.Duration) (stop func()) {
 					s.Counters["dns.server.queries"],
 					s.Counters["smtp.client.sessions"],
 					s.Counters["probe.greylist_waits"],
-					lat.P50Seconds, lat.P95Seconds, lat.P99Seconds)
+					lat.P50Seconds, lat.P95Seconds, lat.P99Seconds,
+					report.Bytes(s.Gauges["runtime.heap.live_bytes"].Value),
+					report.Bytes(s.Gauges["runtime.mem.rss_bytes"].Value),
+					s.Counters["runtime.gc.cycles"],
+					s.Gauges["runtime.sched.goroutines"].Value)
 			}
 		}
 	}()

@@ -41,6 +41,11 @@ type Stage struct {
 	// Trace is the raw trace-stream bytes the stage emitted, replayed
 	// verbatim on resume so the trace file stays byte-identical.
 	Trace []byte `json:"trace,omitempty"`
+	// Resources is the stage's resource accounting (obs.StageResources),
+	// kept as an opaque side channel: it records what the stage cost when
+	// it actually executed, is restored verbatim on resume, and never
+	// feeds any seeded output byte.
+	Resources json.RawMessage `json:"resources,omitempty"`
 }
 
 // EncodeStage serializes a stage payload for Store.Commit.

@@ -128,8 +128,17 @@ type Prober struct {
 	Net netsim.Network
 	// HELO is the identity our client announces.
 	HELO string
-	// Clock paces greylist retries and inter-connection waits.
+	// Clock paces greylist retries and inter-connection waits, stamps
+	// breaker decisions, and measures probe latency. Campaigns hand each
+	// probe a detached clock.Frame here so those timestamps are a pure
+	// function of the probe, independent of batch partitioning.
 	Clock clock.Clock
+	// IOClock, when non-nil, supplies the timeline SMTP I/O deadlines
+	// are computed on. Campaigns keep it on the rig's shared clock even
+	// while Clock is a per-probe frame: the network fabric translates
+	// deadline budgets against its own clock, so deadlines must be
+	// minted on that same timeline to preserve the configured budget.
+	IOClock clock.Clock
 	// Zone describes the measurement DNS zone (for label → domain
 	// construction); Collector receives its query stream.
 	Zone       *dnsserver.SPFTestZone
@@ -406,7 +415,11 @@ func (res *transactionResult) reset() {
 // prober's configuration.
 func (p *Prober) client() *smtp.Client {
 	if p.cli == nil {
-		p.cli = &smtp.Client{Net: p.Net, HELO: p.HELO, IOTimeout: p.IOTimeout, Metrics: p.Metrics, Clk: p.Clock}
+		clk := p.IOClock
+		if clk == nil {
+			clk = p.Clock
+		}
+		p.cli = &smtp.Client{Net: p.Net, HELO: p.HELO, IOTimeout: p.IOTimeout, Metrics: p.Metrics, Clk: clk}
 	}
 	return p.cli
 }

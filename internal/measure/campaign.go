@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spfail/internal/clock"
 	"spfail/internal/core"
+	"spfail/internal/obs"
 	"spfail/internal/retry"
 	"spfail/internal/telemetry"
 	"spfail/internal/trace"
@@ -27,6 +29,19 @@ type Campaign struct {
 
 	cfg      Config
 	breakers *retry.Breakers
+
+	// dynBatch is the live batch size. It starts at cfg.BatchSize and can
+	// be lowered mid-run by SetBatchSize (the memory-budget watchdog's
+	// degradation hook); batch partitioning is a wall-time concern only —
+	// probe indices, labels, and per-probe virtual frames are all
+	// independent of it — so changing it never perturbs report or trace
+	// bytes.
+	dynBatch atomic.Int64
+
+	// stats accumulates per-shard and allocation accounting for the
+	// resource side table; see Resources.
+	stats   campaignStats
+	sampler obs.AllocSampler
 
 	labelsOnce sync.Once
 	labels     *core.LabelAllocator
@@ -49,6 +64,7 @@ func NewCampaign(rig *Rig, cfg Config) (*Campaign, error) {
 		return nil, err
 	}
 	c := &Campaign{Rig: rig, cfg: norm}
+	c.dynBatch.Store(int64(norm.BatchSize))
 	if norm.Breaker.Enabled() {
 		c.breakers = retry.NewBreakers(norm.Breaker)
 	}
@@ -73,7 +89,23 @@ func (c *Campaign) suite() string { return c.cfg.Suite }
 
 func (c *Campaign) concurrency() int { return c.cfg.Concurrency }
 
-func (c *Campaign) batchSize() int { return c.cfg.BatchSize }
+func (c *Campaign) batchSize() int { return int(c.dynBatch.Load()) }
+
+// BatchSize returns the live batch size, which SetBatchSize may have
+// lowered below the configured one.
+func (c *Campaign) BatchSize() int { return c.batchSize() }
+
+// SetBatchSize changes the batch size used by subsequent batch waves,
+// clamped to at least 1. It is safe to call concurrently with a running
+// measurement — the new size takes effect at the next wave boundary.
+// Batch size only shapes wall-time execution (how many hosts are resident
+// at once); it cannot alter probe outcomes, report bytes, or trace bytes.
+func (c *Campaign) SetBatchSize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.dynBatch.Store(int64(n))
+}
 
 // labelSeed derives the label-stream seed, mixing the suite in so the
 // study's s01 and s02 campaigns draw from disjoint-looking streams.
@@ -98,6 +130,7 @@ func (c *Campaign) newProber() *core.Prober {
 		Net:           c.Rig.Fabric.Host(c.Rig.ProbeIP),
 		HELO:          "probe.dns-lab.org",
 		Clock:         c.Rig.Clock,
+		IOClock:       c.Rig.Clock,
 		Zone:          c.Rig.Zone,
 		Labels:        c.allocator(),
 		Collector:     c.Rig.Collector,
@@ -149,7 +182,7 @@ func (c *Campaign) MeasureAddrsFunc(ctx context.Context, addrs []netip.Addr, rcp
 	// later batch starts depends on scheduler interleaving, and host
 	// behaviour must not (determinism).
 	asOf := c.Rig.Clock.Now()
-	for start := 0; start < len(addrs); start += c.batchSize() {
+	for start := 0; start < len(addrs); {
 		end := start + c.batchSize()
 		if end > len(addrs) {
 			end = len(addrs)
@@ -158,7 +191,7 @@ func (c *Campaign) MeasureAddrsFunc(ctx context.Context, addrs []netip.Addr, rcp
 		if err := c.Rig.Manager.EnsureAt(ctx, batch, asOf); err != nil {
 			return fmt.Errorf("measure: starting batch hosts [%d:%d]: %w", start, end, err)
 		}
-		c.probeBatch(ctx, batch, rcptDomain, func(a netip.Addr, o core.Outcome) {
+		c.probeBatch(ctx, batch, asOf, rcptDomain, func(a netip.Addr, o core.Outcome) {
 			fn(a, o)
 			reg.Counter("campaign.probes_done").Inc()
 		})
@@ -173,6 +206,7 @@ func (c *Campaign) MeasureAddrsFunc(ctx context.Context, addrs []netip.Addr, rcp
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		start = end
 	}
 	return nil
 }
@@ -210,7 +244,14 @@ type stampedOutcome struct {
 // When the rig runs on a simulated clock, the caller must be an accounted
 // goroutine (clock.Go); the shard workers are accounted and the final wait
 // yields to the virtual scheduler.
-func (c *Campaign) probeBatch(ctx context.Context, batch []netip.Addr, rcptDomain map[netip.Addr]string, record func(netip.Addr, core.Outcome)) {
+//
+// Each probe runs on its own clock.Frame anchored at the batch's shared
+// asOf, so a probe's virtual timeline — politeness gaps, greylist waits,
+// retry backoffs, every traced span timestamp — depends only on the probe
+// itself, never on how the batch was partitioned or sharded. SMTP I/O
+// deadlines stay on the rig clock (see core.Prober.IOClock) so the fabric
+// spends exactly the configured budget.
+func (c *Campaign) probeBatch(ctx context.Context, batch []netip.Addr, asOf time.Time, rcptDomain map[netip.Addr]string, record func(netip.Addr, core.Outcome)) {
 	if len(batch) == 0 {
 		return
 	}
@@ -218,6 +259,7 @@ func (c *Campaign) probeBatch(ctx context.Context, batch []netip.Addr, rcptDomai
 	inflight := c.metrics().Gauge("campaign.inflight")
 	tr := c.tracer()
 	suite := c.suite()
+	allocMark := c.sampler.Sample()
 	// Probe indices within the campaign are assigned before the workers
 	// start so trace IDs depend only on input order, never on scheduling.
 	probeBase := c.probeSeq
@@ -235,6 +277,7 @@ func (c *Campaign) probeBatch(ctx context.Context, batch []netip.Addr, rcptDomai
 		copy(c.shardScratch, old)
 	}
 	results := c.shardScratch[:shards]
+	shardWork := make([]shardDelta, shards)
 	labelSeed := c.labelSeed()
 	var wg sync.WaitGroup
 	for s := 0; s < shards; s++ {
@@ -245,6 +288,7 @@ func (c *Campaign) probeBatch(ctx context.Context, batch []netip.Addr, rcptDomai
 			defer wg.Done()
 			inflight.Add(1)
 			defer inflight.Add(-1)
+			wallStart := clock.Real{}.Now()
 			// One prober and one label stream serve the whole shard: probe
 			// scratch (SMTP client, transaction buffers) is reused across
 			// the shard's probes instead of reallocated per probe.
@@ -263,12 +307,16 @@ func (c *Campaign) probeBatch(ctx context.Context, batch []netip.Addr, rcptDomai
 				// interleave their draws — required for byte-identical
 				// traced runs (labels appear in traced DNS query names).
 				stream.Reset(index)
+				p.Clock = clock.NewFrame(clk, asOf)
 				out, buf := c.probeOne(ctx, tr, p, suite, index, a, dom)
 				results[s] = append(results[s], stampedOutcome{seq: seq, out: out, buf: buf})
+				shardWork[s].probes++
 			}
+			shardWork[s].wall = clock.Real{}.Now().Sub(wallStart)
 		})
 	}
 	clock.Yield(clk, wg.Wait)
+	c.stats.absorb(shardWork, c.sampler.Sample().Sub(allocMark))
 	// Merge by sequence stamp: shard seq%shards holds seq at index
 	// seq/shards, so this walks every shard slice in lockstep. Trace
 	// buffers flush here, in the same serial order, so traced runs stay
@@ -292,7 +340,7 @@ func (c *Campaign) probeBatch(ctx context.Context, batch []netip.Addr, rcptDomai
 // duration, so MTA-side layers (SPF evaluation, the DNS server, the fault
 // engine) can attribute their work to this probe by host address.
 func (c *Campaign) probeOne(ctx context.Context, tr *trace.Tracer, p *core.Prober, suite string, index uint64, a netip.Addr, dom string) (core.Outcome, *trace.Buffer) {
-	buf := tr.ProbeBuffer(c.Rig.Clock, suite, index)
+	buf := tr.ProbeBuffer(p.Clock, suite, index)
 	if buf == nil {
 		return p.TestIP(ctx, probeAddr(a), dom), nil
 	}

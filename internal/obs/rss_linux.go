@@ -1,0 +1,53 @@
+//go:build linux
+
+package obs
+
+import (
+	"os"
+	"sync"
+)
+
+// /proc/self/statm is the cheapest RSS source on Linux: a handful of
+// space-separated page counts, readable with one pread and no parsing
+// beyond two integer fields. The file is opened once and shared — pread
+// is offset-independent, so concurrent readers need no lock.
+var (
+	statmOnce sync.Once
+	statmFile *os.File
+	statmPage int64
+)
+
+// readRSS returns the process resident set size in bytes, falling back to
+// the Go runtime's mapped-memory total if procfs is unavailable (e.g. in
+// a stripped-down container).
+func readRSS() int64 {
+	statmOnce.Do(func() {
+		statmPage = int64(os.Getpagesize())
+		if f, err := os.Open("/proc/self/statm"); err == nil {
+			statmFile = f
+		}
+	})
+	if statmFile == nil {
+		return fallbackRSS()
+	}
+	var buf [96]byte
+	n, _ := statmFile.ReadAt(buf[:], 0)
+	if n <= 0 {
+		return fallbackRSS()
+	}
+	// Fields: size resident shared text lib data dt — we want the second.
+	i := 0
+	for i < n && buf[i] != ' ' {
+		i++
+	}
+	i++
+	var pages int64
+	for i < n && buf[i] >= '0' && buf[i] <= '9' {
+		pages = pages*10 + int64(buf[i]-'0')
+		i++
+	}
+	if pages == 0 {
+		return fallbackRSS()
+	}
+	return pages * statmPage
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package obs
+
+// readRSS approximates RSS with the Go runtime's mapped-memory total on
+// platforms without a procfs reading.
+func readRSS() int64 { return fallbackRSS() }

@@ -11,6 +11,7 @@ import (
 	"spfail/internal/clock"
 	"spfail/internal/core"
 	"spfail/internal/measure"
+	"spfail/internal/obs"
 )
 
 // runner threads the study's per-run state — rig, campaign, checkpoint
@@ -26,6 +27,9 @@ type runner struct {
 	trackerIP string
 	progress  func(string)
 	cancel    context.CancelFunc
+	// coll sharpens per-stage peak-RSS attribution with the collector's
+	// polled high-water mark.
+	coll *obs.Collector
 
 	// store is nil when checkpointing is disabled; pending is the tail
 	// of committed segments a resume has not consumed yet.
@@ -69,6 +73,7 @@ func (r *runner) stage(ctx context.Context, name string, exec, restore func(*che
 		if err := restore(st); err != nil {
 			return err
 		}
+		r.restoreResources(name, st)
 		r.campaign.ResumeRound(st.ProbeSeq, st.Breakers)
 		r.rig.FaultEngine.Restore(st.Faults)
 		// Replayed bytes go straight to the output stream, bypassing the
@@ -84,11 +89,19 @@ func (r *runner) stage(ctx context.Context, name string, exec, restore func(*che
 	}
 
 	st := &checkpoint.Stage{}
+	probe := obs.BeginStage(r.clk, r.coll)
 	if err := exec(st); err != nil {
 		return err
 	}
+	sr := probe.End(name)
+	r.res.Resources = append(r.res.Resources, sr)
 	if r.store == nil {
 		return nil
+	}
+	// Resource rows are a side channel: committed alongside the
+	// deterministic payload, never inside it.
+	if b, err := json.Marshal(sr); err == nil {
+		st.Resources = b
 	}
 	st.Clock = r.clk.Now()
 	st.ProbeSeq = r.campaign.ProbeSeq()
@@ -108,6 +121,37 @@ func (r *runner) stage(ctx context.Context, name string, exec, restore func(*che
 		return ErrKilled
 	}
 	return nil
+}
+
+// restoreResources surfaces a replayed segment's resource row in the
+// results, flagged as replayed: the costs are what the stage consumed
+// when it originally executed, not in this process. Segments from builds
+// predating resource accounting simply have no row.
+func (r *runner) restoreResources(name string, st *checkpoint.Stage) {
+	if len(st.Resources) == 0 {
+		return
+	}
+	var sr obs.StageResources
+	if err := json.Unmarshal(st.Resources, &sr); err != nil {
+		return
+	}
+	sr.Stage = name
+	sr.Replayed = true
+	r.res.Resources = append(r.res.Resources, sr)
+}
+
+// progressf reports a coarse stage update, formatting only when a sink
+// is installed — studies run with Progress nil far more often than not,
+// and the fmt work showed up in profiles.
+func (r *runner) progressf(format string, args ...any) {
+	if r.progress == nil {
+		return
+	}
+	if len(args) == 0 {
+		r.progress(format)
+		return
+	}
+	r.progress(fmt.Sprintf(format, args...))
 }
 
 // kill consults the injected crash hook at a named point. The first fire

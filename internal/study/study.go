@@ -9,6 +9,7 @@ import (
 	"net/netip"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"spfail/internal/checkpoint"
@@ -16,6 +17,7 @@ import (
 	"spfail/internal/core"
 	"spfail/internal/faults"
 	"spfail/internal/measure"
+	"spfail/internal/obs"
 	"spfail/internal/population"
 	"spfail/internal/retry"
 	"spfail/internal/telemetry"
@@ -63,6 +65,17 @@ type Config struct {
 	// the same Spec and knobs as the one that wrote the store — the
 	// store's fingerprint enforces that.
 	Resume bool
+	// Budget, when enabled, puts the run under a resident-memory envelope
+	// enforced by an obs.Watchdog: a soft breach halves the campaign batch
+	// size (floor 16), drains pools, forces a GC, and captures a heap
+	// profile (to Budget.ProfileDir, defaulting to CheckpointDir); a hard
+	// breach stops the run with an error wrapping obs.ErrBudgetExceeded.
+	// Batch geometry is a wall-time-only concern — probe pacing runs on
+	// per-probe frame clocks — so degradation never moves a report or
+	// trace byte, and Budget is deliberately outside the checkpoint
+	// fingerprint: budgeted and unbudgeted runs are mutually resumable.
+	Budget obs.Budget
+
 	// Kill, if non-nil, is the crash-injection test hook: it is
 	// consulted with a point name after every segment commit
 	// ("commit:<segment>") and every delivered probe outcome
@@ -184,6 +197,13 @@ type Results struct {
 	// Snapshot is the final re-resolved measurement of February 14.
 	SnapshotTime time.Time
 	Snapshot     map[netip.Addr]core.Outcome
+
+	// Resources is the per-stage resource accounting, one row per
+	// executed (or checkpoint-replayed) stage in commit order, plus the
+	// campaign's per-shard breakdown. Pure side channel: nothing here
+	// feeds the seeded report or trace bytes.
+	Resources         []obs.StageResources
+	CampaignResources measure.Resources
 }
 
 // Run executes the complete study on a simulated clock starting at the
@@ -195,10 +215,6 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
-	progress := norm.Progress
-	if progress == nil {
-		progress = func(string) {}
-	}
 	world, err := population.Generate(norm.Spec)
 	if err != nil {
 		return nil, fmt.Errorf("study: %w", err)
@@ -206,6 +222,14 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	if norm.Metrics == nil {
 		norm.Metrics = telemetry.New()
 	}
+
+	// Resource observability rides the wall clock even though the study
+	// itself runs on a simulated one: memory and GC are wall-time
+	// phenomena. The collector feeds runtime.* instruments and sharpens
+	// per-stage peak-RSS attribution.
+	coll := obs.NewCollector(norm.Metrics, clock.Real{}, 0)
+	coll.Start()
+	defer coll.Stop()
 
 	var store *checkpoint.Store
 	if norm.CheckpointDir != "" {
@@ -259,9 +283,36 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 		clk:       sim,
 		tracker:   tracker,
 		trackerIP: trackerIP,
-		progress:  progress,
+		progress:  norm.Progress,
 		cancel:    cancel,
 		store:     store,
+		coll:      coll,
+	}
+
+	// The budget watchdog degrades the campaign from its own wall-clock
+	// goroutine. Halving the batch only repartitions the address list —
+	// probe pacing runs on per-probe frames — so this is byte-safe by
+	// construction (TestBatchGeometryDeterminism pins it).
+	var budget budgetState
+	if norm.Budget.Enabled() {
+		b := norm.Budget
+		if b.ProfileDir == "" {
+			b.ProfileDir = norm.CheckpointDir
+		}
+		wd := obs.NewWatchdog(b, norm.Metrics, clock.Real{})
+		wd.OnSoftBreach(func(int64) {
+			n := campaign.BatchSize() / 2
+			if n < minDegradedBatch {
+				n = minDegradedBatch
+			}
+			campaign.SetBatchSize(n)
+		})
+		wd.OnHardBreach(func(err error) {
+			budget.fail(err)
+			cancel()
+		})
+		wd.Start()
+		defer wd.Stop()
 	}
 	if store != nil {
 		r.pending = store.Segments()
@@ -278,13 +329,45 @@ func Run(ctx context.Context, cfg Config) (*Results, error) {
 	})
 	select {
 	case err := <-done:
+		res.CampaignResources = r.campaign.Resources()
 		if r.killed {
 			return res, ErrKilled
+		}
+		if berr := budget.err(); berr != nil {
+			// The hard breach cancelled the run context; the unwind error
+			// is just the cancellation echo — report the cause.
+			return res, fmt.Errorf("study: %w", berr)
 		}
 		return res, err
 	case <-ctx.Done():
 		return res, ctx.Err()
 	}
+}
+
+// minDegradedBatch is the floor soft-breach degradation will not halve
+// the campaign batch below: smaller waves stop helping RSS and only
+// multiply scheduling overhead.
+const minDegradedBatch = 16
+
+// budgetState carries the hard-breach error from the watchdog goroutine
+// to Run's result without racing the run unwind.
+type budgetState struct {
+	mu sync.Mutex
+	e  error // guarded by mu
+}
+
+func (b *budgetState) fail(err error) {
+	b.mu.Lock()
+	if b.e == nil {
+		b.e = err
+	}
+	b.mu.Unlock()
+}
+
+func (b *budgetState) err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.e
 }
 
 // run is the study driver; it executes on a clock-accounted goroutine.
@@ -297,7 +380,7 @@ func (r *runner) run(ctx context.Context) error {
 	cfg := &r.cfg
 
 	// 1. Resolve every domain's mail hosts through the DNS.
-	r.progress("resolving targets")
+	r.progressf("resolving targets")
 	var domainNames []string
 	for _, d := range world.Domains {
 		domainNames = append(domainNames, d.Name)
@@ -331,7 +414,7 @@ func (r *runner) run(ctx context.Context) error {
 	// posture against a forged envelope, through the real resolution
 	// path (the lookup/void budgets are consumed against the sim DNS).
 	if len(cfg.Spec.Scenarios) > 0 {
-		r.progress(fmt.Sprintf("spoofing verdict survey of %d domains", len(world.Domains)))
+		r.progressf("spoofing verdict survey of %d domains", len(world.Domains))
 		res.SpoofTime = clk.Now()
 		if err := r.stage(ctx, "spoof",
 			func(st *checkpoint.Stage) error {
@@ -353,7 +436,7 @@ func (r *runner) run(ctx context.Context) error {
 	}
 
 	// 2. Initial full measurement (October 11).
-	r.progress(fmt.Sprintf("initial measurement of %d addresses", len(addrs)))
+	r.progressf("initial measurement of %d addresses", len(addrs))
 	res.InitialTime = clk.Now()
 	res.Initial = make(map[netip.Addr]core.Outcome, len(addrs))
 	if err := r.measureStage(ctx, "initial", "s01", r.campaign, addrs, rep, res.Initial); err != nil {
@@ -379,7 +462,7 @@ func (r *runner) run(ctx context.Context) error {
 	sort.Slice(targets, func(i, j int) bool { return targets[i].Less(targets[j]) })
 
 	// 4. Longitudinal windows with the notification event in between.
-	r.progress(fmt.Sprintf("longitudinal measurement of %d addresses", len(targets)))
+	r.progressf("longitudinal measurement of %d addresses", len(targets))
 	notifier := &Notifier{
 		Rig:         r.rig,
 		Tracker:     r.tracker,
@@ -399,7 +482,7 @@ func (r *runner) run(ctx context.Context) error {
 				}
 			}
 			if !notified && !clk.Now().Before(population.TNotification) {
-				r.progress("sending private notifications")
+				r.progressf("sending private notifications")
 				if err := r.stage(ctx, "notify",
 					func(st *checkpoint.Stage) error {
 						if err := r.rig.Manager.Ensure(ctx, res.VulnAddrs); err != nil {
@@ -441,7 +524,7 @@ func (r *runner) run(ctx context.Context) error {
 	}
 
 	// 5. Final snapshot with re-resolved addresses (February 14).
-	r.progress("final snapshot")
+	r.progressf("final snapshot")
 	if d := population.TEnd.Sub(clk.Now()); d > 0 {
 		if err := clk.Sleep(ctx, d); err != nil {
 			return err
@@ -475,7 +558,7 @@ func (r *runner) run(ctx context.Context) error {
 
 	// 6. Aggregate. Recomputed on every path — resumes replay raw stage
 	// rows, never frozen aggregates.
-	r.progress("aggregating")
+	r.progressf("aggregating")
 	res.Analysis = measure.Analyze(res.Rounds, targets)
 	res.Notification.Finalize(res.DomainPatchedAt)
 	return nil
@@ -497,26 +580,48 @@ func (r *runner) measureStage(ctx context.Context, name, suite string, c *measur
 // result map, the Observe hook, the kill hook, and (when checkpointing)
 // the stage payload.
 func (r *runner) measureInto(ctx context.Context, name, suite string, c *measure.Campaign, addrs []netip.Addr, rep map[netip.Addr]string, into map[netip.Addr]core.Outcome, st *checkpoint.Stage) error {
-	var outs []core.Outcome
+	sink := &probeSink{r: r, name: name, suite: suite, into: into}
 	if r.store != nil {
-		outs = make([]core.Outcome, 0, len(addrs))
+		sink.outs = make([]core.Outcome, 0, len(addrs))
 	}
-	n := 0
-	if err := c.MeasureAddrsFunc(ctx, addrs, rep, func(a netip.Addr, o core.Outcome) {
-		into[a] = o
-		if r.store != nil {
-			outs = append(outs, o)
-		}
-		if r.cfg.Observe != nil {
-			r.cfg.Observe(suite, a, o)
-		}
-		r.kill(name + ":probe:" + strconv.Itoa(n))
-		n++
-	}); err != nil {
+	if err := c.MeasureAddrsFunc(ctx, addrs, rep, sink.observe); err != nil {
 		return err
 	}
-	st.Outcomes = checkpoint.OutcomeRows(outs)
+	st.Outcomes = checkpoint.OutcomeRows(sink.outs)
 	return nil
+}
+
+// probeSink is the campaign's per-outcome delivery target for one
+// measurement stage. A struct with a method value (rather than a
+// capturing closure) keeps the per-probe path visible to the
+// hotpathalloc pass.
+type probeSink struct {
+	r     *runner
+	name  string
+	suite string
+	into  map[netip.Addr]core.Outcome
+	outs  []core.Outcome
+	n     int
+}
+
+// observe runs once per probed address, on the delivery path of every
+// measurement stage. The kill-point label is built only when a crash
+// hook is actually installed — production runs skip the per-probe
+// string work entirely.
+//
+//spfail:hotpath
+func (s *probeSink) observe(a netip.Addr, o core.Outcome) {
+	s.into[a] = o
+	if s.r.store != nil {
+		s.outs = append(s.outs, o)
+	}
+	if s.r.cfg.Observe != nil {
+		s.r.cfg.Observe(s.suite, a, o)
+	}
+	if s.r.cfg.Kill != nil {
+		s.r.kill(s.name + ":probe:" + strconv.Itoa(s.n))
+	}
+	s.n++
 }
 
 // DomainPatchedAt returns the first longitudinal round time at which the

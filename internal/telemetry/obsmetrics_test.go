@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramRecordN(t *testing.T) {
+	h := New().Histogram("runtime.gc.pause")
+	h.RecordN(time.Millisecond, 5)
+	h.RecordN(4*time.Millisecond, 0)  // no-op
+	h.RecordN(4*time.Millisecond, -2) // no-op
+	h.RecordN(2*time.Millisecond, 1)  // n==1 takes the Record path
+	if got := h.Count(); got != 6 {
+		t.Fatalf("Count = %d, want 6", got)
+	}
+	s := h.Snapshot()
+	if want := 7 * time.Millisecond; time.Duration(s.SumSeconds*float64(time.Second)).Round(time.Microsecond) != want {
+		t.Errorf("sum = %fs, want %v", s.SumSeconds, want)
+	}
+
+	// A batch into an empty histogram must establish min/max.
+	h2 := New().Histogram("runtime.sched.latency")
+	h2.RecordN(3*time.Millisecond, 4)
+	s2 := h2.Snapshot()
+	if s2.MinSeconds <= 0 || s2.MaxSeconds <= 0 {
+		t.Errorf("batch first-record min/max = %f/%f, want > 0", s2.MinSeconds, s2.MaxSeconds)
+	}
+}
+
+// TestHistogramRecordNEquivalence checks that one RecordN(d, n) lands in
+// the same bucket with the same totals as n Record(d) calls.
+func TestHistogramRecordNEquivalence(t *testing.T) {
+	a := New().Histogram("runtime.gc.pause")
+	b := New().Histogram("runtime.gc.pause")
+	for _, d := range []time.Duration{time.Microsecond, 750 * time.Microsecond, 80 * time.Millisecond} {
+		a.RecordN(d, 37)
+		for i := 0; i < 37; i++ {
+			b.Record(d)
+		}
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if sa.Count != sb.Count || sa.SumSeconds != sb.SumSeconds ||
+		sa.P50Seconds != sb.P50Seconds || sa.P99Seconds != sb.P99Seconds {
+		t.Errorf("RecordN snapshot %+v != repeated Record snapshot %+v", sa, sb)
+	}
+}
+
+// TestHTTPHandlerConcurrentScrapes hammers /metrics from several
+// scrapers while a writer goroutine mutates the registry the way a live
+// campaign does — new counters, gauge swings, histogram batches. Run
+// under -race this pins the lock discipline of the whole read path.
+func TestHTTPHandlerConcurrentScrapes(t *testing.T) {
+	r := New()
+	h := HTTPHandler(r, func() Health { return Health{OK: true} })
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Counter(fmt.Sprintf("probe.batch_%d", i%17)).Inc()
+			r.Gauge("runtime.mem.rss_bytes").Set(int64(i))
+			r.Histogram("runtime.gc.pause").RecordN(time.Duration(i%1000)*time.Microsecond, int64(i%3+1))
+		}
+	}()
+
+	var scrapers sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for i := 0; i < 50; i++ {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+				if rec.Code != 200 {
+					t.Errorf("/metrics status = %d", rec.Code)
+					return
+				}
+			}
+		}()
+	}
+	scrapers.Wait()
+	close(stop)
+	writers.Wait()
+}
+
+// TestPrometheusRuntimeFamiliesGolden pins the exact rendering of the
+// collector's runtime.* families: sorted within each kind, byte-stable
+// across renders, spfail_-prefixed, dots mapped to underscores.
+func TestPrometheusRuntimeFamiliesGolden(t *testing.T) {
+	r := New()
+	r.Gauge("runtime.mem.rss_bytes").Set(1024)
+	r.Gauge("runtime.heap.live_bytes").Set(512)
+	r.Counter("runtime.obs.samples").Add(3)
+	r.Counter("runtime.gc.cycles").Add(2)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	golden := strings.Join([]string{
+		"# TYPE spfail_runtime_gc_cycles counter",
+		"spfail_runtime_gc_cycles 2",
+		"# TYPE spfail_runtime_obs_samples counter",
+		"spfail_runtime_obs_samples 3",
+		"# TYPE spfail_runtime_heap_live_bytes gauge",
+		"spfail_runtime_heap_live_bytes 512",
+		"# TYPE spfail_runtime_heap_live_bytes_max gauge",
+		"spfail_runtime_heap_live_bytes_max 512",
+		"# TYPE spfail_runtime_mem_rss_bytes gauge",
+		"spfail_runtime_mem_rss_bytes 1024",
+		"# TYPE spfail_runtime_mem_rss_bytes_max gauge",
+		"spfail_runtime_mem_rss_bytes_max 1024",
+		"",
+	}, "\n")
+	if got := buf.String(); got != golden {
+		t.Errorf("runtime.* exposition drifted:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+
+	var again bytes.Buffer
+	if err := WritePrometheus(&again, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two renders of the same runtime.* state differ")
+	}
+}

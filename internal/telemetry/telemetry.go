@@ -163,6 +163,43 @@ func (h *Histogram) Record(d time.Duration) {
 	}
 }
 
+// RecordN adds n identical observations in one shot. Bulk feeders (the
+// runtime-metrics collector folds whole runtime histogram buckets in per
+// poll) use it to avoid n CAS loops; the result is indistinguishable from
+// calling Record(d) n times.
+func (h *Histogram) RecordN(d time.Duration, n int64) {
+	if h == nil || n <= 0 {
+		return
+	}
+	if n == 1 {
+		h.Record(d)
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	ns := int64(d)
+	h.buckets[bucketFor(d)].Add(n)
+	h.sum.Add(ns * n)
+	if h.count.Add(n) == n {
+		h.min.Store(ns)
+		h.max.Store(ns)
+		return
+	}
+	for {
+		m := h.min.Load()
+		if ns >= m || h.min.CompareAndSwap(m, ns) {
+			break
+		}
+	}
+	for {
+		m := h.max.Load()
+		if ns <= m || h.max.CompareAndSwap(m, ns) {
+			break
+		}
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
 	if h == nil {

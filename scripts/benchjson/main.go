@@ -17,6 +17,13 @@
 // a pinned-runner CI lane or local before/after runs, and the tolerance
 // should absorb normal scheduler noise; allocs/op stays the exact,
 // machine-independent gate.
+//
+// -rss-gate is an absolute ceiling, not a baseline comparison: every
+// benchmark that reports a peak-rss-bytes metric (via b.ReportMetric, as
+// BenchmarkRuntimeSample does) must stay under the given size, accepted
+// in human form ("512MiB"). It exists so the resource-observability lane
+// can fail a PR whose benchmark process outgrows the memory envelope the
+// ROADMAP's large-world work is budgeted against.
 package main
 
 import (
@@ -28,6 +35,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+
+	"spfail/internal/obs"
 )
 
 // Result is one benchmark line. Metrics maps unit → value and includes
@@ -51,11 +60,20 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline report to gate against (JSON from a previous run)")
 	gate := flag.String("gate", "", "comma-separated Benchmark:metric pairs that must not regress above the baseline")
 	nsTol := flag.Float64("ns-tolerance", 0, "percentage by which ns/op may exceed the baseline before failing (0 disables the time gate)")
+	rssGate := flag.String("rss-gate", "", "absolute peak-rss-bytes ceiling (e.g. 512MiB) applied to every benchmark reporting that metric")
 	flag.Parse()
 
 	if *nsTol < 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: -ns-tolerance must be >= 0")
 		os.Exit(1)
+	}
+	var rssLimit int64
+	if *rssGate != "" {
+		var err error
+		if rssLimit, err = obs.ParseBytes(*rssGate); err != nil || rssLimit <= 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -rss-gate %q\n", *rssGate)
+			os.Exit(1)
+		}
 	}
 
 	report := Report{
@@ -122,6 +140,9 @@ func main() {
 	}
 	if *nsTol > 0 {
 		failures = append(failures, checkNsTolerance(report, base, *nsTol)...)
+	}
+	if rssLimit > 0 {
+		failures = append(failures, checkRSSGate(report, rssLimit)...)
 	}
 	for _, f := range failures {
 		fmt.Fprintf(os.Stderr, "benchjson: GATE FAILED: %s\n", f)
@@ -211,6 +232,30 @@ func checkNsTolerance(cur, base Report, pct float64) []string {
 			failures = append(failures, fmt.Sprintf("%s: ns/op %g exceeds baseline %g by more than %g%% (limit %g)",
 				res.Name, curVal, baseVal, pct, limit))
 		}
+	}
+	return failures
+}
+
+// checkRSSGate fails every benchmark whose reported peak-rss-bytes
+// metric meets or exceeds the absolute limit. Unlike the baseline gates
+// this needs no prior report: the ceiling is the contract. At least one
+// benchmark must report the metric — a suite that stops measuring RSS
+// must not silently pass its RSS gate.
+func checkRSSGate(cur Report, limit int64) []string {
+	var failures []string
+	seen := false
+	for _, res := range cur.Results {
+		v, ok := res.Metrics["peak-rss-bytes"]
+		if !ok {
+			continue
+		}
+		seen = true
+		if v >= float64(limit) {
+			failures = append(failures, fmt.Sprintf("%s: peak-rss-bytes %g exceeds ceiling %d", res.Name, v, limit))
+		}
+	}
+	if !seen {
+		failures = append(failures, "no benchmark reported peak-rss-bytes; -rss-gate has nothing to enforce")
 	}
 	return failures
 }

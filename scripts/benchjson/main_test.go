@@ -177,3 +177,22 @@ func TestParseLineRejectsNoise(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckRSSGate(t *testing.T) {
+	cur := report(
+		res("BenchmarkRuntimeSample", map[string]float64{"peak-rss-bytes": 64 << 20, "allocs/op": 0}),
+		res("BenchmarkDecode", map[string]float64{"allocs/op": 0}),
+	)
+	if f := checkRSSGate(cur, 512<<20); len(f) != 0 {
+		t.Fatalf("64MiB peak under a 512MiB ceiling failed: %v", f)
+	}
+	f := checkRSSGate(cur, 32<<20)
+	if len(f) != 1 || !strings.Contains(f[0], "BenchmarkRuntimeSample") {
+		t.Fatalf("64MiB peak over a 32MiB ceiling: failures = %v", f)
+	}
+	// A suite that stops reporting the metric must not pass vacuously.
+	none := report(res("BenchmarkDecode", map[string]float64{"allocs/op": 0}))
+	if f := checkRSSGate(none, 512<<20); len(f) != 1 {
+		t.Fatalf("metric-free report should fail the gate, got %v", f)
+	}
+}
